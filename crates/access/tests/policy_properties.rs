@@ -1,0 +1,167 @@
+//! Property tests for the access-control mechanisms.
+
+use odp_access::matrix::{AccessMatrix, Protected, Subject};
+use odp_access::rbac::{Effect, ObjectPath, RbacPolicy, RoleId};
+use odp_access::rights::Rights;
+use proptest::prelude::*;
+
+fn arb_rights() -> impl Strategy<Value = Rights> {
+    (0u8..32).prop_map(|bits| {
+        let mut r = Rights::NONE;
+        for (i, right) in [
+            Rights::READ,
+            Rights::WRITE,
+            Rights::ANNOTATE,
+            Rights::DELETE,
+            Rights::GRANT,
+        ]
+        .iter()
+        .enumerate()
+        {
+            if bits & (1 << i) != 0 {
+                r = r | *right;
+            }
+        }
+        r
+    })
+}
+
+proptest! {
+    /// The matrix, its ACL (column) view and its capability (row) view
+    /// must always agree on every check.
+    #[test]
+    fn matrix_acl_capability_equivalence(
+        grants in prop::collection::vec((0u32..6, 0u64..6, arb_rights()), 0..40),
+        checks in prop::collection::vec((0u32..6, 0u64..6, arb_rights()), 0..20),
+    ) {
+        let mut m = AccessMatrix::new();
+        for (s, o, r) in grants {
+            m.grant(Subject(s), Protected(o), r);
+        }
+        for (s, o, needed) in checks {
+            let subject = Subject(s);
+            let object = Protected(o);
+            let via_matrix = m.check(subject, object, needed);
+            let via_caps = m
+                .capabilities_of(subject)
+                .iter()
+                .any(|c| c.authorises(object, needed))
+                || needed.is_empty();
+            let via_acl = m
+                .acl_of(object)
+                .iter()
+                .any(|&(subj, r)| subj == subject && r.contains(needed))
+                || needed.is_empty();
+            prop_assert_eq!(via_matrix, via_caps, "matrix vs caps");
+            prop_assert_eq!(via_matrix, via_acl, "matrix vs acl");
+        }
+    }
+
+    /// Rights set algebra: union/intersection/difference behave like
+    /// set operations.
+    #[test]
+    fn rights_set_laws(a in arb_rights(), b in arb_rights(), c in arb_rights()) {
+        prop_assert!( (a | b).contains(a) );
+        prop_assert!( a.contains(a & b) );
+        prop_assert_eq!(a & (b | c), (a & b) | (a & c), "distributivity");
+        prop_assert_eq!((a - b) & b, Rights::NONE);
+        prop_assert_eq!(a | Rights::NONE, a);
+        prop_assert_eq!(a & Rights::ALL, a);
+        prop_assert_eq!(!(!a), a, "double complement");
+    }
+
+    /// Revoking exactly what was granted returns the matrix to empty.
+    #[test]
+    fn grant_revoke_round_trip(
+        grants in prop::collection::vec((0u32..6, 0u64..6, arb_rights()), 0..40),
+    ) {
+        let mut m = AccessMatrix::new();
+        for &(s, o, r) in &grants {
+            m.grant(Subject(s), Protected(o), r);
+        }
+        for &(s, o, r) in &grants {
+            m.revoke(Subject(s), Protected(o), r);
+        }
+        // Some grants may overlap, so revoking each grant once must have
+        // removed at least its own bits: final matrix grants nothing
+        // beyond re-granted overlaps — and revoking everything again is
+        // idempotent.
+        let snapshot: Vec<_> = grants.iter().map(|&(s, o, _)| (s, o)).collect();
+        for (s, o) in snapshot {
+            m.revoke(Subject(s), Protected(o), Rights::ALL);
+        }
+        prop_assert!(m.is_empty());
+    }
+
+    /// RBAC monotonicity: adding an Allow rule never removes an existing
+    /// permission; adding a Deny rule never adds one.
+    #[test]
+    fn rbac_rule_monotonicity(
+        base_rules in prop::collection::vec((0u32..4, 0usize..4, arb_rights()), 1..10),
+        check_paths in prop::collection::vec(0usize..4, 1..8),
+        extra_allow in (0u32..4, 0usize..4, arb_rights()),
+        extra_deny in (0u32..4, 0usize..4, arb_rights()),
+    ) {
+        let paths = ["docs", "docs/a", "docs/a/b", "other"];
+        let mut policy = RbacPolicy::new();
+        for &(role, p, rights) in &base_rules {
+            policy.add_rule(RoleId(role), ObjectPath::new(paths[p]), rights, Effect::Allow);
+        }
+        for role in 0..4 {
+            policy.assign(Subject(1), RoleId(role));
+        }
+        let check = |policy: &RbacPolicy| -> Vec<bool> {
+            check_paths
+                .iter()
+                .map(|&p| policy.check(Subject(1), &ObjectPath::new(paths[p]), Rights::READ).allowed)
+                .collect()
+        };
+        let before = check(&policy);
+        // An extra *shallow* allow at the root can never remove access.
+        let mut with_allow = policy.clone();
+        with_allow.add_rule(RoleId(extra_allow.0), ObjectPath::new(""), extra_allow.2 | Rights::READ, Effect::Allow);
+        let after_allow = check(&with_allow);
+        for (b, a) in before.iter().zip(&after_allow) {
+            prop_assert!(!b || *a, "allow rule removed access");
+        }
+        // An extra deny can never add access.
+        let mut with_deny = policy.clone();
+        with_deny.add_rule(
+            RoleId(extra_deny.0),
+            ObjectPath::new(paths[extra_deny.1]),
+            extra_deny.2,
+            Effect::Deny,
+        );
+        let after_deny = check(&with_deny);
+        for (b, a) in before.iter().zip(&after_deny) {
+            prop_assert!(*b || !a, "deny rule added access");
+        }
+    }
+
+    /// `explain` always terminates with a consistent verdict.
+    #[test]
+    fn rbac_explain_matches_check(
+        rules in prop::collection::vec((0u32..3, 0usize..4, arb_rights(), any::<bool>()), 0..12),
+        path_idx in 0usize..4,
+    ) {
+        let paths = ["p", "p/q", "p/q/r", "x"];
+        let mut policy = RbacPolicy::new();
+        for &(role, p, rights, allow) in &rules {
+            policy.add_rule(
+                RoleId(role),
+                ObjectPath::new(paths[p]),
+                rights,
+                if allow { Effect::Allow } else { Effect::Deny },
+            );
+        }
+        policy.assign(Subject(2), RoleId(0));
+        let path = ObjectPath::new(paths[path_idx]);
+        let decision = policy.check(Subject(2), &path, Rights::WRITE);
+        let why = policy.explain(Subject(2), &path, Rights::WRITE);
+        if decision.allowed {
+            prop_assert!(!why.contains("NOT"), "{why}");
+        } else {
+            prop_assert!(why.contains("NOT"), "{why}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Temporal and combined awareness weightings (Mariani & Prinz's
+//! "awareness about co-workers in cooperation support object databases").
+//!
+//! Asynchronous awareness needs a *temporal* metric — how recently
+//! something happened — combined with the *spatial* metric of
+//! [`crate::spatial`] and an artefact-relevance factor. The product is
+//! the awareness weighting the paper describes (§4.2.1).
+
+use std::collections::BTreeMap;
+
+use odp_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Exponential-decay recency weighting.
+///
+/// `weight = 0.5 ^ (elapsed / half_life)` — 1.0 for "just now", 0.5 after
+/// one half-life, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalDecay {
+    /// Elapsed time at which the weight halves.
+    pub half_life: SimDuration,
+}
+
+impl TemporalDecay {
+    /// Creates a decay with the given half-life.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life` is zero.
+    pub fn new(half_life: SimDuration) -> Self {
+        assert!(!half_life.is_zero(), "half-life must be positive");
+        TemporalDecay { half_life }
+    }
+
+    /// The weight of an event that happened at `event_time`, observed at
+    /// `now`. Future events weigh 1.0.
+    pub fn weight(&self, event_time: SimTime, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(event_time);
+        let ratio = elapsed.as_micros() as f64 / self.half_life.as_micros() as f64;
+        0.5f64.powf(ratio)
+    }
+}
+
+/// Relevance of artefacts to each observer: a sparse map defaulting to a
+/// configurable base value.
+#[derive(Debug, Clone)]
+pub struct RelevanceMap {
+    base: f64,
+    entries: BTreeMap<String, f64>,
+}
+
+impl RelevanceMap {
+    /// Creates a map where unlisted artefacts weigh `base`.
+    pub fn new(base: f64) -> Self {
+        RelevanceMap {
+            base: base.clamp(0.0, 1.0),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Declares interest in an artefact.
+    pub fn set(&mut self, artefact: impl Into<String>, relevance: f64) {
+        self.entries.insert(artefact.into(), relevance.clamp(0.0, 1.0));
+    }
+
+    /// The relevance of an artefact.
+    pub fn get(&self, artefact: &str) -> f64 {
+        self.entries.get(artefact).copied().unwrap_or(self.base)
+    }
+}
+
+/// The combined awareness weighting: spatial × temporal × relevance.
+///
+/// # Examples
+///
+/// ```
+/// use odp_awareness::weights::{combined_weight, RelevanceMap, TemporalDecay};
+/// use odp_sim::time::{SimDuration, SimTime};
+///
+/// let decay = TemporalDecay::new(SimDuration::from_secs(60));
+/// let mut relevance = RelevanceMap::new(0.2);
+/// relevance.set("doc:intro", 1.0);
+/// let w = combined_weight(
+///     0.8,
+///     decay.weight(SimTime::ZERO, SimTime::ZERO),
+///     relevance.get("doc:intro"),
+/// );
+/// assert!((w - 0.8).abs() < 1e-9);
+/// ```
+pub fn combined_weight(spatial: f64, temporal: f64, relevance: f64) -> f64 {
+    (spatial.clamp(0.0, 1.0)) * (temporal.clamp(0.0, 1.0)) * (relevance.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_halves_per_half_life() {
+        let d = TemporalDecay::new(SimDuration::from_secs(10));
+        let t0 = SimTime::ZERO;
+        assert!((d.weight(t0, t0) - 1.0).abs() < 1e-9);
+        assert!((d.weight(t0, SimTime::from_secs(10)) - 0.5).abs() < 1e-9);
+        assert!((d.weight(t0, SimTime::from_secs(20)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn future_events_weigh_full() {
+        let d = TemporalDecay::new(SimDuration::from_secs(10));
+        assert_eq!(d.weight(SimTime::from_secs(5), SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life must be positive")]
+    fn zero_half_life_panics() {
+        TemporalDecay::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn relevance_defaults_and_overrides() {
+        let mut r = RelevanceMap::new(0.3);
+        r.set("doc:a", 0.9);
+        r.set("doc:b", 5.0); // clamped
+        assert_eq!(r.get("doc:a"), 0.9);
+        assert_eq!(r.get("doc:b"), 1.0);
+        assert_eq!(r.get("doc:zzz"), 0.3);
+    }
+
+    #[test]
+    fn combined_weight_is_a_product_with_clamping() {
+        assert_eq!(combined_weight(0.5, 0.5, 0.5), 0.125);
+        assert_eq!(combined_weight(2.0, 1.0, 1.0), 1.0);
+        assert_eq!(combined_weight(-1.0, 1.0, 1.0), 0.0);
+        assert_eq!(combined_weight(1.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn decay_is_monotone_in_elapsed_time() {
+        let d = TemporalDecay::new(SimDuration::from_millis(500));
+        let t0 = SimTime::ZERO;
+        let mut prev = 2.0;
+        for ms in [0u64, 100, 200, 400, 800, 1600] {
+            let w = d.weight(t0, SimTime::from_millis(ms));
+            assert!(w < prev, "not monotone at {ms}");
+            prev = w;
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the spatial awareness model and temporal weights.
+
+use odp_awareness::spatial::{AwarenessLevel, Position, SpatialBody, SpatialModel};
+use odp_awareness::weights::{combined_weight, TemporalDecay};
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn body(x: f64, y: f64, aura: f64, focus: f64, nimbus: f64) -> SpatialBody {
+    SpatialBody {
+        position: Position::new(x, y),
+        aura,
+        focus,
+        nimbus,
+    }
+}
+
+proptest! {
+    /// Weights always lie in [0, 1], vanish beyond the aura, and are
+    /// consistent with the qualitative levels: Full > 0, None == 0.
+    #[test]
+    fn weights_are_bounded_and_level_consistent(
+        x in -100.0f64..100.0, y in -100.0f64..100.0,
+        aura in 1.0f64..200.0, focus in 0.0f64..100.0, nimbus in 0.0f64..100.0,
+    ) {
+        let mut s = SpatialModel::new();
+        s.place(NodeId(0), body(0.0, 0.0, aura, focus, nimbus));
+        s.place(NodeId(1), body(x, y, aura, focus, nimbus));
+        let w = s.weight(NodeId(0), NodeId(1));
+        prop_assert!((0.0..=1.0).contains(&w), "w={w}");
+        let d = Position::new(0.0, 0.0).distance(&Position::new(x, y));
+        if d > aura {
+            prop_assert_eq!(w, 0.0, "outside the aura");
+            prop_assert_eq!(s.level(NodeId(0), NodeId(1)), AwarenessLevel::None);
+        }
+        match s.level(NodeId(0), NodeId(1)) {
+            AwarenessLevel::Full => prop_assert!(w > 0.0),
+            AwarenessLevel::None => {}
+            AwarenessLevel::Peripheral => {}
+        }
+    }
+
+    /// Weight is monotonically non-increasing in distance along a ray
+    /// (same radii everywhere).
+    #[test]
+    fn weight_decreases_with_distance(
+        d1 in 0.0f64..100.0, d2 in 0.0f64..100.0,
+        radius in 1.0f64..120.0,
+    ) {
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let mut s = SpatialModel::new();
+        s.place(NodeId(0), body(0.0, 0.0, 1_000.0, radius, radius));
+        s.place(NodeId(1), body(near, 0.0, 1_000.0, radius, radius));
+        s.place(NodeId(2), body(far, 0.0, 1_000.0, radius, radius));
+        prop_assert!(
+            s.weight(NodeId(0), NodeId(1)) >= s.weight(NodeId(0), NodeId(2)),
+            "nearer must weigh at least as much"
+        );
+    }
+
+    /// `aware_of` is sorted by weight, contains no self entry and no
+    /// zero-weight entries.
+    #[test]
+    fn aware_of_is_sorted_and_clean(
+        positions in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 2..8),
+    ) {
+        let mut s = SpatialModel::new();
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            s.place(NodeId(i as u32), body(x, y, 1_000.0, 40.0, 40.0));
+        }
+        let aware = s.aware_of(NodeId(0));
+        for w in aware.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "sorted descending");
+        }
+        for &(n, w) in &aware {
+            prop_assert_ne!(n, NodeId(0), "no self-awareness");
+            prop_assert!(w > 0.0);
+        }
+    }
+
+    /// Temporal decay is in (0, 1], monotone, and multiplicative over
+    /// concatenated intervals.
+    #[test]
+    fn decay_is_multiplicative(
+        half_life_ms in 1u64..100_000,
+        a_ms in 0u64..1_000_000,
+        b_ms in 0u64..1_000_000,
+    ) {
+        let d = TemporalDecay::new(SimDuration::from_millis(half_life_ms));
+        let t0 = SimTime::ZERO;
+        let wa = d.weight(t0, SimTime::from_millis(a_ms));
+        let wb = d.weight(t0, SimTime::from_millis(b_ms));
+        let wab = d.weight(t0, SimTime::from_millis(a_ms + b_ms));
+        prop_assert!((wab - wa * wb).abs() < 1e-9, "exponential: {wab} vs {}", wa * wb);
+        // Weights are within [0, 1]; extreme elapsed/half-life ratios may
+        // underflow to exactly 0.0, which is acceptable.
+        prop_assert!((0.0..=1.0).contains(&wa));
+    }
+
+    /// The combined weight never exceeds any of its factors.
+    #[test]
+    fn combined_weight_is_dominated(
+        s in 0.0f64..1.5, t in 0.0f64..1.5, r in 0.0f64..1.5,
+    ) {
+        let w = combined_weight(s, t, r);
+        prop_assert!(w <= s.clamp(0.0, 1.0) + 1e-12);
+        prop_assert!(w <= t.clamp(0.0, 1.0) + 1e-12);
+        prop_assert!(w <= r.clamp(0.0, 1.0) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&w));
+    }
+}

@@ -1,0 +1,122 @@
+//! One Criterion bench per derived experiment: regenerates each
+//! table/figure of the evaluation and measures how long the regeneration
+//! takes (useful for tracking simulator performance regressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cscw_core::experiments as exp;
+
+fn bench_e1_space_time_matrix(c: &mut Criterion) {
+    c.bench_function("e1_space_time_matrix", |b| {
+        b.iter(|| black_box(exp::sessions::e1_space_time_matrix(black_box(42))))
+    });
+}
+
+fn bench_e2_walls_vs_awareness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_walls_vs_awareness");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| black_box(exp::concurrency::e2_walls_vs_awareness(black_box(42))))
+    });
+    g.finish();
+}
+
+fn bench_e3_response_notification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_response_notification");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| black_box(exp::concurrency::e3_response_notification(black_box(42))))
+    });
+    g.finish();
+}
+
+fn bench_e4_lock_granularity(c: &mut Criterion) {
+    c.bench_function("e4_lock_granularity", |b| {
+        b.iter(|| black_box(exp::concurrency::e4_lock_granularity(black_box(42))))
+    });
+}
+
+fn bench_e5_access_control(c: &mut Criterion) {
+    c.bench_function("e5_access_control", |b| {
+        b.iter(|| black_box(exp::access::e5_access_control(black_box(42))))
+    });
+}
+
+fn bench_e6_qos_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_qos_streams");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| black_box(exp::media::e6_qos_streams(black_box(42))))
+    });
+    g.finish();
+}
+
+fn bench_e7_media_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_media_sync");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| black_box(exp::media::e7_media_sync(black_box(42))))
+    });
+    g.finish();
+}
+
+fn bench_e8_group_comm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_group_comm");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| black_box(exp::groups::e8_group_comm(black_box(42))))
+    });
+    g.finish();
+}
+
+fn bench_e9_placement(c: &mut Criterion) {
+    c.bench_function("e9_placement", |b| {
+        b.iter(|| black_box(exp::placement::e9_placement(black_box(42))))
+    });
+}
+
+fn bench_e10_mobility(c: &mut Criterion) {
+    c.bench_function("e10_mobility", |b| {
+        b.iter(|| black_box(exp::mobility::e10_mobility(black_box(42))))
+    });
+}
+
+fn bench_e11_prescriptiveness(c: &mut Criterion) {
+    c.bench_function("e11_prescriptiveness", |b| {
+        b.iter(|| black_box(exp::workflow::e11_prescriptiveness()))
+    });
+}
+
+fn bench_e13_replicated_workspace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_replicated_workspace");
+    g.sample_size(10);
+    g.bench_function("full", |b| {
+        b.iter(|| black_box(exp::replication::e13_replicated_workspace(black_box(42))))
+    });
+    g.finish();
+}
+
+fn bench_e12_transitions(c: &mut Criterion) {
+    c.bench_function("e12_transitions", |b| {
+        b.iter(|| black_box(exp::sessions::e12_transitions(black_box(42))))
+    });
+}
+
+criterion_group!(
+    experiments,
+    bench_e1_space_time_matrix,
+    bench_e2_walls_vs_awareness,
+    bench_e3_response_notification,
+    bench_e4_lock_granularity,
+    bench_e5_access_control,
+    bench_e6_qos_streams,
+    bench_e7_media_sync,
+    bench_e8_group_comm,
+    bench_e9_placement,
+    bench_e10_mobility,
+    bench_e11_prescriptiveness,
+    bench_e12_transitions,
+    bench_e13_replicated_workspace,
+);
+criterion_main!(experiments);

@@ -1,0 +1,168 @@
+//! Micro-benchmarks of the middleware's hot primitives: OT transforms,
+//! vector-clock operations, lock-table requests, RBAC checks, QoS
+//! negotiation, and the simulator's event loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use odp_access::delegation::DelegationRegistry;
+use odp_access::matrix::{Protected, Subject};
+use odp_access::rbac::{Effect, ObjectPath, RbacPolicy, RoleId};
+use odp_access::rights::Rights;
+use odp_concurrency::locks::{ClientId, LockMode, LockScheme, LockTable, ResourceId};
+use odp_concurrency::ot::{transform_pair, CharOp, TieBreak};
+use odp_groupcomm::vclock::VectorClock;
+use odp_sim::net::NodeId;
+use odp_sim::prelude::*;
+use odp_streams::qos::{negotiate, QosSpec};
+
+fn bench_ot_transform(c: &mut Criterion) {
+    c.bench_function("ot_transform_pair", |b| {
+        let a = CharOp::Insert { pos: 5, ch: 'x' };
+        let d = CharOp::Delete { pos: 3 };
+        b.iter(|| black_box(transform_pair(black_box(a), black_box(d), TieBreak::OpWins)))
+    });
+}
+
+fn bench_vclock(c: &mut Criterion) {
+    c.bench_function("vclock_compare_16", |b| {
+        let mut x = VectorClock::new();
+        let mut y = VectorClock::new();
+        for i in 0..16 {
+            x.tick(NodeId(i));
+            y.tick(NodeId(i));
+            if i % 3 == 0 {
+                y.tick(NodeId(i));
+            }
+        }
+        b.iter(|| black_box(x.compare(black_box(&y))))
+    });
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_request_release", |b| {
+        let mut table = LockTable::new(LockScheme::Hard);
+        let mut i = 0u64;
+        b.iter(|| {
+            let r = ResourceId(i % 64);
+            table.request(ClientId(0), r, LockMode::Exclusive, SimTime::ZERO);
+            table.release(ClientId(0), r, SimTime::ZERO).expect("held");
+            i += 1;
+        })
+    });
+}
+
+fn bench_rbac_check(c: &mut Criterion) {
+    c.bench_function("rbac_check_deep_path", |b| {
+        let mut policy = RbacPolicy::new();
+        for r in 0..8u32 {
+            policy.add_rule(
+                RoleId(r),
+                ObjectPath::new(format!("project/area{r}")),
+                Rights::READ | Rights::WRITE,
+                Effect::Allow,
+            );
+        }
+        policy.add_rule(RoleId(0), "project/area0/frozen".into(), Rights::WRITE, Effect::Deny);
+        policy.assign(Subject(1), RoleId(0));
+        policy.assign(Subject(1), RoleId(3));
+        let path = ObjectPath::new("project/area0/frozen/para3/line14");
+        b.iter(|| black_box(policy.check(Subject(1), black_box(&path), Rights::WRITE)))
+    });
+}
+
+fn bench_qos_negotiate(c: &mut Criterion) {
+    c.bench_function("qos_negotiate_degrading", |b| {
+        let offer = QosSpec::mobile_video();
+        let want = QosSpec::video();
+        b.iter(|| black_box(negotiate(black_box(&offer), black_box(&want))))
+    });
+}
+
+fn bench_delegation_chain(c: &mut Criterion) {
+    c.bench_function("delegation_authorised_depth_8", |b| {
+        let mut reg = DelegationRegistry::new();
+        let mut grant = reg.issue_root(Subject(0), Protected(1), Rights::ALL);
+        for i in 1..8u32 {
+            grant = reg
+                .delegate(grant, Subject(i), Rights::READ | Rights::GRANT)
+                .expect("valid delegation");
+        }
+        b.iter(|| black_box(reg.authorised(Subject(7), Protected(1), Rights::READ)))
+    });
+}
+
+fn bench_routed_procedure(c: &mut Criterion) {
+    use odp_workflow::routes::{Next, RouteStep, RoutedProcedure, StepId};
+    use odp_workflow::speechact::Party;
+    use std::collections::BTreeMap;
+    c.bench_function("routed_procedure_loop_cycle", |b| {
+        b.iter(|| {
+            let steps = vec![
+                RouteStep {
+                    id: StepId(0),
+                    role: Party(1),
+                    description: "draft".into(),
+                    routes: BTreeMap::from([("done".to_owned(), Next::Step(StepId(1)))]),
+                },
+                RouteStep {
+                    id: StepId(1),
+                    role: Party(2),
+                    description: "review".into(),
+                    routes: BTreeMap::from([
+                        ("ok".to_owned(), Next::Done),
+                        ("redo".to_owned(), Next::Step(StepId(0))),
+                    ]),
+                },
+            ];
+            let mut p = RoutedProcedure::new(steps, StepId(0)).expect("valid");
+            p.perform(Party(1), "done").expect("turn");
+            p.perform(Party(2), "redo").expect("turn");
+            p.perform(Party(1), "done").expect("turn");
+            p.perform(Party(2), "ok").expect("turn");
+            black_box(p.is_done())
+        })
+    });
+}
+
+fn bench_sim_event_loop(c: &mut Criterion) {
+    struct Echo {
+        peer: NodeId,
+        left: u32,
+    }
+    impl Actor<u32> for Echo {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.peer, 0);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: NodeId, _m: u32) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.send(from, 0);
+            }
+        }
+    }
+    c.bench_function("sim_10k_message_roundtrips", |b| {
+        b.iter(|| {
+            let mut net = Network::new(LinkSpec::ideal());
+            net.set_default_link(LinkSpec::ideal());
+            let mut sim = Sim::with_network(1, net);
+            sim.add_actor(NodeId(0), Echo { peer: NodeId(1), left: 10_000 });
+            sim.add_actor(NodeId(1), Echo { peer: NodeId(0), left: 10_000 });
+            sim.run();
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+criterion_group!(
+    primitives,
+    bench_ot_transform,
+    bench_vclock,
+    bench_lock_table,
+    bench_rbac_check,
+    bench_qos_negotiate,
+    bench_delegation_chain,
+    bench_routed_procedure,
+    bench_sim_event_loop,
+);
+criterion_main!(primitives);

@@ -1,0 +1,8 @@
+//! Regenerates every table of the derived experiment suite (the
+//! "evaluation section" of this reproduction) on the fixed report seed.
+
+fn main() {
+    println!("cscw-odp derived experiment suite (seed {})", cscw_bench::REPORT_SEED);
+    println!("================================================\n");
+    print!("{}", cscw_bench::render_report());
+}

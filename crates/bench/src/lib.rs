@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # cscw-bench — the benchmark harness
+//!
+//! One Criterion bench per derived experiment (`benches/experiments.rs`),
+//! micro-benchmarks of the hot primitives (`benches/primitives.rs`), and
+//! the `report` binary that regenerates every table for EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo run -p cscw-bench --bin report --release
+//! cargo bench -p cscw-bench
+//! ```
+
+/// The default seed used by the report binary and benches, so published
+/// numbers are reproducible.
+pub const REPORT_SEED: u64 = 42;
+
+/// Renders all experiment tables to a string (what `report` prints).
+pub fn render_report() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for table in cscw_core::experiments::run_all(REPORT_SEED) {
+        writeln!(out, "{table}").expect("string write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_renders_every_experiment() {
+        let report = super::render_report();
+        for id in ["[E1]", "[E4]", "[E8]", "[E12]"] {
+            assert!(report.contains(id), "missing {id}");
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! Cooperative locking schemes: the alternative lock styles the paper
+//! surveys against strict exclusive locks (§4.2.1):
+//!
+//! - **hard** locks — classic shared/exclusive with FIFO queueing (the
+//!   building block of the Figure 2a transaction "walls");
+//! - **tickle** locks (Greif & Sarin) — a requester "tickles" the holder;
+//!   if the holder has been idle longer than a threshold the lock
+//!   transfers automatically;
+//! - **soft** locks (Cognoter/Colab) — advisory: conflicting access is
+//!   granted immediately but both parties receive conflict warnings;
+//! - **notification** locks (Hornick & Zdonik) — access is granted as for
+//!   hard shared locks, but holders are notified of every other access so
+//!   they remain *aware* of concurrent activity.
+//!
+//! All variants are driven through one [`LockTable`] so experiments can
+//! swap the scheme without touching the workload.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use odp_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a lockable resource (object, or object×unit under
+/// fine-grained locking — compose with
+/// [`crate::granularity::UnitId`] via [`ResourceId::with_unit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub u64);
+
+impl ResourceId {
+    /// Composes an object id and a unit index into one resource id.
+    pub fn with_unit(object: crate::store::ObjectId, unit: crate::granularity::UnitId) -> Self {
+        ResourceId(object.0 << 32 | unit.0 as u64)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "res{}", self.0)
+    }
+}
+
+/// Identifies a lock client (a user/session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Shared (read) or exclusive (write) access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Multiple concurrent holders allowed.
+    Shared,
+    /// Single holder.
+    Exclusive,
+}
+
+impl LockMode {
+    fn compatible(self, other: LockMode) -> bool {
+        self == LockMode::Shared && other == LockMode::Shared
+    }
+}
+
+/// The locking scheme a table enforces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LockScheme {
+    /// Classic blocking shared/exclusive locks.
+    Hard,
+    /// Hard locks plus automatic transfer from idle holders.
+    Tickle {
+        /// A holder idle for this long loses the lock to a tickler.
+        idle_timeout: SimDuration,
+    },
+    /// Advisory locks: conflicts grant immediately with warnings.
+    Soft,
+    /// Hard-shared semantics with awareness notifications on every access.
+    Notification,
+}
+
+/// The immediate answer to a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockReply {
+    /// The lock is held; go ahead.
+    Granted,
+    /// Queued behind current holders; a [`NoticeKind::Granted`] notice follows.
+    Queued,
+    /// Granted despite a conflict (soft locks); the listed clients hold
+    /// conflicting locks.
+    GrantedConflict(Vec<ClientId>),
+}
+
+/// Awareness/coordination notices emitted by the table. The caller (a
+/// lock-server actor) forwards each to its addressee — this is the
+/// "information flow between users" of Figure 2b.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notice {
+    /// Addressee.
+    pub to: ClientId,
+    /// What happened.
+    pub kind: NoticeKind,
+    /// The resource concerned.
+    pub resource: ResourceId,
+}
+
+/// The kinds of notice a [`LockTable`] emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NoticeKind {
+    /// A queued request was granted.
+    Granted {
+        /// The granted mode.
+        mode: LockMode,
+    },
+    /// Someone requested a lock you hold (tickle).
+    TickleRequest {
+        /// Who wants it.
+        by: ClientId,
+    },
+    /// Your lock was transferred away after idleness (tickle).
+    Revoked {
+        /// Who received it.
+        to: ClientId,
+    },
+    /// Someone acquired a conflicting soft lock.
+    ConflictWarning {
+        /// The other party.
+        with: ClientId,
+    },
+    /// Someone accessed a resource you hold a notification lock on.
+    AccessNotification {
+        /// Who accessed.
+        by: ClientId,
+        /// How.
+        mode: LockMode,
+    },
+}
+
+/// Errors from lock operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// Release of a lock the client does not hold.
+    NotHeld(ClientId, ResourceId),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::NotHeld(c, r) => write!(f, "{c} does not hold {r}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug, Clone)]
+struct Waiter {
+    client: ClientId,
+    mode: LockMode,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holders: BTreeMap<ClientId, LockMode>,
+    queue: VecDeque<Waiter>,
+    last_access: HashMap<ClientId, SimTime>,
+    /// Pending tickles: (requester, tickled holder, when).
+    tickles: Vec<(ClientId, ClientId, SimTime)>,
+}
+
+impl LockState {
+    fn compatible_with_holders(&self, client: ClientId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|(&h, &m)| h == client || m.compatible(mode))
+    }
+}
+
+/// A lock table enforcing one [`LockScheme`].
+///
+/// # Examples
+///
+/// ```
+/// use odp_concurrency::locks::{ClientId, LockMode, LockReply, LockScheme, LockTable, ResourceId};
+/// use odp_sim::time::SimTime;
+///
+/// let mut t = LockTable::new(LockScheme::Hard);
+/// let (r1, _) = t.request(ClientId(0), ResourceId(1), LockMode::Exclusive, SimTime::ZERO);
+/// assert_eq!(r1, LockReply::Granted);
+/// let (r2, _) = t.request(ClientId(1), ResourceId(1), LockMode::Exclusive, SimTime::ZERO);
+/// assert_eq!(r2, LockReply::Queued);
+/// ```
+#[derive(Debug)]
+pub struct LockTable {
+    scheme: LockScheme,
+    locks: HashMap<ResourceId, LockState>,
+}
+
+impl LockTable {
+    /// Creates a table enforcing `scheme`.
+    pub fn new(scheme: LockScheme) -> Self {
+        LockTable {
+            scheme,
+            locks: HashMap::new(),
+        }
+    }
+
+    /// The scheme in force.
+    pub fn scheme(&self) -> LockScheme {
+        self.scheme
+    }
+
+    /// Requests a lock. Returns the immediate reply plus any notices to
+    /// forward.
+    pub fn request(
+        &mut self,
+        client: ClientId,
+        resource: ResourceId,
+        mode: LockMode,
+        now: SimTime,
+    ) -> (LockReply, Vec<Notice>) {
+        let scheme = self.scheme;
+        let state = self.locks.entry(resource).or_default();
+        let mut notices = Vec::new();
+        // Re-entrant request: upgrade or confirm.
+        if let Some(&held) = state.holders.get(&client) {
+            if held == mode || held == LockMode::Exclusive {
+                state.last_access.insert(client, now);
+                return (LockReply::Granted, notices);
+            }
+            // Shared -> exclusive upgrade: treat as fresh request below,
+            // dropping the shared hold first.
+            state.holders.remove(&client);
+        }
+        match scheme {
+            LockScheme::Soft => {
+                let conflicts: Vec<ClientId> = state
+                    .holders
+                    .iter()
+                    .filter(|(_, &m)| !m.compatible(mode) || mode == LockMode::Exclusive)
+                    .map(|(&c, _)| c)
+                    .collect();
+                for &other in &conflicts {
+                    notices.push(Notice {
+                        to: other,
+                        kind: NoticeKind::ConflictWarning { with: client },
+                        resource,
+                    });
+                }
+                state.holders.insert(client, mode);
+                state.last_access.insert(client, now);
+                if conflicts.is_empty() {
+                    (LockReply::Granted, notices)
+                } else {
+                    (LockReply::GrantedConflict(conflicts), notices)
+                }
+            }
+            LockScheme::Notification => {
+                // Notify every holder of the access attempt (awareness).
+                for (&other, _) in state.holders.iter().filter(|(&c, _)| c != client) {
+                    notices.push(Notice {
+                        to: other,
+                        kind: NoticeKind::AccessNotification { by: client, mode },
+                        resource,
+                    });
+                }
+                if state.compatible_with_holders(client, mode) && state.queue.is_empty() {
+                    state.holders.insert(client, mode);
+                    state.last_access.insert(client, now);
+                    (LockReply::Granted, notices)
+                } else {
+                    state.queue.push_back(Waiter { client, mode });
+                    (LockReply::Queued, notices)
+                }
+            }
+            LockScheme::Hard | LockScheme::Tickle { .. } => {
+                if state.compatible_with_holders(client, mode) && state.queue.is_empty() {
+                    state.holders.insert(client, mode);
+                    state.last_access.insert(client, now);
+                    (LockReply::Granted, notices)
+                } else {
+                    state.queue.push_back(Waiter { client, mode });
+                    if let LockScheme::Tickle { .. } = scheme {
+                        // Tickle every conflicting holder.
+                        for (&holder, &m) in state.holders.iter() {
+                            if holder != client && !m.compatible(mode) {
+                                notices.push(Notice {
+                                    to: holder,
+                                    kind: NoticeKind::TickleRequest { by: client },
+                                    resource,
+                                });
+                                state.tickles.push((client, holder, now));
+                            }
+                        }
+                    }
+                    (LockReply::Queued, notices)
+                }
+            }
+        }
+    }
+
+    /// Records activity by a holder (resets its tickle idle clock).
+    pub fn touch(&mut self, client: ClientId, resource: ResourceId, now: SimTime) {
+        if let Some(state) = self.locks.get_mut(&resource) {
+            if state.holders.contains_key(&client) {
+                state.last_access.insert(client, now);
+            }
+        }
+    }
+
+    /// Releases a lock and promotes waiters.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::NotHeld`] if the client holds no lock on `resource`.
+    pub fn release(
+        &mut self,
+        client: ClientId,
+        resource: ResourceId,
+        now: SimTime,
+    ) -> Result<Vec<Notice>, LockError> {
+        let state = self
+            .locks
+            .get_mut(&resource)
+            .ok_or(LockError::NotHeld(client, resource))?;
+        if state.holders.remove(&client).is_none() {
+            return Err(LockError::NotHeld(client, resource));
+        }
+        state.tickles.retain(|&(_, holder, _)| holder != client);
+        Ok(Self::promote(state, resource, now))
+    }
+
+    /// Releases everything `client` holds or waits for (client departure).
+    pub fn release_all(&mut self, client: ClientId, now: SimTime) -> Vec<Notice> {
+        let mut notices = Vec::new();
+        let resources: Vec<ResourceId> = self.locks.keys().copied().collect();
+        for r in resources {
+            let state = self.locks.get_mut(&r).expect("present");
+            state.queue.retain(|w| w.client != client);
+            state.tickles.retain(|&(req, holder, _)| req != client && holder != client);
+            if state.holders.remove(&client).is_some() {
+                notices.extend(Self::promote(state, r, now));
+            }
+        }
+        notices
+    }
+
+    /// Tickle maintenance: transfers locks whose holders have been idle
+    /// past the timeout to the (oldest) tickler. Call periodically.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Notice> {
+        let LockScheme::Tickle { idle_timeout } = self.scheme else {
+            return Vec::new();
+        };
+        let mut notices = Vec::new();
+        for (&resource, state) in self.locks.iter_mut() {
+            let mut transfers: Vec<(ClientId, ClientId)> = Vec::new();
+            for &(requester, holder, _when) in &state.tickles {
+                let idle_since = state.last_access.get(&holder).copied().unwrap_or(SimTime::ZERO);
+                if now.saturating_since(idle_since) >= idle_timeout
+                    && state.holders.contains_key(&holder)
+                {
+                    transfers.push((requester, holder));
+                }
+            }
+            for (requester, holder) in transfers {
+                if !state.holders.contains_key(&holder) {
+                    continue; // already transferred this round
+                }
+                state.holders.remove(&holder);
+                state.tickles.retain(|&(_, h, _)| h != holder);
+                notices.push(Notice {
+                    to: holder,
+                    kind: NoticeKind::Revoked { to: requester },
+                    resource,
+                });
+                // The requester jumps its queue entry.
+                if let Some(pos) = state.queue.iter().position(|w| w.client == requester) {
+                    let waiter = state.queue.remove(pos).expect("present");
+                    state.holders.insert(waiter.client, waiter.mode);
+                    state.last_access.insert(waiter.client, now);
+                    notices.push(Notice {
+                        to: requester,
+                        kind: NoticeKind::Granted { mode: waiter.mode },
+                        resource,
+                    });
+                }
+                notices.extend(Self::promote(state, resource, now));
+            }
+        }
+        notices
+    }
+
+    fn promote(state: &mut LockState, resource: ResourceId, now: SimTime) -> Vec<Notice> {
+        let mut notices = Vec::new();
+        while let Some(next) = state.queue.front() {
+            let ok = state
+                .holders
+                .iter()
+                .all(|(&h, &m)| h == next.client || m.compatible(next.mode));
+            if !ok {
+                break;
+            }
+            let w = state.queue.pop_front().expect("present");
+            state.holders.insert(w.client, w.mode);
+            state.last_access.insert(w.client, now);
+            notices.push(Notice {
+                to: w.client,
+                kind: NoticeKind::Granted { mode: w.mode },
+                resource,
+            });
+        }
+        notices
+    }
+
+    /// Current holders of `resource`.
+    pub fn holders(&self, resource: ResourceId) -> Vec<(ClientId, LockMode)> {
+        self.locks
+            .get(&resource)
+            .map(|s| s.holders.iter().map(|(&c, &m)| (c, m)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of clients queued on `resource`.
+    pub fn queue_len(&self, resource: ResourceId) -> usize {
+        self.locks.get(&resource).map(|s| s.queue.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: ResourceId = ResourceId(1);
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn hard_shared_locks_coexist() {
+        let mut lt = LockTable::new(LockScheme::Hard);
+        assert_eq!(lt.request(ClientId(0), R, LockMode::Shared, t(0)).0, LockReply::Granted);
+        assert_eq!(lt.request(ClientId(1), R, LockMode::Shared, t(0)).0, LockReply::Granted);
+        assert_eq!(lt.holders(R).len(), 2);
+    }
+
+    #[test]
+    fn hard_exclusive_blocks_and_promotes_in_fifo_order() {
+        let mut lt = LockTable::new(LockScheme::Hard);
+        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        assert_eq!(lt.request(ClientId(1), R, LockMode::Exclusive, t(1)).0, LockReply::Queued);
+        assert_eq!(lt.request(ClientId(2), R, LockMode::Exclusive, t(2)).0, LockReply::Queued);
+        let notices = lt.release(ClientId(0), R, t(3)).unwrap();
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices[0].to, ClientId(1));
+        assert!(matches!(notices[0].kind, NoticeKind::Granted { .. }));
+        assert_eq!(lt.queue_len(R), 1);
+    }
+
+    #[test]
+    fn shared_waiters_promote_together() {
+        let mut lt = LockTable::new(LockScheme::Hard);
+        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request(ClientId(1), R, LockMode::Shared, t(1));
+        lt.request(ClientId(2), R, LockMode::Shared, t(1));
+        let notices = lt.release(ClientId(0), R, t(2)).unwrap();
+        assert_eq!(notices.len(), 2, "both readers promoted at once");
+    }
+
+    #[test]
+    fn reentrant_request_is_granted() {
+        let mut lt = LockTable::new(LockScheme::Hard);
+        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        assert_eq!(lt.request(ClientId(0), R, LockMode::Shared, t(1)).0, LockReply::Granted);
+        assert_eq!(lt.request(ClientId(0), R, LockMode::Exclusive, t(1)).0, LockReply::Granted);
+    }
+
+    #[test]
+    fn release_without_hold_is_an_error() {
+        let mut lt = LockTable::new(LockScheme::Hard);
+        assert!(lt.release(ClientId(0), R, t(0)).is_err());
+        lt.request(ClientId(1), R, LockMode::Shared, t(0));
+        assert_eq!(
+            lt.release(ClientId(0), R, t(0)).unwrap_err(),
+            LockError::NotHeld(ClientId(0), R)
+        );
+    }
+
+    #[test]
+    fn soft_locks_grant_immediately_with_warnings_to_both_sides() {
+        let mut lt = LockTable::new(LockScheme::Soft);
+        assert_eq!(lt.request(ClientId(0), R, LockMode::Exclusive, t(0)).0, LockReply::Granted);
+        let (reply, notices) = lt.request(ClientId(1), R, LockMode::Exclusive, t(1));
+        assert_eq!(reply, LockReply::GrantedConflict(vec![ClientId(0)]));
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices[0].to, ClientId(0));
+        assert!(matches!(notices[0].kind, NoticeKind::ConflictWarning { with } if with == ClientId(1)));
+        // Nobody ever blocks under soft locking.
+        assert_eq!(lt.queue_len(R), 0);
+        assert_eq!(lt.holders(R).len(), 2);
+    }
+
+    #[test]
+    fn notification_locks_emit_awareness_on_every_access() {
+        let mut lt = LockTable::new(LockScheme::Notification);
+        lt.request(ClientId(0), R, LockMode::Shared, t(0));
+        let (reply, notices) = lt.request(ClientId(1), R, LockMode::Shared, t(1));
+        assert_eq!(reply, LockReply::Granted);
+        assert_eq!(notices.len(), 1);
+        assert!(matches!(
+            notices[0].kind,
+            NoticeKind::AccessNotification { by, mode: LockMode::Shared } if by == ClientId(1)
+        ));
+        // Exclusive still queues (it is a *lock*, not advisory)...
+        let (reply2, notices2) = lt.request(ClientId(2), R, LockMode::Exclusive, t(2));
+        assert_eq!(reply2, LockReply::Queued);
+        // ...but both holders heard about the attempt.
+        assert_eq!(notices2.len(), 2);
+    }
+
+    #[test]
+    fn tickle_transfers_after_idle_timeout() {
+        let mut lt = LockTable::new(LockScheme::Tickle {
+            idle_timeout: SimDuration::from_millis(100),
+        });
+        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        let (reply, notices) = lt.request(ClientId(1), R, LockMode::Exclusive, t(50));
+        assert_eq!(reply, LockReply::Queued);
+        assert!(matches!(notices[0].kind, NoticeKind::TickleRequest { by } if by == ClientId(1)));
+        // Holder still active at t=60: no transfer at t=120 (idle only 60ms).
+        lt.touch(ClientId(0), R, t(60));
+        assert!(lt.tick(t(120)).is_empty());
+        // At t=160 the holder has been idle 100ms: transfer.
+        let notices = lt.tick(t(160));
+        assert_eq!(notices.len(), 2);
+        assert!(matches!(notices[0].kind, NoticeKind::Revoked { to } if to == ClientId(1)));
+        assert!(matches!(notices[1].kind, NoticeKind::Granted { .. }));
+        assert_eq!(lt.holders(R), vec![(ClientId(1), LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn tickle_active_holder_keeps_the_lock_indefinitely() {
+        let mut lt = LockTable::new(LockScheme::Tickle {
+            idle_timeout: SimDuration::from_millis(100),
+        });
+        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request(ClientId(1), R, LockMode::Exclusive, t(10));
+        for ms in (20..500).step_by(50) {
+            lt.touch(ClientId(0), R, t(ms));
+            assert!(lt.tick(t(ms + 10)).is_empty(), "at {ms}");
+        }
+        assert_eq!(lt.holders(R), vec![(ClientId(0), LockMode::Exclusive)]);
+    }
+
+    #[test]
+    fn release_all_frees_everything_and_promotes() {
+        let mut lt = LockTable::new(LockScheme::Hard);
+        let r2 = ResourceId(2);
+        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request(ClientId(0), r2, LockMode::Exclusive, t(0));
+        lt.request(ClientId(1), R, LockMode::Exclusive, t(1));
+        lt.request(ClientId(1), r2, LockMode::Shared, t(1));
+        let notices = lt.release_all(ClientId(0), t(2));
+        assert_eq!(notices.len(), 2);
+        assert_eq!(lt.holders(R), vec![(ClientId(1), LockMode::Exclusive)]);
+        assert_eq!(lt.holders(r2), vec![(ClientId(1), LockMode::Shared)]);
+    }
+
+    #[test]
+    fn upgrade_from_shared_to_exclusive_waits_for_other_readers() {
+        let mut lt = LockTable::new(LockScheme::Hard);
+        lt.request(ClientId(0), R, LockMode::Shared, t(0));
+        lt.request(ClientId(1), R, LockMode::Shared, t(0));
+        // Client 0 upgrades: must wait for client 1.
+        let (reply, _) = lt.request(ClientId(0), R, LockMode::Exclusive, t(1));
+        assert_eq!(reply, LockReply::Queued);
+        let notices = lt.release(ClientId(1), R, t(2)).unwrap();
+        assert_eq!(notices.len(), 1);
+        assert_eq!(notices[0].to, ClientId(0));
+        assert_eq!(lt.holders(R), vec![(ClientId(0), LockMode::Exclusive)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Experiment E5: static access-matrix mechanisms versus Shen–Dewan
+//! role-based dynamic fine-grained control.
+//!
+//! Two measures: (a) the *administration cost* of a dynamic role change
+//! mid-collaboration — the paper's core complaint about static schemes —
+//! and (b) the negotiation protocol's cost in round trips.
+
+use odp_access::matrix::{AccessMatrix, Protected, Subject};
+use odp_access::negotiation::Negotiator;
+use odp_access::rbac::{Effect, ObjectPath, RbacPolicy, RoleId};
+use odp_access::rights::Rights;
+use odp_sim::time::SimTime;
+
+use super::Table;
+
+/// **E5 — access control.** A collaboration over `n_objects` shared
+/// artefacts; mid-way, a participant's role changes from reviewer to
+/// author. Static mechanisms must touch one matrix cell per object;
+/// the role-based policy changes one assignment.
+pub fn e5_access_control(seed: u64) -> Vec<Table> {
+    let _ = seed; // fully deterministic
+    let mut table = Table::new(
+        "E5",
+        "Dynamic role change: administration operations and check results",
+        [
+            "mechanism",
+            "objects",
+            "admin_ops_for_role_change",
+            "checks_correct_after_change",
+        ],
+    );
+    for &n_objects in &[10usize, 100, 1000] {
+        // --- Static matrix ------------------------------------------------
+        let mut matrix = AccessMatrix::new();
+        let user = Subject(5);
+        for o in 0..n_objects {
+            matrix.grant(user, Protected(o as u64), Rights::READ | Rights::ANNOTATE);
+        }
+        // Role change: reviewer -> author. Every object's cell must be
+        // re-administered.
+        let mut matrix_admin_ops = 0u64;
+        for o in 0..n_objects {
+            matrix.grant(user, Protected(o as u64), Rights::WRITE);
+            matrix_admin_ops += 1;
+        }
+        let matrix_ok = (0..n_objects)
+            .all(|o| matrix.check(user, Protected(o as u64), Rights::WRITE));
+        table.push_row([
+            format!("access-matrix(n={n_objects})"),
+            n_objects.to_string(),
+            matrix_admin_ops.to_string(),
+            matrix_ok.to_string(),
+        ]);
+
+        // --- Role-based ----------------------------------------------------
+        let mut policy = RbacPolicy::new();
+        let reviewer = RoleId(1);
+        let author = RoleId(2);
+        policy.add_rule(reviewer, "project".into(), Rights::READ | Rights::ANNOTATE, Effect::Allow);
+        policy.add_rule(author, "project".into(), Rights::READ | Rights::WRITE, Effect::Allow);
+        policy.assign(user, reviewer);
+        // Role change: one unassign + one assign, regardless of n.
+        policy.unassign(user, reviewer);
+        policy.assign(user, author);
+        let rbac_admin_ops = 2u64;
+        let rbac_ok = (0..n_objects).all(|o| {
+            policy
+                .check(user, &ObjectPath::new(format!("project/doc{o}")), Rights::WRITE)
+                .allowed
+        });
+        table.push_row([
+            format!("role-based(n={n_objects})"),
+            n_objects.to_string(),
+            rbac_admin_ops.to_string(),
+            rbac_ok.to_string(),
+        ]);
+    }
+
+    // Negotiation cost table.
+    let mut nego = Table::new(
+        "E5b",
+        "Rights negotiation: round trips to agreement",
+        ["path", "requested", "agreed", "round_trips"],
+    );
+    let mut negotiator = Negotiator::new();
+    // Direct grant.
+    let id = negotiator.request(
+        Subject(1),
+        Subject(0),
+        "project/sec2".into(),
+        Rights::WRITE,
+        SimTime::ZERO,
+    );
+    let direct = negotiator.accept(Subject(0), id, SimTime::ZERO).expect("owner accepts");
+    nego.push_row([
+        "direct".to_owned(),
+        Rights::WRITE.to_string(),
+        direct.rights.to_string(),
+        direct.round_trips.to_string(),
+    ]);
+    // Countered: ask for write+delete, get write only.
+    let id2 = negotiator.request(
+        Subject(1),
+        Subject(0),
+        "project/sec3".into(),
+        Rights::WRITE | Rights::DELETE,
+        SimTime::ZERO,
+    );
+    negotiator
+        .counter(Subject(0), id2, Rights::WRITE)
+        .expect("narrowing counter");
+    let countered = negotiator
+        .accept(Subject(1), id2, SimTime::ZERO)
+        .expect("requester accepts the counter");
+    nego.push_row([
+        "countered".to_owned(),
+        (Rights::WRITE | Rights::DELETE).to_string(),
+        countered.rights.to_string(),
+        countered.round_trips.to_string(),
+    ]);
+
+    vec![table, nego]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_shape_static_admin_cost_scales_and_rbac_is_constant() {
+        let tables = e5_access_control(0);
+        let t = &tables[0];
+        let m10 = t.cell_f64("access-matrix(n=10)", "admin_ops_for_role_change").unwrap();
+        let m1000 = t.cell_f64("access-matrix(n=1000)", "admin_ops_for_role_change").unwrap();
+        let r10 = t.cell_f64("role-based(n=10)", "admin_ops_for_role_change").unwrap();
+        let r1000 = t.cell_f64("role-based(n=1000)", "admin_ops_for_role_change").unwrap();
+        assert_eq!(m10, 10.0);
+        assert_eq!(m1000, 1000.0, "matrix admin cost is O(objects)");
+        assert_eq!(r10, r1000, "role change is O(1)");
+        assert_eq!(r10, 2.0);
+        // Both end up correct.
+        for key in ["access-matrix(n=100)", "role-based(n=100)"] {
+            assert_eq!(tables[0].cell(key, "checks_correct_after_change"), Some("true"));
+        }
+    }
+
+    #[test]
+    fn e5b_counters_cost_an_extra_round_trip() {
+        let tables = e5_access_control(0);
+        let nego = &tables[1];
+        let direct = nego.cell_f64("direct", "round_trips").unwrap();
+        let countered = nego.cell_f64("countered", "round_trips").unwrap();
+        assert!(countered > direct);
+        assert_eq!(nego.cell("countered", "agreed"), Some("write"));
+    }
+}

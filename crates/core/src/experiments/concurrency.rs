@@ -1,0 +1,249 @@
+//! Experiments E2–E4: the concurrency-transparency-versus-awareness
+//! trade-off (Figure 2 and the Ellis real-time requirements).
+
+use odp_concurrency::granularity::{unit_count, Granularity};
+use odp_concurrency::store::ObjectId;
+use odp_concurrency::twophase::{OpKind, SubmitReply, TxnEvent, TxnManager, TxnOp};
+use odp_sim::rng::DetRng;
+use odp_sim::time::SimTime;
+
+use super::schemes::{run_scheme, Scheme};
+use super::Table;
+
+/// Mean of trace-derived notification latencies (issue → first peer
+/// sees), in milliseconds; `None` if no pairs were observed.
+fn notification_ms(sim: &odp_sim::sim::Sim<super::schemes::CcMsg>) -> Option<f64> {
+    let pairs = sim.trace().cause_effect_pairs("op.issued", "op.seen");
+    if pairs.is_empty() {
+        return None;
+    }
+    let total_us: u64 = pairs
+        .iter()
+        .map(|(c, e)| e.time.saturating_since(c.time).as_micros())
+        .sum();
+    Some(total_us as f64 / pairs.len() as f64 / 1_000.0)
+}
+
+fn response_ms(sim: &odp_sim::sim::Sim<super::schemes::CcMsg>) -> f64 {
+    sim.metrics()
+        .histogram("cc.response")
+        .map(|h| {
+            let mut h = h.clone();
+            h.summary().mean.as_micros() as f64 / 1_000.0
+        })
+        .unwrap_or(0.0)
+}
+
+/// **E2 — Figure 2a vs 2b.** N authors edit one shared document under
+/// strict 2PL transactions versus a cooperative transaction group.
+/// Expected shape: transactions block and push zero awareness; the group
+/// never blocks and floods awareness.
+pub fn e2_walls_vs_awareness(seed: u64) -> Vec<Table> {
+    let mut table = Table::new(
+        "E2",
+        "Walls vs information flow: 2PL transactions vs transaction group (Figure 2)",
+        [
+            "scheme",
+            "writers",
+            "blocked_ops",
+            "aborts",
+            "awareness_notices",
+            "mean_response_ms",
+        ],
+    );
+    for &n in &[2u32, 4, 8] {
+        for scheme in [Scheme::TwoPhase, Scheme::TxGroup] {
+            let sim = run_scheme(scheme, n, 10, seed);
+            table.push_row([
+                format!("{}(n={n})", scheme.label()),
+                n.to_string(),
+                sim.metrics().counter("cc.blocked").to_string(),
+                sim.metrics().counter("cc.aborts").to_string(),
+                (sim.metrics().counter("cc.notices_sent")
+                    + sim.metrics().counter("cc.group_notices"))
+                .to_string(),
+                format!("{:.2}", response_ms(&sim)),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// **E3 — Ellis response & notification times.** Every scheme across a
+/// latency sweep. Expected shape: OT's response time is flat (~0); the
+/// lock-based schemes grow with latency; pull schemes have notification
+/// times dominated by the polling interval.
+pub fn e3_response_notification(seed: u64) -> Vec<Table> {
+    let mut table = Table::new(
+        "E3",
+        "Response and notification time per scheme (3 users, latency sweep)",
+        [
+            "scheme",
+            "latency_ms",
+            "response_ms",
+            "notification_ms",
+            "blocked_ops",
+        ],
+    );
+    for scheme in Scheme::ALL {
+        for &latency in &[1u64, 25, 100] {
+            let sim = run_scheme(scheme, 3, latency, seed);
+            let notif = notification_ms(&sim)
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".to_owned());
+            table.push_row([
+                format!("{}@{latency}", scheme.label()),
+                latency.to_string(),
+                format!("{:.2}", response_ms(&sim)),
+                notif,
+                sim.metrics().counter("cc.blocked").to_string(),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// **E4 — lock granularity.** The same interleaved edit workload under
+/// the five granularities the paper names. Expected shape: finer
+/// granularity lowers blocking but raises locking overhead (distinct
+/// lock units touched).
+pub fn e4_lock_granularity(seed: u64) -> Vec<Table> {
+    const DOC_TEXT: &str = "Alpha beta gamma delta. Epsilon zeta eta theta! Iota kappa.\n\
+                            Lambda mu nu xi. Omicron pi rho sigma?\n\n\
+                            Tau upsilon phi chi. Psi omega alpha beta. Gamma delta epsilon.\n\
+                            Zeta eta theta iota! Kappa lambda mu nu.";
+    let mut table = Table::new(
+        "E4",
+        "Lock granularity: blocking vs overhead (4 writers, 40 rounds)",
+        [
+            "granularity",
+            "units",
+            "blocked_ops",
+            "completed_ops",
+            "lock_requests",
+        ],
+    );
+    for g in Granularity::ALL {
+        let mut rng = DetRng::seed_from(seed);
+        let mut tm = TxnManager::new(g);
+        tm.store_mut().create(ObjectId(1), DOC_TEXT);
+        let users = 4usize;
+        let rounds = 40usize;
+        let mut blocked = 0u64;
+        let mut completed = 0u64;
+        let mut lock_requests = 0u64;
+        // Interleave: each round every user begins a txn and edits; all
+        // txns commit at round end — so within a round locks collide.
+        for _round in 0..rounds {
+            let mut txns = Vec::new();
+            let mut round_blocked = Vec::new();
+            for _u in 0..users {
+                let txn = tm.begin();
+                let len = tm.store().read(ObjectId(1)).unwrap().value.chars().count();
+                let pos = rng.index(len);
+                let op = TxnOp {
+                    object: ObjectId(1),
+                    pos,
+                    kind: OpKind::Insert("x".to_owned()),
+                };
+                lock_requests += 1;
+                match tm.submit(txn, op, SimTime::ZERO) {
+                    Ok(SubmitReply::Done(_)) => {
+                        completed += 1;
+                        txns.push(txn);
+                    }
+                    Ok(SubmitReply::Blocked) => {
+                        blocked += 1;
+                        round_blocked.push(txn);
+                        txns.push(txn);
+                    }
+                    Err(e) => panic!("unexpected txn error: {e}"),
+                }
+            }
+            // Commit everyone; resumed ops count as completed.
+            let mut done = std::collections::HashSet::new();
+            let mut worklist: Vec<_> = txns
+                .iter()
+                .copied()
+                .filter(|t| !round_blocked.contains(t))
+                .collect();
+            while let Some(t) = worklist.pop() {
+                if !done.insert(t) {
+                    continue;
+                }
+                for ev in tm.commit(t, SimTime::ZERO).unwrap_or_default() {
+                    match ev {
+                        TxnEvent::OpCompleted { txn, .. } => {
+                            completed += 1;
+                            worklist.push(txn);
+                        }
+                        TxnEvent::TxnAborted { .. } => {}
+                    }
+                }
+            }
+            // Any still-blocked txns (shouldn't remain) get aborted.
+            for t in txns {
+                if !done.contains(&t) {
+                    let _ = tm.abort(t, SimTime::ZERO);
+                }
+            }
+        }
+        let text_now = tm.store().read(ObjectId(1)).unwrap().value.clone();
+        table.push_row([
+            g.to_string(),
+            unit_count(&text_now, g).to_string(),
+            blocked.to_string(),
+            completed.to_string(),
+            lock_requests.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_shape_transactions_block_and_groups_flow() {
+        let tables = e2_walls_vs_awareness(3);
+        let t = &tables[0];
+        // 8-writer rows make the contrast starkest.
+        let tp_blocked = t.cell_f64("2pl-transactions(n=8)", "blocked_ops").unwrap();
+        let tg_blocked = t.cell_f64("transaction-group(n=8)", "blocked_ops").unwrap();
+        let tp_aware = t.cell_f64("2pl-transactions(n=8)", "awareness_notices").unwrap();
+        let tg_aware = t.cell_f64("transaction-group(n=8)", "awareness_notices").unwrap();
+        assert!(tp_blocked > 0.0, "transactions build walls (block)");
+        assert_eq!(tg_blocked, 0.0, "the cooperative group never blocks");
+        assert_eq!(tp_aware, 0.0, "transactions mask other users");
+        assert!(tg_aware > 0.0, "the group floods awareness");
+    }
+
+    #[test]
+    fn e3_shape_ot_response_is_latency_independent() {
+        let tables = e3_response_notification(3);
+        let t = &tables[0];
+        let ot_1 = t.cell_f64("operation-transform@1", "response_ms").unwrap();
+        let ot_100 = t.cell_f64("operation-transform@100", "response_ms").unwrap();
+        assert_eq!(ot_1, 0.0);
+        assert_eq!(ot_100, 0.0, "local apply is free of network latency");
+        let tp_1 = t.cell_f64("2pl-transactions@1", "response_ms").unwrap();
+        let tp_100 = t.cell_f64("2pl-transactions@100", "response_ms").unwrap();
+        assert!(tp_100 > tp_1 + 100.0, "lock-based response grows with latency");
+    }
+
+    #[test]
+    fn e4_shape_finer_granularity_blocks_less_with_more_units() {
+        let tables = e4_lock_granularity(5);
+        let t = &tables[0];
+        let doc_blocked = t.cell_f64("document", "blocked_ops").unwrap();
+        let word_blocked = t.cell_f64("word", "blocked_ops").unwrap();
+        assert!(
+            doc_blocked > word_blocked,
+            "coarse locks collide more: {doc_blocked} vs {word_blocked}"
+        );
+        let doc_units = t.cell_f64("document", "units").unwrap();
+        let word_units = t.cell_f64("word", "units").unwrap();
+        assert!(word_units > doc_units * 10.0, "word locking manages far more units");
+    }
+}

@@ -1,0 +1,149 @@
+//! Experiment E9: group-aware object placement and migration.
+
+use odp_mgmt::migration::MigrationManager;
+use odp_mgmt::model::{EngRegistry, ManagedObjectId};
+use odp_mgmt::placement::{place, PlacementPolicy, UsagePattern};
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+
+use super::Table;
+
+/// Three sites with asymmetric latencies: London (0) — Lancaster (1) —
+/// Paris (2); the paper's "geographically dispersed sites".
+fn latency(a: NodeId, b: NodeId) -> SimDuration {
+    let ms = match (a.0.min(b.0), a.0.max(b.0)) {
+        (0, 1) => 8,  // London–Lancaster
+        (0, 2) => 25, // London–Paris
+        (1, 2) => 15, // Lancaster–Paris (direct peering)
+        _ => 0,
+    };
+    SimDuration::from_millis(ms)
+}
+
+/// Per-site mean/max response time (2 × latency to the object's node)
+/// weighted by the usage pattern.
+fn response_stats(usage: &UsagePattern, node: NodeId) -> (f64, f64) {
+    let total = usage.total().max(1);
+    let mut weighted = 0.0;
+    let mut worst: f64 = 0.0;
+    for (site, count) in usage.iter() {
+        let rtt_ms = 2.0 * latency(site, node).as_micros() as f64 / 1_000.0;
+        weighted += rtt_ms * count as f64;
+        if count > 0 {
+            worst = worst.max(rtt_ms);
+        }
+    }
+    (weighted / total as f64, worst)
+}
+
+/// **E9 — placement.** A shared object created at London used mostly
+/// from Lancaster and Paris. Expected shape: the static-home baseline
+/// leaves the worst site with the worst response; group-mean improves
+/// the mean; group-minmax bounds the worst case. A usage shift then
+/// triggers a migration under the manager.
+pub fn e9_placement(seed: u64) -> Vec<Table> {
+    let _ = seed; // deterministic
+    let mut usage = UsagePattern::new();
+    usage.record(NodeId(1), 60); // Lancaster is the heavy user
+    usage.record(NodeId(2), 30); // Paris is active; London only hosts
+
+    let candidates = [NodeId(0), NodeId(1), NodeId(2)];
+    let mut table = Table::new(
+        "E9",
+        "Placement policies: response across 3 sites (object home = London)",
+        ["policy", "chosen_node", "mean_rtt_ms", "worst_rtt_ms"],
+    );
+    for policy in [
+        PlacementPolicy::StaticHome,
+        PlacementPolicy::GroupMean,
+        PlacementPolicy::GroupMinMax,
+    ] {
+        let p = place(policy, &usage, &candidates, NodeId(0), &latency);
+        let (mean, worst) = response_stats(&usage, p.node);
+        table.push_row([
+            format!("{policy:?}"),
+            p.node.to_string(),
+            format!("{mean:.2}"),
+            format!("{worst:.2}"),
+        ]);
+    }
+
+    // Migration after a usage shift.
+    let mut migration = Table::new(
+        "E9b",
+        "Migration after usage shift (Lancaster team hands over to Paris)",
+        ["phase", "object_node", "migrations", "mean_rtt_ms"],
+    );
+    let mut reg = EngRegistry::new();
+    for n in 0..3 {
+        reg.create_capsule(NodeId(n));
+    }
+    let cluster = reg.create_cluster(odp_mgmt::model::CapsuleId(0)).expect("capsule exists");
+    reg.create_object(ManagedObjectId(1), cluster, 2_000_000).expect("cluster exists");
+    let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
+    mgr.set_home(cluster, NodeId(0));
+    // Phase 1: Lancaster-heavy usage.
+    mgr.record_access(cluster, NodeId(1), 80);
+    mgr.record_access(cluster, NodeId(2), 10);
+    mgr.evaluate(cluster, &mut reg, &latency, SimTime::from_secs(10))
+        .expect("registry consistent");
+    let node1 = reg.node_of(ManagedObjectId(1)).expect("object exists");
+    let mut usage1 = UsagePattern::new();
+    usage1.record(NodeId(1), 80);
+    usage1.record(NodeId(2), 10);
+    let (mean1, _) = response_stats(&usage1, node1);
+    migration.push_row([
+        "lancaster-heavy".to_owned(),
+        node1.to_string(),
+        mgr.events().len().to_string(),
+        format!("{mean1:.2}"),
+    ]);
+    // Phase 2: work shifts to Paris; old usage ages away.
+    for _ in 0..6 {
+        mgr.age_usage();
+    }
+    mgr.record_access(cluster, NodeId(2), 100);
+    mgr.evaluate(cluster, &mut reg, &latency, SimTime::from_secs(100))
+        .expect("registry consistent");
+    let node2 = reg.node_of(ManagedObjectId(1)).expect("object exists");
+    let mut usage2 = UsagePattern::new();
+    usage2.record(NodeId(2), 100);
+    let (mean2, _) = response_stats(&usage2, node2);
+    migration.push_row([
+        "paris-heavy".to_owned(),
+        node2.to_string(),
+        mgr.events().len().to_string(),
+        format!("{mean2:.2}"),
+    ]);
+
+    vec![table, migration]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_shape_group_aware_beats_static_home() {
+        let tables = e9_placement(0);
+        let t = &tables[0];
+        let static_mean = t.cell_f64("StaticHome", "mean_rtt_ms").unwrap();
+        let mean_mean = t.cell_f64("GroupMean", "mean_rtt_ms").unwrap();
+        let minmax_worst = t.cell_f64("GroupMinMax", "worst_rtt_ms").unwrap();
+        let static_worst = t.cell_f64("StaticHome", "worst_rtt_ms").unwrap();
+        assert!(mean_mean < static_mean, "group-mean lowers mean response");
+        assert!(minmax_worst < static_worst, "group-minmax bounds the worst site");
+        assert_eq!(t.cell("StaticHome", "chosen_node"), Some("n0"));
+        assert_eq!(t.cell("GroupMean", "chosen_node"), Some("n1"), "follow the users");
+    }
+
+    #[test]
+    fn e9b_shape_usage_shift_migrates_the_object() {
+        let tables = e9_placement(0);
+        let m = &tables[1];
+        assert_eq!(m.cell("lancaster-heavy", "object_node"), Some("n1"));
+        assert_eq!(m.cell("paris-heavy", "object_node"), Some("n2"));
+        let migrations = m.cell_f64("paris-heavy", "migrations").unwrap();
+        assert_eq!(migrations, 2.0, "one migration per phase");
+    }
+}

@@ -1,0 +1,298 @@
+//! Sessions across the Johansen space–time matrix (Figure 1 of the
+//! paper), with the *seamless transitions* §3.1 demands: "work often
+//! switches rapidly between asynchronous and synchronous interactions.
+//! CSCW researchers now highlight the need to support these transitions
+//! in as seamless a manner as possible."
+//!
+//! A [`Session`] carries its participants, its shared artefacts and its
+//! current [`SessionMode`]; switching modes preserves all state and logs
+//! a transition record (experiment E12 measures continuity and cost).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The time dimension of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeMode {
+    /// Same time: participants interact synchronously.
+    Synchronous,
+    /// Different time: participants contribute when they can.
+    Asynchronous,
+}
+
+/// The place dimension of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlaceMode {
+    /// Same place — co-located (logically: high-bandwidth, low-latency
+    /// accessibility to each other).
+    CoLocated,
+    /// Different places — remote.
+    Remote,
+}
+
+/// One cell of the space–time matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionMode {
+    /// Same or different time.
+    pub time: TimeMode,
+    /// Same or different place.
+    pub place: PlaceMode,
+}
+
+impl SessionMode {
+    /// Face-to-face interaction (same time, same place).
+    pub const FACE_TO_FACE: SessionMode = SessionMode {
+        time: TimeMode::Synchronous,
+        place: PlaceMode::CoLocated,
+    };
+    /// Synchronous distributed interaction.
+    pub const SYNC_DISTRIBUTED: SessionMode = SessionMode {
+        time: TimeMode::Synchronous,
+        place: PlaceMode::Remote,
+    };
+    /// Asynchronous interaction (same place, different time).
+    pub const ASYNC_COLOCATED: SessionMode = SessionMode {
+        time: TimeMode::Asynchronous,
+        place: PlaceMode::CoLocated,
+    };
+    /// Asynchronous distributed interaction.
+    pub const ASYNC_DISTRIBUTED: SessionMode = SessionMode {
+        time: TimeMode::Asynchronous,
+        place: PlaceMode::Remote,
+    };
+
+    /// All four quadrants, in Figure-1 reading order.
+    pub const QUADRANTS: [SessionMode; 4] = [
+        SessionMode::FACE_TO_FACE,
+        SessionMode::ASYNC_COLOCATED,
+        SessionMode::SYNC_DISTRIBUTED,
+        SessionMode::ASYNC_DISTRIBUTED,
+    ];
+
+    /// Johansen's label for the quadrant.
+    pub fn label(&self) -> &'static str {
+        match (self.time, self.place) {
+            (TimeMode::Synchronous, PlaceMode::CoLocated) => "face-to-face interaction",
+            (TimeMode::Synchronous, PlaceMode::Remote) => "synchronous distributed interaction",
+            (TimeMode::Asynchronous, PlaceMode::CoLocated) => "asynchronous interaction",
+            (TimeMode::Asynchronous, PlaceMode::Remote) => "asynchronous distributed interaction",
+        }
+    }
+}
+
+impl fmt::Display for SessionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Names a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub u32);
+
+/// A mode transition record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// From which mode.
+    pub from: SessionMode,
+    /// To which mode.
+    pub to: SessionMode,
+    /// When it happened.
+    pub at: SimTime,
+    /// How long the rebind took.
+    pub cost: SimDuration,
+}
+
+/// Errors from session operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The participant is already in the session.
+    AlreadyJoined(NodeId),
+    /// The participant is not in the session.
+    NotAMember(NodeId),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::AlreadyJoined(n) => write!(f, "{n} already joined"),
+            SessionError::NotAMember(n) => write!(f, "{n} is not a member"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A cooperative session.
+///
+/// # Examples
+///
+/// ```
+/// use cscw_core::session::{Session, SessionId, SessionMode};
+/// use odp_sim::net::NodeId;
+/// use odp_sim::time::SimTime;
+///
+/// let mut s = Session::new(SessionId(1), SessionMode::SYNC_DISTRIBUTED);
+/// s.join(NodeId(0), SimTime::ZERO)?;
+/// s.join(NodeId(1), SimTime::ZERO)?;
+/// assert_eq!(s.participants().len(), 2);
+/// # Ok::<(), cscw_core::session::SessionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    id: SessionId,
+    mode: SessionMode,
+    participants: BTreeSet<NodeId>,
+    artefacts: BTreeSet<String>,
+    transitions: Vec<Transition>,
+}
+
+impl Session {
+    /// Creates an empty session in `mode`.
+    pub fn new(id: SessionId, mode: SessionMode) -> Self {
+        Session {
+            id,
+            mode,
+            participants: BTreeSet::new(),
+            artefacts: BTreeSet::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> SessionMode {
+        self.mode
+    }
+
+    /// Current participants, ascending.
+    pub fn participants(&self) -> Vec<NodeId> {
+        self.participants.iter().copied().collect()
+    }
+
+    /// Shared artefact names.
+    pub fn artefacts(&self) -> Vec<&str> {
+        self.artefacts.iter().map(|s| s.as_str()).collect()
+    }
+
+    /// Adds a participant.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::AlreadyJoined`] on duplicates.
+    pub fn join(&mut self, who: NodeId, _at: SimTime) -> Result<(), SessionError> {
+        if !self.participants.insert(who) {
+            return Err(SessionError::AlreadyJoined(who));
+        }
+        Ok(())
+    }
+
+    /// Removes a participant.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotAMember`] if absent.
+    pub fn leave(&mut self, who: NodeId, _at: SimTime) -> Result<(), SessionError> {
+        if !self.participants.remove(&who) {
+            return Err(SessionError::NotAMember(who));
+        }
+        Ok(())
+    }
+
+    /// Shares an artefact into the session.
+    pub fn share(&mut self, artefact: impl Into<String>) {
+        self.artefacts.insert(artefact.into());
+    }
+
+    /// Switches mode **seamlessly**: participants and artefacts are
+    /// untouched; the transition and its (modelled) rebind cost are
+    /// logged. The cost model: switching the time dimension re-binds the
+    /// interaction machinery (200 ms); switching place re-binds transport
+    /// (50 ms); both switches compound.
+    pub fn switch_mode(&mut self, to: SessionMode, at: SimTime) -> Transition {
+        let mut cost = SimDuration::ZERO;
+        if self.mode.time != to.time {
+            cost += SimDuration::from_millis(200);
+        }
+        if self.mode.place != to.place {
+            cost += SimDuration::from_millis(50);
+        }
+        let t = Transition {
+            from: self.mode,
+            to,
+            at,
+            cost,
+        };
+        self.mode = to;
+        self.transitions.push(t.clone());
+        t
+    }
+
+    /// All transitions so far.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_labels_match_figure_1() {
+        assert_eq!(SessionMode::FACE_TO_FACE.label(), "face-to-face interaction");
+        assert_eq!(
+            SessionMode::ASYNC_DISTRIBUTED.label(),
+            "asynchronous distributed interaction"
+        );
+        assert_eq!(SessionMode::QUADRANTS.len(), 4);
+        let set: std::collections::HashSet<_> = SessionMode::QUADRANTS.iter().collect();
+        assert_eq!(set.len(), 4, "quadrants are distinct");
+    }
+
+    #[test]
+    fn join_leave_and_errors() {
+        let mut s = Session::new(SessionId(1), SessionMode::FACE_TO_FACE);
+        s.join(NodeId(0), SimTime::ZERO).unwrap();
+        assert_eq!(
+            s.join(NodeId(0), SimTime::ZERO).unwrap_err(),
+            SessionError::AlreadyJoined(NodeId(0))
+        );
+        s.leave(NodeId(0), SimTime::ZERO).unwrap();
+        assert_eq!(
+            s.leave(NodeId(0), SimTime::ZERO).unwrap_err(),
+            SessionError::NotAMember(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn transitions_preserve_state() {
+        let mut s = Session::new(SessionId(1), SessionMode::SYNC_DISTRIBUTED);
+        s.join(NodeId(0), SimTime::ZERO).unwrap();
+        s.join(NodeId(1), SimTime::ZERO).unwrap();
+        s.share("report.tex");
+        let t = s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(60));
+        assert_eq!(t.cost, SimDuration::from_millis(200), "time switch only");
+        assert_eq!(s.participants().len(), 2, "participants preserved");
+        assert_eq!(s.artefacts(), vec!["report.tex"], "artefacts preserved");
+        assert_eq!(s.mode(), SessionMode::ASYNC_DISTRIBUTED);
+    }
+
+    #[test]
+    fn transition_cost_compounds_across_dimensions() {
+        let mut s = Session::new(SessionId(1), SessionMode::FACE_TO_FACE);
+        let t = s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::ZERO);
+        assert_eq!(t.cost, SimDuration::from_millis(250));
+        let t2 = s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::ZERO);
+        assert_eq!(t2.cost, SimDuration::ZERO, "no-op switch is free");
+        assert_eq!(s.transitions().len(), 2);
+    }
+}

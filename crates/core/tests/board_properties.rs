@@ -1,0 +1,111 @@
+//! Property tests for the flight-strip board and the Quilt document.
+
+use cscw_core::document::{AnnotationKind, QuiltDocument};
+use cscw_core::flightstrips::{Beacon, Callsign, FlightProgressBoard, FlightStrip, PlacementMode};
+use odp_sim::net::NodeId;
+use odp_sim::time::SimTime;
+use proptest::prelude::*;
+
+fn strip(idx: usize, eta_s: u64) -> FlightStrip {
+    FlightStrip {
+        callsign: Callsign(format!("FL{idx}")),
+        eta: SimTime::from_secs(eta_s),
+        level: 330,
+        instructions: Vec::new(),
+    }
+}
+
+proptest! {
+    /// Automatic placement always keeps the rack sorted by ETA and never
+    /// raises attention; manual placement raises exactly one attention
+    /// event per action.
+    #[test]
+    fn automatic_racks_stay_eta_sorted(etas in prop::collection::vec(0u64..10_000, 1..20)) {
+        let mut board = FlightProgressBoard::new();
+        let rack = Beacon("POL".into());
+        board.add_rack(rack.clone());
+        for (i, &eta) in etas.iter().enumerate() {
+            board
+                .place(NodeId(0), rack.clone(), strip(i, eta), PlacementMode::Automatic, None, SimTime::ZERO)
+                .expect("rack exists");
+        }
+        let strips = board.rack(&rack).expect("rack exists");
+        prop_assert_eq!(strips.len(), etas.len());
+        for w in strips.windows(2) {
+            prop_assert!(w[0].eta <= w[1].eta, "ETA order violated");
+        }
+        prop_assert_eq!(board.attention().len(), 0, "automation is silent");
+    }
+
+    /// Manual reorders never lose strips and always raise attention.
+    #[test]
+    fn manual_reorders_preserve_strips(
+        etas in prop::collection::vec(0u64..10_000, 2..12),
+        moves in prop::collection::vec((0usize..12, 0usize..12), 0..10),
+    ) {
+        let mut board = FlightProgressBoard::new();
+        let rack = Beacon("TLA".into());
+        board.add_rack(rack.clone());
+        for (i, &eta) in etas.iter().enumerate() {
+            board
+                .place(NodeId(0), rack.clone(), strip(i, eta), PlacementMode::Automatic, None, SimTime::ZERO)
+                .expect("rack exists");
+        }
+        let n = etas.len();
+        let mut expected_attention = 0;
+        for &(from_idx, to_idx) in &moves {
+            let callsign = Callsign(format!("FL{}", from_idx % n));
+            if to_idx < n {
+                board
+                    .reorder(NodeId(1), &rack, &callsign, to_idx, SimTime::ZERO)
+                    .expect("in-range move of an existing strip");
+                expected_attention += 1;
+            } else {
+                prop_assert!(board.reorder(NodeId(1), &rack, &callsign, to_idx, SimTime::ZERO).is_err());
+            }
+        }
+        prop_assert_eq!(board.rack(&rack).expect("rack exists").len(), n, "no strip lost");
+        prop_assert_eq!(board.attention().len(), expected_attention);
+    }
+
+    /// Quilt: accepting any valid suggestion leaves every remaining
+    /// annotation anchored inside the (new) base bounds.
+    #[test]
+    fn suggestion_acceptance_keeps_anchors_in_bounds(
+        base in "[a-z ]{10,60}",
+        s_start in 0usize..30,
+        s_len in 1usize..10,
+        replacement in "[a-z]{0,12}",
+        others in prop::collection::vec((0usize..50, 1usize..10), 0..6),
+    ) {
+        let len = base.chars().count();
+        let s_start = s_start.min(len.saturating_sub(1));
+        let s_end = (s_start + s_len).min(len);
+        let mut doc = QuiltDocument::new(base.as_str());
+        let suggestion = doc
+            .annotate(NodeId(1), AnnotationKind::Suggestion, (s_start, s_end), replacement.as_str(), SimTime::ZERO)
+            .expect("valid anchor");
+        let mut added = 0;
+        for &(start, alen) in &others {
+            let start = start.min(len.saturating_sub(1));
+            let end = (start + alen).min(len);
+            if start <= end {
+                doc.annotate(NodeId(2), AnnotationKind::Comment, (start, end), "c", SimTime::ZERO)
+                    .expect("valid anchor");
+                added += 1;
+            }
+        }
+        doc.accept_suggestion(suggestion).expect("is a suggestion");
+        let new_len = doc.base().chars().count();
+        let visible = doc.visible_to(NodeId(2));
+        prop_assert_eq!(visible.len(), added, "comments survive");
+        for ann in visible {
+            prop_assert!(ann.range.0 <= ann.range.1, "range stays ordered: {:?}", ann.range);
+            prop_assert!(
+                ann.range.1 <= new_len,
+                "anchor {:?} beyond new base length {new_len}",
+                ann.range
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # odp-groupcomm — group communication for CSCW middleware
+//!
+//! Implements the group support the paper (§4.2.2 iv) demands of ODP:
+//! group membership with views, reliable multicast under four delivery
+//! orderings (unordered, FIFO, causal, total), and group RPC with
+//! deadlines, quorums and simultaneous group invocation.
+//!
+//! The protocol logic is *sans-IO* ([`multicast::GroupEngine`],
+//! [`rpc::RpcEngine`]): pure state machines returning messages to send and
+//! payloads to deliver. [`actors::GroupActor`] hosts them on the
+//! [`odp_sim`] substrate.
+//!
+//! ```
+//! use odp_groupcomm::membership::{GroupId, Membership};
+//! use odp_sim::net::NodeId;
+//!
+//! let mut m = Membership::new();
+//! let view = m.create(GroupId(7), [NodeId(0), NodeId(1), NodeId(2)]);
+//! assert_eq!(view.leader(), Some(NodeId(0)));
+//! ```
+
+pub mod actors;
+pub mod membership;
+pub mod multicast;
+pub mod rpc;
+pub mod vclock;
+
+pub use actors::{GroupActor, GroupApp, RpcConfig};
+pub use membership::{GroupId, Membership, MembershipError, View, ViewId};
+pub use multicast::{DataMsg, Delivery, GcMsg, GroupEngine, MsgId, Ordering, Reliability, Step};
+pub use rpc::{CallOutcome, CallStatus, Quorum, RpcEngine};
+pub use vclock::{Causality, VectorClock};

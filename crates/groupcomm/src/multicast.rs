@@ -1,0 +1,781 @@
+//! The multicast protocol engine: reliability and delivery orderings.
+//!
+//! The engine is *sans-IO*: it consumes inputs (`mcast`, `on_message`,
+//! `on_tick`) and returns a [`Step`] of messages to transmit and payloads
+//! to deliver. This keeps the protocol unit-testable without a simulator
+//! and lets upper layers (streams, shared workspaces) embed it directly.
+//! [`crate::actors::GroupActor`] adapts an engine onto an
+//! [`odp_sim::actor::Actor`].
+//!
+//! Supported orderings (paper §4.2.2 iv: "multicast transport protocols
+//! are necessary to enable group communication"):
+//!
+//! - [`Ordering::Unordered`] — deliver on arrival;
+//! - [`Ordering::Fifo`] — per-sender order via sequence numbers;
+//! - [`Ordering::Causal`] — vector-clock delivery condition;
+//! - [`Ordering::Total`] — a sequencer (the view leader) assigns a global
+//!   sequence; everyone delivers in that sequence.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::membership::{GroupId, View};
+use crate::vclock::VectorClock;
+
+/// Uniquely identifies a multicast message: origin plus per-origin
+/// sequence number (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId {
+    /// Sending node.
+    pub origin: NodeId,
+    /// Per-origin sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// Delivery ordering disciplines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Ordering {
+    /// Deliver on arrival.
+    #[default]
+    Unordered,
+    /// Per-sender FIFO.
+    Fifo,
+    /// Causal order (vector clocks).
+    Causal,
+    /// Total order via a sequencer.
+    Total,
+}
+
+/// Reliability disciplines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reliability {
+    /// Fire and forget.
+    BestEffort,
+    /// Positive acks with retransmission until acked (or retries exhausted).
+    Reliable {
+        /// How long to wait for an ack before retransmitting.
+        retransmit_after: SimDuration,
+        /// Give up after this many retransmissions per receiver.
+        max_retries: u32,
+    },
+}
+
+impl Reliability {
+    /// A reasonable reliable default: 200 ms retransmit, 10 retries.
+    pub fn reliable() -> Self {
+        Reliability::Reliable {
+            retransmit_after: SimDuration::from_millis(200),
+            max_retries: 10,
+        }
+    }
+}
+
+/// A data message on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataMsg<P> {
+    /// Unique id (also carries the FIFO sequence as `id.seq`).
+    pub id: MsgId,
+    /// Destination group.
+    pub group: GroupId,
+    /// Causal timestamp (present only under [`Ordering::Causal`]).
+    pub vclock: Option<VectorClock>,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// Wire messages exchanged by group members.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcMsg<P> {
+    /// Application data.
+    Data(DataMsg<P>),
+    /// Positive acknowledgement of `Data` or `SeqAssign`.
+    Ack {
+        /// The acknowledged message id.
+        id: MsgId,
+    },
+    /// Ask the sequencer to order `id` (total ordering only).
+    SeqRequest {
+        /// The message to order.
+        id: MsgId,
+    },
+    /// Sequencer's ordering decision (total ordering only).
+    SeqAssign {
+        /// Identifies the assignment itself for ack/retransmit purposes.
+        assign_id: MsgId,
+        /// The message being ordered.
+        id: MsgId,
+        /// Its position in the total order (1-based).
+        total: u64,
+    },
+    /// A group RPC request (see [`crate::rpc`]).
+    RpcRequest {
+        /// Correlation id, unique per caller.
+        call: u64,
+        /// Optional agreed execution instant (group invocation).
+        execute_at: Option<SimTime>,
+        /// Application payload.
+        payload: P,
+    },
+    /// A group RPC reply.
+    RpcReply {
+        /// Correlation id from the request.
+        call: u64,
+        /// Application payload.
+        payload: P,
+    },
+    /// A locally injected application command (never sent between nodes);
+    /// workload generators use it to script member behaviour via
+    /// [`odp_sim::sim::Sim::inject`]. The engine ignores it; actor
+    /// adapters interpret it.
+    AppCmd(P),
+    /// A membership change: install this view (sent by a membership
+    /// service, or injected by a harness). Handled by actor adapters.
+    InstallView(crate::membership::View),
+}
+
+/// A payload delivered to the application, with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<P> {
+    /// The message id.
+    pub id: MsgId,
+    /// The application payload.
+    pub payload: P,
+}
+
+/// The output of one engine step: messages to put on the wire and
+/// payloads now deliverable to the application, in delivery order.
+#[derive(Debug)]
+pub struct Step<P> {
+    /// `(destination, message)` pairs to transmit.
+    pub outbound: Vec<(NodeId, GcMsg<P>)>,
+    /// Payloads to hand to the application, in order.
+    pub delivered: Vec<Delivery<P>>,
+}
+
+impl<P> Step<P> {
+    fn empty() -> Self {
+        Step {
+            outbound: Vec::new(),
+            delivered: Vec::new(),
+        }
+    }
+
+    fn merge(&mut self, mut other: Step<P>) {
+        self.outbound.append(&mut other.outbound);
+        self.delivered.append(&mut other.delivered);
+    }
+}
+
+struct RelOut<P> {
+    msg: GcMsg<P>,
+    pending: BTreeSet<NodeId>,
+    last_sent: SimTime,
+    retries: u32,
+}
+
+/// The per-member multicast engine.
+///
+/// # Examples
+///
+/// ```
+/// use odp_groupcomm::membership::{GroupId, View};
+/// use odp_groupcomm::multicast::{GroupEngine, Ordering, Reliability};
+/// use odp_sim::net::NodeId;
+/// use odp_sim::time::SimTime;
+///
+/// let view = View::initial(GroupId(0), [NodeId(0), NodeId(1)]);
+/// let mut a = GroupEngine::new(NodeId(0), view.clone(), Ordering::Fifo, Reliability::BestEffort);
+/// let mut b = GroupEngine::new(NodeId(1), view, Ordering::Fifo, Reliability::BestEffort);
+///
+/// let step = a.mcast("hello", SimTime::ZERO);
+/// assert_eq!(step.delivered.len(), 1, "self-delivery is immediate");
+/// let (to, msg) = step.outbound.into_iter().next().unwrap();
+/// assert_eq!(to, NodeId(1));
+/// let got = b.on_message(NodeId(0), msg, SimTime::ZERO);
+/// assert_eq!(got.delivered[0].payload, "hello");
+/// ```
+pub struct GroupEngine<P> {
+    me: NodeId,
+    view: View,
+    ordering: Ordering,
+    reliability: Reliability,
+    next_seq: u64,
+    // Dedup of data/assign messages already processed.
+    seen: HashSet<MsgId>,
+    // Reliable retransmission state.
+    rel_out: HashMap<MsgId, RelOut<P>>,
+    // FIFO: next expected per-origin seq and hold-back queue.
+    fifo_expected: BTreeMap<NodeId, u64>,
+    fifo_holdback: BTreeMap<(NodeId, u64), DataMsg<P>>,
+    // Causal: local clock and hold-back.
+    vclock: VectorClock,
+    causal_holdback: Vec<DataMsg<P>>,
+    // Total ordering state.
+    total_next_deliver: u64,
+    total_assignments: BTreeMap<u64, MsgId>,
+    total_waiting: HashMap<MsgId, DataMsg<P>>,
+    // Sequencer-only state.
+    seq_next_assign: u64,
+    seq_assign_counter: u64,
+    seq_already_assigned: HashSet<MsgId>,
+}
+
+impl<P: Clone> GroupEngine<P> {
+    /// Creates an engine for member `me` of the given view.
+    pub fn new(me: NodeId, view: View, ordering: Ordering, reliability: Reliability) -> Self {
+        debug_assert!(view.contains(me), "engine owner must be in the view");
+        GroupEngine {
+            me,
+            view,
+            ordering,
+            reliability,
+            next_seq: 0,
+            seen: HashSet::new(),
+            rel_out: HashMap::new(),
+            fifo_expected: BTreeMap::new(),
+            fifo_holdback: BTreeMap::new(),
+            vclock: VectorClock::new(),
+            causal_holdback: Vec::new(),
+            total_next_deliver: 1,
+            total_assignments: BTreeMap::new(),
+            total_waiting: HashMap::new(),
+            seq_next_assign: 1,
+            seq_assign_counter: 0,
+            seq_already_assigned: HashSet::new(),
+        }
+    }
+
+    /// This member's node id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The ordering discipline.
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// The node acting as sequencer under total ordering.
+    pub fn sequencer(&self) -> Option<NodeId> {
+        self.view.leader()
+    }
+
+    /// Installs a new view; hold-back state for departed members is
+    /// dropped. (A full virtual-synchrony flush is out of scope; callers
+    /// should quiesce traffic around view changes.)
+    pub fn install_view(&mut self, view: View) {
+        self.fifo_holdback.retain(|(origin, _), _| view.contains(*origin));
+        self.causal_holdback.retain(|m| view.contains(m.id.origin));
+        self.view = view;
+    }
+
+    /// Multicasts `payload` to the group. Returns wire messages and any
+    /// immediately deliverable payloads (self-delivery is immediate except
+    /// under total ordering, where even the sender waits for the
+    /// sequencer).
+    pub fn mcast(&mut self, payload: P, now: SimTime) -> Step<P> {
+        self.next_seq += 1;
+        let id = MsgId {
+            origin: self.me,
+            seq: self.next_seq,
+        };
+        let vclock = if self.ordering == Ordering::Causal {
+            self.vclock.tick(self.me);
+            Some(self.vclock.clone())
+        } else {
+            None
+        };
+        let data = DataMsg {
+            id,
+            group: self.view.group,
+            vclock,
+            payload,
+        };
+        let mut step = Step::empty();
+        // Put it on the wire to every peer.
+        let peers = self.view.peers(self.me);
+        match self.reliability {
+            Reliability::BestEffort => {
+                for peer in &peers {
+                    step.outbound.push((*peer, GcMsg::Data(data.clone())));
+                }
+            }
+            Reliability::Reliable { .. } => {
+                for peer in &peers {
+                    step.outbound.push((*peer, GcMsg::Data(data.clone())));
+                }
+                self.rel_out.insert(
+                    id,
+                    RelOut {
+                        msg: GcMsg::Data(data.clone()),
+                        pending: peers.iter().copied().collect(),
+                        last_sent: now,
+                        retries: 0,
+                    },
+                );
+            }
+        }
+        self.seen.insert(id);
+        match self.ordering {
+            Ordering::Total => {
+                // Hold even our own message until sequenced.
+                self.total_waiting.insert(id, data);
+                if let Some(seq_node) = self.sequencer() {
+                    if seq_node == self.me {
+                        step.merge(self.sequence_msg(id, now));
+                    } else {
+                        step.outbound.push((seq_node, GcMsg::SeqRequest { id }));
+                    }
+                }
+                step.merge(self.try_deliver_total());
+            }
+            Ordering::Fifo => {
+                // Track our own FIFO counter so symmetry holds.
+                self.fifo_expected.insert(self.me, id.seq + 1);
+                step.delivered.push(Delivery {
+                    id,
+                    payload: data.payload,
+                });
+            }
+            Ordering::Causal | Ordering::Unordered => {
+                step.delivered.push(Delivery {
+                    id,
+                    payload: data.payload,
+                });
+            }
+        }
+        step
+    }
+
+    /// Handles an incoming wire message.
+    pub fn on_message(&mut self, from: NodeId, msg: GcMsg<P>, now: SimTime) -> Step<P> {
+        match msg {
+            GcMsg::Data(data) => self.on_data(from, data, now),
+            GcMsg::Ack { id } => {
+                if let Some(out) = self.rel_out.get_mut(&id) {
+                    out.pending.remove(&from);
+                    if out.pending.is_empty() {
+                        self.rel_out.remove(&id);
+                    }
+                }
+                Step::empty()
+            }
+            GcMsg::SeqRequest { id } => {
+                if self.sequencer() == Some(self.me) {
+                    self.sequence_msg(id, now)
+                } else {
+                    Step::empty()
+                }
+            }
+            GcMsg::SeqAssign {
+                assign_id,
+                id,
+                total,
+            } => {
+                let mut step = Step::empty();
+                if self.is_reliable() {
+                    step.outbound.push((from, GcMsg::Ack { id: assign_id }));
+                }
+                if self.seen.insert(assign_id) {
+                    self.total_assignments.insert(total, id);
+                    step.merge(self.try_deliver_total());
+                }
+                step
+            }
+            // RPC traffic is handled by the RPC engine; app commands and
+            // view changes by the actor adapter.
+            GcMsg::RpcRequest { .. }
+            | GcMsg::RpcReply { .. }
+            | GcMsg::AppCmd(_)
+            | GcMsg::InstallView(_) => Step::empty(),
+        }
+    }
+
+    fn is_reliable(&self) -> bool {
+        matches!(self.reliability, Reliability::Reliable { .. })
+    }
+
+    fn on_data(&mut self, from: NodeId, data: DataMsg<P>, _now: SimTime) -> Step<P> {
+        let mut step = Step::empty();
+        if self.is_reliable() {
+            step.outbound.push((from, GcMsg::Ack { id: data.id }));
+        }
+        if !self.seen.insert(data.id) {
+            return step; // duplicate (retransmission)
+        }
+        match self.ordering {
+            Ordering::Unordered => {
+                step.delivered.push(Delivery {
+                    id: data.id,
+                    payload: data.payload,
+                });
+            }
+            Ordering::Fifo => {
+                self.fifo_holdback.insert((data.id.origin, data.id.seq), data);
+                step.merge(self.try_deliver_fifo());
+            }
+            Ordering::Causal => {
+                self.causal_holdback.push(data);
+                step.merge(self.try_deliver_causal());
+            }
+            Ordering::Total => {
+                self.total_waiting.insert(data.id, data);
+                step.merge(self.try_deliver_total());
+            }
+        }
+        step
+    }
+
+    /// Periodic maintenance: retransmits unacked reliable messages.
+    pub fn on_tick(&mut self, now: SimTime) -> Step<P> {
+        let Reliability::Reliable {
+            retransmit_after,
+            max_retries,
+        } = self.reliability
+        else {
+            return Step::empty();
+        };
+        let mut step = Step::empty();
+        let mut give_up = Vec::new();
+        for (id, out) in self.rel_out.iter_mut() {
+            if now.saturating_since(out.last_sent) >= retransmit_after {
+                if out.retries >= max_retries {
+                    give_up.push(*id);
+                    continue;
+                }
+                out.retries += 1;
+                out.last_sent = now;
+                for peer in &out.pending {
+                    step.outbound.push((*peer, out.msg.clone()));
+                }
+            }
+        }
+        for id in give_up {
+            self.rel_out.remove(&id);
+        }
+        step
+    }
+
+    /// Number of reliable messages still awaiting acks.
+    pub fn unacked(&self) -> usize {
+        self.rel_out.len()
+    }
+
+    /// Number of messages parked in hold-back queues.
+    pub fn held_back(&self) -> usize {
+        self.fifo_holdback.len() + self.causal_holdback.len() + self.total_waiting.len()
+    }
+
+    fn sequence_msg(&mut self, id: MsgId, now: SimTime) -> Step<P> {
+        let mut step = Step::empty();
+        if !self.seq_already_assigned.insert(id) {
+            return step; // duplicate SeqRequest
+        }
+        let total = self.seq_next_assign;
+        self.seq_next_assign += 1;
+        self.seq_assign_counter += 1;
+        let assign_id = MsgId {
+            origin: self.me,
+            // Assignment ids live in a separate space from data ids; offset
+            // far above any realistic data sequence to avoid collision.
+            seq: u64::MAX / 2 + self.seq_assign_counter,
+        };
+        let assign = GcMsg::SeqAssign {
+            assign_id,
+            id,
+            total,
+        };
+        let peers = self.view.peers(self.me);
+        for peer in &peers {
+            step.outbound.push((*peer, assign.clone()));
+        }
+        if self.is_reliable() {
+            self.rel_out.insert(
+                assign_id,
+                RelOut {
+                    msg: assign,
+                    pending: peers.into_iter().collect(),
+                    last_sent: now,
+                    retries: 0,
+                },
+            );
+        }
+        // Apply locally.
+        self.seen.insert(assign_id);
+        self.total_assignments.insert(total, id);
+        step.merge(self.try_deliver_total());
+        step
+    }
+
+    fn try_deliver_fifo(&mut self) -> Step<P> {
+        let mut step = Step::empty();
+        loop {
+            let mut delivered_any = false;
+            let keys: Vec<(NodeId, u64)> = self.fifo_holdback.keys().copied().collect();
+            for (origin, seq) in keys {
+                let expected = self.fifo_expected.entry(origin).or_insert(1);
+                if seq == *expected {
+                    let data = self.fifo_holdback.remove(&(origin, seq)).expect("held");
+                    *expected += 1;
+                    step.delivered.push(Delivery {
+                        id: data.id,
+                        payload: data.payload,
+                    });
+                    delivered_any = true;
+                }
+            }
+            if !delivered_any {
+                break;
+            }
+        }
+        step
+    }
+
+    fn try_deliver_causal(&mut self) -> Step<P> {
+        let mut step = Step::empty();
+        loop {
+            let idx = self.causal_holdback.iter().position(|m| {
+                let clock = m.vclock.as_ref().expect("causal data carries a clock");
+                self.vclock.deliverable(clock, m.id.origin)
+            });
+            let Some(idx) = idx else { break };
+            let data = self.causal_holdback.remove(idx);
+            self.vclock.tick(data.id.origin);
+            step.delivered.push(Delivery {
+                id: data.id,
+                payload: data.payload,
+            });
+        }
+        step
+    }
+
+    fn try_deliver_total(&mut self) -> Step<P> {
+        let mut step = Step::empty();
+        while let Some(&id) = self.total_assignments.get(&self.total_next_deliver) {
+            let Some(data) = self.total_waiting.remove(&id) else {
+                break; // assignment known but data not yet arrived
+            };
+            self.total_assignments.remove(&self.total_next_deliver);
+            self.total_next_deliver += 1;
+            step.delivered.push(Delivery {
+                id: data.id,
+                payload: data.payload,
+            });
+        }
+        step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(n: u32) -> View {
+        View::initial(GroupId(0), (0..n).map(NodeId))
+    }
+
+    fn engines(n: u32, ord: Ordering, rel: Reliability) -> Vec<GroupEngine<&'static str>> {
+        (0..n)
+            .map(|i| GroupEngine::new(NodeId(i), view(n), ord, rel))
+            .collect()
+    }
+
+    /// Delivers every outbound message immediately (in-order network).
+    fn pump(engines: &mut [GroupEngine<&'static str>], mut step: Step<&'static str>, from: NodeId) {
+        let mut queue: Vec<(NodeId, NodeId, GcMsg<&'static str>)> = step
+            .outbound
+            .drain(..)
+            .map(|(to, m)| (from, to, m))
+            .collect();
+        while let Some((src, dst, msg)) = queue.pop() {
+            let s = engines[dst.0 as usize].on_message(src, msg, SimTime::ZERO);
+            for (to, m) in s.outbound {
+                queue.push((dst, to, m));
+            }
+        }
+    }
+
+    #[test]
+    fn unordered_delivers_everything_once() {
+        let mut es = engines(3, Ordering::Unordered, Reliability::BestEffort);
+        let step = es[0].mcast("x", SimTime::ZERO);
+        assert_eq!(step.delivered.len(), 1);
+        assert_eq!(step.outbound.len(), 2);
+        for (to, msg) in step.outbound {
+            let got = es[to.0 as usize].on_message(NodeId(0), msg, SimTime::ZERO);
+            assert_eq!(got.delivered.len(), 1);
+        }
+    }
+
+    #[test]
+    fn fifo_holds_back_out_of_order_messages() {
+        let mut es = engines(2, Ordering::Fifo, Reliability::BestEffort);
+        let s1 = es[0].mcast("first", SimTime::ZERO);
+        let s2 = es[0].mcast("second", SimTime::ZERO);
+        let m1 = s1.outbound.into_iter().next().unwrap().1;
+        let m2 = s2.outbound.into_iter().next().unwrap().1;
+        // Deliver out of order.
+        let got2 = es[1].on_message(NodeId(0), m2, SimTime::ZERO);
+        assert!(got2.delivered.is_empty(), "second held back");
+        assert_eq!(es[1].held_back(), 1);
+        let got1 = es[1].on_message(NodeId(0), m1, SimTime::ZERO);
+        let texts: Vec<_> = got1.delivered.iter().map(|d| d.payload).collect();
+        assert_eq!(texts, vec!["first", "second"]);
+        assert_eq!(es[1].held_back(), 0);
+    }
+
+    #[test]
+    fn causal_respects_happens_before_across_senders() {
+        let mut es = engines(3, Ordering::Causal, Reliability::BestEffort);
+        // Node 0 multicasts A.
+        let sa = es[0].mcast("A", SimTime::ZERO);
+        let a_msgs: Vec<_> = sa.outbound;
+        // Node 1 receives A, then multicasts B (so B causally follows A).
+        let a_to_1 = a_msgs
+            .iter()
+            .find(|(to, _)| *to == NodeId(1))
+            .unwrap()
+            .1
+            .clone();
+        es[1].on_message(NodeId(0), a_to_1, SimTime::ZERO);
+        let sb = es[1].mcast("B", SimTime::ZERO);
+        let b_to_2 = sb
+            .outbound
+            .iter()
+            .find(|(to, _)| *to == NodeId(2))
+            .unwrap()
+            .1
+            .clone();
+        // Node 2 receives B *before* A: must hold B back.
+        let got_b = es[2].on_message(NodeId(1), b_to_2, SimTime::ZERO);
+        assert!(got_b.delivered.is_empty(), "B must wait for A");
+        let a_to_2 = a_msgs
+            .iter()
+            .find(|(to, _)| *to == NodeId(2))
+            .unwrap()
+            .1
+            .clone();
+        let got_a = es[2].on_message(NodeId(0), a_to_2, SimTime::ZERO);
+        let texts: Vec<_> = got_a.delivered.iter().map(|d| d.payload).collect();
+        assert_eq!(texts, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn total_order_is_identical_everywhere() {
+        let mut es = engines(3, Ordering::Total, Reliability::BestEffort);
+        // Nodes 1 and 2 multicast concurrently.
+        let s1 = es[1].mcast("from1", SimTime::ZERO);
+        let s2 = es[2].mcast("from2", SimTime::ZERO);
+        pump(&mut es, s1, NodeId(1));
+        pump(&mut es, s2, NodeId(2));
+        // All members (including senders) should have delivered both in the
+        // same order. We can't see deliveries from pump; instead check no
+        // hold-back remains and sequencer assigned 2.
+        for e in &es {
+            assert_eq!(e.held_back(), 0, "member {} still holding", e.me());
+        }
+        assert_eq!(es[0].seq_next_assign, 3);
+    }
+
+    #[test]
+    fn total_order_sender_waits_for_sequencer() {
+        let mut es = engines(2, Ordering::Total, Reliability::BestEffort);
+        // Node 1 (not the sequencer) multicasts: no self-delivery yet.
+        let s = es[1].mcast("x", SimTime::ZERO);
+        assert!(s.delivered.is_empty());
+        assert_eq!(es[1].held_back(), 1);
+        pump(&mut es, s, NodeId(1));
+        assert_eq!(es[1].held_back(), 0);
+    }
+
+    #[test]
+    fn reliable_mode_acks_and_stops_retransmitting() {
+        let rel = Reliability::Reliable {
+            retransmit_after: SimDuration::from_millis(10),
+            max_retries: 3,
+        };
+        let mut es = engines(2, Ordering::Unordered, rel);
+        let step = es[0].mcast("x", SimTime::ZERO);
+        assert_eq!(es[0].unacked(), 1);
+        let (_, data) = step.outbound.into_iter().next().unwrap();
+        let got = es[1].on_message(NodeId(0), data, SimTime::ZERO);
+        // Receiver acks.
+        let (ack_to, ack) = got.outbound.into_iter().next().unwrap();
+        assert_eq!(ack_to, NodeId(0));
+        es[0].on_message(NodeId(1), ack, SimTime::ZERO);
+        assert_eq!(es[0].unacked(), 0);
+        // No retransmissions afterwards.
+        let tick = es[0].on_tick(SimTime::from_millis(100));
+        assert!(tick.outbound.is_empty());
+    }
+
+    #[test]
+    fn reliable_mode_retransmits_until_acked() {
+        let rel = Reliability::Reliable {
+            retransmit_after: SimDuration::from_millis(10),
+            max_retries: 3,
+        };
+        let mut es = engines(2, Ordering::Unordered, rel);
+        let _ = es[0].mcast("x", SimTime::ZERO);
+        let t1 = es[0].on_tick(SimTime::from_millis(11));
+        assert_eq!(t1.outbound.len(), 1, "one retransmission");
+        // Duplicate deliveries are suppressed at the receiver.
+        let (_, m) = t1.outbound.into_iter().next().unwrap();
+        let first = es[1].on_message(NodeId(0), m.clone(), SimTime::ZERO);
+        assert_eq!(first.delivered.len(), 1);
+        let dup = es[1].on_message(NodeId(0), m, SimTime::ZERO);
+        assert!(dup.delivered.is_empty(), "duplicate suppressed");
+    }
+
+    #[test]
+    fn reliable_mode_gives_up_after_max_retries() {
+        let rel = Reliability::Reliable {
+            retransmit_after: SimDuration::from_millis(10),
+            max_retries: 2,
+        };
+        let mut es = engines(2, Ordering::Unordered, rel);
+        let _ = es[0].mcast("x", SimTime::ZERO);
+        assert_eq!(es[0].on_tick(SimTime::from_millis(11)).outbound.len(), 1);
+        assert_eq!(es[0].on_tick(SimTime::from_millis(22)).outbound.len(), 1);
+        // Third tick: retries exhausted, message dropped from rel state.
+        assert!(es[0].on_tick(SimTime::from_millis(33)).outbound.is_empty());
+        assert_eq!(es[0].unacked(), 0);
+    }
+
+    #[test]
+    fn install_view_drops_holdback_of_departed_members() {
+        let mut es = engines(3, Ordering::Fifo, Reliability::BestEffort);
+        // Node 0 sends seq 1 and 2; node 2 receives only seq 2 (held back).
+        let s1 = es[0].mcast("one", SimTime::ZERO);
+        let s2 = es[0].mcast("two", SimTime::ZERO);
+        drop(s1);
+        let m2 = s2
+            .outbound
+            .iter()
+            .find(|(to, _)| *to == NodeId(2))
+            .unwrap()
+            .1
+            .clone();
+        es[2].on_message(NodeId(0), m2, SimTime::ZERO);
+        assert_eq!(es[2].held_back(), 1);
+        // Node 0 leaves; the stuck message is discarded.
+        let new_view = View::initial(GroupId(0), [NodeId(1), NodeId(2)]);
+        es[2].install_view(new_view);
+        assert_eq!(es[2].held_back(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: delivery-ordering guarantees hold under randomised
+//! network conditions (latency, jitter, loss) and workloads.
+
+use odp_groupcomm::actors::{GroupActor, GroupApp};
+use odp_groupcomm::membership::{GroupId, View};
+use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
+use odp_groupcomm::vclock::{Causality, VectorClock};
+use odp_sim::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Default)]
+struct Collector {
+    delivered: Vec<(u32, u32)>, // (origin, k)
+}
+
+impl GroupApp<(u32, u32)> for Collector {
+    fn on_deliver(&mut self, _ctx: &mut Ctx<'_, GcMsg<(u32, u32)>>, d: Delivery<(u32, u32)>) {
+        self.delivered.push(d.payload);
+    }
+}
+
+/// Runs `n` members, each multicasting `k` messages at staggered times,
+/// over a link with the given loss, and returns each member's delivery
+/// sequence.
+fn run(
+    seed: u64,
+    n: u32,
+    k: u32,
+    ordering: Ordering,
+    loss: f64,
+    reliability: Reliability,
+) -> Vec<Vec<(u32, u32)>> {
+    let view = View::initial(GroupId(0), (0..n).map(NodeId));
+    let mut net = Network::new(LinkSpec {
+        loss,
+        ..LinkSpec::lan()
+    });
+    net.set_default_link(LinkSpec {
+        loss,
+        ..LinkSpec::lan()
+    });
+    let mut sim = Sim::with_network(seed, net);
+    sim.trace_mut().disable();
+    for i in 0..n {
+        let mut actor = GroupActor::new(NodeId(i), view.clone(), ordering, reliability, Collector::default());
+        actor.set_tick_interval(SimDuration::from_millis(25));
+        sim.add_actor(NodeId(i), actor);
+    }
+    for i in 0..n {
+        for j in 0..k {
+            sim.inject(
+                SimTime::from_micros((j as u64) * 700 + (i as u64) * 131),
+                NodeId(i),
+                NodeId(i),
+                GcMsg::AppCmd((i, j)),
+            );
+        }
+    }
+    sim.run_for(SimDuration::from_secs(60));
+    (0..n)
+        .map(|i| {
+            let a: &GroupActor<(u32, u32), Collector> = sim.actor(NodeId(i)).unwrap();
+            a.app().delivered.clone()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// FIFO: per-origin order is preserved at every member, and with
+    /// reliability every message arrives exactly once despite loss.
+    #[test]
+    fn fifo_preserves_per_origin_order(seed in any::<u64>(), n in 2u32..5, k in 1u32..8) {
+        let seqs = run(seed, n, k, Ordering::Fifo, 0.15, Reliability::reliable());
+        for member in &seqs {
+            prop_assert_eq!(member.len() as u32, n * k, "every message delivered once");
+            for origin in 0..n {
+                let ks: Vec<u32> = member.iter().filter(|(o, _)| *o == origin).map(|&(_, j)| j).collect();
+                let mut sorted = ks.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(ks, sorted, "per-origin FIFO violated");
+            }
+        }
+    }
+
+    /// Total order: all members deliver the identical global sequence.
+    #[test]
+    fn total_order_agreement(seed in any::<u64>(), n in 2u32..5, k in 1u32..8) {
+        let seqs = run(seed, n, k, Ordering::Total, 0.0, Reliability::BestEffort);
+        for member in &seqs[1..] {
+            prop_assert_eq!(member, &seqs[0], "total order differs between members");
+        }
+        prop_assert_eq!(seqs[0].len() as u32, n * k);
+    }
+
+    /// Causal order: if message (i, a) causally precedes (j, b) — which is
+    /// guaranteed when the same origin sent a before b — every member
+    /// delivers them in that order; and all messages arrive exactly once
+    /// on a lossless network.
+    #[test]
+    fn causal_subsumes_fifo(seed in any::<u64>(), n in 2u32..5, k in 1u32..8) {
+        let seqs = run(seed, n, k, Ordering::Causal, 0.0, Reliability::BestEffort);
+        for member in &seqs {
+            prop_assert_eq!(member.len() as u32, n * k);
+            for origin in 0..n {
+                let ks: Vec<u32> = member.iter().filter(|(o, _)| *o == origin).map(|&(_, j)| j).collect();
+                let mut sorted = ks.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(ks, sorted, "causal order must include per-origin order");
+            }
+        }
+    }
+
+    /// Vector clock laws: compare() is antisymmetric and merge() is the
+    /// least upper bound.
+    #[test]
+    fn vclock_partial_order_laws(
+        ticks_a in prop::collection::vec(0u32..4, 1..6),
+        ticks_b in prop::collection::vec(0u32..4, 1..6),
+    ) {
+        let mut a = VectorClock::new();
+        for &n in &ticks_a { a.tick(NodeId(n)); }
+        let mut b = VectorClock::new();
+        for &n in &ticks_b { b.tick(NodeId(n)); }
+        match a.compare(&b) {
+            Causality::Before => prop_assert_eq!(b.compare(&a), Causality::After),
+            Causality::After => prop_assert_eq!(b.compare(&a), Causality::Before),
+            Causality::Equal => prop_assert_eq!(b.compare(&a), Causality::Equal),
+            Causality::Concurrent => prop_assert_eq!(b.compare(&a), Causality::Concurrent),
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(a.dominated_by(&m));
+        prop_assert!(b.dominated_by(&m));
+    }
+}

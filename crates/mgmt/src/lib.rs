@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # odp-mgmt — group-aware management for ODP
+//!
+//! Implements the paper's management requirement (§4.2.1): node, capsule
+//! and cluster management with **group-aware placement policies**.
+//!
+//! - [`model`] — nodes ⊃ capsules ⊃ clusters ⊃ managed objects;
+//! - [`placement`] — usage patterns and the three policies of experiment
+//!   E9 (static-home baseline, group-mean, group-minmax);
+//! - [`migration`] — usage-driven cluster re-location with hysteresis and
+//!   a bytes-over-bandwidth transfer-cost model.
+//!
+//! ```
+//! use odp_mgmt::placement::{place, PlacementPolicy, UsagePattern};
+//! use odp_sim::net::NodeId;
+//! use odp_sim::time::SimDuration;
+//!
+//! let mut usage = UsagePattern::new();
+//! usage.record(NodeId(2), 50);
+//! let latency = |a: NodeId, b: NodeId| {
+//!     SimDuration::from_millis(10 * (a.0 as i64 - b.0 as i64).unsigned_abs())
+//! };
+//! let p = place(
+//!     PlacementPolicy::GroupMean, &usage,
+//!     &[NodeId(0), NodeId(1), NodeId(2)], NodeId(0), &latency,
+//! );
+//! assert_eq!(p.node, NodeId(2));
+//! ```
+
+pub mod migration;
+pub mod model;
+pub mod placement;
+
+pub use migration::{MigrationEvent, MigrationManager};
+pub use model::{CapsuleId, ClusterId, EngRegistry, ManagedObjectId, MgmtError};
+pub use placement::{place, Placement, PlacementPolicy, UsagePattern};

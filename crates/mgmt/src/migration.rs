@@ -1,0 +1,248 @@
+//! Cluster migration driven by observed usage: the "subsequent
+//! re-location" half of the paper's management requirement.
+//!
+//! The [`MigrationManager`] watches per-cluster [`UsagePattern`]s,
+//! re-evaluates the placement policy periodically, and migrates a cluster
+//! when the predicted improvement beats a hysteresis threshold (to avoid
+//! thrashing on noisy workloads). Migration cost is modelled as the
+//! cluster's bytes over the inter-node bandwidth.
+
+use std::collections::BTreeMap;
+
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+
+use crate::model::{ClusterId, EngRegistry, MgmtError};
+use crate::placement::{place, Placement, PlacementPolicy, UsagePattern};
+
+/// One completed migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationEvent {
+    /// The cluster moved.
+    pub cluster: ClusterId,
+    /// Where from.
+    pub from: NodeId,
+    /// Where to.
+    pub to: NodeId,
+    /// When the decision was taken.
+    pub at: SimTime,
+    /// Transfer time (cluster bytes over bandwidth).
+    pub transfer: SimDuration,
+    /// Predicted cost before (us).
+    pub cost_before_us: f64,
+    /// Predicted cost after (us).
+    pub cost_after_us: f64,
+}
+
+/// Watches usage and migrates clusters.
+///
+/// # Examples
+///
+/// ```
+/// use odp_mgmt::migration::MigrationManager;
+/// use odp_mgmt::placement::PlacementPolicy;
+///
+/// let mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
+/// assert_eq!(mgr.events().len(), 0);
+/// ```
+#[derive(Debug)]
+pub struct MigrationManager {
+    policy: PlacementPolicy,
+    /// Migrate only if the new cost is at least this fraction lower.
+    hysteresis: f64,
+    /// Inter-node transfer bandwidth in bytes/s (migration cost model).
+    bytes_per_sec: u64,
+    usage: BTreeMap<ClusterId, UsagePattern>,
+    homes: BTreeMap<ClusterId, NodeId>,
+    events: Vec<MigrationEvent>,
+}
+
+impl MigrationManager {
+    /// Creates a manager using `policy`, requiring a relative improvement
+    /// of `hysteresis` (e.g. `0.2` = 20%) before moving anything.
+    pub fn new(policy: PlacementPolicy, hysteresis: f64, bytes_per_sec: u64) -> Self {
+        MigrationManager {
+            policy,
+            hysteresis: hysteresis.max(0.0),
+            bytes_per_sec: bytes_per_sec.max(1),
+            usage: BTreeMap::new(),
+            homes: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Declares a cluster's creator node (home).
+    pub fn set_home(&mut self, cluster: ClusterId, home: NodeId) {
+        self.homes.insert(cluster, home);
+    }
+
+    /// Records accesses to a cluster from a site.
+    pub fn record_access(&mut self, cluster: ClusterId, site: NodeId, n: u64) {
+        self.usage.entry(cluster).or_default().record(site, n);
+    }
+
+    /// The observed pattern for a cluster.
+    pub fn usage(&self, cluster: ClusterId) -> Option<&UsagePattern> {
+        self.usage.get(&cluster)
+    }
+
+    /// Ages every pattern (call periodically so old behaviour fades).
+    pub fn age_usage(&mut self) {
+        for pattern in self.usage.values_mut() {
+            pattern.age();
+        }
+    }
+
+    /// Completed migrations.
+    pub fn events(&self) -> &[MigrationEvent] {
+        &self.events
+    }
+
+    /// Re-evaluates one cluster; migrates it in `registry` if the policy
+    /// finds a sufficiently better node. Returns the event if it moved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry errors (unknown cluster, no capsule on the
+    /// target node).
+    pub fn evaluate(
+        &mut self,
+        cluster: ClusterId,
+        registry: &mut EngRegistry,
+        latency: &dyn Fn(NodeId, NodeId) -> SimDuration,
+        now: SimTime,
+    ) -> Result<Option<MigrationEvent>, MgmtError> {
+        let objects = registry.cluster_objects(cluster);
+        let current = match objects.first() {
+            Some(&obj) => registry.node_of(obj)?,
+            None => return Ok(None), // empty cluster: nothing to move
+        };
+        let usage = self.usage.entry(cluster).or_default();
+        let home = self.homes.get(&cluster).copied().unwrap_or(current);
+        let candidates = registry.candidate_nodes();
+        let Placement { node: target, cost_us: cost_after } =
+            place(self.policy, usage, &candidates, home, latency);
+        if target == current {
+            return Ok(None);
+        }
+        // Cost at the current node under the same scoring.
+        let current_cost = place(self.policy, usage, &[current], home, latency).cost_us;
+        if current_cost <= 0.0 || cost_after > current_cost * (1.0 - self.hysteresis) {
+            return Ok(None); // not worth the move
+        }
+        registry.migrate_cluster(cluster, target)?;
+        let bytes = registry.cluster_bytes(cluster);
+        let transfer = SimDuration::from_micros(
+            (bytes as u128 * 1_000_000 / self.bytes_per_sec as u128).min(u64::MAX as u128) as u64,
+        );
+        let event = MigrationEvent {
+            cluster,
+            from: current,
+            to: target,
+            at: now,
+            transfer,
+            cost_before_us: current_cost,
+            cost_after_us: cost_after,
+        };
+        self.events.push(event.clone());
+        Ok(Some(event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ManagedObjectId;
+
+    fn line_latency(a: NodeId, b: NodeId) -> SimDuration {
+        SimDuration::from_millis(10 * (a.0 as i64 - b.0 as i64).unsigned_abs())
+    }
+
+    fn setup() -> (EngRegistry, ClusterId) {
+        let mut reg = EngRegistry::new();
+        for n in 0..3 {
+            reg.create_capsule(NodeId(n));
+        }
+        let cap0 = crate::model::CapsuleId(0);
+        let cluster = reg.create_cluster(cap0).unwrap();
+        reg.create_object(ManagedObjectId(1), cluster, 1_000_000).unwrap();
+        (reg, cluster)
+    }
+
+    #[test]
+    fn usage_shift_triggers_migration() {
+        let (mut reg, cluster) = setup();
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
+        mgr.set_home(cluster, NodeId(0));
+        mgr.record_access(cluster, NodeId(2), 100);
+        let event = mgr
+            .evaluate(cluster, &mut reg, &line_latency, SimTime::from_secs(1))
+            .unwrap()
+            .expect("should migrate");
+        assert_eq!(event.from, NodeId(0));
+        assert_eq!(event.to, NodeId(2));
+        assert_eq!(event.transfer, SimDuration::from_secs(1), "1MB at 1MB/s");
+        assert!(event.cost_after_us < event.cost_before_us);
+        assert_eq!(reg.node_of(ManagedObjectId(1)).unwrap(), NodeId(2));
+    }
+
+    #[test]
+    fn hysteresis_prevents_marginal_moves() {
+        let (mut reg, cluster) = setup();
+        // Require a 60% improvement.
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.6, 1_000_000);
+        mgr.set_home(cluster, NodeId(0));
+        // Slightly more accesses from node 1 than node 0: mean cost at 1
+        // is lower but not 60% lower.
+        mgr.record_access(cluster, NodeId(0), 40);
+        mgr.record_access(cluster, NodeId(1), 60);
+        let event = mgr
+            .evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO)
+            .unwrap();
+        assert!(event.is_none(), "{event:?}");
+    }
+
+    #[test]
+    fn stable_usage_does_not_thrash() {
+        let (mut reg, cluster) = setup();
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
+        mgr.set_home(cluster, NodeId(0));
+        mgr.record_access(cluster, NodeId(2), 100);
+        mgr.evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO).unwrap();
+        // Same usage again: already at the optimum, no further event.
+        let again = mgr.evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO).unwrap();
+        assert!(again.is_none());
+        assert_eq!(mgr.events().len(), 1);
+    }
+
+    #[test]
+    fn empty_cluster_is_ignored() {
+        let mut reg = EngRegistry::new();
+        let cap = reg.create_capsule(NodeId(0));
+        let cluster = reg.create_cluster(cap).unwrap();
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000);
+        assert!(mgr
+            .evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn minmax_policy_balances_two_sites() {
+        let (mut reg, cluster) = setup();
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMinMax, 0.2, 1_000_000);
+        mgr.set_home(cluster, NodeId(0));
+        mgr.record_access(cluster, NodeId(0), 100);
+        mgr.record_access(cluster, NodeId(2), 1);
+        let event = mgr
+            .evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO)
+            .unwrap()
+            .expect("moves to the middle");
+        assert_eq!(event.to, NodeId(1));
+    }
+}

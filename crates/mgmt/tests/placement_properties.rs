@@ -1,0 +1,97 @@
+//! Property tests for placement policies and migration.
+
+use odp_mgmt::placement::{place, PlacementPolicy, UsagePattern};
+use odp_sim::net::NodeId;
+use odp_sim::time::SimDuration;
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random but symmetric latency function derived
+/// from the node ids.
+fn latency(a: NodeId, b: NodeId) -> SimDuration {
+    if a == b {
+        return SimDuration::ZERO;
+    }
+    let (lo, hi) = (a.0.min(b.0) as u64, a.0.max(b.0) as u64);
+    SimDuration::from_millis(1 + (lo * 7 + hi * 13) % 50)
+}
+
+fn mean_cost(usage: &UsagePattern, node: NodeId) -> f64 {
+    let total = usage.total().max(1) as f64;
+    usage
+        .iter()
+        .map(|(site, count)| latency(site, node).as_micros() as f64 * count as f64)
+        .sum::<f64>()
+        / total
+}
+
+fn max_cost(usage: &UsagePattern, node: NodeId) -> f64 {
+    usage
+        .iter()
+        .filter(|&(_, c)| c > 0)
+        .map(|(site, _)| latency(site, node).as_micros() as f64)
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    /// GroupMean picks a candidate achieving the minimum weighted mean
+    /// (verified by brute force), and GroupMinMax the minimum worst-case.
+    #[test]
+    fn policies_are_brute_force_optimal(
+        accesses in prop::collection::vec((0u32..6, 1u64..50), 1..12),
+        n_candidates in 1u32..6,
+    ) {
+        let mut usage = UsagePattern::new();
+        for &(site, count) in &accesses {
+            usage.record(NodeId(site), count);
+        }
+        let candidates: Vec<NodeId> = (0..n_candidates).map(NodeId).collect();
+        let mean_pick = place(PlacementPolicy::GroupMean, &usage, &candidates, NodeId(0), &latency);
+        let best_mean = candidates.iter().map(|&c| mean_cost(&usage, c)).fold(f64::INFINITY, f64::min);
+        prop_assert!((mean_cost(&usage, mean_pick.node) - best_mean).abs() < 1e-9);
+
+        let minmax_pick = place(PlacementPolicy::GroupMinMax, &usage, &candidates, NodeId(0), &latency);
+        let best_max = candidates.iter().map(|&c| max_cost(&usage, c)).fold(f64::INFINITY, f64::min);
+        prop_assert!((max_cost(&usage, minmax_pick.node) - best_max).abs() < 1e-9);
+    }
+
+    /// StaticHome always stays home, whatever the usage.
+    #[test]
+    fn static_home_is_usage_blind(
+        accesses in prop::collection::vec((0u32..6, 1u64..50), 0..12),
+        home in 0u32..6,
+    ) {
+        let mut usage = UsagePattern::new();
+        for &(site, count) in &accesses {
+            usage.record(NodeId(site), count);
+        }
+        let candidates: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let pick = place(PlacementPolicy::StaticHome, &usage, &candidates, NodeId(home), &latency);
+        prop_assert_eq!(pick.node, NodeId(home));
+    }
+
+    /// Aging halves counts and never resurrects cleared sites.
+    #[test]
+    fn aging_is_monotone(
+        accesses in prop::collection::vec((0u32..6, 1u64..100), 1..12),
+        ages in 1usize..8,
+    ) {
+        let mut usage = UsagePattern::new();
+        for &(site, count) in &accesses {
+            usage.record(NodeId(site), count);
+        }
+        let mut totals = vec![usage.total()];
+        for _ in 0..ages {
+            usage.age();
+            totals.push(usage.total());
+        }
+        for w in totals.windows(2) {
+            prop_assert!(w[1] <= w[0], "aging never grows usage");
+        }
+        // Enough aging drives everything to zero.
+        for _ in 0..64 {
+            usage.age();
+        }
+        prop_assert_eq!(usage.total(), 0);
+        prop_assert!(usage.sites().is_empty());
+    }
+}

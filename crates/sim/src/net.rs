@@ -1,0 +1,440 @@
+//! The simulated network: links with latency, jitter, bandwidth and loss,
+//! plus partitions and per-node connectivity levels.
+//!
+//! The network computes, for each message, either a delivery delay or a
+//! drop decision. Time-varying behaviour (degradation, partitions, mobile
+//! hosts moving between coverage levels) is expressed by mutating the
+//! network mid-run via scheduled control events (see
+//! [`Sim::schedule_net_change`](crate::sim::Sim::schedule_net_change)).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a simulated node (one per actor in the default topology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The characteristics of a directed link.
+///
+/// # Examples
+///
+/// ```
+/// use odp_sim::net::LinkSpec;
+/// use odp_sim::time::SimDuration;
+///
+/// let lan = LinkSpec::lan();
+/// assert!(lan.latency < SimDuration::from_millis(5));
+/// let wan = LinkSpec::wan(SimDuration::from_millis(80));
+/// assert_eq!(wan.latency, SimDuration::from_millis(80));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Base one-way propagation delay.
+    pub latency: SimDuration,
+    /// Maximum symmetric uniform jitter applied to the latency.
+    pub jitter: SimDuration,
+    /// Bandwidth in bytes per second; `None` models an uncongested link.
+    pub bytes_per_sec: Option<u64>,
+    /// Independent per-message loss probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A local-area link: 1 ms latency, 200 us jitter, 100 Mbit/s, lossless.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(1),
+            jitter: SimDuration::from_micros(200),
+            bytes_per_sec: Some(12_500_000),
+            loss: 0.0,
+        }
+    }
+
+    /// A wide-area link with the given latency: 10% jitter, 10 Mbit/s,
+    /// 0.1% loss.
+    pub fn wan(latency: SimDuration) -> Self {
+        LinkSpec {
+            latency,
+            jitter: latency.mul_f64(0.10),
+            bytes_per_sec: Some(1_250_000),
+            loss: 0.001,
+        }
+    }
+
+    /// A 1990s mobile radio link: 150 ms latency, heavy jitter, 9600 baud
+    /// class bandwidth, 2% loss. Models the paper's "partially connected"
+    /// level.
+    pub fn radio() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(150),
+            jitter: SimDuration::from_millis(60),
+            bytes_per_sec: Some(1_200),
+            loss: 0.02,
+        }
+    }
+
+    /// An ideal link: zero latency/jitter/loss, infinite bandwidth. Useful
+    /// in unit tests that need exact timings.
+    pub fn ideal() -> Self {
+        LinkSpec {
+            latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            bytes_per_sec: None,
+            loss: 0.0,
+        }
+    }
+
+    /// Returns the serialisation (transmission) time of `bytes` on this
+    /// link, zero when bandwidth is unlimited.
+    pub fn transmit_time(&self, bytes: usize) -> SimDuration {
+        match self.bytes_per_sec {
+            None => SimDuration::ZERO,
+            Some(bps) => {
+                let micros = (bytes as u128 * 1_000_000u128) / bps.max(1) as u128;
+                SimDuration::from_micros(micros.min(u64::MAX as u128) as u64)
+            }
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+/// The paper's three connectivity levels for mobile hosts (§4.2.2:
+/// "connection may vary from being disconnected to being partially
+/// connected ... to being fully connected").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// No traffic in or out of the node.
+    Disconnected,
+    /// Traffic flows over a degraded (radio-class) link regardless of the
+    /// underlying topology.
+    Partial,
+    /// Normal topology-defined links.
+    #[default]
+    Full,
+}
+
+/// Outcome of submitting a message to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Message will arrive at the given time.
+    DeliverAt(SimTime),
+    /// Message was dropped (loss, partition, or disconnection).
+    Dropped(DropReason),
+}
+
+/// Why a message was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Random loss on the link.
+    Loss,
+    /// Source and destination are in different partitions.
+    Partitioned,
+    /// Source or destination is at [`Connectivity::Disconnected`].
+    Disconnected,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropReason::Loss => write!(f, "random loss"),
+            DropReason::Partitioned => write!(f, "network partition"),
+            DropReason::Disconnected => write!(f, "host disconnected"),
+        }
+    }
+}
+
+/// The mutable network state for a simulation.
+///
+/// Delivery delay for a message of `b` bytes on link `l` is
+/// `queueing + transmit(b) + latency + jitter`, where queueing serialises
+/// messages through the link's bandwidth (FIFO per directed pair).
+#[derive(Debug, Clone)]
+pub struct Network {
+    default_link: LinkSpec,
+    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+    /// Earliest time each directed link is free to begin transmitting.
+    link_free: HashMap<(NodeId, NodeId), SimTime>,
+    partitions: Vec<HashSet<NodeId>>,
+    connectivity: HashMap<NodeId, Connectivity>,
+    partial_link: LinkSpec,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new(LinkSpec::default())
+    }
+}
+
+impl Network {
+    /// Creates a network in which every pair of nodes is joined by
+    /// `default_link`.
+    pub fn new(default_link: LinkSpec) -> Self {
+        Network {
+            default_link,
+            overrides: HashMap::new(),
+            link_free: HashMap::new(),
+            partitions: Vec::new(),
+            connectivity: HashMap::new(),
+            partial_link: LinkSpec::radio(),
+        }
+    }
+
+    /// Replaces the default link used for pairs without an override.
+    pub fn set_default_link(&mut self, spec: LinkSpec) {
+        self.default_link = spec;
+    }
+
+    /// Sets the link used in **both** directions between `a` and `b`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.overrides.insert((a, b), spec);
+        self.overrides.insert((b, a), spec);
+    }
+
+    /// Sets a directed link from `from` to `to` only.
+    pub fn set_link_directed(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.overrides.insert((from, to), spec);
+    }
+
+    /// Returns the spec currently in force from `from` to `to`, accounting
+    /// for partial connectivity of either endpoint.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        let base = self
+            .overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link);
+        let partial = self.connectivity_of(from) == Connectivity::Partial
+            || self.connectivity_of(to) == Connectivity::Partial;
+        if partial {
+            // A degraded endpoint dominates: take the worse of each field.
+            LinkSpec {
+                latency: base.latency.max(self.partial_link.latency),
+                jitter: base.jitter.max(self.partial_link.jitter),
+                bytes_per_sec: match (base.bytes_per_sec, self.partial_link.bytes_per_sec) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                },
+                loss: base.loss.max(self.partial_link.loss),
+            }
+        } else {
+            base
+        }
+    }
+
+    /// Sets the link characteristics used while a node is at
+    /// [`Connectivity::Partial`].
+    pub fn set_partial_link(&mut self, spec: LinkSpec) {
+        self.partial_link = spec;
+    }
+
+    /// Splits the network into the given groups; traffic crosses group
+    /// boundaries only if neither endpoint appears in any group. Replaces
+    /// any previous partition.
+    pub fn partition(&mut self, groups: Vec<HashSet<NodeId>>) {
+        self.partitions = groups;
+    }
+
+    /// Removes all partitions.
+    pub fn heal(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// True if a partition separates `a` from `b`.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        let ga = self.partitions.iter().position(|g| g.contains(&a));
+        let gb = self.partitions.iter().position(|g| g.contains(&b));
+        match (ga, gb) {
+            (Some(x), Some(y)) => x != y,
+            (None, None) => false,
+            // A node listed in a partition group cannot talk to unlisted
+            // nodes: the partition is total over listed membership.
+            _ => true,
+        }
+    }
+
+    /// Sets a node's connectivity level (mobile hosts).
+    pub fn set_connectivity(&mut self, node: NodeId, level: Connectivity) {
+        self.connectivity.insert(node, level);
+    }
+
+    /// Reads a node's connectivity level (defaults to `Full`).
+    pub fn connectivity_of(&self, node: NodeId) -> Connectivity {
+        self.connectivity.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Decides the fate of a message submitted at `now`.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        rng: &mut DetRng,
+    ) -> Verdict {
+        if self.connectivity_of(from) == Connectivity::Disconnected
+            || self.connectivity_of(to) == Connectivity::Disconnected
+        {
+            return Verdict::Dropped(DropReason::Disconnected);
+        }
+        if self.is_partitioned(from, to) {
+            return Verdict::Dropped(DropReason::Partitioned);
+        }
+        let spec = self.link(from, to);
+        if rng.chance(spec.loss) {
+            return Verdict::Dropped(DropReason::Loss);
+        }
+        // Local delivery bypasses the network entirely.
+        if from == to {
+            return Verdict::DeliverAt(now);
+        }
+        let free = self.link_free.entry((from, to)).or_insert(SimTime::ZERO);
+        let start = (*free).max(now);
+        let transmit = spec.transmit_time(bytes);
+        *free = start + transmit;
+        let delay = rng.jittered(spec.latency, spec.jitter);
+        Verdict::DeliverAt(start + transmit + delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from(1)
+    }
+
+    #[test]
+    fn ideal_link_delivers_instantly() {
+        let mut net = Network::new(LinkSpec::ideal());
+        let v = net.submit(SimTime::ZERO, NodeId(0), NodeId(1), 100, &mut rng());
+        assert_eq!(v, Verdict::DeliverAt(SimTime::ZERO));
+    }
+
+    #[test]
+    fn latency_applies() {
+        let mut spec = LinkSpec::ideal();
+        spec.latency = SimDuration::from_millis(10);
+        let mut net = Network::new(spec);
+        let v = net.submit(SimTime::ZERO, NodeId(0), NodeId(1), 0, &mut rng());
+        assert_eq!(v, Verdict::DeliverAt(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn bandwidth_serialises_messages() {
+        let mut spec = LinkSpec::ideal();
+        spec.bytes_per_sec = Some(1_000_000); // 1 MB/s -> 1000 bytes per ms
+        let mut net = Network::new(spec);
+        let mut r = rng();
+        let v1 = net.submit(SimTime::ZERO, NodeId(0), NodeId(1), 1_000, &mut r);
+        let v2 = net.submit(SimTime::ZERO, NodeId(0), NodeId(1), 1_000, &mut r);
+        assert_eq!(v1, Verdict::DeliverAt(SimTime::from_millis(1)));
+        assert_eq!(v2, Verdict::DeliverAt(SimTime::from_millis(2)));
+        // Opposite direction has its own queue.
+        let v3 = net.submit(SimTime::ZERO, NodeId(1), NodeId(0), 1_000, &mut r);
+        assert_eq!(v3, Verdict::DeliverAt(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn lossy_link_eventually_drops() {
+        let mut spec = LinkSpec::ideal();
+        spec.loss = 0.5;
+        let mut net = Network::new(spec);
+        let mut r = rng();
+        let drops = (0..200)
+            .filter(|_| {
+                matches!(
+                    net.submit(SimTime::ZERO, NodeId(0), NodeId(1), 1, &mut r),
+                    Verdict::Dropped(DropReason::Loss)
+                )
+            })
+            .count();
+        assert!(drops > 50 && drops < 150, "drops={drops}");
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_and_heals() {
+        let mut net = Network::new(LinkSpec::ideal());
+        let a: HashSet<_> = [NodeId(0), NodeId(1)].into();
+        let b: HashSet<_> = [NodeId(2)].into();
+        net.partition(vec![a, b]);
+        assert!(net.is_partitioned(NodeId(0), NodeId(2)));
+        assert!(!net.is_partitioned(NodeId(0), NodeId(1)));
+        // Listed vs unlisted node: treated as separated.
+        assert!(net.is_partitioned(NodeId(0), NodeId(9)));
+        let v = net.submit(SimTime::ZERO, NodeId(0), NodeId(2), 1, &mut rng());
+        assert_eq!(v, Verdict::Dropped(DropReason::Partitioned));
+        net.heal();
+        assert!(!net.is_partitioned(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn disconnected_node_sends_and_receives_nothing() {
+        let mut net = Network::new(LinkSpec::ideal());
+        net.set_connectivity(NodeId(0), Connectivity::Disconnected);
+        let mut r = rng();
+        assert_eq!(
+            net.submit(SimTime::ZERO, NodeId(0), NodeId(1), 1, &mut r),
+            Verdict::Dropped(DropReason::Disconnected)
+        );
+        assert_eq!(
+            net.submit(SimTime::ZERO, NodeId(1), NodeId(0), 1, &mut r),
+            Verdict::Dropped(DropReason::Disconnected)
+        );
+    }
+
+    #[test]
+    fn partial_connectivity_degrades_the_link() {
+        let mut net = Network::new(LinkSpec::ideal());
+        net.set_connectivity(NodeId(0), Connectivity::Partial);
+        let spec = net.link(NodeId(0), NodeId(1));
+        assert_eq!(spec.latency, LinkSpec::radio().latency);
+        assert_eq!(spec.bytes_per_sec, LinkSpec::radio().bytes_per_sec);
+        net.set_connectivity(NodeId(0), Connectivity::Full);
+        assert_eq!(net.link(NodeId(0), NodeId(1)), LinkSpec::ideal());
+    }
+
+    #[test]
+    fn per_pair_override_wins_over_default() {
+        let mut net = Network::new(LinkSpec::ideal());
+        let wan = LinkSpec::wan(SimDuration::from_millis(50));
+        net.set_link(NodeId(0), NodeId(1), wan);
+        assert_eq!(net.link(NodeId(0), NodeId(1)).latency, wan.latency);
+        assert_eq!(net.link(NodeId(1), NodeId(0)).latency, wan.latency);
+        assert_eq!(net.link(NodeId(0), NodeId(2)), LinkSpec::ideal());
+    }
+
+    #[test]
+    fn self_send_is_immediate() {
+        let mut spec = LinkSpec::ideal();
+        spec.latency = SimDuration::from_millis(50);
+        let mut net = Network::new(spec);
+        let v = net.submit(SimTime::from_millis(3), NodeId(4), NodeId(4), 10, &mut rng());
+        assert_eq!(v, Verdict::DeliverAt(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn transmit_time_math() {
+        let mut spec = LinkSpec::ideal();
+        spec.bytes_per_sec = Some(2_000_000);
+        assert_eq!(spec.transmit_time(2_000_000), SimDuration::from_secs(1));
+        assert_eq!(spec.transmit_time(0), SimDuration::ZERO);
+        assert_eq!(LinkSpec::ideal().transmit_time(1 << 30), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,592 @@
+//! The discrete-event engine.
+//!
+//! A [`Sim`] owns a set of actors (one per [`NodeId`]), a [`Network`], a
+//! deterministic RNG, a [`MetricsRegistry`] and a [`Trace`]. Events are
+//! processed in `(time, sequence)` order, so two runs with identical
+//! configuration and seed produce identical traces.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::actor::{Actor, Ctx, Effect, TimerId};
+use crate::metrics::MetricsRegistry;
+use crate::net::{Network, NodeId, Verdict};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Object-safe wrapper adding downcasting to [`Actor`].
+trait ActorObj<M>: Actor<M> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Actor<M> + Any> ActorObj<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+enum EventKind<M> {
+    Start(NodeId),
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
+    NetChange(Box<dyn FnOnce(&mut Network)>),
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct ActorSlot<M> {
+    actor: Option<Box<dyn ActorObj<M>>>,
+    rng: DetRng,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// # Examples
+///
+/// ```
+/// use odp_sim::prelude::*;
+///
+/// struct Pinger { peer: NodeId }
+/// struct Ponger;
+///
+/// impl Actor<&'static str> for Pinger {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+///         ctx.send(self.peer, "ping");
+///     }
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, &'static str>, _from: NodeId, _msg: &'static str) {
+///         ctx.trace("pong.received", "");
+///     }
+/// }
+/// impl Actor<&'static str> for Ponger {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, &'static str>, from: NodeId, _msg: &'static str) {
+///         ctx.send(from, "pong");
+///     }
+/// }
+///
+/// let mut sim = Sim::new(42);
+/// sim.add_actor(NodeId(0), Pinger { peer: NodeId(1) });
+/// sim.add_actor(NodeId(1), Ponger);
+/// sim.run();
+/// assert_eq!(sim.trace().with_label("pong.received").count(), 1);
+/// ```
+pub struct Sim<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    actors: HashMap<NodeId, ActorSlot<M>>,
+    net: Network,
+    rng: DetRng,
+    metrics: MetricsRegistry,
+    trace: Trace,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    default_msg_bytes: usize,
+    events_processed: u64,
+    max_events: u64,
+}
+
+impl<M: 'static> Sim<M> {
+    /// Creates a simulation with the default (LAN) network and the given
+    /// seed.
+    pub fn new(seed: u64) -> Self {
+        Sim::with_network(seed, Network::default())
+    }
+
+    /// Creates a simulation over a specific network model.
+    pub fn with_network(seed: u64, net: Network) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: HashMap::new(),
+            net,
+            rng: DetRng::seed_from(seed),
+            metrics: MetricsRegistry::new(),
+            trace: Trace::new(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            default_msg_bytes: 256,
+            events_processed: 0,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Registers an actor on node `id`, scheduling its
+    /// [`Actor::on_start`] at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an actor is already registered on `id`.
+    pub fn add_actor(&mut self, id: NodeId, actor: impl Actor<M> + Any) {
+        assert!(
+            !self.actors.contains_key(&id),
+            "actor already registered on {id}"
+        );
+        let rng = self.rng.fork();
+        self.actors.insert(
+            id,
+            ActorSlot {
+                actor: Some(Box::new(actor)),
+                rng,
+            },
+        );
+        self.push(self.now, EventKind::Start(id));
+    }
+
+    /// Mutable access to the network model (topology setup before a run).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Read access to the network model.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Schedules a mutation of the network at time `at` (degradation,
+    /// partition, connectivity change).
+    pub fn schedule_net_change(
+        &mut self,
+        at: SimTime,
+        change: impl FnOnce(&mut Network) + 'static,
+    ) {
+        assert!(at >= self.now, "cannot schedule a change in the past");
+        self.push(at, EventKind::NetChange(Box::new(change)));
+    }
+
+    /// Injects an external stimulus: delivers `msg` to `to` at `at`
+    /// (bypassing the network), attributed to `from`. Workload generators
+    /// use this to script user behaviour.
+    pub fn inject(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        assert!(at >= self.now, "cannot inject in the past");
+        self.push(at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Sets the wire size assumed for [`Ctx::send`] (default 256 bytes).
+    pub fn set_default_msg_bytes(&mut self, bytes: usize) {
+        self.default_msg_bytes = bytes;
+    }
+
+    /// Caps the number of processed events, as a runaway-protocol guard.
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run's metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the run's metrics (for summaries, which sort).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The run's trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace (e.g. to disable it for big runs).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Borrows the actor on `id` downcast to its concrete type, for
+    /// post-run inspection.
+    pub fn actor<A: Actor<M> + Any>(&self, id: NodeId) -> Option<&A> {
+        self.actors
+            .get(&id)?
+            .actor
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<A>()
+    }
+
+    /// Mutable variant of [`Sim::actor`].
+    pub fn actor_mut<A: Actor<M> + Any>(&mut self, id: NodeId) -> Option<&mut A> {
+        self.actors
+            .get_mut(&id)?
+            .actor
+            .as_mut()?
+            .as_any_mut()
+            .downcast_mut::<A>()
+    }
+
+    /// Node ids with registered actors, in ascending order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<_> = self.actors.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Processes the next event. Returns false when the queue is empty or
+    /// the event cap is reached.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        if self.events_processed >= self.max_events {
+            return false;
+        }
+        self.events_processed += 1;
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Start(node) => self.dispatch(node, Dispatch::Start),
+            EventKind::Deliver { from, to, msg } => {
+                self.metrics.incr("sim.delivered");
+                self.dispatch(to, Dispatch::Message { from, msg });
+            }
+            EventKind::Timer { node, id, tag } => {
+                if !self.cancelled.remove(&id.0) {
+                    self.dispatch(node, Dispatch::Timer { id, tag });
+                }
+            }
+            EventKind::NetChange(f) => f(&mut self.net),
+        }
+        true
+    }
+
+    fn dispatch(&mut self, node: NodeId, what: Dispatch<M>) {
+        let Some(slot) = self.actors.get_mut(&node) else {
+            self.metrics.incr("sim.no_actor");
+            return;
+        };
+        let Some(mut actor) = slot.actor.take() else {
+            self.metrics.incr("sim.reentrant_dispatch");
+            return;
+        };
+        let mut rng = slot.rng.clone();
+        let mut effects: Vec<Effect<M>> = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                id: node,
+                rng: &mut rng,
+                effects: &mut effects,
+                metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                next_timer: &mut self.next_timer,
+                default_msg_bytes: self.default_msg_bytes,
+            };
+            match what {
+                Dispatch::Start => actor.on_start(&mut ctx),
+                Dispatch::Message { from, msg } => actor.on_message(&mut ctx, from, msg),
+                Dispatch::Timer { id, tag } => actor.on_timer(&mut ctx, id, tag),
+            }
+        }
+        let slot = self.actors.get_mut(&node).expect("slot exists");
+        slot.actor = Some(actor);
+        slot.rng = rng;
+        self.apply_effects(node, effects);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<M>>) {
+        for eff in effects {
+            match eff {
+                Effect::Send { to, msg, bytes } => {
+                    self.metrics.incr("sim.sent");
+                    self.metrics.add("sim.sent_bytes", bytes as u64);
+                    match self.net.submit(self.now, node, to, bytes, &mut self.rng) {
+                        Verdict::DeliverAt(at) => {
+                            self.push(at, EventKind::Deliver { from: node, to, msg });
+                        }
+                        Verdict::Dropped(reason) => {
+                            self.metrics.incr(&format!("sim.dropped.{reason:?}"));
+                        }
+                    }
+                }
+                Effect::SetTimer { id, at, tag } => {
+                    self.push(at, EventKind::Timer { node, id, tag });
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id.0);
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue is exhausted (or the event cap trips).
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs while the next event is at or before `deadline`; afterwards
+    /// the clock reads `deadline` if it would otherwise lag behind.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+}
+
+enum Dispatch<M> {
+    Start,
+    Message { from: NodeId, msg: M },
+    Timer { id: TimerId, tag: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LinkSpec;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Client {
+        server: NodeId,
+        received: Vec<u32>,
+        timer_fired: u32,
+        cancelled_timer: Option<TimerId>,
+    }
+
+    impl Client {
+        fn new(server: NodeId) -> Self {
+            Client {
+                server,
+                received: Vec::new(),
+                timer_fired: 0,
+                cancelled_timer: None,
+            }
+        }
+    }
+
+    impl Actor<Msg> for Client {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.send(self.server, Msg::Ping(1));
+            let keep = ctx.set_timer(SimDuration::from_millis(10), 7);
+            let _ = keep;
+            let cancel_me = ctx.set_timer(SimDuration::from_millis(5), 9);
+            ctx.cancel_timer(cancel_me);
+            self.cancelled_timer = Some(cancel_me);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Pong(n) = msg {
+                self.received.push(n);
+                ctx.trace("pong", n.to_string());
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _timer: TimerId, tag: u64) {
+            assert_eq!(tag, 7, "cancelled timer must not fire");
+            self.timer_fired += 1;
+        }
+    }
+
+    struct Server;
+    impl Actor<Msg> for Server {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(n) = msg {
+                ctx.send(from, Msg::Pong(n));
+            }
+        }
+    }
+
+    fn build(seed: u64) -> Sim<Msg> {
+        let mut net = Network::new(LinkSpec::lan());
+        net.set_default_link(LinkSpec::lan());
+        let mut sim = Sim::with_network(seed, net);
+        sim.add_actor(NodeId(0), Client::new(NodeId(1)));
+        sim.add_actor(NodeId(1), Server);
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = build(1);
+        sim.run();
+        let client: &Client = sim.actor(NodeId(0)).unwrap();
+        assert_eq!(client.received, vec![1]);
+        assert_eq!(client.timer_fired, 1);
+        assert_eq!(sim.metrics().counter("sim.sent"), 2);
+        assert_eq!(sim.metrics().counter("sim.delivered"), 2);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        let mut a = build(99);
+        let mut b = build(99);
+        a.run();
+        b.run();
+        assert_eq!(a.trace().events(), b.trace().events());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn different_seeds_may_differ_in_timing_but_not_logic() {
+        let mut a = build(1);
+        let mut b = build(2);
+        a.run();
+        b.run();
+        let ca: &Client = a.actor(NodeId(0)).unwrap();
+        let cb: &Client = b.actor(NodeId(0)).unwrap();
+        assert_eq!(ca.received, cb.received);
+    }
+
+    #[test]
+    fn run_until_stops_the_clock_at_the_deadline() {
+        let mut sim = build(5);
+        sim.run_until(SimTime::from_micros(1));
+        // The 10ms timer has not fired yet.
+        let client: &Client = sim.actor(NodeId(0)).unwrap();
+        assert_eq!(client.timer_fired, 0);
+        sim.run_for(SimDuration::from_millis(20));
+        let client: &Client = sim.actor(NodeId(0)).unwrap();
+        assert_eq!(client.timer_fired, 1);
+        assert_eq!(sim.now(), SimTime::from_micros(1) + SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn send_to_unregistered_node_is_counted_not_fatal() {
+        struct Lost;
+        impl Actor<Msg> for Lost {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.send(NodeId(42), Msg::Ping(0));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {}
+        }
+        let mut sim: Sim<Msg> = Sim::new(3);
+        sim.add_actor(NodeId(0), Lost);
+        sim.run();
+        assert_eq!(sim.metrics().counter("sim.no_actor"), 1);
+    }
+
+    #[test]
+    fn scheduled_net_change_takes_effect() {
+        struct Spammer {
+            peer: NodeId,
+        }
+        impl Actor<Msg> for Spammer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _: TimerId, _: u64) {
+                ctx.send(self.peer, Msg::Ping(0));
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        struct Sink {
+            got: u32,
+        }
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {
+                self.got += 1;
+            }
+        }
+        let mut net = Network::new(LinkSpec::ideal());
+        let mut sim = Sim::with_network(7, net.clone());
+        sim.add_actor(NodeId(0), Spammer { peer: NodeId(1) });
+        sim.add_actor(NodeId(1), Sink { got: 0 });
+        // Disconnect the sink from t=5ms.
+        sim.schedule_net_change(SimTime::from_millis(5), |n| {
+            n.set_connectivity(NodeId(1), crate::net::Connectivity::Disconnected);
+        });
+        sim.run_until(SimTime::from_millis(10));
+        let sink: &Sink = sim.actor(NodeId(1)).unwrap();
+        assert!(sink.got >= 4 && sink.got <= 5, "got={}", sink.got);
+        assert!(sim.metrics().counter("sim.dropped.Disconnected") >= 4);
+        net.heal(); // silence unused-mut lint on the clone
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_actor_registration_panics() {
+        let mut sim: Sim<Msg> = Sim::new(0);
+        sim.add_actor(NodeId(0), Server);
+        sim.add_actor(NodeId(0), Server);
+    }
+
+    #[test]
+    fn inject_delivers_external_stimuli() {
+        let mut sim: Sim<Msg> = Sim::new(0);
+        sim.add_actor(NodeId(1), Server);
+        sim.add_actor(NodeId(0), Client::new(NodeId(1)));
+        sim.inject(SimTime::from_millis(50), NodeId(9), NodeId(1), Msg::Ping(5));
+        sim.run();
+        // Server answered the injected ping to node 9 (unregistered).
+        assert_eq!(sim.metrics().counter("sim.no_actor"), 1);
+    }
+
+    #[test]
+    fn event_cap_stops_runaway_protocols() {
+        struct LoopBack;
+        impl Actor<Msg> for LoopBack {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _: TimerId, _: u64) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+        }
+        let mut sim: Sim<Msg> = Sim::new(0);
+        sim.set_max_events(1_000);
+        sim.add_actor(NodeId(0), LoopBack);
+        sim.run();
+        assert!(sim.events_processed() <= 1_000);
+    }
+}

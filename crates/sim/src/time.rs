@@ -1,0 +1,301 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! Simulated time is measured in integer **microseconds** from the start of
+//! the run. Using integers keeps the simulator deterministic (no floating
+//! point drift) and makes event ordering total.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant in simulated time, in microseconds since the simulation epoch.
+///
+/// # Examples
+///
+/// ```
+/// use odp_sim::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use odp_sim::time::SimDuration;
+///
+/// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros(), 2_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `micros` microseconds after the epoch.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Returns the number of microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the number of whole milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the time since the epoch as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns `self + d`, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The longest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Returns the length of this duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the length of this duration in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the length as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns `self - other`, saturating at zero.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a dimensionless factor, rounding to the
+    /// nearest microsecond and saturating on overflow.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "duration factor must be non-negative");
+        let scaled = (self.0 as f64 * factor).round();
+        if scaled >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(scaled as u64)
+        }
+    }
+
+    /// Returns true if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us >= 1_000_000 && us.is_multiple_of(1_000_000) {
+            write!(f, "{}s", us / 1_000_000)
+        } else if us >= 1_000 && us.is_multiple_of(1_000) {
+            write!(f, "{}ms", us / 1_000)
+        } else {
+            write!(f, "{}us", us)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_millis(10);
+        let d = SimDuration::from_micros(250);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_micros(1_500_000).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn saturating_ops_do_not_panic() {
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::from_micros(1).saturating_sub(SimDuration::from_micros(5)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_saturates() {
+        assert_eq!(
+            SimDuration::from_micros(100).mul_f64(1.5),
+            SimDuration::from_micros(150)
+        );
+        assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
+        assert_eq!(SimDuration::from_micros(3).mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_uses_natural_units() {
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2s");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5ms");
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+        assert_eq!(SimTime::from_millis(5).to_string(), "t+5ms");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_millis(3),
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_micros(10),
+                SimTime::from_millis(3)
+            ]
+        );
+    }
+}

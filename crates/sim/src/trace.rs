@@ -1,0 +1,209 @@
+//! A structured trace of interesting events in a run.
+//!
+//! Experiments use the trace to measure *notification time* and other
+//! cross-actor properties that no single actor can observe locally: an
+//! actor records a labelled event, and the harness correlates records
+//! afterwards.
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::NodeId;
+use crate::time::SimTime;
+
+/// One labelled, timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which node recorded it.
+    pub node: NodeId,
+    /// A stable, machine-matchable label (e.g. `"op.applied"`).
+    pub label: String,
+    /// Free-form payload (e.g. an operation id) used for correlation.
+    pub data: String,
+}
+
+/// An append-only event log for one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use odp_sim::trace::Trace;
+/// use odp_sim::net::NodeId;
+/// use odp_sim::time::SimTime;
+///
+/// let mut t = Trace::new();
+/// t.record(SimTime::ZERO, NodeId(0), "op.issued", "op-1");
+/// t.record(SimTime::from_millis(3), NodeId(1), "op.applied", "op-1");
+/// assert_eq!(t.with_label("op.applied").count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Disables recording (records become no-ops); useful for large
+    /// benchmark runs where only metrics matter.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Re-enables recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        node: NodeId,
+        label: impl Into<String>,
+        data: impl Into<String>,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                time,
+                node,
+                label: label.into(),
+                data: data.into(),
+            });
+        }
+    }
+
+    /// All records in time order (records are appended in event order,
+    /// which the engine guarantees is non-decreasing in time).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates records with the given label.
+    pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.label == label)
+    }
+
+    /// Iterates records with the given label *and* data payload.
+    pub fn matching<'a>(
+        &'a self,
+        label: &'a str,
+        data: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.label == label && e.data == data)
+    }
+
+    /// The first record with this label, if any.
+    pub fn first(&self, label: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.label == label)
+    }
+
+    /// The last record with this label, if any.
+    pub fn last(&self, label: &str) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| e.label == label)
+    }
+
+    /// For every record labelled `cause` with payload `d`, finds the first
+    /// subsequent record labelled `effect` with the same payload and yields
+    /// the pair. This is the primitive behind notification-time
+    /// measurements: cause = "op issued", effect = "op seen by peer".
+    pub fn cause_effect_pairs<'a>(
+        &'a self,
+        cause: &'a str,
+        effect: &'a str,
+    ) -> Vec<(&'a TraceEvent, &'a TraceEvent)> {
+        let mut pairs = Vec::new();
+        for (i, c) in self.events.iter().enumerate() {
+            if c.label != cause {
+                continue;
+            }
+            if let Some(e) = self.events[i + 1..]
+                .iter()
+                .find(|e| e.label == effect && e.data == c.data)
+            {
+                pairs.push((c, e));
+            }
+        }
+        pairs
+    }
+
+    /// Clears all records.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut tr = Trace::new();
+        tr.record(t(0), NodeId(0), "a", "x");
+        tr.record(t(1), NodeId(1), "b", "x");
+        tr.record(t(2), NodeId(1), "a", "y");
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.with_label("a").count(), 2);
+        assert_eq!(tr.matching("a", "y").count(), 1);
+        assert_eq!(tr.first("a").unwrap().data, "x");
+        assert_eq!(tr.last("a").unwrap().data, "y");
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new();
+        tr.disable();
+        tr.record(t(0), NodeId(0), "a", "x");
+        assert!(tr.is_empty());
+        tr.enable();
+        tr.record(t(1), NodeId(0), "a", "x");
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn cause_effect_pairs_match_payloads_in_order() {
+        let mut tr = Trace::new();
+        tr.record(t(0), NodeId(0), "issued", "op1");
+        tr.record(t(5), NodeId(1), "seen", "op1");
+        tr.record(t(6), NodeId(2), "seen", "op1"); // later duplicate ignored
+        tr.record(t(7), NodeId(0), "issued", "op2");
+        tr.record(t(9), NodeId(1), "seen", "op2");
+        let pairs = tr.cause_effect_pairs("issued", "seen");
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].1.time - pairs[0].0.time, SimDuration::from_millis(5));
+        assert_eq!(pairs[1].1.time - pairs[1].0.time, SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn cause_without_effect_is_skipped() {
+        let mut tr = Trace::new();
+        tr.record(t(0), NodeId(0), "issued", "op1");
+        assert!(tr.cause_effect_pairs("issued", "seen").is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for QoS negotiation and media playout.
+
+use odp_sim::net::Connectivity;
+use odp_sim::time::{SimDuration, SimTime};
+use odp_streams::media::{Frame, FrameFate, MediaKind, MediaSink, StreamId};
+use odp_streams::qos::{negotiate, NegotiationOutcome, QosSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = QosSpec> {
+    (1u32..120, 1u64..2_000, 0u64..500, 0.0f64..0.5).prop_map(|(fps, lat, jit, loss)| QosSpec {
+        throughput_fps: fps,
+        latency_bound: SimDuration::from_millis(lat),
+        jitter_bound: SimDuration::from_millis(jit),
+        loss_bound: loss,
+        min_connectivity: Connectivity::Full,
+    })
+}
+
+proptest! {
+    /// `satisfies` is reflexive and transitive.
+    #[test]
+    fn satisfies_is_a_preorder(a in arb_spec(), b in arb_spec(), c in arb_spec()) {
+        prop_assert!(a.satisfies(&a));
+        if a.satisfies(&b) && b.satisfies(&c) {
+            prop_assert!(a.satisfies(&c));
+        }
+    }
+
+    /// Negotiation soundness: an agreed contract is always satisfiable by
+    /// the offer and never stronger than the requirement.
+    #[test]
+    fn negotiation_is_sound(offer in arb_spec(), required in arb_spec()) {
+        match negotiate(&offer, &required) {
+            NegotiationOutcome::Agreed(spec) => {
+                prop_assert!(offer.satisfies(&spec), "offer must meet what it agreed to");
+                prop_assert!(required.satisfies(&spec) || spec == required,
+                    "agreement never promises more than asked");
+            }
+            NegotiationOutcome::BestEffortOnly(best) => {
+                prop_assert_eq!(best, offer);
+            }
+        }
+    }
+
+    /// Degradation is monotone: every rung of the ladder is weaker.
+    #[test]
+    fn degradation_is_monotone(spec in arb_spec()) {
+        let mut current = spec;
+        let mut steps = 0;
+        while let Some(next) = current.degraded() {
+            prop_assert!(current.satisfies(&next), "each rung is weaker");
+            prop_assert!(next.throughput_fps <= current.throughput_fps);
+            current = next;
+            steps += 1;
+            prop_assert!(steps < 64, "ladder terminates");
+        }
+        prop_assert_eq!(current.throughput_fps, 1);
+    }
+
+    /// Playout accounting: played + late + lost equals the frames whose
+    /// slots were resolved, and integrity is their played fraction.
+    #[test]
+    fn sink_accounting_is_complete(
+        deliveries in prop::collection::vec((0u64..30, 0u64..400), 1..40),
+    ) {
+        let mut sink = MediaSink::new(StreamId(0), SimDuration::from_millis(100));
+        let mut sorted = deliveries.clone();
+        sorted.sort_by_key(|&(seq, extra)| seq * 40 + 10 + extra);
+        let mut seen = std::collections::BTreeSet::new();
+        for (seq, extra_delay) in sorted {
+            if !seen.insert(seq) {
+                continue; // each frame arrives once
+            }
+            let captured = SimTime::from_millis(seq * 40);
+            let arrival = captured + SimDuration::from_millis(10 + extra_delay);
+            sink.arrive(
+                Frame {
+                    stream: StreamId(0),
+                    seq,
+                    kind: MediaKind::Video,
+                    captured,
+                    bytes: 100,
+                },
+                arrival,
+            );
+            sink.play_until(arrival);
+        }
+        sink.play_until(SimTime::from_secs(3600));
+        let (played, late, lost) = sink.tallies();
+        let resolved = sink.records().len() as u64;
+        prop_assert_eq!(played + late + lost, resolved);
+        let integrity = sink.integrity();
+        prop_assert!((0.0..=1.0).contains(&integrity));
+        if lost == 0 && late == 0 && played > 0 {
+            prop_assert_eq!(integrity, 1.0);
+        }
+        // Frames delivered within the playout budget are never Late.
+        for r in sink.records() {
+            if let (FrameFate::Late, Some(d)) = (r.fate, r.delay) {
+                prop_assert!(d > SimDuration::from_millis(100),
+                    "late frame {} had delay {d}", r.seq);
+            }
+        }
+    }
+}

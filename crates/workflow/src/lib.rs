@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # odp-workflow — coordination models and the prescriptiveness question
+//!
+//! The paper's §3.2.1 surveys workflow systems — speech-act based
+//! (Coordinator, Action Workflow), office procedures (Domino), and
+//! informal structured sharing (Object Lens) — and its §4.1 warns that
+//! *overly prescriptive* models fail in practice ("the world's first
+//! fascist computer system"). This crate makes the warning measurable:
+//!
+//! - [`speechact`] — the conversation-for-action state machine;
+//! - [`models`] — three [`models::CoordinationModel`]s (speech-act,
+//!   office-procedure, free-form) that run the same task script and
+//!   report forced explicit acts and rejected deviations (experiment
+//!   E11);
+//! - [`routes`] — Domino-style routed procedures with conditional
+//!   outcomes and rework loops.
+//!
+//! ```
+//! use odp_workflow::speechact::{Conversation, Party, SpeechAct};
+//!
+//! let mut c = Conversation::new(Party(0), Party(1));
+//! c.act(Party(0), SpeechAct::Request)?;
+//! assert!(c.act(Party(0), SpeechAct::Promise).is_err(), "only the performer promises");
+//! # Ok::<(), odp_workflow::speechact::Rejected>(())
+//! ```
+
+pub mod models;
+pub mod routes;
+pub mod speechact;
+
+pub use models::{
+    CoordinationModel, FreeFormModel, PrescriptivenessStats, ProcedureModel, ProcedureStep,
+    SpeechActModel, WorkAction, WorkItem,
+};
+pub use routes::{Next, RouteError, RouteStep, RoutedProcedure, StepId, TrailEntry};
+pub use speechact::{Conversation, ConversationState, Party, Rejected, SpeechAct};

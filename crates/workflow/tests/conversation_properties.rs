@@ -1,0 +1,103 @@
+//! Property tests for the conversation-for-action state machine.
+
+use odp_workflow::speechact::{Conversation, ConversationState, Party, SpeechAct};
+use proptest::prelude::*;
+
+const ALL_ACTS: [SpeechAct; 9] = [
+    SpeechAct::Request,
+    SpeechAct::Promise,
+    SpeechAct::CounterOffer,
+    SpeechAct::AcceptCounter,
+    SpeechAct::Decline,
+    SpeechAct::Withdraw,
+    SpeechAct::ReportCompletion,
+    SpeechAct::DeclareComplete,
+    SpeechAct::DeclineReport,
+];
+
+fn arb_move() -> impl Strategy<Value = (u32, usize)> {
+    (0u32..3, 0usize..ALL_ACTS.len())
+}
+
+proptest! {
+    /// Safety: no sequence of (possibly illegal) moves can corrupt the
+    /// machine — closed conversations stay closed, the transcript only
+    /// ever grows by accepted moves, and rejected moves leave the state
+    /// untouched.
+    #[test]
+    fn random_moves_never_corrupt_the_machine(moves in prop::collection::vec(arb_move(), 0..60)) {
+        let customer = Party(0);
+        let performer = Party(1);
+        let mut convo = Conversation::new(customer, performer);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for (who, act_idx) in moves {
+            let before = convo.state();
+            let act = ALL_ACTS[act_idx];
+            match convo.act(Party(who), act) {
+                Ok(after) => {
+                    accepted += 1;
+                    prop_assert_ne!(before, ConversationState::Completed, "completed is final");
+                    prop_assert_ne!(before, ConversationState::Cancelled, "cancelled is final");
+                    prop_assert_eq!(convo.state(), after);
+                }
+                Err(rej) => {
+                    rejected += 1;
+                    prop_assert_eq!(convo.state(), before, "rejection must not change state");
+                    prop_assert_eq!(rej.state, before);
+                }
+            }
+        }
+        prop_assert_eq!(convo.acts_taken(), accepted);
+        prop_assert_eq!(convo.rejections(), rejected);
+    }
+
+    /// Liveness: whatever mess the random prefix leaves, an open
+    /// conversation can always be driven to a terminal state by the
+    /// right parties.
+    #[test]
+    fn open_conversations_can_always_close(moves in prop::collection::vec(arb_move(), 0..40)) {
+        let customer = Party(0);
+        let performer = Party(1);
+        let mut convo = Conversation::new(customer, performer);
+        for (who, act_idx) in moves {
+            let _ = convo.act(Party(who), ALL_ACTS[act_idx]);
+        }
+        // Drive to completion from any live state.
+        loop {
+            match convo.state() {
+                ConversationState::Completed | ConversationState::Cancelled => break,
+                ConversationState::Initial => {
+                    convo.act(customer, SpeechAct::Request).expect("legal");
+                }
+                ConversationState::Requested => {
+                    convo.act(performer, SpeechAct::Promise).expect("legal");
+                }
+                ConversationState::Countered => {
+                    convo.act(customer, SpeechAct::AcceptCounter).expect("legal");
+                }
+                ConversationState::Promised => {
+                    convo.act(performer, SpeechAct::ReportCompletion).expect("legal");
+                }
+                ConversationState::Reported => {
+                    convo.act(customer, SpeechAct::DeclareComplete).expect("legal");
+                }
+            }
+        }
+    }
+
+    /// The happy path costs exactly four explicit acts regardless of the
+    /// party identities chosen.
+    #[test]
+    fn happy_path_cost_is_constant(c in 0u32..50, p in 51u32..100) {
+        let customer = Party(c);
+        let performer = Party(p);
+        let mut convo = Conversation::new(customer, performer);
+        convo.act(customer, SpeechAct::Request).expect("legal");
+        convo.act(performer, SpeechAct::Promise).expect("legal");
+        convo.act(performer, SpeechAct::ReportCompletion).expect("legal");
+        convo.act(customer, SpeechAct::DeclareComplete).expect("legal");
+        prop_assert_eq!(convo.state(), ConversationState::Completed);
+        prop_assert_eq!(convo.acts_taken(), 4);
+    }
+}

@@ -1,0 +1,79 @@
+//! A media space with spatial awareness (paper §3.3.2): RAVE-style
+//! office connections governed by acceptance policies, Portholes-style
+//! asynchronous snapshots, and the DIVE focus/nimbus spatial model
+//! weighting who is aware of whom.
+//!
+//! Run with: `cargo run --example media_space`
+
+use cscw::awareness::mediaspace::{Acceptance, ConnectOutcome, ConnectionType, MediaSpace};
+use cscw::awareness::portholes::Portholes;
+use cscw::awareness::spatial::{Position, SpatialBody, SpatialModel};
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+
+fn main() {
+    println!("EuroPARC-style media space");
+    println!("==========================\n");
+
+    // ---- Connection policies ------------------------------------------
+    let mut ms = MediaSpace::new();
+    // Gordon leaves glances auto-accepted but office-shares must ask.
+    ms.set_policy(NodeId(1), ConnectionType::Glance, Acceptance::Auto);
+    ms.set_policy(NodeId(1), ConnectionType::OfficeShare, Acceptance::Ask);
+    ms.set_policy(NodeId(1), ConnectionType::VPhone, Acceptance::Refuse);
+
+    println!("Tom glances into Gordon's office:");
+    match ms.connect(NodeId(0), NodeId(1), ConnectionType::Glance, SimTime::ZERO) {
+        ConnectOutcome::Connected(id) => println!("  connected immediately ({id:?}) — policy is Auto"),
+        other => unreachable!("glance is auto: {other:?}"),
+    }
+    println!("Tom tries a vphone call:");
+    match ms.connect(NodeId(0), NodeId(1), ConnectionType::VPhone, SimTime::ZERO) {
+        ConnectOutcome::Refused => println!("  refused by policy — privacy by social protocol"),
+        other => unreachable!("vphone is refused: {other:?}"),
+    }
+    println!("Tom requests an office-share:");
+    match ms.connect(NodeId(0), NodeId(1), ConnectionType::OfficeShare, SimTime::ZERO) {
+        ConnectOutcome::Pending(id) => {
+            println!("  pending — Gordon is asked first...");
+            let answered = ms
+                .answer(NodeId(1), id, true, SimTime::from_secs(5))
+                .expect("gordon is the callee");
+            println!("  Gordon accepts: {answered:?}");
+        }
+        other => unreachable!("office-share asks: {other:?}"),
+    }
+    println!("Who can currently see Tom: {:?}\n", ms.who_sees(NodeId(0)));
+
+    // ---- Portholes ------------------------------------------------------
+    let mut portholes = Portholes::new(SimDuration::from_secs(300));
+    portholes.subscribe(NodeId(0), NodeId(1));
+    portholes.subscribe(NodeId(0), NodeId(2));
+    portholes.capture(NodeId(1), "typing at workstation", SimTime::from_secs(10));
+    portholes.capture(NodeId(2), "away — coffee room", SimTime::from_secs(20));
+    println!("Tom's porthole wall at t=6min:");
+    for (snap, stale) in portholes.wall_for(NodeId(0), SimTime::from_secs(360)) {
+        println!(
+            "  {}: {} {}",
+            snap.who,
+            snap.activity,
+            if stale { "(stale)" } else { "(fresh)" }
+        );
+    }
+
+    // ---- The spatial model ---------------------------------------------
+    println!("\nShared virtual space (focus/nimbus):");
+    let mut space = SpatialModel::new();
+    space.place(NodeId(0), SpatialBody::symmetric(Position::new(0.0, 0.0), 500.0, 30.0));
+    space.place(NodeId(1), SpatialBody::symmetric(Position::new(10.0, 0.0), 500.0, 30.0));
+    space.place(NodeId(2), SpatialBody::symmetric(Position::new(200.0, 0.0), 500.0, 30.0));
+    for who in [NodeId(0), NodeId(2)] {
+        let aware = space.aware_of(who);
+        println!("  {who} is aware of: {aware:?}");
+    }
+    println!("\nNode 2 walks over to join the conversation...");
+    space.move_to(NodeId(2), Position::new(15.0, 5.0));
+    let aware = space.aware_of(NodeId(0));
+    println!("  {} is now aware of: {aware:?}", NodeId(0));
+    assert_eq!(aware.len(), 2, "movement changed the awareness relations");
+}

@@ -1,0 +1,40 @@
+//! Quickstart: a two-author cooperative editing session showing the
+//! central contrast of the paper — concurrency *transparency* (2PL
+//! transactions, Figure 2a) versus cooperation *awareness* (a
+//! transaction group, Figure 2b) — on the deterministic simulator.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cscw::core::experiments::schemes::{run_scheme, Scheme};
+
+fn main() {
+    println!("CSCW middleware for ODP — quickstart");
+    println!("====================================\n");
+    println!("Two authors edit one shared document for 60 simulated seconds");
+    println!("over a 10 ms network, under two concurrency-control regimes.\n");
+
+    for scheme in [Scheme::TwoPhase, Scheme::TxGroup] {
+        let sim = run_scheme(scheme, 4, 10, 42);
+        let blocked = sim.metrics().counter("cc.blocked");
+        let notices = sim.metrics().counter("cc.notices_sent")
+            + sim.metrics().counter("cc.group_notices");
+        let response = sim
+            .metrics()
+            .histogram("cc.response")
+            .map(|h| {
+                let mut h = h.clone();
+                h.summary()
+            })
+            .expect("workload ran");
+        println!("--- {} ---", scheme.label());
+        println!("  edits applied      : {}", sim.metrics().counter("cc.edits_applied"));
+        println!("  operations blocked : {blocked}");
+        println!("  awareness notices  : {notices}");
+        println!("  response time      : {response}");
+        println!();
+    }
+
+    println!("The transactional regime serialises the authors (walls between");
+    println!("users, zero awareness); the transaction group never blocks and");
+    println!("lets every edit flow to the other authors — the paper's point.");
+}

@@ -1,0 +1,93 @@
+//! The prescriptiveness ladder (paper §3.2.1 + §4.1): the same work item
+//! handled by a Coordinator-style conversation for action, a Domino-style
+//! routed office procedure with a rework loop, and informal free-form
+//! coordination — showing exactly what each model forces and forbids.
+//!
+//! Run with: `cargo run --example workflow_models`
+
+use cscw::workflow::models::{CoordinationModel, FreeFormModel, WorkAction, WorkItem};
+use cscw::workflow::routes::{Next, RouteStep, RoutedProcedure, StepId};
+use cscw::workflow::speechact::{Conversation, Party, SpeechAct};
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("Coordination models compared");
+    println!("============================\n");
+
+    // ---- Coordinator: a conversation for action ------------------------
+    println!("1. Speech-act conversation (Coordinator):");
+    let customer = Party(0);
+    let performer = Party(1);
+    let mut convo = Conversation::new(customer, performer);
+    convo.act(customer, SpeechAct::Request).expect("customer opens");
+    // The performer tries to just... do the work and declare it done.
+    match convo.act(performer, SpeechAct::DeclareComplete) {
+        Err(rej) => println!("   deviation rejected: {rej}"),
+        Ok(_) => unreachable!("the protocol forbids this"),
+    }
+    convo.act(performer, SpeechAct::CounterOffer).expect("performer negotiates");
+    convo.act(customer, SpeechAct::AcceptCounter).expect("customer agrees");
+    convo.act(performer, SpeechAct::ReportCompletion).expect("work reported");
+    convo.act(customer, SpeechAct::DeclareComplete).expect("customer satisfied");
+    println!(
+        "   completed after {} explicit speech acts ({} deviation rejected)\n",
+        convo.acts_taken(),
+        convo.rejections()
+    );
+
+    // ---- Domino: a routed procedure with a rework loop -----------------
+    println!("2. Routed office procedure (Domino):");
+    let steps = vec![
+        RouteStep {
+            id: StepId(0),
+            role: Party(1),
+            description: "prepare expense claim".into(),
+            routes: BTreeMap::from([("submitted".to_owned(), Next::Step(StepId(1)))]),
+        },
+        RouteStep {
+            id: StepId(1),
+            role: Party(2),
+            description: "manager approval".into(),
+            routes: BTreeMap::from([
+                ("approved".to_owned(), Next::Step(StepId(2))),
+                ("rejected".to_owned(), Next::Step(StepId(0))),
+            ]),
+        },
+        RouteStep {
+            id: StepId(2),
+            role: Party(3),
+            description: "finance files it".into(),
+            routes: BTreeMap::from([("filed".to_owned(), Next::Done)]),
+        },
+    ];
+    let mut claim = RoutedProcedure::new(steps, StepId(0)).expect("valid route");
+    claim.perform(Party(1), "submitted").expect("clerk submits");
+    claim.perform(Party(2), "rejected").expect("manager bounces it");
+    println!("   manager rejected; route loops back to {}", claim.current().expect("looped").description);
+    claim.perform(Party(1), "submitted").expect("resubmitted");
+    claim.perform(Party(2), "approved").expect("approved");
+    claim.perform(Party(3), "filed").expect("filed");
+    println!(
+        "   done; step 0 performed {} times; audit trail has {} entries\n",
+        claim.times_performed(StepId(0)),
+        claim.trail().len()
+    );
+
+    // ---- Free-form ------------------------------------------------------
+    println!("3. Free-form coordination (Object Lens spirit):");
+    let mut free = FreeFormModel::new((0..2).map(WorkItem));
+    // Anyone does anything, in any order — including helping a colleague.
+    free.attempt(Party(2), WorkAction::Finish(WorkItem(1))).expect("no rules");
+    free.attempt(Party(1), WorkAction::Finish(WorkItem(0))).expect("no rules");
+    let s = free.stats();
+    println!(
+        "   complete: {}; forced acts: {}; rejections: {}",
+        free.is_complete(),
+        s.forced_acts,
+        s.rejections
+    );
+    println!("\nThe ladder: free-form forces nothing; the procedure prescribes");
+    println!("order and roles; the speech-act model additionally makes every");
+    println!("coordination move an explicit, typed utterance — the paper's");
+    println!("warning about overly prescriptive models, in running code.");
+}

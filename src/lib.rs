@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # cscw — CSCW middleware for Open Distributed Processing
+//!
+//! Umbrella crate for the reproduction of Blair & Rodden, *"The Challenges
+//! of CSCW for Open Distributed Processing"* (1993). Re-exports every
+//! subsystem crate in the workspace under one roof; see the individual
+//! crates for details:
+//!
+//! - [`sim`] — deterministic discrete-event simulation substrate
+//! - [`groupcomm`] — group membership, ordered multicast, group RPC
+//! - [`concurrency`] — cooperation-aware concurrency control
+//! - [`awareness`] — awareness mechanisms (focus/nimbus, Portholes)
+//! - [`access`] — access control (matrix baselines, Shen–Dewan roles)
+//! - [`streams`] — continuous-media streams with QoS management
+//! - [`mobility`] — mobile hosts, disconnection, reintegration
+//! - [`mgmt`] — group-aware placement and migration
+//! - [`workflow`] — speech-act and office-procedure workflows
+//! - [`core`] — the groupware toolkit tying the substrates together
+//!
+//! ```
+//! use cscw::sim::prelude::*;
+//!
+//! let sim: Sim<()> = Sim::new(42);
+//! assert_eq!(sim.now(), SimTime::ZERO);
+//! ```
+
+pub use cscw_core as core;
+pub use odp_access as access;
+pub use odp_awareness as awareness;
+pub use odp_concurrency as concurrency;
+pub use odp_groupcomm as groupcomm;
+pub use odp_mgmt as mgmt;
+pub use odp_mobility as mobility;
+pub use odp_sim as sim;
+pub use odp_streams as streams;
+pub use odp_workflow as workflow;
