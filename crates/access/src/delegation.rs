@@ -61,7 +61,10 @@ impl fmt::Display for DelegationError {
             DelegationError::NotAHolder(s, o) => write!(f, "{s} holds no capability for {o}"),
             DelegationError::NoGrantRight(s) => write!(f, "{s} may not delegate (no grant right)"),
             DelegationError::Amplification { asked, held } => {
-                write!(f, "delegation would amplify rights: asked {asked}, held {held}")
+                write!(
+                    f,
+                    "delegation would amplify rights: asked {asked}, held {held}"
+                )
             }
             DelegationError::UnknownGrant(g) => write!(f, "unknown grant {}", g.0),
         }
@@ -145,7 +148,10 @@ impl DelegationRegistry {
             .ok_or(DelegationError::UnknownGrant(from))?
             .clone();
         if self.effectively_revoked(from) {
-            return Err(DelegationError::NotAHolder(parent.holder, parent.capability.object));
+            return Err(DelegationError::NotAHolder(
+                parent.holder,
+                parent.capability.object,
+            ));
         }
         if !parent.capability.rights.contains(Rights::GRANT) {
             return Err(DelegationError::NoGrantRight(parent.holder));
@@ -216,7 +222,10 @@ impl DelegationRegistry {
         let mut hops = Vec::new();
         let mut cursor = Some(id);
         while let Some(g) = cursor {
-            let grant = self.grants.get(&g).ok_or(DelegationError::UnknownGrant(g))?;
+            let grant = self
+                .grants
+                .get(&g)
+                .ok_or(DelegationError::UnknownGrant(g))?;
             if let Some(parent_id) = grant.parent {
                 let parent = self
                     .grants
@@ -254,10 +263,15 @@ mod tests {
     fn root_and_derived_grants_authorise() {
         let mut reg = DelegationRegistry::new();
         let root = reg.issue_root(Subject(0), DOC, Rights::ALL);
-        let child = reg.delegate(root, Subject(1), Rights::READ | Rights::WRITE).unwrap();
+        let child = reg
+            .delegate(root, Subject(1), Rights::READ | Rights::WRITE)
+            .unwrap();
         assert!(reg.authorised(Subject(0), DOC, Rights::DELETE));
         assert!(reg.authorised(Subject(1), DOC, Rights::WRITE));
-        assert!(!reg.authorised(Subject(1), DOC, Rights::DELETE), "attenuated");
+        assert!(
+            !reg.authorised(Subject(1), DOC, Rights::DELETE),
+            "attenuated"
+        );
         let chain = reg.chain(child).unwrap();
         assert_eq!(chain.len(), 1);
         assert_eq!(chain[0].from, Subject(0));
@@ -274,7 +288,9 @@ mod tests {
             DelegationError::NoGrantRight(Subject(1))
         );
         // With GRANT passed explicitly, re-delegation works.
-        let child2 = reg.delegate(root, Subject(1), Rights::READ | Rights::GRANT).unwrap();
+        let child2 = reg
+            .delegate(root, Subject(1), Rights::READ | Rights::GRANT)
+            .unwrap();
         assert!(reg.delegate(child2, Subject(2), Rights::READ).is_ok());
     }
 
@@ -292,12 +308,17 @@ mod tests {
     fn revocation_severs_the_subtree() {
         let mut reg = DelegationRegistry::new();
         let root = reg.issue_root(Subject(0), DOC, Rights::ALL);
-        let a = reg.delegate(root, Subject(1), Rights::READ | Rights::GRANT).unwrap();
+        let a = reg
+            .delegate(root, Subject(1), Rights::READ | Rights::GRANT)
+            .unwrap();
         let b = reg.delegate(a, Subject(2), Rights::READ).unwrap();
         assert!(reg.authorised(Subject(2), DOC, Rights::READ));
         reg.revoke(a).unwrap();
         assert!(!reg.authorised(Subject(1), DOC, Rights::READ));
-        assert!(!reg.authorised(Subject(2), DOC, Rights::READ), "derived grant dies");
+        assert!(
+            !reg.authorised(Subject(2), DOC, Rights::READ),
+            "derived grant dies"
+        );
         // The root is untouched.
         assert!(reg.authorised(Subject(0), DOC, Rights::ALL));
         // Delegating from a revoked grant fails.
@@ -308,8 +329,16 @@ mod tests {
     fn chains_audit_multi_hop_handover() {
         let mut reg = DelegationRegistry::new();
         let root = reg.issue_root(Subject(0), DOC, Rights::ALL);
-        let a = reg.delegate(root, Subject(1), Rights::READ | Rights::WRITE | Rights::GRANT).unwrap();
-        let b = reg.delegate(a, Subject(2), Rights::READ | Rights::GRANT).unwrap();
+        let a = reg
+            .delegate(
+                root,
+                Subject(1),
+                Rights::READ | Rights::WRITE | Rights::GRANT,
+            )
+            .unwrap();
+        let b = reg
+            .delegate(a, Subject(2), Rights::READ | Rights::GRANT)
+            .unwrap();
         let c = reg.delegate(b, Subject(3), Rights::READ).unwrap();
         let chain = reg.chain(c).unwrap();
         let parties: Vec<(u32, u32)> = chain.iter().map(|d| (d.from.0, d.to.0)).collect();

@@ -169,7 +169,10 @@ mod tests {
     fn default_is_deny() {
         let m = AccessMatrix::new();
         assert!(!m.check(Subject(0), Protected(0), Rights::READ));
-        assert!(m.check(Subject(0), Protected(0), Rights::NONE), "vacuous check passes");
+        assert!(
+            m.check(Subject(0), Protected(0), Rights::NONE),
+            "vacuous check passes"
+        );
     }
 
     #[test]
@@ -220,7 +223,9 @@ mod tests {
             let caps = m.capabilities_of(Subject(s));
             for o in 0..4u64 {
                 let via_matrix = m.check(Subject(s), Protected(o), Rights::READ);
-                let via_caps = caps.iter().any(|c| c.authorises(Protected(o), Rights::READ));
+                let via_caps = caps
+                    .iter()
+                    .any(|c| c.authorises(Protected(o), Rights::READ));
                 let via_acl = m
                     .acl_of(Protected(o))
                     .iter()

@@ -268,7 +268,13 @@ mod tests {
     #[test]
     fn counter_offer_narrows_then_requester_accepts() {
         let mut n = Negotiator::new();
-        let id = n.request(Subject(1), Subject(0), "doc".into(), Rights::READ | Rights::WRITE, NOW);
+        let id = n.request(
+            Subject(1),
+            Subject(0),
+            "doc".into(),
+            Rights::READ | Rights::WRITE,
+            NOW,
+        );
         n.counter(Subject(0), id, Rights::READ).unwrap();
         assert_eq!(n.state(id), Some(NegotiationState::Countered));
         assert_eq!(n.on_table(id), Some(Rights::READ));

@@ -270,7 +270,9 @@ impl RbacPolicy {
                 rule.rights,
                 rule.path
             ),
-            (None, _) => format!("{subject} may NOT {needed} on {path}: no applicable rule (default deny)"),
+            (None, _) => {
+                format!("{subject} may NOT {needed} on {path}: no applicable rule (default deny)")
+            }
         }
     }
 
@@ -287,9 +289,24 @@ mod tests {
     fn policy() -> RbacPolicy {
         let mut p = RbacPolicy::new();
         // role 1 = author, role 2 = reviewer, role 3 = editor-in-chief.
-        p.add_rule(RoleId(1), "report".into(), Rights::READ | Rights::WRITE, Effect::Allow);
-        p.add_rule(RoleId(2), "report".into(), Rights::READ | Rights::ANNOTATE, Effect::Allow);
-        p.add_rule(RoleId(1), "report/reviews".into(), Rights::WRITE, Effect::Deny);
+        p.add_rule(
+            RoleId(1),
+            "report".into(),
+            Rights::READ | Rights::WRITE,
+            Effect::Allow,
+        );
+        p.add_rule(
+            RoleId(2),
+            "report".into(),
+            Rights::READ | Rights::ANNOTATE,
+            Effect::Allow,
+        );
+        p.add_rule(
+            RoleId(1),
+            "report/reviews".into(),
+            Rights::WRITE,
+            Effect::Deny,
+        );
         p.add_rule(RoleId(3), "report".into(), Rights::ALL, Effect::Allow);
         p.add_inheritance(RoleId(3), RoleId(1));
         p
@@ -299,19 +316,38 @@ mod tests {
     fn roles_grant_rights() {
         let mut p = policy();
         p.assign(Subject(1), RoleId(1));
-        assert!(p.check(Subject(1), &"report/sec1/para2".into(), Rights::WRITE).allowed);
-        assert!(!p.check(Subject(1), &"report/sec1".into(), Rights::DELETE).allowed);
-        assert!(!p.check(Subject(2), &"report/sec1".into(), Rights::READ).allowed, "no role, default deny");
+        assert!(
+            p.check(Subject(1), &"report/sec1/para2".into(), Rights::WRITE)
+                .allowed
+        );
+        assert!(
+            !p.check(Subject(1), &"report/sec1".into(), Rights::DELETE)
+                .allowed
+        );
+        assert!(
+            !p.check(Subject(2), &"report/sec1".into(), Rights::READ)
+                .allowed,
+            "no role, default deny"
+        );
     }
 
     #[test]
     fn deeper_deny_beats_shallower_allow() {
         let mut p = policy();
         p.assign(Subject(1), RoleId(1));
-        assert!(p.check(Subject(1), &"report/sec1".into(), Rights::WRITE).allowed);
-        assert!(!p.check(Subject(1), &"report/reviews/r1".into(), Rights::WRITE).allowed);
+        assert!(
+            p.check(Subject(1), &"report/sec1".into(), Rights::WRITE)
+                .allowed
+        );
+        assert!(
+            !p.check(Subject(1), &"report/reviews/r1".into(), Rights::WRITE)
+                .allowed
+        );
         // Reads in the denied subtree are still fine (deny only names WRITE).
-        assert!(p.check(Subject(1), &"report/reviews/r1".into(), Rights::READ).allowed);
+        assert!(
+            p.check(Subject(1), &"report/reviews/r1".into(), Rights::READ)
+                .allowed
+        );
     }
 
     #[test]
@@ -344,18 +380,35 @@ mod tests {
         // But the author's deny at report/reviews is overridden by the
         // chief's own ALL at 'report'? No: deeper path wins regardless of
         // which role it came from.
-        assert!(!p.check(Subject(3), &"report/reviews/r1".into(), Rights::WRITE).allowed);
-        assert!(p.check(Subject(3), &"report/sec1".into(), Rights::DELETE).allowed);
+        assert!(
+            !p.check(Subject(3), &"report/reviews/r1".into(), Rights::WRITE)
+                .allowed
+        );
+        assert!(
+            p.check(Subject(3), &"report/sec1".into(), Rights::DELETE)
+                .allowed
+        );
     }
 
     #[test]
     fn fine_grained_line_level_rules() {
         let mut p = RbacPolicy::new();
         p.add_rule(RoleId(1), "doc".into(), Rights::READ, Effect::Allow);
-        p.add_rule(RoleId(1), "doc/para3/line14".into(), Rights::WRITE, Effect::Allow);
+        p.add_rule(
+            RoleId(1),
+            "doc/para3/line14".into(),
+            Rights::WRITE,
+            Effect::Allow,
+        );
         p.assign(Subject(1), RoleId(1));
-        assert!(p.check(Subject(1), &"doc/para3/line14".into(), Rights::WRITE).allowed);
-        assert!(!p.check(Subject(1), &"doc/para3/line15".into(), Rights::WRITE).allowed);
+        assert!(
+            p.check(Subject(1), &"doc/para3/line14".into(), Rights::WRITE)
+                .allowed
+        );
+        assert!(
+            !p.check(Subject(1), &"doc/para3/line15".into(), Rights::WRITE)
+                .allowed
+        );
     }
 
     #[test]

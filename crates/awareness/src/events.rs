@@ -219,7 +219,8 @@ mod tests {
 
     #[test]
     fn threshold_suppresses_low_weight_events() {
-        let mut e = AwarenessEngine::new(Box::new(|obs, _| if obs == NodeId(1) { 0.9 } else { 0.2 }));
+        let mut e =
+            AwarenessEngine::new(Box::new(|obs, _| if obs == NodeId(1) { 0.9 } else { 0.2 }));
         e.register(NodeId(1), 0.5);
         e.register(NodeId(2), 0.5);
         let out = e.publish(event(0));

@@ -253,11 +253,19 @@ mod tests {
     fn auto_policy_connects_immediately() {
         let mut ms = MediaSpace::new();
         ms.set_policy(NodeId(1), ConnectionType::Background, Acceptance::Auto);
-        let out = ms.connect(NodeId(0), NodeId(1), ConnectionType::Background, SimTime::ZERO);
+        let out = ms.connect(
+            NodeId(0),
+            NodeId(1),
+            ConnectionType::Background,
+            SimTime::ZERO,
+        );
         let ConnectOutcome::Connected(id) = out else {
             panic!("expected immediate connection, got {out:?}");
         };
-        assert_eq!(ms.active_for(NodeId(1)), vec![(id, NodeId(0), ConnectionType::Background)]);
+        assert_eq!(
+            ms.active_for(NodeId(1)),
+            vec![(id, NodeId(0), ConnectionType::Background)]
+        );
     }
 
     #[test]
@@ -268,7 +276,9 @@ mod tests {
             panic!("expected pending, got {out:?}");
         };
         assert!(ms.active_for(NodeId(1)).is_empty(), "not yet established");
-        let answered = ms.answer(NodeId(1), id, true, SimTime::from_secs(2)).unwrap();
+        let answered = ms
+            .answer(NodeId(1), id, true, SimTime::from_secs(2))
+            .unwrap();
         assert!(matches!(answered, ConnectOutcome::Connected(_)));
         assert_eq!(ms.active_for(NodeId(0)).len(), 1);
     }
@@ -277,14 +287,21 @@ mod tests {
     fn refuse_policy_blocks() {
         let mut ms = MediaSpace::new();
         ms.set_policy(NodeId(1), ConnectionType::OfficeShare, Acceptance::Refuse);
-        let out = ms.connect(NodeId(0), NodeId(1), ConnectionType::OfficeShare, SimTime::ZERO);
+        let out = ms.connect(
+            NodeId(0),
+            NodeId(1),
+            ConnectionType::OfficeShare,
+            SimTime::ZERO,
+        );
         assert_eq!(out, ConnectOutcome::Refused);
     }
 
     #[test]
     fn declining_a_pending_connection_removes_it() {
         let mut ms = MediaSpace::new();
-        let ConnectOutcome::Pending(id) = ms.connect(NodeId(0), NodeId(1), ConnectionType::Glance, SimTime::ZERO) else {
+        let ConnectOutcome::Pending(id) =
+            ms.connect(NodeId(0), NodeId(1), ConnectionType::Glance, SimTime::ZERO)
+        else {
             panic!("expected pending");
         };
         let out = ms.answer(NodeId(1), id, false, SimTime::ZERO).unwrap();
@@ -295,7 +312,9 @@ mod tests {
     #[test]
     fn only_the_callee_may_answer() {
         let mut ms = MediaSpace::new();
-        let ConnectOutcome::Pending(id) = ms.connect(NodeId(0), NodeId(1), ConnectionType::Glance, SimTime::ZERO) else {
+        let ConnectOutcome::Pending(id) =
+            ms.connect(NodeId(0), NodeId(1), ConnectionType::Glance, SimTime::ZERO)
+        else {
             panic!("expected pending");
         };
         assert_eq!(
@@ -323,7 +342,9 @@ mod tests {
     fn disconnect_ends_the_connection() {
         let mut ms = MediaSpace::new();
         ms.set_policy(NodeId(1), ConnectionType::VPhone, Acceptance::Auto);
-        let ConnectOutcome::Connected(id) = ms.connect(NodeId(0), NodeId(1), ConnectionType::VPhone, SimTime::ZERO) else {
+        let ConnectOutcome::Connected(id) =
+            ms.connect(NodeId(0), NodeId(1), ConnectionType::VPhone, SimTime::ZERO)
+        else {
             panic!("expected connected");
         };
         ms.disconnect(id).unwrap();

@@ -33,11 +33,17 @@ impl TemporalDecay {
     }
 
     /// The weight of an event that happened at `event_time`, observed at
-    /// `now`. Future events weigh 1.0.
+    /// `now`. Future events weigh 1.0; events older than ~1074
+    /// half-lives weigh an exact 0.0 (`0.5^ratio` underflows past the
+    /// smallest subnormal there and `powf`'s rounding is
+    /// platform-dependent, so the result is pinned).
     pub fn weight(&self, event_time: SimTime, now: SimTime) -> f64 {
         let elapsed = now.saturating_since(event_time);
         let ratio = elapsed.as_micros() as f64 / self.half_life.as_micros() as f64;
-        0.5f64.powf(ratio)
+        if ratio >= 1074.0 {
+            return 0.0;
+        }
+        0.5f64.powf(ratio).clamp(0.0, 1.0)
     }
 }
 
@@ -60,7 +66,8 @@ impl RelevanceMap {
 
     /// Declares interest in an artefact.
     pub fn set(&mut self, artefact: impl Into<String>, relevance: f64) {
-        self.entries.insert(artefact.into(), relevance.clamp(0.0, 1.0));
+        self.entries
+            .insert(artefact.into(), relevance.clamp(0.0, 1.0));
     }
 
     /// The relevance of an artefact.
@@ -132,6 +139,28 @@ mod tests {
         assert_eq!(combined_weight(2.0, 1.0, 1.0), 1.0);
         assert_eq!(combined_weight(-1.0, 1.0, 1.0), 0.0);
         assert_eq!(combined_weight(1.0, 0.0, 1.0), 0.0);
+    }
+
+    /// Recorded proptest shrink (see
+    /// `tests/spatial_properties.proptest-regressions`):
+    /// `half_life_ms = 1, a_ms = 1075, b_ms = 0` drives the decay ratio
+    /// to 1075 half-lives, where `0.5^ratio` underflows past the last
+    /// f64 subnormal. The weight must stay an exact, in-range 0.0 and
+    /// the multiplicative property must still hold.
+    #[test]
+    fn regression_deep_underflow_stays_bounded_and_multiplicative() {
+        let d = TemporalDecay::new(SimDuration::from_millis(1));
+        let t0 = SimTime::ZERO;
+        let (a_ms, b_ms) = (1075u64, 0u64);
+        let wa = d.weight(t0, SimTime::from_millis(a_ms));
+        let wb = d.weight(t0, SimTime::from_millis(b_ms));
+        let wab = d.weight(t0, SimTime::from_millis(a_ms + b_ms));
+        assert_eq!(wa, 0.0, "0.5^1075 underflows; must pin to exact zero");
+        assert_eq!(wb, 1.0);
+        assert!((wab - wa * wb).abs() < 1e-9);
+        for w in [wa, wb, wab] {
+            assert!((0.0..=1.0).contains(&w));
+        }
     }
 
     #[test]

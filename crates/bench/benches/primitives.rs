@@ -63,7 +63,12 @@ fn bench_rbac_check(c: &mut Criterion) {
                 Effect::Allow,
             );
         }
-        policy.add_rule(RoleId(0), "project/area0/frozen".into(), Rights::WRITE, Effect::Deny);
+        policy.add_rule(
+            RoleId(0),
+            "project/area0/frozen".into(),
+            Rights::WRITE,
+            Effect::Deny,
+        );
         policy.assign(Subject(1), RoleId(0));
         policy.assign(Subject(1), RoleId(3));
         let path = ObjectPath::new("project/area0/frozen/para3/line14");
@@ -146,8 +151,20 @@ fn bench_sim_event_loop(c: &mut Criterion) {
             let mut net = Network::new(LinkSpec::ideal());
             net.set_default_link(LinkSpec::ideal());
             let mut sim = Sim::with_network(1, net);
-            sim.add_actor(NodeId(0), Echo { peer: NodeId(1), left: 10_000 });
-            sim.add_actor(NodeId(1), Echo { peer: NodeId(0), left: 10_000 });
+            sim.add_actor(
+                NodeId(0),
+                Echo {
+                    peer: NodeId(1),
+                    left: 10_000,
+                },
+            );
+            sim.add_actor(
+                NodeId(1),
+                Echo {
+                    peer: NodeId(0),
+                    left: 10_000,
+                },
+            );
             sim.run();
             black_box(sim.events_processed())
         })

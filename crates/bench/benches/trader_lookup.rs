@@ -1,0 +1,132 @@
+//! Trader lookup latency: cold imports against the sharded store, hits
+//! in the importer-side TTL cache, and the sharded fan-out a federation
+//! hop adds. The cold/cached gap is the whole argument for the
+//! importer cache; the fan-out row bounds what federation costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use odp_access::rights::Rights;
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+use odp_streams::qos::QosSpec;
+use odp_trader::cache::LookupCache;
+use odp_trader::federation::{DomainId, Federation};
+use odp_trader::offer::{ServiceOffer, ServiceType, SessionKind};
+use odp_trader::select::SelectionPolicy;
+use odp_trader::store::ShardedStore;
+
+const OFFERS_PER_DOMAIN: u32 = 64;
+
+fn populated_store(shards: &[NodeId], hosts_from: u32) -> ShardedStore {
+    let mut store = ShardedStore::new(shards.iter().copied());
+    for i in 0..OFFERS_PER_DOMAIN {
+        store
+            .export(ServiceOffer::session(
+                ServiceType::new(format!("conference/room-{i}")),
+                SessionKind::Conference,
+                QosSpec::video(),
+                NodeId(hosts_from + i),
+            ))
+            .expect("shards exist");
+    }
+    store
+}
+
+fn federation_with_link() -> Federation {
+    let mut federation = Federation::new();
+    federation.add_domain(
+        DomainId(0),
+        populated_store(&[NodeId(100), NodeId(101)], 1_000),
+    );
+    federation.add_domain(
+        DomainId(1),
+        populated_store(&[NodeId(200), NodeId(201)], 2_000),
+    );
+    federation.link(DomainId(0), DomainId(1), "conference/", Rights::READ);
+    federation
+}
+
+fn bench_trader_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trader_lookup");
+
+    // Cold: every lookup runs the full import path — ring hash, shard
+    // scan, QoS negotiation, selection.
+    group.bench_function("cold_local", |b| {
+        let mut federation = federation_with_link();
+        let wanted: Vec<ServiceType> = (0..OFFERS_PER_DOMAIN)
+            .map(|i| ServiceType::new(format!("conference/room-{i}")))
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let st = &wanted[i % wanted.len()];
+            i += 1;
+            black_box(
+                federation
+                    .import(
+                        DomainId(0),
+                        Rights::READ,
+                        black_box(st),
+                        &QosSpec::video(),
+                        SelectionPolicy::FirstFit,
+                        1,
+                        None,
+                    )
+                    .expect("offer exists"),
+            )
+        })
+    });
+
+    // Cached: the importer-side TTL cache answers without touching the
+    // trader at all.
+    group.bench_function("cached", |b| {
+        let mut federation = federation_with_link();
+        let st = ServiceType::new("conference/room-7");
+        let mut cache = LookupCache::new(SimDuration::from_secs(60));
+        let resolved = federation
+            .domain_mut(DomainId(0))
+            .unwrap()
+            .offers_of_type(&st);
+        cache.put(st.clone(), resolved, SimTime::ZERO);
+        b.iter(|| {
+            black_box(
+                cache
+                    .get(black_box(&st), SimTime::ZERO)
+                    .expect("warm entry"),
+            )
+        })
+    });
+
+    // Fan-out: the type only exists one federation hop away, so the
+    // import visits the local domain, misses, and crosses the link.
+    group.bench_function("federated_one_hop", |b| {
+        let mut federation = Federation::new();
+        federation.add_domain(DomainId(0), ShardedStore::new([NodeId(100), NodeId(101)]));
+        federation.add_domain(
+            DomainId(1),
+            populated_store(&[NodeId(200), NodeId(201)], 2_000),
+        );
+        federation.link(DomainId(0), DomainId(1), "conference/", Rights::READ);
+        let st = ServiceType::new("conference/room-7");
+        b.iter(|| {
+            black_box(
+                federation
+                    .import(
+                        DomainId(0),
+                        Rights::READ,
+                        black_box(&st),
+                        &QosSpec::video(),
+                        SelectionPolicy::FirstFit,
+                        2,
+                        None,
+                    )
+                    .expect("remote offer exists"),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trader_lookup);
+criterion_main!(benches);

@@ -2,7 +2,10 @@
 //! "evaluation section" of this reproduction) on the fixed report seed.
 
 fn main() {
-    println!("cscw-odp derived experiment suite (seed {})", cscw_bench::REPORT_SEED);
+    println!(
+        "cscw-odp derived experiment suite (seed {})",
+        cscw_bench::REPORT_SEED
+    );
     println!("================================================\n");
     print!("{}", cscw_bench::render_report());
 }

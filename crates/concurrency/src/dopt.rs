@@ -225,14 +225,20 @@ mod tests {
                 // Each site makes a random valid local edit.
                 let la = a.text().chars().count();
                 let op_a = if rng.chance(0.5) || la == 0 {
-                    Insert { pos: rng.index(la + 1), ch: 'a' }
+                    Insert {
+                        pos: rng.index(la + 1),
+                        ch: 'a',
+                    }
                 } else {
                     Delete { pos: rng.index(la) }
                 };
                 from_a.push(a.local(op_a).unwrap());
                 let lb = b.text().chars().count();
                 let op_b = if rng.chance(0.5) || lb == 0 {
-                    Insert { pos: rng.index(lb + 1), ch: 'b' }
+                    Insert {
+                        pos: rng.index(lb + 1),
+                        ch: 'b',
+                    }
                 } else {
                     Delete { pos: rng.index(lb) }
                 };

@@ -149,7 +149,11 @@ impl FloorControl {
     /// # Errors
     ///
     /// [`FloorError::NotHolder`] if `client` does not hold the floor.
-    pub fn release(&mut self, client: ClientId, now: SimTime) -> Result<Vec<FloorEvent>, FloorError> {
+    pub fn release(
+        &mut self,
+        client: ClientId,
+        now: SimTime,
+    ) -> Result<Vec<FloorEvent>, FloorError> {
         match self.holder {
             Some((c, _)) if c == client => {
                 self.holder = None;
@@ -228,7 +232,10 @@ impl FloorControl {
         self.holder = Some((client, now));
         self.grants += 1;
         self.wait_total += now.saturating_since(asked);
-        vec![FloorEvent::Granted { who: client, at: now }]
+        vec![FloorEvent::Granted {
+            who: client,
+            at: now,
+        }]
     }
 }
 
@@ -244,7 +251,13 @@ mod tests {
     fn free_floor_grants_immediately() {
         let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
         let ev = fc.request(ClientId(0), t(0));
-        assert_eq!(ev, vec![FloorEvent::Granted { who: ClientId(0), at: t(0) }]);
+        assert_eq!(
+            ev,
+            vec![FloorEvent::Granted {
+                who: ClientId(0),
+                at: t(0)
+            }]
+        );
         assert_eq!(fc.grants(), 1);
     }
 
@@ -255,7 +268,13 @@ mod tests {
         fc.request(ClientId(1), t(1));
         fc.request(ClientId(2), t(2));
         let ev = fc.release(ClientId(0), t(10)).unwrap();
-        assert_eq!(ev, vec![FloorEvent::Granted { who: ClientId(1), at: t(10) }]);
+        assert_eq!(
+            ev,
+            vec![FloorEvent::Granted {
+                who: ClientId(1),
+                at: t(10)
+            }]
+        );
         assert_eq!(fc.waiting(), vec![ClientId(2)]);
         assert_eq!(fc.total_wait(), SimDuration::from_millis(9));
     }
@@ -273,7 +292,13 @@ mod tests {
         // Re-request and pass.
         fc.request(ClientId(0), t(3));
         let ev = fc.pass(ClientId(0), ClientId(1), t(4)).unwrap();
-        assert_eq!(ev, vec![FloorEvent::Granted { who: ClientId(1), at: t(4) }]);
+        assert_eq!(
+            ev,
+            vec![FloorEvent::Granted {
+                who: ClientId(1),
+                at: t(4)
+            }]
+        );
     }
 
     #[test]
@@ -290,7 +315,10 @@ mod tests {
     fn non_holder_release_fails() {
         let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
         fc.request(ClientId(0), t(0));
-        assert_eq!(fc.release(ClientId(1), t(1)).unwrap_err(), FloorError::NotHolder(ClientId(1)));
+        assert_eq!(
+            fc.release(ClientId(1), t(1)).unwrap_err(),
+            FloorError::NotHolder(ClientId(1))
+        );
     }
 
     #[test]
@@ -304,7 +332,10 @@ mod tests {
             ev,
             vec![
                 FloorEvent::Preempted { who: ClientId(0) },
-                FloorEvent::Granted { who: ClientId(1), at: t(100) },
+                FloorEvent::Granted {
+                    who: ClientId(1),
+                    at: t(100)
+                },
             ]
         );
         assert_eq!(fc.preemptions(), 1);
@@ -314,7 +345,10 @@ mod tests {
     fn no_preemption_when_nobody_waits() {
         let mut fc = FloorControl::new(FloorPolicy::PreemptAfter(SimDuration::from_millis(100)));
         fc.request(ClientId(0), t(0));
-        assert!(fc.tick(t(500)).is_empty(), "holder keeps an uncontested floor");
+        assert!(
+            fc.tick(t(500)).is_empty(),
+            "holder keeps an uncontested floor"
+        );
     }
 
     #[test]

@@ -145,7 +145,8 @@ pub fn unit_at(text: &str, pos: usize, g: Granularity) -> UnitId {
 mod tests {
     use super::*;
 
-    const DOC: &str = "One two three. Four five!\nSecond paragraph here.\n\nNew section starts. More text?";
+    const DOC: &str =
+        "One two three. Four five!\nSecond paragraph here.\n\nNew section starts. More text?";
 
     #[test]
     fn document_is_one_unit() {

@@ -331,7 +331,13 @@ mod tests {
         for k in 0..5 {
             for c in 0..3u32 {
                 let pos = (k as usize).min(f.clients[c as usize].text().len());
-                f.edit(c, Insert { pos, ch: char::from(b'a' + c as u8) });
+                f.edit(
+                    c,
+                    Insert {
+                        pos,
+                        ch: char::from(b'a' + c as u8),
+                    },
+                );
             }
         }
         f.drain();

@@ -44,7 +44,9 @@ pub use locks::{
     ClientId, LockError, LockMode, LockReply, LockScheme, LockTable, Notice, NoticeKind, ResourceId,
 };
 pub use nested::{GroupNodeId, GroupTree, TreeError};
-pub use ot::{ops_for_delete, ops_for_insert, transform, transform_pair, CharOp, TextDoc, TieBreak};
+pub use ot::{
+    ops_for_delete, ops_for_insert, transform, transform_pair, CharOp, TextDoc, TieBreak,
+};
 pub use store::{ObjectId, ObjectStore, StoreError, Versioned};
 pub use twophase::{
     AbortReason, OpKind, OpResult, SubmitReply, TxnError, TxnEvent, TxnId, TxnManager, TxnOp,

@@ -339,7 +339,9 @@ impl LockTable {
         for r in resources {
             let state = self.locks.get_mut(&r).expect("present");
             state.queue.retain(|w| w.client != client);
-            state.tickles.retain(|&(req, holder, _)| req != client && holder != client);
+            state
+                .tickles
+                .retain(|&(req, holder, _)| req != client && holder != client);
             if state.holders.remove(&client).is_some() {
                 notices.extend(Self::promote(state, r, now));
             }
@@ -357,7 +359,11 @@ impl LockTable {
         for (&resource, state) in self.locks.iter_mut() {
             let mut transfers: Vec<(ClientId, ClientId)> = Vec::new();
             for &(requester, holder, _when) in &state.tickles {
-                let idle_since = state.last_access.get(&holder).copied().unwrap_or(SimTime::ZERO);
+                let idle_since = state
+                    .last_access
+                    .get(&holder)
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
                 if now.saturating_since(idle_since) >= idle_timeout
                     && state.holders.contains_key(&holder)
                 {
@@ -424,7 +430,10 @@ impl LockTable {
 
     /// Number of clients queued on `resource`.
     pub fn queue_len(&self, resource: ResourceId) -> usize {
-        self.locks.get(&resource).map(|s| s.queue.len()).unwrap_or(0)
+        self.locks
+            .get(&resource)
+            .map(|s| s.queue.len())
+            .unwrap_or(0)
     }
 }
 
@@ -440,8 +449,14 @@ mod tests {
     #[test]
     fn hard_shared_locks_coexist() {
         let mut lt = LockTable::new(LockScheme::Hard);
-        assert_eq!(lt.request(ClientId(0), R, LockMode::Shared, t(0)).0, LockReply::Granted);
-        assert_eq!(lt.request(ClientId(1), R, LockMode::Shared, t(0)).0, LockReply::Granted);
+        assert_eq!(
+            lt.request(ClientId(0), R, LockMode::Shared, t(0)).0,
+            LockReply::Granted
+        );
+        assert_eq!(
+            lt.request(ClientId(1), R, LockMode::Shared, t(0)).0,
+            LockReply::Granted
+        );
         assert_eq!(lt.holders(R).len(), 2);
     }
 
@@ -449,8 +464,14 @@ mod tests {
     fn hard_exclusive_blocks_and_promotes_in_fifo_order() {
         let mut lt = LockTable::new(LockScheme::Hard);
         lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
-        assert_eq!(lt.request(ClientId(1), R, LockMode::Exclusive, t(1)).0, LockReply::Queued);
-        assert_eq!(lt.request(ClientId(2), R, LockMode::Exclusive, t(2)).0, LockReply::Queued);
+        assert_eq!(
+            lt.request(ClientId(1), R, LockMode::Exclusive, t(1)).0,
+            LockReply::Queued
+        );
+        assert_eq!(
+            lt.request(ClientId(2), R, LockMode::Exclusive, t(2)).0,
+            LockReply::Queued
+        );
         let notices = lt.release(ClientId(0), R, t(3)).unwrap();
         assert_eq!(notices.len(), 1);
         assert_eq!(notices[0].to, ClientId(1));
@@ -472,8 +493,14 @@ mod tests {
     fn reentrant_request_is_granted() {
         let mut lt = LockTable::new(LockScheme::Hard);
         lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
-        assert_eq!(lt.request(ClientId(0), R, LockMode::Shared, t(1)).0, LockReply::Granted);
-        assert_eq!(lt.request(ClientId(0), R, LockMode::Exclusive, t(1)).0, LockReply::Granted);
+        assert_eq!(
+            lt.request(ClientId(0), R, LockMode::Shared, t(1)).0,
+            LockReply::Granted
+        );
+        assert_eq!(
+            lt.request(ClientId(0), R, LockMode::Exclusive, t(1)).0,
+            LockReply::Granted
+        );
     }
 
     #[test]
@@ -490,12 +517,17 @@ mod tests {
     #[test]
     fn soft_locks_grant_immediately_with_warnings_to_both_sides() {
         let mut lt = LockTable::new(LockScheme::Soft);
-        assert_eq!(lt.request(ClientId(0), R, LockMode::Exclusive, t(0)).0, LockReply::Granted);
+        assert_eq!(
+            lt.request(ClientId(0), R, LockMode::Exclusive, t(0)).0,
+            LockReply::Granted
+        );
         let (reply, notices) = lt.request(ClientId(1), R, LockMode::Exclusive, t(1));
         assert_eq!(reply, LockReply::GrantedConflict(vec![ClientId(0)]));
         assert_eq!(notices.len(), 1);
         assert_eq!(notices[0].to, ClientId(0));
-        assert!(matches!(notices[0].kind, NoticeKind::ConflictWarning { with } if with == ClientId(1)));
+        assert!(
+            matches!(notices[0].kind, NoticeKind::ConflictWarning { with } if with == ClientId(1))
+        );
         // Nobody ever blocks under soft locking.
         assert_eq!(lt.queue_len(R), 0);
         assert_eq!(lt.holders(R).len(), 2);

@@ -116,7 +116,13 @@ impl GroupTree {
         let root = GroupNodeId(0);
         let group = TransactionGroup::new(external.clone(), members, rule);
         let mut nodes = BTreeMap::new();
-        nodes.insert(root, GroupNode { parent: None, group });
+        nodes.insert(
+            root,
+            GroupNode {
+                parent: None,
+                group,
+            },
+        );
         GroupTree {
             nodes,
             root,
@@ -192,7 +198,10 @@ impl GroupTree {
         value: impl Into<String>,
         at: SimTime,
     ) -> Result<(u64, Vec<GroupNotice>), TreeError> {
-        Ok(self.node_mut(group)?.group.write(member, object, value, at)?)
+        Ok(self
+            .node_mut(group)?
+            .group
+            .write(member, object, value, at)?)
     }
 
     /// Commits a group: a subgroup publishes its working state into its
@@ -268,8 +277,15 @@ mod tests {
         assert_eq!(t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0, "v0");
         assert_eq!(t.external_read(DOC).unwrap(), "v0");
         t.commit(sub).unwrap();
-        assert_eq!(t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0, "sub work");
-        assert_eq!(t.external_read(DOC).unwrap(), "v0", "still internal to the root");
+        assert_eq!(
+            t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0,
+            "sub work"
+        );
+        assert_eq!(
+            t.external_read(DOC).unwrap(),
+            "v0",
+            "still internal to the root"
+        );
         let root = t.root();
         t.commit(root).unwrap();
         assert_eq!(t.external_read(DOC).unwrap(), "sub work");
@@ -278,7 +294,8 @@ mod tests {
     #[test]
     fn subgroups_start_from_the_parents_working_state() {
         let mut t = tree();
-        t.write(t.root(), ClientId(0), DOC, "team draft", NOW).unwrap();
+        t.write(t.root(), ClientId(0), DOC, "team draft", NOW)
+            .unwrap();
         let sub = t
             .create_subgroup(t.root(), [ClientId(2)], Box::new(CooperativeRule))
             .unwrap();
@@ -298,7 +315,10 @@ mod tests {
             .unwrap();
         t.write(sub, ClientId(2), DOC, "scrap me", NOW).unwrap();
         t.abort(sub).unwrap();
-        assert_eq!(t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0, "keep me");
+        assert_eq!(
+            t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0,
+            "keep me"
+        );
         // The aborted subgroup rolled back to its seed.
         assert_eq!(t.read(sub, ClientId(2), DOC, NOW).unwrap().0, "keep me");
     }
@@ -307,7 +327,11 @@ mod tests {
     fn subgroups_may_run_different_rules() {
         let mut t = tree();
         let strict = t
-            .create_subgroup(t.root(), [ClientId(2), ClientId(3)], Box::new(ExclusiveWriterRule))
+            .create_subgroup(
+                t.root(),
+                [ClientId(2), ClientId(3)],
+                Box::new(ExclusiveWriterRule),
+            )
             .unwrap();
         t.write(strict, ClientId(2), DOC, "claimed", NOW).unwrap();
         // The strict subgroup's rule denies a second writer...

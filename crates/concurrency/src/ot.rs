@@ -102,7 +102,10 @@ pub fn transform_pair(op: CharOp, against: CharOp, tie: TieBreak) -> (CharOp, Ch
         TieBreak::OpWins => TieBreak::AgainstWins,
         TieBreak::AgainstWins => TieBreak::OpWins,
     };
-    (transform(op, against, tie), transform(against, op, other_tie))
+    (
+        transform(op, against, tie),
+        transform(against, op, other_tie),
+    )
 }
 
 /// Errors from applying an operation to a document.
@@ -116,7 +119,11 @@ pub struct ApplyError {
 
 impl fmt::Display for ApplyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "operation {} out of bounds for document of length {}", self.op, self.len)
+        write!(
+            f,
+            "operation {} out of bounds for document of length {}",
+            self.op, self.len
+        )
     }
 }
 
@@ -236,7 +243,11 @@ mod tests {
         let mut right = TextDoc::from(s);
         right.apply(b).unwrap();
         right.apply(a2).unwrap();
-        assert_eq!(left.text(), right.text(), "TP1 violated: a={a} b={b} on {s:?}");
+        assert_eq!(
+            left.text(),
+            right.text(),
+            "TP1 violated: a={a} b={b} on {s:?}"
+        );
     }
 
     #[test]

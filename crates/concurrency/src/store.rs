@@ -46,7 +46,10 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::UnknownObject(o) => write!(f, "unknown object {o}"),
             StoreError::OutOfBounds { object, pos, len } => {
-                write!(f, "edit position {pos} out of bounds for {object} (len {len})")
+                write!(
+                    f,
+                    "edit position {pos} out of bounds for {object} (len {len})"
+                )
             }
         }
     }

@@ -243,12 +243,7 @@ impl TxnManager {
     /// Fails on unknown transactions, double-blocking, or store errors.
     /// A deadlock does **not** return an error here: the victim learns of
     /// its abort through [`TxnEvent::TxnAborted`] in the returned events.
-    pub fn submit(
-        &mut self,
-        txn: TxnId,
-        op: TxnOp,
-        now: SimTime,
-    ) -> Result<SubmitReply, TxnError> {
+    pub fn submit(&mut self, txn: TxnId, op: TxnOp, now: SimTime) -> Result<SubmitReply, TxnError> {
         let (reply, _events) = self.submit_with_events(txn, op, now)?;
         Ok(reply)
     }
@@ -271,7 +266,9 @@ impl TxnManager {
             OpKind::Read => LockMode::Shared,
             OpKind::Insert(_) | OpKind::Delete(_) => LockMode::Exclusive,
         };
-        let (reply, _notices) = self.table.request(Self::lock_client(txn), resource, mode, now);
+        let (reply, _notices) = self
+            .table
+            .request(Self::lock_client(txn), resource, mode, now);
         match reply {
             LockReply::Granted => {
                 let result = self.perform(txn, &op)?;
@@ -445,7 +442,10 @@ mod tests {
 
     fn manager(g: Granularity) -> TxnManager {
         let mut tm = TxnManager::new(g);
-        tm.store_mut().create(ObjectId(1), "First sentence. Second sentence. Third sentence.");
+        tm.store_mut().create(
+            ObjectId(1),
+            "First sentence. Second sentence. Third sentence.",
+        );
         tm
     }
 
@@ -491,7 +491,10 @@ mod tests {
             tm.submit(t1, insert(1, 0, "A"), t(0)).unwrap(),
             SubmitReply::Done(_)
         ));
-        assert_eq!(tm.submit(t2, insert(1, 5, "B"), t(1)).unwrap(), SubmitReply::Blocked);
+        assert_eq!(
+            tm.submit(t2, insert(1, 5, "B"), t(1)).unwrap(),
+            SubmitReply::Blocked
+        );
         let events = tm.commit(t1, t(2)).unwrap();
         assert_eq!(events.len(), 1);
         assert!(matches!(events[0], TxnEvent::OpCompleted { txn, .. } if txn == t2));
@@ -502,8 +505,14 @@ mod tests {
         let mut tm = manager(Granularity::Document);
         let t1 = tm.begin();
         let t2 = tm.begin();
-        assert!(matches!(tm.submit(t1, read(1, 0), t(0)).unwrap(), SubmitReply::Done(_)));
-        assert!(matches!(tm.submit(t2, read(1, 0), t(0)).unwrap(), SubmitReply::Done(_)));
+        assert!(matches!(
+            tm.submit(t1, read(1, 0), t(0)).unwrap(),
+            SubmitReply::Done(_)
+        ));
+        assert!(matches!(
+            tm.submit(t2, read(1, 0), t(0)).unwrap(),
+            SubmitReply::Done(_)
+        ));
     }
 
     #[test]
@@ -527,8 +536,14 @@ mod tests {
         let mut tm = manager(Granularity::Document);
         let t1 = tm.begin();
         let t2 = tm.begin();
-        assert!(matches!(tm.submit(t1, insert(1, 2, "x"), t(0)).unwrap(), SubmitReply::Done(_)));
-        assert_eq!(tm.submit(t2, insert(1, 20, "y"), t(0)).unwrap(), SubmitReply::Blocked);
+        assert!(matches!(
+            tm.submit(t1, insert(1, 2, "x"), t(0)).unwrap(),
+            SubmitReply::Done(_)
+        ));
+        assert_eq!(
+            tm.submit(t2, insert(1, 20, "y"), t(0)).unwrap(),
+            SubmitReply::Blocked
+        );
     }
 
     #[test]
@@ -539,10 +554,19 @@ mod tests {
         let t1 = tm.begin();
         let t2 = tm.begin();
         // t1 holds obj1, t2 holds obj2.
-        assert!(matches!(tm.submit(t1, insert(1, 0, "x"), t(0)).unwrap(), SubmitReply::Done(_)));
-        assert!(matches!(tm.submit(t2, insert(2, 0, "y"), t(0)).unwrap(), SubmitReply::Done(_)));
+        assert!(matches!(
+            tm.submit(t1, insert(1, 0, "x"), t(0)).unwrap(),
+            SubmitReply::Done(_)
+        ));
+        assert!(matches!(
+            tm.submit(t2, insert(2, 0, "y"), t(0)).unwrap(),
+            SubmitReply::Done(_)
+        ));
         // t1 waits for obj2.
-        assert_eq!(tm.submit(t1, insert(2, 0, "z"), t(1)).unwrap(), SubmitReply::Blocked);
+        assert_eq!(
+            tm.submit(t1, insert(2, 0, "z"), t(1)).unwrap(),
+            SubmitReply::Blocked
+        );
         // t2 waits for obj1 -> cycle; t2 (youngest) aborts; t1 resumes.
         let (reply, events) = tm.submit_with_events(t2, insert(1, 0, "w"), t(2)).unwrap();
         assert_eq!(reply, SubmitReply::Blocked);
@@ -575,7 +599,10 @@ mod tests {
         let mut tm = manager(Granularity::Document);
         let t1 = tm.begin();
         tm.commit(t1, t(0)).unwrap();
-        assert_eq!(tm.submit(t1, read(1, 0), t(1)).unwrap_err(), TxnError::UnknownTxn(t1));
+        assert_eq!(
+            tm.submit(t1, read(1, 0), t(1)).unwrap_err(),
+            TxnError::UnknownTxn(t1)
+        );
         assert_eq!(tm.commit(t1, t(1)).unwrap_err(), TxnError::UnknownTxn(t1));
     }
 

@@ -202,7 +202,11 @@ impl fmt::Display for GroupError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GroupError::NotMember(c) => write!(f, "{c} is not a group member"),
-            GroupError::Denied { member, object, reason } => {
+            GroupError::Denied {
+                member,
+                object,
+                reason,
+            } => {
                 write!(f, "access by {member} to {object} denied: {reason}")
             }
             GroupError::Store(e) => write!(f, "store error: {e}"),
@@ -336,7 +340,11 @@ impl<R: AccessRule> TransactionGroup<R> {
     ) -> Result<(String, Vec<GroupNotice>), GroupError> {
         let notices = self.check(member, object, AccessMode::Read, at)?;
         let value = self.working.read(object)?.value.clone();
-        self.activity.entry(object).or_default().readers.insert(member);
+        self.activity
+            .entry(object)
+            .or_default()
+            .readers
+            .insert(member);
         Ok((value, notices))
     }
 
@@ -414,7 +422,11 @@ mod tests {
         g.write(ClientId(0), ObjectId(1), "dirty", NOW).unwrap();
         let (val, _) = g.read(ClientId(1), ObjectId(1), NOW).unwrap();
         assert_eq!(val, "dirty", "member sees uncommitted write");
-        assert_eq!(g.external_read(ObjectId(1)).unwrap(), "v0", "outside sees committed");
+        assert_eq!(
+            g.external_read(ObjectId(1)).unwrap(),
+            "v0",
+            "outside sees committed"
+        );
     }
 
     #[test]
@@ -442,7 +454,11 @@ mod tests {
         let (_, notices) = g.write(ClientId(2), ObjectId(1), "x", NOW).unwrap();
         let to: Vec<ClientId> = notices.iter().map(|n| n.to).collect();
         assert_eq!(to, vec![ClientId(0), ClientId(1)]);
-        assert_eq!(g.notices_sent(), 3, "read by 1 notified 0; write by 2 notified both");
+        assert_eq!(
+            g.notices_sent(),
+            3,
+            "read by 1 notified 0; write by 2 notified both"
+        );
     }
 
     #[test]

@@ -193,11 +193,7 @@ impl AwareConference {
     /// # Errors
     ///
     /// [`ConferenceError::UnknownParticipant`] if absent.
-    pub fn point(
-        &mut self,
-        who: NodeId,
-        at: (u32, u32),
-    ) -> Result<Vec<NodeId>, ConferenceError> {
+    pub fn point(&mut self, who: NodeId, at: (u32, u32)) -> Result<Vec<NodeId>, ConferenceError> {
         let view = self
             .views
             .get_mut(&who)

@@ -249,7 +249,13 @@ mod tests {
     fn annotate_and_thread() {
         let mut doc = QuiltDocument::new("hello world");
         let id = doc
-            .annotate(NodeId(1), AnnotationKind::Comment, (0, 5), "too informal?", NOW)
+            .annotate(
+                NodeId(1),
+                AnnotationKind::Comment,
+                (0, 5),
+                "too informal?",
+                NOW,
+            )
             .unwrap();
         doc.reply(id, NodeId(2), "it's fine").unwrap();
         let anns = doc.visible_to(NodeId(3));
@@ -288,11 +294,21 @@ mod tests {
             .annotate(NodeId(1), AnnotationKind::Suggestion, (0, 3), "x", NOW)
             .unwrap();
         let c = doc
-            .annotate(NodeId(2), AnnotationKind::Comment, (8, 11), "about ccc", NOW)
+            .annotate(
+                NodeId(2),
+                AnnotationKind::Comment,
+                (8, 11),
+                "about ccc",
+                NOW,
+            )
             .unwrap();
         doc.accept_suggestion(s).unwrap();
         assert_eq!(doc.base(), "x bbb ccc");
-        let ann = doc.visible_to(NodeId(2)).into_iter().find(|a| a.id == c).unwrap();
+        let ann = doc
+            .visible_to(NodeId(2))
+            .into_iter()
+            .find(|a| a.id == c)
+            .unwrap();
         assert_eq!(ann.range, (6, 9), "comment still anchors 'ccc'");
     }
 
@@ -303,7 +319,13 @@ mod tests {
             .annotate(NodeId(1), AnnotationKind::Suggestion, (1, 4), "XY", NOW)
             .unwrap();
         let overlapping = doc
-            .annotate(NodeId(2), AnnotationKind::Comment, (2, 5), "spans the edit", NOW)
+            .annotate(
+                NodeId(2),
+                AnnotationKind::Comment,
+                (2, 5),
+                "spans the edit",
+                NOW,
+            )
             .unwrap();
         doc.accept_suggestion(s).unwrap();
         assert_eq!(doc.base(), "aXYef");

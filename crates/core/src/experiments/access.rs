@@ -43,8 +43,8 @@ pub fn e5_access_control(seed: u64) -> Vec<Table> {
             matrix.grant(user, Protected(o as u64), Rights::WRITE);
             matrix_admin_ops += 1;
         }
-        let matrix_ok = (0..n_objects)
-            .all(|o| matrix.check(user, Protected(o as u64), Rights::WRITE));
+        let matrix_ok =
+            (0..n_objects).all(|o| matrix.check(user, Protected(o as u64), Rights::WRITE));
         table.push_row([
             format!("access-matrix(n={n_objects})"),
             n_objects.to_string(),
@@ -56,8 +56,18 @@ pub fn e5_access_control(seed: u64) -> Vec<Table> {
         let mut policy = RbacPolicy::new();
         let reviewer = RoleId(1);
         let author = RoleId(2);
-        policy.add_rule(reviewer, "project".into(), Rights::READ | Rights::ANNOTATE, Effect::Allow);
-        policy.add_rule(author, "project".into(), Rights::READ | Rights::WRITE, Effect::Allow);
+        policy.add_rule(
+            reviewer,
+            "project".into(),
+            Rights::READ | Rights::ANNOTATE,
+            Effect::Allow,
+        );
+        policy.add_rule(
+            author,
+            "project".into(),
+            Rights::READ | Rights::WRITE,
+            Effect::Allow,
+        );
         policy.assign(user, reviewer);
         // Role change: one unassign + one assign, regardless of n.
         policy.unassign(user, reviewer);
@@ -65,7 +75,11 @@ pub fn e5_access_control(seed: u64) -> Vec<Table> {
         let rbac_admin_ops = 2u64;
         let rbac_ok = (0..n_objects).all(|o| {
             policy
-                .check(user, &ObjectPath::new(format!("project/doc{o}")), Rights::WRITE)
+                .check(
+                    user,
+                    &ObjectPath::new(format!("project/doc{o}")),
+                    Rights::WRITE,
+                )
                 .allowed
         });
         table.push_row([
@@ -91,7 +105,9 @@ pub fn e5_access_control(seed: u64) -> Vec<Table> {
         Rights::WRITE,
         SimTime::ZERO,
     );
-    let direct = negotiator.accept(Subject(0), id, SimTime::ZERO).expect("owner accepts");
+    let direct = negotiator
+        .accept(Subject(0), id, SimTime::ZERO)
+        .expect("owner accepts");
     nego.push_row([
         "direct".to_owned(),
         Rights::WRITE.to_string(),
@@ -130,17 +146,28 @@ mod tests {
     fn e5_shape_static_admin_cost_scales_and_rbac_is_constant() {
         let tables = e5_access_control(0);
         let t = &tables[0];
-        let m10 = t.cell_f64("access-matrix(n=10)", "admin_ops_for_role_change").unwrap();
-        let m1000 = t.cell_f64("access-matrix(n=1000)", "admin_ops_for_role_change").unwrap();
-        let r10 = t.cell_f64("role-based(n=10)", "admin_ops_for_role_change").unwrap();
-        let r1000 = t.cell_f64("role-based(n=1000)", "admin_ops_for_role_change").unwrap();
+        let m10 = t
+            .cell_f64("access-matrix(n=10)", "admin_ops_for_role_change")
+            .unwrap();
+        let m1000 = t
+            .cell_f64("access-matrix(n=1000)", "admin_ops_for_role_change")
+            .unwrap();
+        let r10 = t
+            .cell_f64("role-based(n=10)", "admin_ops_for_role_change")
+            .unwrap();
+        let r1000 = t
+            .cell_f64("role-based(n=1000)", "admin_ops_for_role_change")
+            .unwrap();
         assert_eq!(m10, 10.0);
         assert_eq!(m1000, 1000.0, "matrix admin cost is O(objects)");
         assert_eq!(r10, r1000, "role change is O(1)");
         assert_eq!(r10, 2.0);
         // Both end up correct.
         for key in ["access-matrix(n=100)", "role-based(n=100)"] {
-            assert_eq!(tables[0].cell(key, "checks_correct_after_change"), Some("true"));
+            assert_eq!(
+                tables[0].cell(key, "checks_correct_after_change"),
+                Some("true")
+            );
         }
     }
 

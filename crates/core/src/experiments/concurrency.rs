@@ -211,8 +211,12 @@ mod tests {
         // 8-writer rows make the contrast starkest.
         let tp_blocked = t.cell_f64("2pl-transactions(n=8)", "blocked_ops").unwrap();
         let tg_blocked = t.cell_f64("transaction-group(n=8)", "blocked_ops").unwrap();
-        let tp_aware = t.cell_f64("2pl-transactions(n=8)", "awareness_notices").unwrap();
-        let tg_aware = t.cell_f64("transaction-group(n=8)", "awareness_notices").unwrap();
+        let tp_aware = t
+            .cell_f64("2pl-transactions(n=8)", "awareness_notices")
+            .unwrap();
+        let tg_aware = t
+            .cell_f64("transaction-group(n=8)", "awareness_notices")
+            .unwrap();
         assert!(tp_blocked > 0.0, "transactions build walls (block)");
         assert_eq!(tg_blocked, 0.0, "the cooperative group never blocks");
         assert_eq!(tp_aware, 0.0, "transactions mask other users");
@@ -224,12 +228,17 @@ mod tests {
         let tables = e3_response_notification(3);
         let t = &tables[0];
         let ot_1 = t.cell_f64("operation-transform@1", "response_ms").unwrap();
-        let ot_100 = t.cell_f64("operation-transform@100", "response_ms").unwrap();
+        let ot_100 = t
+            .cell_f64("operation-transform@100", "response_ms")
+            .unwrap();
         assert_eq!(ot_1, 0.0);
         assert_eq!(ot_100, 0.0, "local apply is free of network latency");
         let tp_1 = t.cell_f64("2pl-transactions@1", "response_ms").unwrap();
         let tp_100 = t.cell_f64("2pl-transactions@100", "response_ms").unwrap();
-        assert!(tp_100 > tp_1 + 100.0, "lock-based response grows with latency");
+        assert!(
+            tp_100 > tp_1 + 100.0,
+            "lock-based response grows with latency"
+        );
     }
 
     #[test]
@@ -244,6 +253,9 @@ mod tests {
         );
         let doc_units = t.cell_f64("document", "units").unwrap();
         let word_units = t.cell_f64("word", "units").unwrap();
-        assert!(word_units > doc_units * 10.0, "word locking manages far more units");
+        assert!(
+            word_units > doc_units * 10.0,
+            "word locking manages far more units"
+        );
     }
 }

@@ -31,7 +31,13 @@ fn issue_time(payload: &str) -> SimTime {
 }
 
 fn mcast_latency_run(ordering: Ordering, n: u32, seed: u64) -> (f64, f64) {
-    mcast_run(ordering, n, seed, LinkSpec::wan(SimDuration::from_millis(20)), Reliability::reliable())
+    mcast_run(
+        ordering,
+        n,
+        seed,
+        LinkSpec::wan(SimDuration::from_millis(20)),
+        Reliability::reliable(),
+    )
 }
 
 fn mcast_run(
@@ -46,14 +52,11 @@ fn mcast_run(
     net.set_default_link(link);
     let mut sim: Sim<GcMsg<String>> = Sim::with_network(seed, net);
     for i in 0..n {
-        sim.add_actor(
-            NodeId(i),
-            {
-                let mut a = GroupActor::new(NodeId(i), view.clone(), ordering, reliability, Tracer);
-                a.set_tick_interval(SimDuration::from_millis(50));
-                a
-            },
-        );
+        sim.add_actor(NodeId(i), {
+            let mut a = GroupActor::new(NodeId(i), view.clone(), ordering, reliability, Tracer);
+            a.set_tick_interval(SimDuration::from_millis(50));
+            a
+        });
     }
     // Each member multicasts 5 messages; trace issue time via injection
     // markers embedded in the payload.
@@ -96,9 +99,20 @@ pub fn e8_group_comm(seed: u64) -> Vec<Table> {
     let mut table = Table::new(
         "E8",
         "Multicast delivery latency vs ordering and group size (20 ms WAN, reliable)",
-        ["config", "ordering", "group_size", "mean_latency_ms", "coverage"],
+        [
+            "config",
+            "ordering",
+            "group_size",
+            "mean_latency_ms",
+            "coverage",
+        ],
     );
-    for ordering in [Ordering::Unordered, Ordering::Fifo, Ordering::Causal, Ordering::Total] {
+    for ordering in [
+        Ordering::Unordered,
+        Ordering::Fifo,
+        Ordering::Causal,
+        Ordering::Total,
+    ] {
         for &n in &[4u32, 16] {
             let (latency, coverage) = mcast_latency_run(ordering, n, seed);
             table.push_row([
@@ -130,7 +144,12 @@ pub fn e8_group_comm(seed: u64) -> Vec<Table> {
     let mut ablation = Table::new(
         "E8d",
         "Ablation: multicast coverage vs loss rate, best-effort vs reliable (8 members)",
-        ["config", "loss_pct", "best_effort_coverage", "reliable_coverage"],
+        [
+            "config",
+            "loss_pct",
+            "best_effort_coverage",
+            "reliable_coverage",
+        ],
     );
     for &loss in &[0.0f64, 0.05, 0.15] {
         let link = LinkSpec {
@@ -345,7 +364,9 @@ mod tests {
         // Reliable multicast delivered everything everywhere despite loss.
         for ordering in ["Unordered", "Fifo", "Causal", "Total"] {
             for n in [4, 16] {
-                let c = t.cell_f64(&format!("{ordering}/n={n}"), "coverage").unwrap();
+                let c = t
+                    .cell_f64(&format!("{ordering}/n={n}"), "coverage")
+                    .unwrap();
                 assert_eq!(c, 1.0, "{ordering}/n={n} coverage");
             }
         }
@@ -358,9 +379,15 @@ mod tests {
         let tight_completed = rpc.cell_f64("10", "completed").unwrap();
         let tight_timeouts = rpc.cell_f64("10", "timed_out").unwrap();
         let loose_completed = rpc.cell_f64("200", "completed").unwrap();
-        assert_eq!(tight_completed, 0.0, "10ms deadline under a 40ms RTT cannot complete");
+        assert_eq!(
+            tight_completed, 0.0,
+            "10ms deadline under a 40ms RTT cannot complete"
+        );
         assert_eq!(tight_timeouts, 10.0);
-        assert!(loose_completed >= 9.0, "a generous deadline completes (modulo rare loss): {loose_completed}");
+        assert!(
+            loose_completed >= 9.0,
+            "a generous deadline completes (modulo rare loss): {loose_completed}"
+        );
     }
 
     #[test]

@@ -72,8 +72,15 @@ pub fn e6_qos_streams(seed: u64) -> Vec<Table> {
             })
             .unwrap_or(0.0);
         table.push_row([
-            if adaptive { "with-renegotiation" } else { "no-renegotiation" }.to_owned(),
-            sim.metrics().counter("stream.violation_reports").to_string(),
+            if adaptive {
+                "with-renegotiation"
+            } else {
+                "no-renegotiation"
+            }
+            .to_owned(),
+            sim.metrics()
+                .counter("stream.violation_reports")
+                .to_string(),
             source.renegotiations().to_string(),
             source.contract().throughput_fps.to_string(),
             format!("{:.1}", sink.sink().integrity() * 100.0),
@@ -96,7 +103,10 @@ pub fn e6_qos_streams(seed: u64) -> Vec<Table> {
         };
         let contract = QosSpec::video();
         let source = MediaSource::new(StreamId(0), MediaKind::Video, 25, 4_000);
-        sim.add_actor(NodeId(0), SourceActor::new(source, vec![NodeId(1)], contract));
+        sim.add_actor(
+            NodeId(0),
+            SourceActor::new(source, vec![NodeId(1)], contract),
+        );
         let sink = MediaSink::new(StreamId(0), SimDuration::from_millis(120));
         let monitor = QosMonitor::new(contract, SimDuration::from_secs(1));
         sim.add_actor(NodeId(1), SinkActor::new(sink, monitor, NodeId(0)));
@@ -145,7 +155,12 @@ pub fn e7_media_sync(seed: u64) -> Vec<Table> {
             .max()
             .unwrap_or(0);
         table.push_row([
-            if correct { "continuous-sync" } else { "no-sync" }.to_owned(),
+            if correct {
+                "continuous-sync"
+            } else {
+                "no-sync"
+            }
+            .to_owned(),
             samples.len().to_string(),
             format!("{:.1}", ls.max_abs_skew() as f64 / 1_000.0),
             format!("{:.1}", tail_max as f64 / 1_000.0),
@@ -163,7 +178,10 @@ pub fn e7_media_sync(seed: u64) -> Vec<Table> {
     let mut rng = DetRng::seed_from(seed);
     for k in 0..50u64 {
         // Captions at arbitrary (non-tick-aligned) instants.
-        es.schedule(format!("caption-{k}"), SimTime::from_micros(k * 333_337 + rng.range_u64(0, 20_000)));
+        es.schedule(
+            format!("caption-{k}"),
+            SimTime::from_micros(k * 333_337 + rng.range_u64(0, 20_000)),
+        );
     }
     let mut fired = 0;
     let mut now = SimTime::ZERO;
@@ -213,7 +231,11 @@ fn run_lipsync(seed: u64, correct: bool) -> LipSync {
             let frame = Frame {
                 stream: StreamId(if is_master { 0 } else { 1 }),
                 seq,
-                kind: if is_master { MediaKind::Audio } else { MediaKind::Video },
+                kind: if is_master {
+                    MediaKind::Audio
+                } else {
+                    MediaKind::Video
+                },
                 captured: SimTime::from_micros(seq * 40_000),
                 bytes: 1_000,
             };
@@ -243,7 +265,10 @@ mod tests {
         let adaptive_fps = t.cell_f64("with-renegotiation", "final_fps").unwrap();
         assert!(adaptive_fps < 25.0, "rate was negotiated down");
         let fixed_integrity = t.cell_f64("no-renegotiation", "integrity_pct").unwrap();
-        assert!(fixed_integrity < 90.0, "unmanaged stream integrity collapses: {fixed_integrity}");
+        assert!(
+            fixed_integrity < 90.0,
+            "unmanaged stream integrity collapses: {fixed_integrity}"
+        );
     }
 
     #[test]
@@ -251,7 +276,9 @@ mod tests {
         let tables = e6_qos_streams(11);
         let r = &tables[1];
         assert_eq!(r.id, "E6b");
-        let downs = r.cell_f64("outage-then-recovery", "renegotiations_down").unwrap();
+        let downs = r
+            .cell_f64("outage-then-recovery", "renegotiations_down")
+            .unwrap();
         let ups = r.cell_f64("outage-then-recovery", "upgrades").unwrap();
         let final_fps = r.cell_f64("outage-then-recovery", "final_fps").unwrap();
         assert!(downs >= 1.0, "degraded during the outage");
@@ -265,8 +292,14 @@ mod tests {
         let t = &tables[0];
         let raw_tail = t.cell_f64("no-sync", "tail_max_skew_ms").unwrap();
         let sync_tail = t.cell_f64("continuous-sync", "tail_max_skew_ms").unwrap();
-        assert!(raw_tail > 80.0, "uncorrected skew exceeds the lip-sync budget: {raw_tail}");
-        assert!(sync_tail <= 80.0, "controller keeps skew inside budget: {sync_tail}");
+        assert!(
+            raw_tail > 80.0,
+            "uncorrected skew exceeds the lip-sync budget: {raw_tail}"
+        );
+        assert!(
+            sync_tail <= 80.0,
+            "controller keeps skew inside budget: {sync_tail}"
+        );
         let corrections = t.cell_f64("continuous-sync", "corrections").unwrap();
         assert!(corrections >= 1.0);
         // Event-driven skew is bounded by the tick.

@@ -92,9 +92,19 @@ pub fn e10_mobility(seed: u64) -> Vec<Table> {
     let mut levels = Table::new(
         "E10b",
         "Operation service source by connectivity level (30 ops each)",
-        ["level", "served_by_server", "served_by_cache", "logged", "unavailable"],
+        [
+            "level",
+            "served_by_server",
+            "served_by_cache",
+            "logged",
+            "unavailable",
+        ],
     );
-    for level in [Connectivity::Full, Connectivity::Partial, Connectivity::Disconnected] {
+    for level in [
+        Connectivity::Full,
+        Connectivity::Partial,
+        Connectivity::Disconnected,
+    ] {
         let mut rng = DetRng::seed_from(seed ^ 0xbeef);
         let mut server = ObjectStore::new();
         for o in 0..10u64 {
@@ -149,7 +159,10 @@ mod tests {
         );
         // Availability stays high thanks to hoarding, but below 100%.
         let avail = t.cell_f64("60", "availability_pct").unwrap();
-        assert!(avail > 60.0 && avail <= 100.0, "graceful degradation: {avail}");
+        assert!(
+            avail > 60.0 && avail <= 100.0,
+            "graceful degradation: {avail}"
+        );
         let bulk = t.cell_f64("120", "bulk_update_bytes").unwrap();
         assert!(bulk > 0.0, "reconnection performs a bulk update");
     }
@@ -159,8 +172,15 @@ mod tests {
         let tables = e10_mobility(21);
         let t = &tables[1];
         assert_eq!(t.cell_f64("Full", "unavailable").unwrap(), 0.0);
-        assert_eq!(t.cell_f64("Full", "logged").unwrap(), 0.0, "full writes through");
-        assert!(t.cell_f64("Partial", "logged").unwrap() > 0.0, "partial logs writes");
+        assert_eq!(
+            t.cell_f64("Full", "logged").unwrap(),
+            0.0,
+            "full writes through"
+        );
+        assert!(
+            t.cell_f64("Partial", "logged").unwrap() > 0.0,
+            "partial logs writes"
+        );
         assert!(
             t.cell_f64("Disconnected", "unavailable").unwrap() > 0.0,
             "unhoarded objects are unreachable offline"

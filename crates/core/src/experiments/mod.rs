@@ -55,7 +55,12 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: impl IntoIterator<Item = impl Into<String>>) {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 

@@ -78,8 +78,11 @@ pub fn e9_placement(seed: u64) -> Vec<Table> {
     for n in 0..3 {
         reg.create_capsule(NodeId(n));
     }
-    let cluster = reg.create_cluster(odp_mgmt::model::CapsuleId(0)).expect("capsule exists");
-    reg.create_object(ManagedObjectId(1), cluster, 2_000_000).expect("cluster exists");
+    let cluster = reg
+        .create_cluster(odp_mgmt::model::CapsuleId(0))
+        .expect("capsule exists");
+    reg.create_object(ManagedObjectId(1), cluster, 2_000_000)
+        .expect("cluster exists");
     let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
     mgr.set_home(cluster, NodeId(0));
     // Phase 1: Lancaster-heavy usage.
@@ -132,9 +135,16 @@ mod tests {
         let minmax_worst = t.cell_f64("GroupMinMax", "worst_rtt_ms").unwrap();
         let static_worst = t.cell_f64("StaticHome", "worst_rtt_ms").unwrap();
         assert!(mean_mean < static_mean, "group-mean lowers mean response");
-        assert!(minmax_worst < static_worst, "group-minmax bounds the worst site");
+        assert!(
+            minmax_worst < static_worst,
+            "group-minmax bounds the worst site"
+        );
         assert_eq!(t.cell("StaticHome", "chosen_node"), Some("n0"));
-        assert_eq!(t.cell("GroupMean", "chosen_node"), Some("n1"), "follow the users");
+        assert_eq!(
+            t.cell("GroupMean", "chosen_node"),
+            Some("n1"),
+            "follow the users"
+        );
     }
 
     #[test]

@@ -19,9 +19,11 @@ use super::Table;
 
 fn configured_workspace(n: u32) -> SharedWorkspace {
     let mut ws = SharedWorkspace::new();
-    ws.policy_mut().add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
+    ws.policy_mut()
+        .add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
     for i in 0..n {
-        ws.policy_mut().assign(odp_access::matrix::Subject(i), RoleId(1));
+        ws.policy_mut()
+            .assign(odp_access::matrix::Subject(i), RoleId(1));
         ws.register_observer(NodeId(i), 0.0);
     }
     ws.create_artefact(ObjectId(1), "shared/1", "v0");
@@ -54,7 +56,10 @@ pub fn e13_replicated_workspace(seed: u64) -> Vec<Table> {
         net.set_default_link(link);
         let mut sim: Sim<GcMsg<WsOp>> = Sim::with_network(seed, net);
         for i in 0..n {
-            sim.add_actor(NodeId(i), replica_actor(NodeId(i), view.clone(), configured_workspace(n)));
+            sim.add_actor(
+                NodeId(i),
+                replica_actor(NodeId(i), view.clone(), configured_workspace(n)),
+            );
         }
         for i in 0..n {
             for w in 0..writes_each {
@@ -124,7 +129,11 @@ mod tests {
         }
         // Awareness per replica = total_writes × (n − 1) observers.
         let aware8 = t.cell_f64("8", "awareness_per_replica").unwrap();
-        assert_eq!(aware8, (8.0 * 4.0) * 7.0, "every edit notifies every non-actor");
+        assert_eq!(
+            aware8,
+            (8.0 * 4.0) * 7.0,
+            "every edit notifies every non-actor"
+        );
         // Convergence time is finite and grows (weakly) with group size.
         let c2 = t.cell_f64("2", "convergence_ms").unwrap();
         let c8 = t.cell_f64("8", "convergence_ms").unwrap();

@@ -19,7 +19,9 @@ use std::collections::HashMap;
 use odp_concurrency::floor::{FloorControl, FloorEvent, FloorPolicy};
 use odp_concurrency::granularity::Granularity;
 use odp_concurrency::jupiter::{OpMsg, OtClient, OtServer};
-use odp_concurrency::locks::{ClientId, LockMode, LockReply, LockScheme, LockTable, NoticeKind, ResourceId};
+use odp_concurrency::locks::{
+    ClientId, LockMode, LockReply, LockScheme, LockTable, NoticeKind, ResourceId,
+};
 use odp_concurrency::ot::CharOp;
 use odp_concurrency::store::{ObjectId, ObjectStore};
 use odp_concurrency::twophase::{OpKind, SubmitReply, TxnEvent, TxnId, TxnManager, TxnOp};
@@ -260,7 +262,13 @@ impl SchemeServer {
             for &peer in &self.clients {
                 if peer != by {
                     ctx.metrics().incr("cc.notices_sent");
-                    ctx.send(peer, CcMsg::Notice { tag: tag.clone(), by: by.0 });
+                    ctx.send(
+                        peer,
+                        CcMsg::Notice {
+                            tag: tag.clone(),
+                            by: by.0,
+                        },
+                    );
                 }
             }
         }
@@ -285,7 +293,11 @@ impl SchemeServer {
         let mut acks: Vec<(NodeId, u64)> = Vec::new();
         let mut txn_events: Vec<TxnEvent> = Vec::new();
         match &mut self.state {
-            ServerState::TwoPhase { tm, sessions, blocked } => {
+            ServerState::TwoPhase {
+                tm,
+                sessions,
+                blocked,
+            } => {
                 let txn = if begin {
                     let t = tm.begin();
                     sessions.insert(from, t);
@@ -315,11 +327,20 @@ impl SchemeServer {
                     Err(e) => ctx.trace("cc.error", e.to_string()),
                 }
             }
-            ServerState::Locks { table, store, blocked } => {
+            ServerState::Locks {
+                table,
+                store,
+                blocked,
+            } => {
                 let resource = Self::unit_resource();
                 let client = ClientId(from.0);
                 let insert_at = |store: &ObjectStore, pos: usize| {
-                    pos.min(store.read(DOC).map(|v| v.value.chars().count()).unwrap_or(0))
+                    pos.min(
+                        store
+                            .read(DOC)
+                            .map(|v| v.value.chars().count())
+                            .unwrap_or(0),
+                    )
                 };
                 if begin {
                     let (reply, notices) =
@@ -379,9 +400,16 @@ impl SchemeServer {
                 // OT clients edit locally and use CcMsg::OtOp instead.
                 ctx.trace("cc.error", "burst message to OT server".to_owned());
             }
-            ServerState::Floor { floor, store, blocked } => {
+            ServerState::Floor {
+                floor,
+                store,
+                blocked,
+            } => {
                 let client = ClientId(from.0);
-                let len = store.read(DOC).map(|v| v.value.chars().count()).unwrap_or(0);
+                let len = store
+                    .read(DOC)
+                    .map(|v| v.value.chars().count())
+                    .unwrap_or(0);
                 if begin && floor.holder() != Some(client) {
                     let events = floor.request(client, ctx.now());
                     let granted_now = events
@@ -429,7 +457,10 @@ impl SchemeServer {
                 }
                 TxnEvent::TxnAborted { txn, .. } => {
                     ctx.metrics().incr("cc.aborts");
-                    if let ServerState::TwoPhase { blocked, sessions, .. } = &mut self.state {
+                    if let ServerState::TwoPhase {
+                        blocked, sessions, ..
+                    } = &mut self.state
+                    {
                         blocked.remove(&txn);
                         sessions.retain(|_, &mut t| t != txn);
                     }
@@ -493,7 +524,10 @@ impl SchemeServer {
     ) {
         match &mut self.state {
             ServerState::Locks { store, .. } | ServerState::Floor { store, .. } => {
-                let len = store.read(DOC).map(|v| v.value.chars().count()).unwrap_or(0);
+                let len = store
+                    .read(DOC)
+                    .map(|v| v.value.chars().count())
+                    .unwrap_or(0);
                 let _ = store.insert(DOC, pos.min(len), text);
             }
             _ => {}
@@ -513,8 +547,12 @@ impl Actor<CcMsg> for SchemeServer {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, CcMsg>, from: NodeId, msg: CcMsg) {
         match msg {
-            CcMsg::BurstBegin { op, pos, text } => self.handle_burst(ctx, from, op, pos, text, true),
-            CcMsg::BurstEdit { op, pos, text } => self.handle_burst(ctx, from, op, pos, text, false),
+            CcMsg::BurstBegin { op, pos, text } => {
+                self.handle_burst(ctx, from, op, pos, text, true)
+            }
+            CcMsg::BurstEdit { op, pos, text } => {
+                self.handle_burst(ctx, from, op, pos, text, false)
+            }
             CcMsg::BurstEnd { op } => self.handle_end(ctx, from, op),
             CcMsg::Poll { since } => {
                 let entries: Vec<(u64, String)> = self
@@ -523,10 +561,13 @@ impl Actor<CcMsg> for SchemeServer {
                     .filter(|(v, _)| *v > since)
                     .cloned()
                     .collect();
-                ctx.send(from, CcMsg::PollReply {
-                    version: self.version,
-                    entries,
-                });
+                ctx.send(
+                    from,
+                    CcMsg::PollReply {
+                        version: self.version,
+                        entries,
+                    },
+                );
             }
             CcMsg::OtOp { tag, msg } => {
                 if let ServerState::Ot { server } = &mut self.state {
@@ -540,10 +581,13 @@ impl Actor<CcMsg> for SchemeServer {
                             }
                             for (client, relay) in fanout {
                                 ctx.metrics().incr("cc.notices_sent");
-                                ctx.send(NodeId(client), CcMsg::OtRelay {
-                                    tag: tag.clone(),
-                                    msg: relay,
-                                });
+                                ctx.send(
+                                    NodeId(client),
+                                    CcMsg::OtRelay {
+                                        tag: tag.clone(),
+                                        msg: relay,
+                                    },
+                                );
                             }
                         }
                         Err(e) => ctx.trace("cc.error", e.to_string()),
@@ -759,9 +803,12 @@ impl Actor<CcMsg> for SchemeClient {
                 self.issue_edit(ctx);
             }
             T_POLL => {
-                ctx.send(self.config.server, CcMsg::Poll {
-                    since: self.last_version_seen,
-                });
+                ctx.send(
+                    self.config.server,
+                    CcMsg::Poll {
+                        since: self.last_version_seen,
+                    },
+                );
                 ctx.set_timer(self.config.poll_every, T_POLL);
             }
             _ => {}
@@ -834,7 +881,10 @@ mod tests {
             let mut h = tp.metrics().histogram("cc.response").unwrap().clone();
             h.summary().mean
         };
-        assert!(tp_mean >= SimDuration::from_millis(90), "2PL pays RTTs: {tp_mean}");
+        assert!(
+            tp_mean >= SimDuration::from_millis(90),
+            "2PL pays RTTs: {tp_mean}"
+        );
     }
 
     #[test]
@@ -844,16 +894,26 @@ mod tests {
         let pairs = soft.trace().cause_effect_pairs("op.issued", "op.seen");
         assert!(!pairs.is_empty(), "soft locks flow awareness");
         let tp = run_scheme(Scheme::TwoPhase, 3, 10, 7);
-        assert_eq!(tp.metrics().counter("cc.notices_sent"), 0, "walls: no awareness push");
+        assert_eq!(
+            tp.metrics().counter("cc.notices_sent"),
+            0,
+            "walls: no awareness push"
+        );
         // ...but polling eventually reveals the edits.
         let poll_pairs = tp.trace().cause_effect_pairs("op.issued", "op.seen");
-        assert!(!poll_pairs.is_empty(), "polling still reveals changes eventually");
+        assert!(
+            !poll_pairs.is_empty(),
+            "polling still reveals changes eventually"
+        );
     }
 
     #[test]
     fn twophase_blocks_under_contention() {
         let sim = run_scheme(Scheme::TwoPhase, 4, 10, 9);
-        assert!(sim.metrics().counter("cc.blocked") > 0, "bursts collide on the document lock");
+        assert!(
+            sim.metrics().counter("cc.blocked") > 0,
+            "bursts collide on the document lock"
+        );
     }
 
     #[test]

@@ -13,9 +13,11 @@ use super::Table;
 
 fn workspace_for(participants: &[NodeId]) -> SharedWorkspace {
     let mut ws = SharedWorkspace::new();
-    ws.policy_mut().add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
+    ws.policy_mut()
+        .add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
     for &p in participants {
-        ws.policy_mut().assign(odp_access::matrix::Subject(p.0), RoleId(1));
+        ws.policy_mut()
+            .assign(odp_access::matrix::Subject(p.0), RoleId(1));
         ws.register_observer(p, 0.0);
     }
     ws.create_artefact(ObjectId(1), "shared/draft", "outline");
@@ -120,17 +122,31 @@ pub fn e12_transitions(seed: u64) -> Vec<Table> {
     let mut ws = workspace_for(&[a, b]);
 
     // Work synchronously.
-    ws.write(a, ObjectId(1), "draft v1", SimTime::from_secs(1)).expect("write");
-    ws.write(b, ObjectId(1), "draft v2", SimTime::from_secs(2)).expect("write");
+    ws.write(a, ObjectId(1), "draft v1", SimTime::from_secs(1))
+        .expect("write");
+    ws.write(b, ObjectId(1), "draft v2", SimTime::from_secs(2))
+        .expect("write");
     let history_before = ws.history().len();
 
     // Switch to asynchronous working overnight.
     let t1 = session.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(3600));
-    ws.write(a, ObjectId(1), "draft v3 (overnight)", SimTime::from_secs(30_000)).expect("write");
+    ws.write(
+        a,
+        ObjectId(1),
+        "draft v3 (overnight)",
+        SimTime::from_secs(30_000),
+    )
+    .expect("write");
 
     // Reconvene synchronously next morning.
     let t2 = session.switch_mode(SessionMode::SYNC_DISTRIBUTED, SimTime::from_secs(60_000));
-    ws.write(b, ObjectId(1), "draft v4 (reconvened)", SimTime::from_secs(60_100)).expect("write");
+    ws.write(
+        b,
+        ObjectId(1),
+        "draft v4 (reconvened)",
+        SimTime::from_secs(60_100),
+    )
+    .expect("write");
 
     for (label, t) in [("sync->async", &t1), ("async->sync", &t2)] {
         table.push_row([
@@ -142,7 +158,9 @@ pub fn e12_transitions(seed: u64) -> Vec<Table> {
         ]);
     }
     // Continuity: the document carried every phase's work.
-    let (value, _) = ws.read(a, ObjectId(1), SimTime::from_secs(61_000)).expect("read");
+    let (value, _) = ws
+        .read(a, ObjectId(1), SimTime::from_secs(61_000))
+        .expect("read");
     assert!(value.contains("v4"));
     vec![table]
 }
@@ -155,7 +173,9 @@ mod tests {
     fn e1_shape_quadrants_differ_in_the_expected_directions() {
         let tables = e1_space_time_matrix(0);
         let t = &tables[0];
-        let f2f_notif = t.cell_f64("face-to-face interaction", "notification_ms").unwrap();
+        let f2f_notif = t
+            .cell_f64("face-to-face interaction", "notification_ms")
+            .unwrap();
         let sync_dist_notif = t
             .cell_f64("synchronous distributed interaction", "notification_ms")
             .unwrap();
@@ -167,7 +187,9 @@ mod tests {
             async_dist_notif > 1_000_000.0,
             "absence dominates asynchronous notification (hours)"
         );
-        let f2f_resp = t.cell_f64("face-to-face interaction", "response_ms").unwrap();
+        let f2f_resp = t
+            .cell_f64("face-to-face interaction", "response_ms")
+            .unwrap();
         let remote_resp = t
             .cell_f64("synchronous distributed interaction", "response_ms")
             .unwrap();
@@ -183,7 +205,10 @@ mod tests {
             assert_eq!(t.cell(row, "artefacts_kept"), Some("true"));
             assert_eq!(t.cell(row, "history_kept"), Some("true"));
             let cost = t.cell_f64(row, "cost_ms").unwrap();
-            assert!(cost > 0.0 && cost < 1_000.0, "rebind cost is bounded: {cost}");
+            assert!(
+                cost > 0.0 && cost < 1_000.0,
+                "rebind cost is bounded: {cost}"
+            );
         }
     }
 }

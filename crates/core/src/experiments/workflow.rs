@@ -83,7 +83,13 @@ pub fn e11_prescriptiveness() -> Vec<Table> {
 
     let mut free = FreeFormModel::new(items.clone());
     let (fa, rj, rt, done) = run(&mut free);
-    table.push_row(["free-form".to_owned(), fa.to_string(), rj.to_string(), rt.to_string(), done.to_string()]);
+    table.push_row([
+        "free-form".to_owned(),
+        fa.to_string(),
+        rj.to_string(),
+        rt.to_string(),
+        done.to_string(),
+    ]);
 
     let steps: Vec<ProcedureStep> = (0..8)
         .map(|k| ProcedureStep {
@@ -93,14 +99,23 @@ pub fn e11_prescriptiveness() -> Vec<Table> {
         .collect();
     let mut proc = ProcedureModel::new(steps);
     let (fa, rj, rt, done) = run(&mut proc);
-    table.push_row(["office-procedure".to_owned(), fa.to_string(), rj.to_string(), rt.to_string(), done.to_string()]);
+    table.push_row([
+        "office-procedure".to_owned(),
+        fa.to_string(),
+        rj.to_string(),
+        rt.to_string(),
+        done.to_string(),
+    ]);
 
-    let mut speech = SpeechActModel::new(
-        Party(0),
-        (0..8).map(|k| (WorkItem(k), Party(k % 3 + 1))),
-    );
+    let mut speech = SpeechActModel::new(Party(0), (0..8).map(|k| (WorkItem(k), Party(k % 3 + 1))));
     let (fa, rj, rt, done) = run(&mut speech);
-    table.push_row(["speech-act".to_owned(), fa.to_string(), rj.to_string(), rt.to_string(), done.to_string()]);
+    table.push_row([
+        "speech-act".to_owned(),
+        fa.to_string(),
+        rj.to_string(),
+        rt.to_string(),
+        done.to_string(),
+    ]);
 
     vec![table]
 }
@@ -114,17 +129,27 @@ mod tests {
         let tables = e11_prescriptiveness();
         let t = &tables[0];
         for model in ["free-form", "office-procedure", "speech-act"] {
-            assert_eq!(t.cell(model, "completed"), Some("true"), "{model} completed");
+            assert_eq!(
+                t.cell(model, "completed"),
+                Some("true"),
+                "{model} completed"
+            );
         }
         let free_forced = t.cell_f64("free-form", "forced_acts").unwrap();
         let proc_forced = t.cell_f64("office-procedure", "forced_acts").unwrap();
         let speech_forced = t.cell_f64("speech-act", "forced_acts").unwrap();
         assert_eq!(free_forced, 0.0, "informal coordination forces nothing");
-        assert!(speech_forced >= 32.0, "4 speech acts per item minimum: {speech_forced}");
+        assert!(
+            speech_forced >= 32.0,
+            "4 speech acts per item minimum: {speech_forced}"
+        );
         assert!(speech_forced > proc_forced);
         let free_rej = t.cell_f64("free-form", "rejections").unwrap();
         let speech_rej = t.cell_f64("speech-act", "rejections").unwrap();
         assert_eq!(free_rej, 0.0);
-        assert!(speech_rej > 0.0, "deviations are rejected by the formal model");
+        assert!(
+            speech_rej > 0.0,
+            "deviations are rejected by the formal model"
+        );
     }
 }

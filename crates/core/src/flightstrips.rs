@@ -323,20 +323,42 @@ mod tests {
         let mut b = FlightProgressBoard::new();
         b.add_rack(pol());
         for (cs, eta) in [("A1", 300), ("B2", 100), ("C3", 200)] {
-            b.place(NodeId(0), pol(), strip(cs, eta, 330), PlacementMode::Automatic, None, SimTime::ZERO)
-                .unwrap();
+            b.place(
+                NodeId(0),
+                pol(),
+                strip(cs, eta, 330),
+                PlacementMode::Automatic,
+                None,
+                SimTime::ZERO,
+            )
+            .unwrap();
         }
-        let order: Vec<&str> = b.rack(&pol()).unwrap().iter().map(|s| s.callsign.0.as_str()).collect();
+        let order: Vec<&str> = b
+            .rack(&pol())
+            .unwrap()
+            .iter()
+            .map(|s| s.callsign.0.as_str())
+            .collect();
         assert_eq!(order, vec!["B2", "C3", "A1"]);
-        assert!(b.attention().is_empty(), "automation is silent — the design risk");
+        assert!(
+            b.attention().is_empty(),
+            "automation is silent — the design risk"
+        );
     }
 
     #[test]
     fn manual_placement_draws_attention() {
         let mut b = FlightProgressBoard::new();
         b.add_rack(pol());
-        b.place(NodeId(3), pol(), strip("A1", 300, 330), PlacementMode::Manual, Some(0), SimTime::from_secs(5))
-            .unwrap();
+        b.place(
+            NodeId(3),
+            pol(),
+            strip("A1", 300, 330),
+            PlacementMode::Manual,
+            Some(0),
+            SimTime::from_secs(5),
+        )
+        .unwrap();
         assert_eq!(b.attention().len(), 1);
         assert_eq!(b.attention()[0].by, NodeId(3));
     }
@@ -346,12 +368,30 @@ mod tests {
         let mut b = FlightProgressBoard::new();
         b.add_rack(pol());
         for (cs, eta) in [("A1", 100), ("B2", 200)] {
-            b.place(NodeId(0), pol(), strip(cs, eta, 330), PlacementMode::Automatic, None, SimTime::ZERO)
-                .unwrap();
-        }
-        b.reorder(NodeId(1), &pol(), &Callsign("B2".into()), 0, SimTime::from_secs(9))
+            b.place(
+                NodeId(0),
+                pol(),
+                strip(cs, eta, 330),
+                PlacementMode::Automatic,
+                None,
+                SimTime::ZERO,
+            )
             .unwrap();
-        let order: Vec<&str> = b.rack(&pol()).unwrap().iter().map(|s| s.callsign.0.as_str()).collect();
+        }
+        b.reorder(
+            NodeId(1),
+            &pol(),
+            &Callsign("B2".into()),
+            0,
+            SimTime::from_secs(9),
+        )
+        .unwrap();
+        let order: Vec<&str> = b
+            .rack(&pol())
+            .unwrap()
+            .iter()
+            .map(|s| s.callsign.0.as_str())
+            .collect();
         assert_eq!(order, vec!["B2", "A1"], "out of ETA order on purpose");
         assert_eq!(b.attention().len(), 1);
     }
@@ -360,9 +400,33 @@ mod tests {
     fn conflicts_detect_same_level_close_etas() {
         let mut b = FlightProgressBoard::new();
         b.add_rack(pol());
-        b.place(NodeId(0), pol(), strip("A1", 100, 330), PlacementMode::Automatic, None, SimTime::ZERO).unwrap();
-        b.place(NodeId(0), pol(), strip("B2", 130, 330), PlacementMode::Automatic, None, SimTime::ZERO).unwrap();
-        b.place(NodeId(0), pol(), strip("C3", 135, 350), PlacementMode::Automatic, None, SimTime::ZERO).unwrap();
+        b.place(
+            NodeId(0),
+            pol(),
+            strip("A1", 100, 330),
+            PlacementMode::Automatic,
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        b.place(
+            NodeId(0),
+            pol(),
+            strip("B2", 130, 330),
+            PlacementMode::Automatic,
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        b.place(
+            NodeId(0),
+            pol(),
+            strip("C3", 135, 350),
+            PlacementMode::Automatic,
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let conflicts = b.conflicts(SimDuration::from_secs(60));
         assert_eq!(conflicts.len(), 1, "only the same-level pair conflicts");
         assert_eq!(conflicts[0].1 .0, "A1");
@@ -373,9 +437,19 @@ mod tests {
     fn amendments_accumulate_on_the_strip() {
         let mut b = FlightProgressBoard::new();
         b.add_rack(pol());
-        b.place(NodeId(0), pol(), strip("A1", 100, 330), PlacementMode::Automatic, None, SimTime::ZERO).unwrap();
-        b.amend(&pol(), &Callsign("A1".into()), "descend FL280").unwrap();
-        b.amend(&pol(), &Callsign("A1".into()), "speed 250").unwrap();
+        b.place(
+            NodeId(0),
+            pol(),
+            strip("A1", 100, 330),
+            PlacementMode::Automatic,
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        b.amend(&pol(), &Callsign("A1".into()), "descend FL280")
+            .unwrap();
+        b.amend(&pol(), &Callsign("A1".into()), "speed 250")
+            .unwrap();
         assert_eq!(b.rack(&pol()).unwrap()[0].instructions.len(), 2);
     }
 
@@ -386,10 +460,27 @@ mod tests {
         b.add_rack(pol());
         assert!(b.amend(&pol(), &Callsign("ZZ".into()), "x").is_err());
         assert!(matches!(
-            b.place(NodeId(0), pol(), strip("A1", 1, 1), PlacementMode::Manual, Some(5), SimTime::ZERO),
+            b.place(
+                NodeId(0),
+                pol(),
+                strip("A1", 1, 1),
+                PlacementMode::Manual,
+                Some(5),
+                SimTime::ZERO
+            ),
             Err(BoardError::BadPosition { .. })
         ));
-        b.place(NodeId(0), pol(), strip("A1", 1, 1), PlacementMode::Automatic, None, SimTime::ZERO).unwrap();
-        assert!(b.reorder(NodeId(0), &pol(), &Callsign("A1".into()), 5, SimTime::ZERO).is_err());
+        b.place(
+            NodeId(0),
+            pol(),
+            strip("A1", 1, 1),
+            PlacementMode::Automatic,
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert!(b
+            .reorder(NodeId(0), &pol(), &Callsign("A1".into()), 5, SimTime::ZERO)
+            .is_err());
     }
 }

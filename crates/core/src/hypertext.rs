@@ -87,8 +87,16 @@ impl fmt::Display for HypertextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HypertextError::UnknownNode(n) => write!(f, "unknown node {}", n.0),
-            HypertextError::VersionConflict { node, base, current } => {
-                write!(f, "edit of node {} based on v{base} but current is v{current}", node.0)
+            HypertextError::VersionConflict {
+                node,
+                base,
+                current,
+            } => {
+                write!(
+                    f,
+                    "edit of node {} based on v{base} but current is v{current}",
+                    node.0
+                )
             }
             HypertextError::IllTypedLink { link, from, to } => {
                 write!(f, "{link:?} link not allowed from {from:?} to {to:?}")
@@ -283,7 +291,11 @@ mod tests {
         let err = net.edit_node(n, 0, "from user 2").unwrap_err();
         assert_eq!(
             err,
-            HypertextError::VersionConflict { node: n, base: 0, current: 1 }
+            HypertextError::VersionConflict {
+                node: n,
+                base: 0,
+                current: 1
+            }
         );
         assert_eq!(net.conflicts(), 1);
         // User 2 re-reads and retries.

@@ -15,6 +15,8 @@
 //!   and Sepia work-plan node types;
 //! - [`conference`] — collaboration-transparent (floor controlled) and
 //!   collaboration-aware conferencing;
+//! - [`discovery`] — trader-mediated session discovery: sessions are
+//!   advertised to and joined through the `odp-trader` federation;
 //! - [`rooms`] — the rooms metaphor (offices, meeting rooms, doors);
 //! - [`flightstrips`] — the Lancaster ATC flight-strip board;
 //! - [`outline`] — GROVE-style multi-user outlines with public/shared/
@@ -23,6 +25,7 @@
 //! - [`experiments`] — the derived evaluation suite E1–E12.
 
 pub mod conference;
+pub mod discovery;
 pub mod document;
 pub mod experiments;
 pub mod flightstrips;

@@ -121,13 +121,12 @@ impl Outline {
     ) -> Result<ItemId, OutlineError> {
         let id = ItemId(self.next);
         let siblings_len = match parent {
-            Some(p) => {
-                self.items
-                    .get(&p)
-                    .ok_or(OutlineError::UnknownItem(p))?
-                    .children
-                    .len()
-            }
+            Some(p) => self
+                .items
+                .get(&p)
+                .ok_or(OutlineError::UnknownItem(p))?
+                .children
+                .len(),
             None => self.roots.len(),
         };
         if position > siblings_len {
@@ -148,7 +147,12 @@ impl Outline {
             },
         );
         match parent {
-            Some(p) => self.items.get_mut(&p).expect("checked").children.insert(position, id),
+            Some(p) => self
+                .items
+                .get_mut(&p)
+                .expect("checked")
+                .children
+                .insert(position, id),
             None => self.roots.insert(position, id),
         }
         Ok(id)
@@ -179,7 +183,10 @@ impl Outline {
         id: ItemId,
         visibility: Visibility,
     ) -> Result<(), OutlineError> {
-        let item = self.items.get_mut(&id).ok_or(OutlineError::UnknownItem(id))?;
+        let item = self
+            .items
+            .get_mut(&id)
+            .ok_or(OutlineError::UnknownItem(id))?;
         if item.author != who {
             return Err(OutlineError::NotTheAuthor(who, id));
         }
@@ -209,7 +216,9 @@ impl Outline {
             out: &mut Vec<(ItemId, usize)>,
         ) {
             for id in ids {
-                let Some(item) = outline.items.get(id) else { continue };
+                let Some(item) = outline.items.get(id) else {
+                    continue;
+                };
                 if outline.visible(viewer, item) {
                     out.push((*id, depth));
                     walk(outline, viewer, &item.children, depth + 1, out);
@@ -255,7 +264,12 @@ impl Outline {
         };
         let position = position.min(siblings_len);
         match new_parent {
-            Some(p) => self.items.get_mut(&p).expect("checked").children.insert(position, id),
+            Some(p) => self
+                .items
+                .get_mut(&p)
+                .expect("checked")
+                .children
+                .insert(position, id),
             None => self.roots.insert(position, id),
         }
         Ok(())
@@ -263,7 +277,9 @@ impl Outline {
 
     /// True if `candidate` lies in `ancestor`'s subtree.
     fn is_descendant(&self, candidate: ItemId, ancestor: ItemId) -> bool {
-        let Some(a) = self.items.get(&ancestor) else { return false };
+        let Some(a) = self.items.get(&ancestor) else {
+            return false;
+        };
         a.children
             .iter()
             .any(|&c| c == candidate || self.is_descendant(candidate, c))
@@ -300,9 +316,15 @@ mod tests {
     #[test]
     fn views_respect_visibility() {
         let mut o = Outline::new();
-        let pub1 = o.add_item(NodeId(0), None, 0, "public point", Visibility::Public).unwrap();
-        let priv1 = o.add_item(NodeId(0), None, 1, "my draft thought", Visibility::Private).unwrap();
-        let team = o.add_item(NodeId(1), None, 2, "team-only", shared_with(&[0])).unwrap();
+        let pub1 = o
+            .add_item(NodeId(0), None, 0, "public point", Visibility::Public)
+            .unwrap();
+        let priv1 = o
+            .add_item(NodeId(0), None, 1, "my draft thought", Visibility::Private)
+            .unwrap();
+        let team = o
+            .add_item(NodeId(1), None, 2, "team-only", shared_with(&[0]))
+            .unwrap();
         let v0: Vec<ItemId> = o.view_for(NodeId(0)).into_iter().map(|(i, _)| i).collect();
         assert_eq!(v0, vec![pub1, priv1, team], "author+shared sees all");
         let v2: Vec<ItemId> = o.view_for(NodeId(2)).into_iter().map(|(i, _)| i).collect();
@@ -314,9 +336,17 @@ mod tests {
     #[test]
     fn hidden_items_hide_their_subtrees() {
         let mut o = Outline::new();
-        let secret = o.add_item(NodeId(0), None, 0, "secret section", Visibility::Private).unwrap();
+        let secret = o
+            .add_item(NodeId(0), None, 0, "secret section", Visibility::Private)
+            .unwrap();
         let child = o
-            .add_item(NodeId(0), Some(secret), 0, "public child of secret", Visibility::Public)
+            .add_item(
+                NodeId(0),
+                Some(secret),
+                0,
+                "public child of secret",
+                Visibility::Public,
+            )
             .unwrap();
         let v1 = o.view_for(NodeId(1));
         assert!(v1.is_empty(), "the public child is unreachable: {v1:?}");
@@ -327,21 +357,31 @@ mod tests {
     #[test]
     fn publishing_private_thinking_is_author_only() {
         let mut o = Outline::new();
-        let item = o.add_item(NodeId(0), None, 0, "draft", Visibility::Private).unwrap();
+        let item = o
+            .add_item(NodeId(0), None, 0, "draft", Visibility::Private)
+            .unwrap();
         assert_eq!(
-            o.set_visibility(NodeId(1), item, Visibility::Public).unwrap_err(),
+            o.set_visibility(NodeId(1), item, Visibility::Public)
+                .unwrap_err(),
             OutlineError::NotTheAuthor(NodeId(1), item)
         );
-        o.set_visibility(NodeId(0), item, Visibility::Public).unwrap();
+        o.set_visibility(NodeId(0), item, Visibility::Public)
+            .unwrap();
         assert_eq!(o.view_for(NodeId(1)).len(), 1);
     }
 
     #[test]
     fn depths_follow_the_structure() {
         let mut o = Outline::new();
-        let a = o.add_item(NodeId(0), None, 0, "1", Visibility::Public).unwrap();
-        let b = o.add_item(NodeId(0), Some(a), 0, "1.1", Visibility::Public).unwrap();
-        let c = o.add_item(NodeId(0), Some(b), 0, "1.1.1", Visibility::Public).unwrap();
+        let a = o
+            .add_item(NodeId(0), None, 0, "1", Visibility::Public)
+            .unwrap();
+        let b = o
+            .add_item(NodeId(0), Some(a), 0, "1.1", Visibility::Public)
+            .unwrap();
+        let c = o
+            .add_item(NodeId(0), Some(b), 0, "1.1.1", Visibility::Public)
+            .unwrap();
         let view = o.view_for(NodeId(9));
         assert_eq!(view, vec![(a, 0), (b, 1), (c, 2)]);
     }
@@ -349,15 +389,24 @@ mod tests {
     #[test]
     fn moves_restructure_and_reject_cycles() {
         let mut o = Outline::new();
-        let a = o.add_item(NodeId(0), None, 0, "a", Visibility::Public).unwrap();
-        let b = o.add_item(NodeId(0), None, 1, "b", Visibility::Public).unwrap();
-        let a1 = o.add_item(NodeId(0), Some(a), 0, "a1", Visibility::Public).unwrap();
+        let a = o
+            .add_item(NodeId(0), None, 0, "a", Visibility::Public)
+            .unwrap();
+        let b = o
+            .add_item(NodeId(0), None, 1, "b", Visibility::Public)
+            .unwrap();
+        let a1 = o
+            .add_item(NodeId(0), Some(a), 0, "a1", Visibility::Public)
+            .unwrap();
         // Move a1 under b.
         o.move_item(a1, Some(b), 0).unwrap();
         assert_eq!(o.item(b).unwrap().children, vec![a1]);
         assert!(o.item(a).unwrap().children.is_empty());
         // Move b under its own child a1: cycle.
-        assert_eq!(o.move_item(b, Some(a1), 0).unwrap_err(), OutlineError::WouldCycle(b));
+        assert_eq!(
+            o.move_item(b, Some(a1), 0).unwrap_err(),
+            OutlineError::WouldCycle(b)
+        );
         // Move b to top-level front (a no-op structurally, position 0).
         o.move_item(b, None, 0).unwrap();
         let view: Vec<ItemId> = o.view_for(NodeId(0)).into_iter().map(|(i, _)| i).collect();

@@ -71,8 +71,16 @@ impl WorkspaceReplica {
     }
 
     /// The current value of an artefact at this replica, if readable.
-    pub fn peek(&mut self, reader: NodeId, object: u64, now: odp_sim::time::SimTime) -> Option<String> {
-        self.workspace.read(reader, ObjectId(object), now).ok().map(|(v, _)| v)
+    pub fn peek(
+        &mut self,
+        reader: NodeId,
+        object: u64,
+        now: odp_sim::time::SimTime,
+    ) -> Option<String> {
+        self.workspace
+            .read(reader, ObjectId(object), now)
+            .ok()
+            .map(|(v, _)| v)
     }
 }
 
@@ -89,7 +97,10 @@ impl GroupApp<WsOp> for WorkspaceReplica {
             Some(cmd)
         } else {
             self.rejected += 1;
-            ctx.trace("ws.rejected", format!("actor {} on obj {}", cmd.actor, cmd.object));
+            ctx.trace(
+                "ws.rejected",
+                format!("actor {} on obj {}", cmd.actor, cmd.object),
+            );
             None
         }
     }
@@ -145,7 +156,11 @@ mod tests {
         ws.policy_mut()
             .add_rule(RoleId(2), "shared".into(), Rights::READ, Effect::Allow);
         for i in 0..n {
-            let role = if writers.contains(&i) { RoleId(1) } else { RoleId(2) };
+            let role = if writers.contains(&i) {
+                RoleId(1)
+            } else {
+                RoleId(2)
+            };
             ws.policy_mut().assign(odp_access::matrix::Subject(i), role);
             ws.register_observer(NodeId(i), 0.0);
         }
@@ -244,7 +259,11 @@ mod tests {
         sim.run_for(SimDuration::from_secs(5));
         for i in 0..3u32 {
             // Each replica's awareness engine notified the 2 non-actors.
-            assert_eq!(replica(&sim, i).app().awareness_delivered(), 2, "replica {i}");
+            assert_eq!(
+                replica(&sim, i).app().awareness_delivered(),
+                2,
+                "replica {i}"
+            );
         }
         // Replica errors would indicate configuration divergence.
         assert_eq!(sim.trace().with_label("ws.replica_error").count(), 0);

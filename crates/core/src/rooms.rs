@@ -185,7 +185,11 @@ impl Building {
     /// # Errors
     ///
     /// [`RoomError::UnknownRoom`] if absent.
-    pub fn place_artefact(&mut self, id: RoomId, artefact: impl Into<String>) -> Result<(), RoomError> {
+    pub fn place_artefact(
+        &mut self,
+        id: RoomId,
+        artefact: impl Into<String>,
+    ) -> Result<(), RoomError> {
         self.rooms
             .get_mut(&id)
             .map(|r| {
@@ -248,7 +252,10 @@ mod tests {
         let mut b = Building::new();
         b.create(RoomId(1), RoomKind::Office(0));
         b.set_door(RoomId(1), DoorState::Ajar).unwrap();
-        assert!(b.enter(NodeId(5), RoomId(1)).is_err(), "empty room, nobody to admit you");
+        assert!(
+            b.enter(NodeId(5), RoomId(1)).is_err(),
+            "empty room, nobody to admit you"
+        );
         b.enter(NodeId(0), RoomId(1)).unwrap(); // owner walks in
         b.enter(NodeId(5), RoomId(1)).unwrap(); // now the knock is answered
         assert_eq!(b.occupants(RoomId(1)).unwrap().len(), 2);

@@ -248,7 +248,10 @@ mod tests {
 
     #[test]
     fn quadrant_labels_match_figure_1() {
-        assert_eq!(SessionMode::FACE_TO_FACE.label(), "face-to-face interaction");
+        assert_eq!(
+            SessionMode::FACE_TO_FACE.label(),
+            "face-to-face interaction"
+        );
         assert_eq!(
             SessionMode::ASYNC_DISTRIBUTED.label(),
             "asynchronous distributed interaction"

@@ -155,9 +155,11 @@ impl SharedWorkspace {
         if decision.allowed {
             Ok(())
         } else {
-            Err(WorkspaceError::Denied(
-                self.policy.explain(Subject(who.0), &path, needed),
-            ))
+            Err(WorkspaceError::Denied(self.policy.explain(
+                Subject(who.0),
+                &path,
+                needed,
+            )))
         }
     }
 
@@ -255,9 +257,14 @@ mod tests {
 
     fn workspace() -> SharedWorkspace {
         let mut ws = SharedWorkspace::new();
+        ws.policy_mut().add_rule(
+            RoleId(1),
+            "docs".into(),
+            Rights::READ | Rights::WRITE,
+            Effect::Allow,
+        );
         ws.policy_mut()
-            .add_rule(RoleId(1), "docs".into(), Rights::READ | Rights::WRITE, Effect::Allow);
-        ws.policy_mut().add_rule(RoleId(2), "docs".into(), Rights::READ, Effect::Allow);
+            .add_rule(RoleId(2), "docs".into(), Rights::READ, Effect::Allow);
         ws.policy_mut().assign(Subject(0), RoleId(1));
         ws.policy_mut().assign(Subject(1), RoleId(2));
         ws.create_artefact(ObjectId(1), "docs/plan", "v1");
@@ -295,7 +302,8 @@ mod tests {
     fn history_records_everything_in_order() {
         let mut ws = workspace();
         ws.write(NodeId(0), ObjectId(1), "v2", NOW).unwrap();
-        ws.read(NodeId(1), ObjectId(1), SimTime::from_secs(1)).unwrap();
+        ws.read(NodeId(1), ObjectId(1), SimTime::from_secs(1))
+            .unwrap();
         let h = ws.history();
         assert_eq!(h.len(), 2);
         assert_eq!(h[0].kind, ActivityKind::Edit);
@@ -308,8 +316,10 @@ mod tests {
         let mut ws = workspace();
         ws.create_artefact(ObjectId(2), "docs/notes", "n");
         ws.write(NodeId(0), ObjectId(1), "a", NOW).unwrap();
-        ws.write(NodeId(0), ObjectId(2), "b", SimTime::from_secs(1)).unwrap();
-        ws.write(NodeId(0), ObjectId(1), "c", SimTime::from_secs(2)).unwrap();
+        ws.write(NodeId(0), ObjectId(2), "b", SimTime::from_secs(1))
+            .unwrap();
+        ws.write(NodeId(0), ObjectId(1), "c", SimTime::from_secs(2))
+            .unwrap();
         let glance = ws.at_a_glance();
         assert_eq!(glance.len(), 2);
         let plan = glance.iter().find(|e| e.artefact == "docs/plan").unwrap();

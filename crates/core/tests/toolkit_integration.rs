@@ -20,7 +20,9 @@ fn conference_lives_inside_a_session() {
     let mut session = Session::new(SessionId(3), SessionMode::SYNC_DISTRIBUTED);
     let mut conf = TransparentConference::new(FloorPolicy::RequestQueue);
     for n in 0..3u32 {
-        session.join(NodeId(n), SimTime::ZERO).expect("fresh member");
+        session
+            .join(NodeId(n), SimTime::ZERO)
+            .expect("fresh member");
         conf.join(NodeId(n));
     }
     session.share("whiteboard");
@@ -30,7 +32,11 @@ fn conference_lives_inside_a_session() {
     // The meeting ends; work continues asynchronously on the same session.
     let t = session.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(3_600));
     assert!(t.cost > SimDuration::ZERO);
-    assert_eq!(session.artefacts(), vec!["whiteboard"], "artefact survives the mode switch");
+    assert_eq!(
+        session.artefacts(),
+        vec!["whiteboard"],
+        "artefact survives the mode switch"
+    );
     assert_eq!(conf.app_log().len(), 1, "the synchronous work is on record");
 }
 
@@ -41,7 +47,10 @@ fn flight_strip_attention_is_a_public_record() {
     let mut board = FlightProgressBoard::new();
     let pol = Beacon("POL".into());
     board.add_rack(pol.clone());
-    for (i, (cs, eta)) in [("A1", 300u64), ("B2", 400), ("C3", 500)].iter().enumerate() {
+    for (i, (cs, eta)) in [("A1", 300u64), ("B2", 400), ("C3", 500)]
+        .iter()
+        .enumerate()
+    {
         board
             .place(
                 NodeId(i as u32),
@@ -97,7 +106,13 @@ fn document_flows_through_an_editorial_route() {
     route.perform(author, "submitted").expect("author's turn");
     // The editor spots the typo, attaches a suggestion, and routes back.
     let fix = doc
-        .annotate(NodeId(2), AnnotationKind::Suggestion, (10, 21), "introduction", SimTime::ZERO)
+        .annotate(
+            NodeId(2),
+            AnnotationKind::Suggestion,
+            (10, 21),
+            "introduction",
+            SimTime::ZERO,
+        )
         .expect("anchor in range");
     route.perform(editor, "revise").expect("editor's turn");
     assert_eq!(route.current().expect("route continues").id, StepId(0));

@@ -227,7 +227,13 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
                 payload,
             } => {
                 if let Some(reply) = self.app.on_rpc(ctx, from, call, &payload) {
-                    ctx.send(from, GcMsg::RpcReply { call, payload: reply });
+                    ctx.send(
+                        from,
+                        GcMsg::RpcReply {
+                            call,
+                            payload: reply,
+                        },
+                    );
                 }
                 if let Some(at) = execute_at {
                     let delay = at.saturating_since(ctx.now());
@@ -257,7 +263,8 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
         if tag == TICK {
             let step = self.engine.on_tick(ctx.now());
             if !step.outbound.is_empty() {
-                ctx.metrics().add("gc.retransmissions", step.outbound.len() as u64);
+                ctx.metrics()
+                    .add("gc.retransmissions", step.outbound.len() as u64);
             }
             self.apply_step(ctx, step);
             for outcome in self.rpc.on_tick(ctx.now()) {
@@ -422,7 +429,12 @@ mod tests {
                 self.inner
                     .invoke_rpc_now(ctx, "ping".to_owned(), RpcConfig::default());
             }
-            fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, from: NodeId, m: GcMsg<String>) {
+            fn on_message(
+                &mut self,
+                ctx: &mut Ctx<'_, GcMsg<String>>,
+                from: NodeId,
+                m: GcMsg<String>,
+            ) {
                 self.inner.on_message(ctx, from, m);
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {
@@ -478,7 +490,12 @@ mod tests {
                     },
                 );
             }
-            fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, from: NodeId, m: GcMsg<String>) {
+            fn on_message(
+                &mut self,
+                ctx: &mut Ctx<'_, GcMsg<String>>,
+                from: NodeId,
+                m: GcMsg<String>,
+            ) {
                 self.inner.on_message(ctx, from, m);
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {

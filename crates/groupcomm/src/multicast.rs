@@ -279,7 +279,8 @@ impl<P: Clone> GroupEngine<P> {
     /// dropped. (A full virtual-synchrony flush is out of scope; callers
     /// should quiesce traffic around view changes.)
     pub fn install_view(&mut self, view: View) {
-        self.fifo_holdback.retain(|(origin, _), _| view.contains(*origin));
+        self.fifo_holdback
+            .retain(|(origin, _), _| view.contains(*origin));
         self.causal_holdback.retain(|m| view.contains(m.id.origin));
         self.view = view;
     }
@@ -426,7 +427,8 @@ impl<P: Clone> GroupEngine<P> {
                 });
             }
             Ordering::Fifo => {
-                self.fifo_holdback.insert((data.id.origin, data.id.seq), data);
+                self.fifo_holdback
+                    .insert((data.id.origin, data.id.seq), data);
                 step.merge(self.try_deliver_fifo());
             }
             Ordering::Causal => {

@@ -322,7 +322,9 @@ mod tests {
             SimDuration::from_millis(50),
             Quorum::All,
         );
-        assert!(rpc.on_reply(call, NodeId(9), "not-a-target", t(1)).is_none());
+        assert!(rpc
+            .on_reply(call, NodeId(9), "not-a-target", t(1))
+            .is_none());
         assert!(rpc.on_reply(99, NodeId(1), "unknown-call", t(1)).is_none());
         assert_eq!(rpc.in_flight(), 1);
     }

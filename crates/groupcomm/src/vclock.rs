@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn fresh_clocks_are_equal() {
-        assert_eq!(VectorClock::new().compare(&VectorClock::new()), Causality::Equal);
+        assert_eq!(
+            VectorClock::new().compare(&VectorClock::new()),
+            Causality::Equal
+        );
     }
 
     #[test]

@@ -25,7 +25,13 @@ fn build(n: u32, seed: u64, reliability: Reliability) -> (Sim<GcMsg<String>>, Vi
     net.set_default_link(LinkSpec::lan());
     let mut sim = Sim::with_network(seed, net);
     for i in 0..n {
-        let mut a = GroupActor::new(NodeId(i), view.clone(), Ordering::Fifo, reliability, Collector::default());
+        let mut a = GroupActor::new(
+            NodeId(i),
+            view.clone(),
+            Ordering::Fifo,
+            reliability,
+            Collector::default(),
+        );
         a.set_tick_interval(SimDuration::from_millis(50));
         sim.add_actor(NodeId(i), a);
     }
@@ -60,9 +66,16 @@ fn reliable_multicast_survives_a_partition() {
     // Run until just before healing: the far side has nothing.
     sim.run_until(SimTime::from_millis(5_900));
     let far: &GroupActor<String, Collector> = sim.actor(NodeId(2)).expect("actor");
-    assert!(far.app().got.is_empty(), "partitioned node must not have the messages yet");
+    assert!(
+        far.app().got.is_empty(),
+        "partitioned node must not have the messages yet"
+    );
     let near: &GroupActor<String, Collector> = sim.actor(NodeId(1)).expect("actor");
-    assert_eq!(near.app().got.len(), 5, "same-side node received everything");
+    assert_eq!(
+        near.app().got.len(),
+        5,
+        "same-side node received everything"
+    );
     // After healing, retransmission delivers everything, in FIFO order.
     sim.run_for(SimDuration::from_secs(60));
     for i in [2u32, 3] {
@@ -93,7 +106,10 @@ fn best_effort_multicast_loses_partition_messages() {
     }
     sim.run_for(SimDuration::from_secs(60));
     let far: &GroupActor<String, Collector> = sim.actor(NodeId(2)).expect("actor");
-    assert!(far.app().got.is_empty(), "best effort never recovers the loss");
+    assert!(
+        far.app().got.is_empty(),
+        "best effort never recovers the loss"
+    );
 }
 
 /// A view change installed on live actors: the departed member stops
@@ -104,7 +120,12 @@ fn live_view_change_reconfigures_the_group() {
     let mut membership = Membership::new();
     membership.create(GroupId(0), view0.members.iter().copied());
     // First message reaches everyone.
-    sim.inject(SimTime::from_millis(100), NodeId(0), NodeId(0), GcMsg::AppCmd("before".into()));
+    sim.inject(
+        SimTime::from_millis(100),
+        NodeId(0),
+        NodeId(0),
+        GcMsg::AppCmd("before".into()),
+    );
     sim.run_until(SimTime::from_millis(500));
     // Node 2 leaves: install the new view on the remaining members.
     let view1 = membership.leave(GroupId(0), NodeId(2)).expect("member");
@@ -116,11 +137,23 @@ fn live_view_change_reconfigures_the_group() {
             GcMsg::InstallView(view1.clone()),
         );
     }
-    sim.inject(SimTime::from_millis(800), NodeId(0), NodeId(0), GcMsg::AppCmd("after".into()));
+    sim.inject(
+        SimTime::from_millis(800),
+        NodeId(0),
+        NodeId(0),
+        GcMsg::AppCmd("after".into()),
+    );
     sim.run_for(SimDuration::from_secs(5));
     let stayer: &GroupActor<String, Collector> = sim.actor(NodeId(1)).expect("actor");
-    assert_eq!(stayer.app().got, vec!["before".to_owned(), "after".to_owned()]);
+    assert_eq!(
+        stayer.app().got,
+        vec!["before".to_owned(), "after".to_owned()]
+    );
     let leaver: &GroupActor<String, Collector> = sim.actor(NodeId(2)).expect("actor");
-    assert_eq!(leaver.app().got, vec!["before".to_owned()], "no traffic after leaving");
+    assert_eq!(
+        leaver.app().got,
+        vec!["before".to_owned()],
+        "no traffic after leaving"
+    );
     assert_eq!(sim.trace().with_label("gc.view_installed").count(), 2);
 }

@@ -42,7 +42,13 @@ fn run(
     let mut sim = Sim::with_network(seed, net);
     sim.trace_mut().disable();
     for i in 0..n {
-        let mut actor = GroupActor::new(NodeId(i), view.clone(), ordering, reliability, Collector::default());
+        let mut actor = GroupActor::new(
+            NodeId(i),
+            view.clone(),
+            ordering,
+            reliability,
+            Collector::default(),
+        );
         actor.set_tick_interval(SimDuration::from_millis(25));
         sim.add_actor(NodeId(i), actor);
     }

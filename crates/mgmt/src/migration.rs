@@ -125,8 +125,10 @@ impl MigrationManager {
         let usage = self.usage.entry(cluster).or_default();
         let home = self.homes.get(&cluster).copied().unwrap_or(current);
         let candidates = registry.candidate_nodes();
-        let Placement { node: target, cost_us: cost_after } =
-            place(self.policy, usage, &candidates, home, latency);
+        let Placement {
+            node: target,
+            cost_us: cost_after,
+        } = place(self.policy, usage, &candidates, home, latency);
         if target == current {
             return Ok(None);
         }
@@ -170,7 +172,8 @@ mod tests {
         }
         let cap0 = crate::model::CapsuleId(0);
         let cluster = reg.create_cluster(cap0).unwrap();
-        reg.create_object(ManagedObjectId(1), cluster, 1_000_000).unwrap();
+        reg.create_object(ManagedObjectId(1), cluster, 1_000_000)
+            .unwrap();
         (reg, cluster)
     }
 
@@ -213,9 +216,12 @@ mod tests {
         let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
         mgr.set_home(cluster, NodeId(0));
         mgr.record_access(cluster, NodeId(2), 100);
-        mgr.evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO).unwrap();
+        mgr.evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO)
+            .unwrap();
         // Same usage again: already at the optimum, no further event.
-        let again = mgr.evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO).unwrap();
+        let again = mgr
+            .evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO)
+            .unwrap();
         assert!(again.is_none());
         assert_eq!(mgr.events().len(), 1);
     }

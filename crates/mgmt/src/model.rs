@@ -215,7 +215,9 @@ mod tests {
         assert!(reg.create_cluster(CapsuleId(9)).is_err());
         let cap = reg.create_capsule(NodeId(0));
         let _ = cap;
-        assert!(reg.create_object(ManagedObjectId(1), ClusterId(9), 1).is_err());
+        assert!(reg
+            .create_object(ManagedObjectId(1), ClusterId(9), 1)
+            .is_err());
         assert!(reg.node_of(ManagedObjectId(1)).is_err());
     }
 

@@ -116,9 +116,7 @@ pub fn place(
             cost_us: score_mean(usage, home, latency),
         },
         PlacementPolicy::GroupMean => best_by(candidates, home, |n| score_mean(usage, n, latency)),
-        PlacementPolicy::GroupMinMax => {
-            best_by(candidates, home, |n| score_max(usage, n, latency))
-        }
+        PlacementPolicy::GroupMinMax => best_by(candidates, home, |n| score_max(usage, n, latency)),
     }
 }
 
@@ -187,7 +185,13 @@ mod tests {
     fn static_home_never_moves() {
         let mut usage = UsagePattern::new();
         usage.record(NodeId(2), 1_000); // everyone is at site 2
-        let p = place(PlacementPolicy::StaticHome, &usage, &nodes(), NodeId(0), &line_latency);
+        let p = place(
+            PlacementPolicy::StaticHome,
+            &usage,
+            &nodes(),
+            NodeId(0),
+            &line_latency,
+        );
         assert_eq!(p.node, NodeId(0), "baseline ignores usage");
         assert_eq!(p.cost_us, 20_000.0);
     }
@@ -197,7 +201,13 @@ mod tests {
         let mut usage = UsagePattern::new();
         usage.record(NodeId(0), 1);
         usage.record(NodeId(2), 10);
-        let p = place(PlacementPolicy::GroupMean, &usage, &nodes(), NodeId(0), &line_latency);
+        let p = place(
+            PlacementPolicy::GroupMean,
+            &usage,
+            &nodes(),
+            NodeId(0),
+            &line_latency,
+        );
         assert_eq!(p.node, NodeId(2), "mass of accesses is at 2");
     }
 
@@ -206,11 +216,23 @@ mod tests {
         let mut usage = UsagePattern::new();
         usage.record(NodeId(0), 100);
         usage.record(NodeId(2), 1); // tiny, but minmax cares about worst
-        let p = place(PlacementPolicy::GroupMinMax, &usage, &nodes(), NodeId(0), &line_latency);
+        let p = place(
+            PlacementPolicy::GroupMinMax,
+            &usage,
+            &nodes(),
+            NodeId(0),
+            &line_latency,
+        );
         assert_eq!(p.node, NodeId(1), "middle bounds the worst case");
         assert_eq!(p.cost_us, 10_000.0);
         // Mean policy would sit at 0 instead.
-        let mean = place(PlacementPolicy::GroupMean, &usage, &nodes(), NodeId(0), &line_latency);
+        let mean = place(
+            PlacementPolicy::GroupMean,
+            &usage,
+            &nodes(),
+            NodeId(0),
+            &line_latency,
+        );
         assert_eq!(mean.node, NodeId(0));
     }
 
@@ -242,6 +264,12 @@ mod tests {
     #[should_panic(expected = "no candidate nodes")]
     fn empty_candidates_panic() {
         let usage = UsagePattern::new();
-        place(PlacementPolicy::GroupMean, &usage, &[], NodeId(0), &line_latency);
+        place(
+            PlacementPolicy::GroupMean,
+            &usage,
+            &[],
+            NodeId(0),
+            &line_latency,
+        );
     }
 }

@@ -153,7 +153,10 @@ mod tests {
     fn register_handoff_route() {
         let mut agent = HomeAgent::new(NodeId(0));
         agent.register(MobileId(1));
-        assert_eq!(agent.route(MobileId(1)).unwrap_err(), AddressingError::NoCareOf(MobileId(1)));
+        assert_eq!(
+            agent.route(MobileId(1)).unwrap_err(),
+            AddressingError::NoCareOf(MobileId(1))
+        );
         agent.handoff(MobileId(1), NodeId(5)).unwrap();
         assert_eq!(agent.route(MobileId(1)).unwrap(), NodeId(5));
         agent.handoff(MobileId(1), NodeId(6)).unwrap();
@@ -181,7 +184,10 @@ mod tests {
         agent.register(MobileId(1));
         agent.handoff(MobileId(1), NodeId(5)).unwrap();
         agent.detach(MobileId(1)).unwrap();
-        assert_eq!(agent.route(MobileId(1)).unwrap_err(), AddressingError::NoCareOf(MobileId(1)));
+        assert_eq!(
+            agent.route(MobileId(1)).unwrap_err(),
+            AddressingError::NoCareOf(MobileId(1))
+        );
     }
 
     #[test]

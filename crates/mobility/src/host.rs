@@ -223,10 +223,9 @@ impl MobileHost {
     /// Propagates reintegration store failures.
     pub fn reconnect(&mut self, server: &mut ObjectStore) -> Result<ReconnectReport, MobileError> {
         self.connectivity = Connectivity::Full;
-        let replay = reintegrate(&self.log, server, self.policy)
-            .map_err(|e| match e {
-                crate::reintegration::ReintegrationError::Store(s) => MobileError::Store(s),
-            })?;
+        let replay = reintegrate(&self.log, server, self.policy).map_err(|e| match e {
+            crate::reintegration::ReintegrationError::Store(s) => MobileError::Store(s),
+        })?;
         self.log.clear();
         // Bulk update: refresh hoarded objects and all current entries.
         let mut refreshed = 0;
@@ -273,7 +272,10 @@ mod tests {
         let (v, served) = host.read(ObjectId(1), &mut srv).unwrap();
         assert_eq!((v.as_str(), served), ("plan", Served::Server));
         assert_eq!(host.cache().len(), 1);
-        assert_eq!(host.write(ObjectId(1), "plan2", &mut srv, NOW).unwrap(), Served::Server);
+        assert_eq!(
+            host.write(ObjectId(1), "plan2", &mut srv, NOW).unwrap(),
+            Served::Server
+        );
         assert_eq!(srv.read(ObjectId(1)).unwrap().value, "plan2");
     }
 
@@ -298,8 +300,16 @@ mod tests {
         let mut host = MobileHost::new(ConflictPolicy::ServerWins);
         host.read(ObjectId(1), &mut srv).unwrap();
         host.set_connectivity(Connectivity::Disconnected);
-        assert_eq!(host.write(ObjectId(1), "field edit", &mut srv, NOW).unwrap(), Served::Logged);
-        assert_eq!(srv.read(ObjectId(1)).unwrap().value, "plan", "server untouched while offline");
+        assert_eq!(
+            host.write(ObjectId(1), "field edit", &mut srv, NOW)
+                .unwrap(),
+            Served::Logged
+        );
+        assert_eq!(
+            srv.read(ObjectId(1)).unwrap().value,
+            "plan",
+            "server untouched while offline"
+        );
         let report = host.reconnect(&mut srv).unwrap();
         assert_eq!(report.conflicts(), 0);
         assert_eq!(srv.read(ObjectId(1)).unwrap().value, "field edit");
@@ -312,12 +322,17 @@ mod tests {
         let mut host = MobileHost::new(ConflictPolicy::ServerWins);
         host.read(ObjectId(1), &mut srv).unwrap();
         host.set_connectivity(Connectivity::Disconnected);
-        host.write(ObjectId(1), "mobile edit", &mut srv, NOW).unwrap();
+        host.write(ObjectId(1), "mobile edit", &mut srv, NOW)
+            .unwrap();
         // Someone edits at the office meanwhile.
         srv.write(ObjectId(1), "office edit").unwrap();
         let report = host.reconnect(&mut srv).unwrap();
         assert_eq!(report.conflicts(), 1);
-        assert_eq!(srv.read(ObjectId(1)).unwrap().value, "office edit", "server wins");
+        assert_eq!(
+            srv.read(ObjectId(1)).unwrap().value,
+            "office edit",
+            "server wins"
+        );
         // The bulk refresh leaves the cache clean at the server's value.
         assert_eq!(host.cache().peek(ObjectId(1)).unwrap().value, "office edit");
     }
@@ -332,7 +347,10 @@ mod tests {
         assert_eq!(served, Served::Cache, "radio link saved");
         let (_, served2) = host.read(ObjectId(2), &mut srv).unwrap();
         assert_eq!(served2, Served::Server, "miss falls through");
-        assert_eq!(host.write(ObjectId(1), "x", &mut srv, NOW).unwrap(), Served::Logged);
+        assert_eq!(
+            host.write(ObjectId(1), "x", &mut srv, NOW).unwrap(),
+            Served::Logged
+        );
     }
 
     #[test]

@@ -229,7 +229,11 @@ mod tests {
         log.record(ObjectId(1), 0, "mobile edit", SimTime::ZERO);
         let out = reintegrate(&log, &mut srv, ConflictPolicy::ServerWins).unwrap();
         match &out[0] {
-            ReplayOutcome::Conflict { applied, server_value, .. } => {
+            ReplayOutcome::Conflict {
+                applied,
+                server_value,
+                ..
+            } => {
                 assert!(!applied);
                 assert_eq!(server_value, "someone else's edit");
             }
@@ -245,7 +249,10 @@ mod tests {
         let mut log = ChangeLog::new();
         log.record(ObjectId(1), 0, "mobile edit", SimTime::ZERO);
         let out = reintegrate(&log, &mut srv, ConflictPolicy::ClientWins).unwrap();
-        assert!(matches!(&out[0], ReplayOutcome::Conflict { applied: true, .. }));
+        assert!(matches!(
+            &out[0],
+            ReplayOutcome::Conflict { applied: true, .. }
+        ));
         assert_eq!(srv.read(ObjectId(1)).unwrap().value, "mobile edit");
     }
 

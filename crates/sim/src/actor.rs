@@ -57,16 +57,8 @@ pub trait Actor<M> {
 /// after the callback returns.
 #[derive(Debug)]
 pub(crate) enum Effect<M> {
-    Send {
-        to: NodeId,
-        msg: M,
-        bytes: usize,
-    },
-    SetTimer {
-        id: TimerId,
-        at: SimTime,
-        tag: u64,
-    },
+    Send { to: NodeId, msg: M, bytes: usize },
+    SetTimer { id: TimerId, at: SimTime, tag: u64 },
     CancelTimer(TimerId),
 }
 

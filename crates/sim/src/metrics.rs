@@ -229,7 +229,10 @@ impl MetricsRegistry {
 
     /// Records one duration sample into the named histogram.
     pub fn observe(&mut self, name: &str, d: SimDuration) {
-        self.histograms.entry(name.to_owned()).or_default().record(d);
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(d);
     }
 
     /// Returns the named histogram, if any samples were recorded.

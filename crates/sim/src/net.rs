@@ -425,7 +425,13 @@ mod tests {
         let mut spec = LinkSpec::ideal();
         spec.latency = SimDuration::from_millis(50);
         let mut net = Network::new(spec);
-        let v = net.submit(SimTime::from_millis(3), NodeId(4), NodeId(4), 10, &mut rng());
+        let v = net.submit(
+            SimTime::from_millis(3),
+            NodeId(4),
+            NodeId(4),
+            10,
+            &mut rng(),
+        );
         assert_eq!(v, Verdict::DeliverAt(SimTime::from_millis(3)));
     }
 

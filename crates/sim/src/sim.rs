@@ -328,7 +328,14 @@ impl<M: 'static> Sim<M> {
                     self.metrics.add("sim.sent_bytes", bytes as u64);
                     match self.net.submit(self.now, node, to, bytes, &mut self.rng) {
                         Verdict::DeliverAt(at) => {
-                            self.push(at, EventKind::Deliver { from: node, to, msg });
+                            self.push(
+                                at,
+                                EventKind::Deliver {
+                                    from: node,
+                                    to,
+                                    msg,
+                                },
+                            );
                         }
                         Verdict::Dropped(reason) => {
                             self.metrics.incr(&format!("sim.dropped.{reason:?}"));
@@ -496,7 +503,10 @@ mod tests {
         sim.run_for(SimDuration::from_millis(20));
         let client: &Client = sim.actor(NodeId(0)).unwrap();
         assert_eq!(client.timer_fired, 1);
-        assert_eq!(sim.now(), SimTime::from_micros(1) + SimDuration::from_millis(20));
+        assert_eq!(
+            sim.now(),
+            SimTime::from_micros(1) + SimDuration::from_millis(20)
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl Site {
 /// Applies a multi-site topology: `intra` links within each site, and
 /// `inter(a, b)` links between nodes of site `a` and site `b` (indices
 /// into `sites`). Typical use: LAN inside, WAN between.
-pub fn sites(net: &mut Network, sites: &[Site], intra: LinkSpec, inter: impl Fn(usize, usize) -> LinkSpec) {
+pub fn sites(
+    net: &mut Network,
+    sites: &[Site],
+    intra: LinkSpec,
+    inter: impl Fn(usize, usize) -> LinkSpec,
+) {
     for (i, site) in sites.iter().enumerate() {
         for (k, &a) in site.nodes.iter().enumerate() {
             for &b in &site.nodes[k + 1..] {
@@ -48,7 +53,13 @@ pub fn sites(net: &mut Network, sites: &[Site], intra: LinkSpec, inter: impl Fn(
 /// Applies a star topology: every leaf connects to `hub` with `spoke`;
 /// leaf-to-leaf traffic gets `leaf_to_leaf` (usually ~2× the spoke, as
 /// if routed through the hub).
-pub fn star(net: &mut Network, hub: NodeId, leaves: &[NodeId], spoke: LinkSpec, leaf_to_leaf: LinkSpec) {
+pub fn star(
+    net: &mut Network,
+    hub: NodeId,
+    leaves: &[NodeId],
+    spoke: LinkSpec,
+    leaf_to_leaf: LinkSpec,
+) {
     for &leaf in leaves {
         net.set_link(hub, leaf, spoke);
     }
@@ -84,10 +95,20 @@ mod tests {
         let paris = Site::new("paris", nodes(2..4));
         let wan = LinkSpec::wan(SimDuration::from_millis(30));
         sites(&mut net, &[lancaster, paris], LinkSpec::lan(), |_, _| wan);
-        assert_eq!(net.link(NodeId(0), NodeId(1)).latency, LinkSpec::lan().latency);
-        assert_eq!(net.link(NodeId(2), NodeId(3)).latency, LinkSpec::lan().latency);
+        assert_eq!(
+            net.link(NodeId(0), NodeId(1)).latency,
+            LinkSpec::lan().latency
+        );
+        assert_eq!(
+            net.link(NodeId(2), NodeId(3)).latency,
+            LinkSpec::lan().latency
+        );
         assert_eq!(net.link(NodeId(0), NodeId(3)).latency, wan.latency);
-        assert_eq!(net.link(NodeId(3), NodeId(0)).latency, wan.latency, "symmetric");
+        assert_eq!(
+            net.link(NodeId(3), NodeId(0)).latency,
+            wan.latency,
+            "symmetric"
+        );
     }
 
     #[test]

@@ -196,8 +196,14 @@ mod tests {
         tr.record(t(9), NodeId(1), "seen", "op2");
         let pairs = tr.cause_effect_pairs("issued", "seen");
         assert_eq!(pairs.len(), 2);
-        assert_eq!(pairs[0].1.time - pairs[0].0.time, SimDuration::from_millis(5));
-        assert_eq!(pairs[1].1.time - pairs[1].0.time, SimDuration::from_millis(2));
+        assert_eq!(
+            pairs[0].1.time - pairs[0].0.time,
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            pairs[1].1.time - pairs[1].0.time,
+            SimDuration::from_millis(2)
+        );
     }
 
     #[test]

@@ -235,14 +235,20 @@ impl Actor<StreamMsg> for SinkActor {
         }
         if let Some(violation) = self.monitor.observe(&records, ctx.now()) {
             ctx.metrics().incr("stream.violations_detected");
-            ctx.send(self.source_node, StreamMsg::ViolationReport(violation.clone()));
+            ctx.send(
+                self.source_node,
+                StreamMsg::ViolationReport(violation.clone()),
+            );
             self.last_violation = Some((violation, ctx.now()));
         } else if self.monitor.is_in_violation() {
             // Re-send the latched violation as soft state: the first
             // report can be lost on the very link that is failing.
             if let Some((violation, sent_at)) = self.last_violation.clone() {
                 if ctx.now().saturating_since(sent_at) >= self.health_report_every {
-                    ctx.send(self.source_node, StreamMsg::ViolationReport(violation.clone()));
+                    ctx.send(
+                        self.source_node,
+                        StreamMsg::ViolationReport(violation.clone()),
+                    );
                     self.last_violation = Some((violation, ctx.now()));
                 }
             }
@@ -288,7 +294,11 @@ mod tests {
         let mut sim = stream_sim(LinkSpec::lan(), true);
         sim.run_for(SimDuration::from_secs(10));
         let sink: &SinkActor = sim.actor(NodeId(1)).unwrap();
-        assert!(sink.sink().integrity() > 0.99, "integrity {}", sink.sink().integrity());
+        assert!(
+            sink.sink().integrity() > 0.99,
+            "integrity {}",
+            sink.sink().integrity()
+        );
         assert_eq!(sim.metrics().counter("stream.renegotiations"), 0);
     }
 
@@ -345,8 +355,10 @@ mod tests {
         assert!(source.renegotiations() >= 1, "degraded during the outage");
         assert!(source.upgrades() >= 1, "climbed back after recovery");
         assert_eq!(
-            source.contract().throughput_fps, 25,
-            "original contract restored: {}", source.contract()
+            source.contract().throughput_fps,
+            25,
+            "original contract restored: {}",
+            source.contract()
         );
     }
 

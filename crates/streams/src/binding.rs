@@ -275,6 +275,25 @@ impl BindingRegistry {
         Ok(binding)
     }
 
+    /// Binds a *trader-resolved* producer: registers the interface the
+    /// trader handed back (typically hosted on a node this registry has
+    /// never seen) and binds it to local consumers in one step. The
+    /// normal [`BindingRegistry::bind`] checks all apply, so a stale
+    /// trader resolution still fails cleanly rather than establishing a
+    /// broken contract.
+    ///
+    /// # Errors
+    ///
+    /// See [`BindError`].
+    pub fn bind_resolved(
+        &mut self,
+        producer: StreamInterface,
+        consumers: &[InterfaceId],
+    ) -> Result<StreamBinding, BindError> {
+        self.register(producer);
+        self.bind(producer.id, consumers)
+    }
+
     /// Downgrades a binding's contract (renegotiation outcome).
     pub fn degrade(&mut self, id: BindingId, to: QosSpec) -> bool {
         match self.bindings.get_mut(&id) {
@@ -385,7 +404,9 @@ mod tests {
             direction: Direction::Consumer,
             qos: QosSpec::mobile_video(), // much weaker requirement
         });
-        let b = reg.bind(InterfaceId(0), &[InterfaceId(1), InterfaceId(2)]).unwrap();
+        let b = reg
+            .bind(InterfaceId(0), &[InterfaceId(1), InterfaceId(2)])
+            .unwrap();
         let BindingState::Established(spec) = b.state else {
             panic!("expected establishment");
         };
@@ -424,7 +445,14 @@ mod tests {
         assert_eq!(reg.admitted_fps(NodeId(0)), 25);
         let err = reg.bind(InterfaceId(0), &[InterfaceId(2)]).unwrap_err();
         assert!(
-            matches!(err, BindError::AdmissionDenied { would_be_fps: 50, budget_fps: 40, .. }),
+            matches!(
+                err,
+                BindError::AdmissionDenied {
+                    would_be_fps: 50,
+                    budget_fps: 40,
+                    ..
+                }
+            ),
             "{err:?}"
         );
         // Tearing the first binding down frees the budget.
@@ -443,13 +471,55 @@ mod tests {
     }
 
     #[test]
+    fn bind_resolved_registers_and_binds_a_foreign_producer() {
+        // Only the consumer is known locally; the producer arrives from
+        // a trader lookup.
+        let mut reg = BindingRegistry::new();
+        reg.register(StreamInterface {
+            id: InterfaceId(1),
+            node: NodeId(1),
+            kind: MediaKind::Video,
+            direction: Direction::Consumer,
+            qos: QosSpec::video(),
+        });
+        let resolved = StreamInterface {
+            id: InterfaceId(40),
+            node: NodeId(9),
+            kind: MediaKind::Video,
+            direction: Direction::Producer,
+            qos: QosSpec::video(),
+        };
+        let b = reg.bind_resolved(resolved, &[InterfaceId(1)]).unwrap();
+        assert!(matches!(b.state, BindingState::Established(_)));
+        assert_eq!(reg.interface(InterfaceId(40)).unwrap().node, NodeId(9));
+        // A resolved *consumer* interface still fails direction checks.
+        let bogus = StreamInterface {
+            id: InterfaceId(41),
+            node: NodeId(9),
+            kind: MediaKind::Video,
+            direction: Direction::Consumer,
+            qos: QosSpec::video(),
+        };
+        assert!(matches!(
+            reg.bind_resolved(bogus, &[InterfaceId(1)]),
+            Err(BindError::WrongDirection(_))
+        ));
+    }
+
+    #[test]
     fn degrade_and_unbind_update_state() {
         let mut reg = reg_with(MediaKind::Video, QosSpec::video());
         let b = reg.bind(InterfaceId(0), &[InterfaceId(1)]).unwrap();
         assert!(reg.degrade(b.id, QosSpec::mobile_video()));
-        assert!(matches!(reg.binding(b.id).unwrap().state, BindingState::Degraded(_)));
+        assert!(matches!(
+            reg.binding(b.id).unwrap().state,
+            BindingState::Degraded(_)
+        ));
         assert!(reg.unbind(b.id));
-        assert!(matches!(reg.binding(b.id).unwrap().state, BindingState::Failed));
+        assert!(matches!(
+            reg.binding(b.id).unwrap().state,
+            BindingState::Failed
+        ));
         assert!(!reg.degrade(BindingId(99), QosSpec::video()));
     }
 }

@@ -332,7 +332,10 @@ mod tests {
         sink.arrive(frame(2, 80), SimTime::from_millis(90));
         let recs = sink.play_until(SimTime::from_millis(500));
         let fates: Vec<FrameFate> = recs.iter().map(|r| r.fate).collect();
-        assert_eq!(fates, vec![FrameFate::Played, FrameFate::Lost, FrameFate::Played]);
+        assert_eq!(
+            fates,
+            vec![FrameFate::Played, FrameFate::Lost, FrameFate::Played]
+        );
         let (played, late, lost) = sink.tallies();
         assert_eq!((played, late, lost), (2, 0, 1));
         assert!((sink.integrity() - 2.0 / 3.0).abs() < 1e-9);

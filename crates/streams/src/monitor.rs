@@ -330,7 +330,9 @@ mod tests {
         // Degrade again: a second report fires.
         let mut hits = 0;
         for i in 200..260u64 {
-            if m.observe(&[played(i, 400)], SimTime::from_millis(t)).is_some() {
+            if m.observe(&[played(i, 400)], SimTime::from_millis(t))
+                .is_some()
+            {
                 hits += 1;
             }
             t += 40;

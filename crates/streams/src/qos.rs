@@ -275,7 +275,10 @@ mod tests {
             climbs += 1;
             assert!(climbs < 64, "ladder up terminates");
         }
-        assert!(spec.satisfies(&ceiling), "restored the original contract: {spec}");
+        assert!(
+            spec.satisfies(&ceiling),
+            "restored the original contract: {spec}"
+        );
     }
 
     #[test]

@@ -209,7 +209,11 @@ impl LipSync {
 
     /// The largest |skew| seen, in microseconds.
     pub fn max_abs_skew(&self) -> u64 {
-        self.skews.iter().map(|s| s.unsigned_abs()).max().unwrap_or(0)
+        self.skews
+            .iter()
+            .map(|s| s.unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of corrections applied.
@@ -264,12 +268,16 @@ mod tests {
             for seq in 0..total {
                 let cap = seq * 40;
                 if cap + 20 == now_ms {
-                    ls.master_mut()
-                        .arrive(frame(0, seq, cap, MediaKind::Audio), SimTime::from_millis(now_ms));
+                    ls.master_mut().arrive(
+                        frame(0, seq, cap, MediaKind::Audio),
+                        SimTime::from_millis(now_ms),
+                    );
                 }
                 if cap + 20 + slave_extra_ms == now_ms {
-                    ls.slave_mut()
-                        .arrive(frame(1, seq, cap, MediaKind::Video), SimTime::from_millis(now_ms));
+                    ls.slave_mut().arrive(
+                        frame(1, seq, cap, MediaKind::Video),
+                        SimTime::from_millis(now_ms),
+                    );
                 }
             }
             ls.tick(SimTime::from_millis(now_ms));
@@ -300,7 +308,13 @@ mod tests {
         assert!(ls.corrections() > 0, "controller engaged");
         // Once the controller converges, skew sits inside the tolerance.
         let tail: Vec<i64> = ls.skew_samples().iter().rev().take(5).copied().collect();
-        let head_max = ls.skew_samples().iter().take(5).map(|s| s.unsigned_abs()).max().unwrap();
+        let head_max = ls
+            .skew_samples()
+            .iter()
+            .take(5)
+            .map(|s| s.unsigned_abs())
+            .max()
+            .unwrap();
         let tail_max = tail.iter().map(|s| s.unsigned_abs()).max().unwrap();
         assert!(
             tail_max <= 80_000,

@@ -1,0 +1,569 @@
+//! Simulator actors: a trader shard and an importer with a lookup
+//! cache, wired together over the deterministic simulator.
+//!
+//! A [`TraderActor`] serves one shard of the domain's offer space. On
+//! withdraw or modify it multicasts an [`Invalidation`] note to the
+//! cache-coherence group (traders + importers) through a reliable
+//! `odp_groupcomm::GroupEngine`, so importer caches converge without
+//! polling. An [`ImporterActor`] runs a lookup workload: cache hits
+//! resolve locally at zero latency; misses pay the round-trip to the
+//! owning shard. Both record the metrics the acceptance experiments
+//! read: the `lookup_latency` histogram and the `cache_hit_rate`
+//! pseudo-histogram (1 µs per hit, 0 µs per miss, so its mean in
+//! microseconds *is* the hit rate), plus plain counters.
+
+use odp_groupcomm::membership::View;
+use odp_groupcomm::multicast::{GcMsg, GroupEngine, Ordering, Reliability, Step};
+use odp_sim::actor::{Actor, Ctx, TimerId};
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+use odp_streams::qos::QosSpec;
+
+use crate::cache::LookupCache;
+use crate::offer::{OfferId, ServiceOffer, ServiceType};
+use crate::select::{match_offers, select, SelectionLoad, SelectionPolicy};
+use crate::store::OfferStore;
+
+/// Why a cached entry went stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidationReason {
+    /// The exporter withdrew the offer.
+    Withdrawn,
+    /// The exporter re-advertised with different QoS.
+    Modified,
+}
+
+/// The cache-coherence note traders multicast on withdraw/modify.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invalidation {
+    /// The service type whose cached resolutions are stale.
+    pub service_type: ServiceType,
+    /// What happened.
+    pub reason: InvalidationReason,
+}
+
+/// Messages exchanged by traders and importers.
+#[derive(Debug, Clone)]
+pub enum TraderMsg {
+    /// Exporter → trader: advertise an offer.
+    Export(ServiceOffer),
+    /// Exporter → trader: withdraw an offer.
+    Withdraw(OfferId),
+    /// Exporter → trader: replace an offer's QoS.
+    Modify(OfferId, QosSpec),
+    /// Importer → trader: resolve a service type under a QoS
+    /// requirement.
+    Lookup {
+        /// Correlation id, unique per importer.
+        call: u64,
+        /// The wanted type.
+        service_type: ServiceType,
+        /// The importer's requirement.
+        required: QosSpec,
+    },
+    /// Trader → importer: the offers that satisfied the requirement
+    /// (selection-policy-ranked; best first).
+    LookupReply {
+        /// Correlation id from the lookup.
+        call: u64,
+        /// The resolved type.
+        service_type: ServiceType,
+        /// Satisfying offers, best first; empty = no match.
+        resolved: Vec<ServiceOffer>,
+    },
+    /// Cache-coherence traffic (reliable multicast engine payloads).
+    Gc(GcMsg<Invalidation>),
+}
+
+const TICK_TAG: u64 = 1;
+const LOOKUP_TAG: u64 = 2;
+const TICK_EVERY: SimDuration = SimDuration::from_millis(100);
+
+/// One trader shard as a simulator actor.
+pub struct TraderActor {
+    store: OfferStore,
+    engine: GroupEngine<Invalidation>,
+    policy: SelectionPolicy,
+    selection_load: SelectionLoad,
+}
+
+impl TraderActor {
+    /// A trader for node `me`, multicasting invalidations to
+    /// `coherence_group` (traders + importers).
+    pub fn new(me: NodeId, coherence_group: View, policy: SelectionPolicy) -> Self {
+        TraderActor {
+            store: OfferStore::new(),
+            engine: GroupEngine::new(me, coherence_group, Ordering::Fifo, Reliability::reliable()),
+            policy,
+            selection_load: SelectionLoad::new(),
+        }
+    }
+
+    /// The shard's store (assertions in tests).
+    pub fn store(&self) -> &OfferStore {
+        &self.store
+    }
+
+    fn flush(step: Step<Invalidation>, ctx: &mut Ctx<'_, TraderMsg>) {
+        for (to, msg) in step.outbound {
+            ctx.send(to, TraderMsg::Gc(msg));
+        }
+    }
+
+    fn invalidate(&mut self, note: Invalidation, ctx: &mut Ctx<'_, TraderMsg>) {
+        let step = self.engine.mcast(note, ctx.now());
+        Self::flush(step, ctx);
+    }
+}
+
+impl Actor<TraderMsg> for TraderActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TraderMsg>) {
+        ctx.set_timer(TICK_EVERY, TICK_TAG);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TraderMsg>, from: NodeId, msg: TraderMsg) {
+        match msg {
+            TraderMsg::Export(offer) => {
+                ctx.metrics().incr("trader.exports");
+                let shard_counter = format!("trader.shard.{}.offers", ctx.id());
+                ctx.metrics().add(&shard_counter, 1);
+                self.store.insert(offer);
+            }
+            TraderMsg::Withdraw(id) => {
+                if let Some(offer) = self.store.remove(id) {
+                    ctx.metrics().incr("trader.withdrawals");
+                    self.invalidate(
+                        Invalidation {
+                            service_type: offer.service_type,
+                            reason: InvalidationReason::Withdrawn,
+                        },
+                        ctx,
+                    );
+                }
+            }
+            TraderMsg::Modify(id, qos) => {
+                if self.store.modify_qos(id, qos) {
+                    let service_type = self
+                        .store
+                        .offer(id)
+                        .map(|o| o.service_type.clone())
+                        .expect("offer present: modify_qos succeeded");
+                    ctx.metrics().incr("trader.modifications");
+                    self.invalidate(
+                        Invalidation {
+                            service_type,
+                            reason: InvalidationReason::Modified,
+                        },
+                        ctx,
+                    );
+                }
+            }
+            TraderMsg::Lookup {
+                call,
+                service_type,
+                required,
+            } => {
+                ctx.metrics().incr("trader.lookups");
+                let offers: Vec<ServiceOffer> = self
+                    .store
+                    .offers_of_type(&service_type)
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                let mut matches = match_offers(&offers, &required);
+                // Rank: the policy's pick first, the rest in store order
+                // (importers cache the whole list and fail over down it).
+                if let Some(best) = select(&matches, self.policy, &mut self.selection_load, None) {
+                    matches.retain(|m| m.offer.id != best.offer.id);
+                    matches.insert(0, best);
+                }
+                let resolved = matches.into_iter().map(|m| m.offer).collect();
+                ctx.send(
+                    from,
+                    TraderMsg::LookupReply {
+                        call,
+                        service_type,
+                        resolved,
+                    },
+                );
+            }
+            TraderMsg::Gc(gc) => {
+                let step = self.engine.on_message(from, gc, ctx.now());
+                // Traders originate invalidations; delivered notes from
+                // peer traders need no local action (no cache here).
+                Self::flush(step, ctx);
+            }
+            // Replies are importer-bound; a trader receiving one is a
+            // misrouted duplicate.
+            TraderMsg::LookupReply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TraderMsg>, _timer: TimerId, tag: u64) {
+        if tag == TICK_TAG {
+            let step = self.engine.on_tick(ctx.now());
+            Self::flush(step, ctx);
+            ctx.set_timer(TICK_EVERY, TICK_TAG);
+        }
+    }
+}
+
+/// One scripted lookup in an importer's workload.
+#[derive(Debug, Clone)]
+pub struct LookupJob {
+    /// When to issue it.
+    pub at: SimDuration,
+    /// What to ask for.
+    pub service_type: ServiceType,
+    /// Under which requirement.
+    pub required: QosSpec,
+}
+
+/// Counters an importer accumulates (read back by tests/experiments).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImporterStats {
+    /// Lookups resolved from the local cache.
+    pub cache_hits: u64,
+    /// Lookups that paid a trader round-trip.
+    pub cold_lookups: u64,
+    /// Replies that resolved at least one offer.
+    pub resolved: u64,
+    /// Replies with no satisfying offer.
+    pub unresolved: u64,
+}
+
+/// An importing client as a simulator actor.
+pub struct ImporterActor {
+    trader_for: Box<dyn Fn(&ServiceType) -> NodeId>,
+    cache: LookupCache,
+    engine: GroupEngine<Invalidation>,
+    jobs: Vec<LookupJob>,
+    pending: std::collections::BTreeMap<u64, (ServiceType, SimTime)>,
+    next_call: u64,
+    stats: ImporterStats,
+    /// The most recent resolution per type (tests bind through this).
+    pub last_resolved: std::collections::BTreeMap<ServiceType, Vec<ServiceOffer>>,
+}
+
+impl ImporterActor {
+    /// An importer for node `me`: `trader_for` routes a type to its
+    /// shard's trader (the domain ring), `ttl` bounds cache staleness,
+    /// `coherence_group` delivers invalidations, `jobs` is the scripted
+    /// workload.
+    pub fn new(
+        me: NodeId,
+        coherence_group: View,
+        ttl: SimDuration,
+        trader_for: impl Fn(&ServiceType) -> NodeId + 'static,
+        jobs: Vec<LookupJob>,
+    ) -> Self {
+        ImporterActor {
+            trader_for: Box::new(trader_for),
+            cache: LookupCache::new(ttl),
+            engine: GroupEngine::new(me, coherence_group, Ordering::Fifo, Reliability::reliable()),
+            jobs,
+            pending: std::collections::BTreeMap::new(),
+            next_call: 0,
+            stats: ImporterStats::default(),
+            last_resolved: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> ImporterStats {
+        self.stats
+    }
+
+    /// The cache (tests assert on hit/miss/invalidation counts).
+    pub fn cache(&self) -> &LookupCache {
+        &self.cache
+    }
+
+    fn flush(step: Step<Invalidation>, ctx: &mut Ctx<'_, TraderMsg>) {
+        for (to, msg) in step.outbound {
+            ctx.send(to, TraderMsg::Gc(msg));
+        }
+    }
+
+    fn record_outcome(ctx: &mut Ctx<'_, TraderMsg>, latency: SimDuration, hit: bool) {
+        ctx.metrics().observe("lookup_latency", latency);
+        // Mean of this histogram in milliseconds = cache hit rate: each
+        // hit observes 1 ms, each miss 0 ms.
+        ctx.metrics().observe(
+            "cache_hit_rate",
+            if hit {
+                SimDuration::from_millis(1)
+            } else {
+                SimDuration::ZERO
+            },
+        );
+        ctx.metrics().incr(if hit {
+            "importer.cache.hits"
+        } else {
+            "importer.cache.misses"
+        });
+    }
+
+    fn issue(&mut self, job: LookupJob, ctx: &mut Ctx<'_, TraderMsg>) {
+        if let Some(resolved) = self.cache.get(&job.service_type, ctx.now()) {
+            // Served locally: zero added latency.
+            self.stats.cache_hits += 1;
+            if resolved.is_empty() {
+                self.stats.unresolved += 1;
+            } else {
+                self.stats.resolved += 1;
+            }
+            self.last_resolved
+                .insert(job.service_type.clone(), resolved);
+            Self::record_outcome(ctx, SimDuration::ZERO, true);
+            return;
+        }
+        self.stats.cold_lookups += 1;
+        self.next_call += 1;
+        let call = self.next_call;
+        self.pending
+            .insert(call, (job.service_type.clone(), ctx.now()));
+        let trader = (self.trader_for)(&job.service_type);
+        ctx.send(
+            trader,
+            TraderMsg::Lookup {
+                call,
+                service_type: job.service_type,
+                required: job.required,
+            },
+        );
+    }
+}
+
+impl Actor<TraderMsg> for ImporterActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TraderMsg>) {
+        ctx.set_timer(TICK_EVERY, TICK_TAG);
+        for (i, job) in self.jobs.iter().enumerate() {
+            ctx.set_timer(job.at, LOOKUP_TAG + 1 + i as u64);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TraderMsg>, from: NodeId, msg: TraderMsg) {
+        match msg {
+            TraderMsg::LookupReply {
+                call,
+                service_type,
+                resolved,
+            } => {
+                let Some((_, sent_at)) = self.pending.remove(&call) else {
+                    return; // stale duplicate
+                };
+                let latency = ctx.now().saturating_since(sent_at);
+                if resolved.is_empty() {
+                    self.stats.unresolved += 1;
+                } else {
+                    self.stats.resolved += 1;
+                }
+                Self::record_outcome(ctx, latency, false);
+                self.cache
+                    .put(service_type.clone(), resolved.clone(), ctx.now());
+                self.last_resolved.insert(service_type, resolved);
+            }
+            TraderMsg::Gc(gc) => {
+                let step = self.engine.on_message(from, gc, ctx.now());
+                for delivery in &step.delivered {
+                    if self.cache.invalidate(&delivery.payload.service_type) {
+                        ctx.metrics().incr("importer.cache.invalidated");
+                    }
+                }
+                Self::flush(step, ctx);
+            }
+            // Importers ignore trader-side traffic.
+            TraderMsg::Export(_)
+            | TraderMsg::Withdraw(_)
+            | TraderMsg::Modify(..)
+            | TraderMsg::Lookup { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TraderMsg>, _timer: TimerId, tag: u64) {
+        if tag == TICK_TAG {
+            let step = self.engine.on_tick(ctx.now());
+            Self::flush(step, ctx);
+            ctx.set_timer(TICK_EVERY, TICK_TAG);
+            return;
+        }
+        let idx = (tag - LOOKUP_TAG - 1) as usize;
+        if let Some(job) = self.jobs.get(idx).cloned() {
+            self.issue(job, ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offer::SessionKind;
+    use crate::store::HashRing;
+    use odp_groupcomm::membership::GroupId;
+    use odp_sim::sim::Sim;
+
+    const T1: NodeId = NodeId(0);
+    const T2: NodeId = NodeId(1);
+    const IMP: NodeId = NodeId(10);
+    const EXP: NodeId = NodeId(20);
+
+    fn st() -> ServiceType {
+        ServiceType::new("video/conference")
+    }
+
+    fn view() -> View {
+        View::initial(GroupId(7), [T1, T2, IMP])
+    }
+
+    fn offer() -> ServiceOffer {
+        // In the actor protocol the *exporter* owns id uniqueness (the
+        // shards are distributed and cannot coordinate a counter).
+        let mut o = ServiceOffer::session(st(), SessionKind::Conference, QosSpec::video(), EXP);
+        o.id = OfferId(1);
+        o
+    }
+
+    fn jobs(times_ms: &[u64]) -> Vec<LookupJob> {
+        times_ms
+            .iter()
+            .map(|ms| LookupJob {
+                at: SimDuration::from_millis(*ms),
+                service_type: st(),
+                required: QosSpec::video(),
+            })
+            .collect()
+    }
+
+    fn build(jobs_ms: &[u64], ttl_ms: u64) -> Sim<TraderMsg> {
+        let mut sim = Sim::new(42);
+        let ring = HashRing::new([T1, T2]);
+        sim.add_actor(T1, TraderActor::new(T1, view(), SelectionPolicy::FirstFit));
+        sim.add_actor(T2, TraderActor::new(T2, view(), SelectionPolicy::FirstFit));
+        sim.add_actor(
+            IMP,
+            ImporterActor::new(
+                IMP,
+                view(),
+                SimDuration::from_millis(ttl_ms),
+                move |t| ring.node_for(t).expect("ring has traders"),
+                jobs(jobs_ms),
+            ),
+        );
+        let shard = HashRing::new([T1, T2]).node_for(&st()).unwrap();
+        sim.inject(SimTime::ZERO, EXP, shard, TraderMsg::Export(offer()));
+        sim
+    }
+
+    #[test]
+    fn cold_then_cached_lookup_hit_rates_and_latencies() {
+        let mut sim = build(&[10, 20, 30], 10_000);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        let stats = imp.stats();
+        assert_eq!(stats.cold_lookups, 1, "first lookup misses");
+        assert_eq!(stats.cache_hits, 2, "subsequent lookups hit");
+        assert_eq!(stats.resolved, 3);
+        assert_eq!(sim.metrics().counter("importer.cache.hits"), 2);
+        assert_eq!(sim.metrics().counter("importer.cache.misses"), 1);
+        let lat = sim
+            .metrics()
+            .histogram("lookup_latency")
+            .expect("latency histogram recorded");
+        assert_eq!(lat.len(), 3);
+        // Cold lookup pays network latency; hits are free.
+        let mut lat = lat.clone();
+        assert!(lat.max() > SimDuration::ZERO);
+        assert_eq!(lat.min(), SimDuration::ZERO);
+        let hit_rate = sim
+            .metrics()
+            .histogram("cache_hit_rate")
+            .expect("hit-rate histogram recorded")
+            .mean();
+        // Two hits, one miss → mean 2/3 ms ≈ 666 µs.
+        assert_eq!(hit_rate.as_micros(), 666);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_a_fresh_round_trip() {
+        // Lookups at 10ms and 900ms with a 200ms TTL: both go cold.
+        let mut sim = build(&[10, 900], 200);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        assert_eq!(imp.stats().cold_lookups, 2);
+        assert_eq!(imp.stats().cache_hits, 0);
+        assert_eq!(imp.cache().stats().expiries, 1);
+    }
+
+    #[test]
+    fn withdraw_invalidates_importer_caches() {
+        let mut sim = build(&[10, 1500], 60_000);
+        // Withdraw the (sole) offer at t=1s; the trader multicasts an
+        // invalidation, so the importer's 1.5s lookup must go cold and
+        // resolve to nothing.
+        let shard = HashRing::new([T1, T2]).node_for(&st()).unwrap();
+        sim.inject(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            EXP,
+            shard,
+            TraderMsg::Withdraw(OfferId(1)),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        assert_eq!(
+            sim.metrics().counter("importer.cache.invalidated"),
+            1,
+            "the multicast note must evict the cached type"
+        );
+        assert_eq!(
+            imp.stats().cold_lookups,
+            2,
+            "post-withdraw lookup goes cold"
+        );
+        assert_eq!(imp.stats().unresolved, 1, "nothing left to resolve");
+        assert!(imp.last_resolved.get(&st()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn modify_also_invalidates() {
+        let mut sim = build(&[10], 60_000);
+        let shard = HashRing::new([T1, T2]).node_for(&st()).unwrap();
+        sim.inject(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            EXP,
+            shard,
+            TraderMsg::Modify(OfferId(1), QosSpec::mobile_video()),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(sim.metrics().counter("importer.cache.invalidated"), 1);
+        assert_eq!(sim.metrics().counter("trader.modifications"), 1);
+    }
+
+    #[test]
+    fn shard_export_counters_track_placement() {
+        let mut sim = build(&[], 1000);
+        // Export a second type; whichever shard owns it gets the count.
+        let other = ServiceType::new("audio/talk");
+        let ring = HashRing::new([T1, T2]);
+        let mut audio = ServiceOffer::session(
+            other.clone(),
+            SessionKind::Conference,
+            QosSpec::audio(),
+            EXP,
+        );
+        audio.id = OfferId(2);
+        sim.inject(
+            SimTime::ZERO,
+            EXP,
+            ring.node_for(&other).unwrap(),
+            TraderMsg::Export(audio),
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().counter("trader.exports"), 2);
+        let total: u64 = [T1, T2]
+            .iter()
+            .map(|t| sim.metrics().counter(&format!("trader.shard.{t}.offers")))
+            .sum();
+        assert_eq!(total, 2, "every export lands on exactly one shard counter");
+    }
+}

@@ -1,0 +1,194 @@
+//! The importer-side lookup cache.
+//!
+//! Importers that repeatedly bind to the same service type should not
+//! pay a trader round-trip every time; resolved offers are cached under
+//! a TTL. Because cached offers can go stale the moment an exporter
+//! withdraws or re-advertises, traders multicast invalidation notes
+//! (via `odp-groupcomm`) and importers evict eagerly on receipt — TTL
+//! expiry is only the backstop for importers outside the multicast
+//! group.
+
+use std::collections::BTreeMap;
+
+use odp_sim::time::{SimDuration, SimTime};
+
+use crate::offer::{ServiceOffer, ServiceType};
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    resolved: Vec<ServiceOffer>,
+    cached_at: SimTime,
+}
+
+/// Hit/miss/eviction counters, exposed for metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to go to a trader (absent or expired).
+    pub misses: u64,
+    /// Entries evicted by invalidation notes.
+    pub invalidations: u64,
+    /// Entries evicted by TTL expiry.
+    pub expiries: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `[0, 1]`; 0 when nothing was looked
+    /// up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A TTL + invalidation cache of resolved lookups, keyed by service
+/// type.
+#[derive(Debug, Clone)]
+pub struct LookupCache {
+    ttl: SimDuration,
+    entries: BTreeMap<ServiceType, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl LookupCache {
+    /// A cache whose entries expire `ttl` after being stored.
+    pub fn new(ttl: SimDuration) -> Self {
+        LookupCache {
+            ttl,
+            entries: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Looks a type up, counting a hit or a miss. Expired entries are
+    /// evicted and count as misses.
+    pub fn get(&mut self, service_type: &ServiceType, now: SimTime) -> Option<Vec<ServiceOffer>> {
+        match self.entries.get(service_type) {
+            Some(entry) if now.saturating_since(entry.cached_at) <= self.ttl => {
+                self.stats.hits += 1;
+                Some(entry.resolved.clone())
+            }
+            Some(_) => {
+                self.entries.remove(service_type);
+                self.stats.expiries += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a resolved lookup.
+    pub fn put(&mut self, service_type: ServiceType, resolved: Vec<ServiceOffer>, now: SimTime) {
+        self.entries.insert(
+            service_type,
+            CacheEntry {
+                resolved,
+                cached_at: now,
+            },
+        );
+    }
+
+    /// Evicts one type (a withdraw/modify invalidation note arrived).
+    /// Returns whether an entry was present.
+    pub fn invalidate(&mut self, service_type: &ServiceType) -> bool {
+        let present = self.entries.remove(service_type).is_some();
+        if present {
+            self.stats.invalidations += 1;
+        }
+        present
+    }
+
+    /// Drops everything (view change, trader failover).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Entries currently held (expired-but-unqueried entries count).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offer::{ServiceOffer, SessionKind};
+    use odp_sim::net::NodeId;
+    use odp_streams::qos::QosSpec;
+
+    fn st() -> ServiceType {
+        ServiceType::new("video/live")
+    }
+
+    fn resolved() -> Vec<ServiceOffer> {
+        vec![ServiceOffer::session(
+            st(),
+            SessionKind::Conference,
+            QosSpec::video(),
+            NodeId(4),
+        )]
+    }
+
+    fn at_ms(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn hit_within_ttl_miss_after() {
+        let mut cache = LookupCache::new(SimDuration::from_millis(100));
+        cache.put(st(), resolved(), at_ms(0));
+        assert!(cache.get(&st(), at_ms(50)).is_some());
+        assert!(
+            cache.get(&st(), at_ms(100)).is_some(),
+            "ttl boundary is inclusive"
+        );
+        assert!(cache.get(&st(), at_ms(101)).is_none(), "expired");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.expiries), (2, 1, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidation_evicts_immediately() {
+        let mut cache = LookupCache::new(SimDuration::from_secs(3600));
+        cache.put(st(), resolved(), at_ms(0));
+        assert!(cache.invalidate(&st()));
+        assert!(
+            !cache.invalidate(&st()),
+            "second invalidation finds nothing"
+        );
+        assert!(cache.get(&st(), at_ms(1)).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn unknown_types_miss() {
+        let mut cache = LookupCache::new(SimDuration::from_secs(1));
+        assert!(cache.get(&st(), SimTime::ZERO).is_none());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Trader federation: linked trading domains with scoped, access-gated
+//! import paths.
+//!
+//! The paper's open distributed processing setting is inherently
+//! multi-organisational ("negotiation and interaction between different
+//! administrative and management domains", §4.2.1). One trader cannot
+//! hold every offer, so traders *link* to traders in other domains. A
+//! [`TraderLink`] restricts what flows across it twice over:
+//!
+//! - a **scope** prefix — only service types under the prefix are
+//!   visible through the link (an organisation exports its public
+//!   conference services, not its internal tooling);
+//! - **required rights** — the importer must hold the link's
+//!   `odp_access::rights::Rights` for the traversal (export gating).
+//!
+//! Imports search the local domain first, then breadth-first over
+//! admissible links up to a hop bound.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use odp_access::rights::Rights;
+use odp_sim::net::Network;
+use odp_streams::qos::QosSpec;
+
+use crate::offer::ServiceType;
+use crate::select::{match_offers, select, OfferMatch, SelectionLoad, SelectionPolicy};
+use crate::store::ShardedStore;
+
+/// Names a trading domain (one administrative authority).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain{}", self.0)
+    }
+}
+
+/// A directed federation link from one domain's trader to another's.
+#[derive(Debug, Clone)]
+pub struct TraderLink {
+    /// The importing (querying) side.
+    pub from: DomainId,
+    /// The exporting (answering) side.
+    pub to: DomainId,
+    /// Service-type prefix admitted across the link ("" admits all).
+    pub scope: String,
+    /// Rights the importer must hold to traverse.
+    pub required: Rights,
+}
+
+/// A successful federated import.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportResolution {
+    /// The selected offer.
+    pub matched: OfferMatch,
+    /// The domain the offer came from.
+    pub domain: DomainId,
+    /// Federation hops traversed (0 = local domain).
+    pub hops: u32,
+}
+
+/// Why a federated import failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The starting domain is not in the federation.
+    UnknownDomain(DomainId),
+    /// No reachable domain holds a satisfying offer.
+    NoMatch,
+    /// Offers of the type exist in linked domains, but every path to
+    /// them is barred (scope or rights).
+    AccessDenied,
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::UnknownDomain(d) => write!(f, "unknown {d}"),
+            ImportError::NoMatch => write!(f, "no satisfying offer in reach"),
+            ImportError::AccessDenied => write!(f, "offers exist but every link is barred"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// A federation of trading domains joined by scoped links.
+#[derive(Debug, Default)]
+pub struct Federation {
+    domains: BTreeMap<DomainId, ShardedStore>,
+    links: Vec<TraderLink>,
+    selection_load: SelectionLoad,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Federation::default()
+    }
+
+    /// Adds (or replaces) a domain's offer store.
+    pub fn add_domain(&mut self, id: DomainId, store: ShardedStore) {
+        self.domains.insert(id, store);
+    }
+
+    /// A domain's store.
+    pub fn domain(&self, id: DomainId) -> Option<&ShardedStore> {
+        self.domains.get(&id)
+    }
+
+    /// A domain's store, mutably (for exports/withdrawals).
+    pub fn domain_mut(&mut self, id: DomainId) -> Option<&mut ShardedStore> {
+        self.domains.get_mut(&id)
+    }
+
+    /// Links `from` to `to`: lookups started in `from` may consult `to`
+    /// for service types under `scope`, if the importer holds
+    /// `required`.
+    pub fn link(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        scope: impl Into<String>,
+        required: Rights,
+    ) {
+        self.links.push(TraderLink {
+            from,
+            to,
+            scope: scope.into(),
+            required,
+        });
+    }
+
+    /// The links out of a domain.
+    pub fn links_from(&self, from: DomainId) -> impl Iterator<Item = &TraderLink> {
+        self.links.iter().filter(move |l| l.from == from)
+    }
+
+    /// Resolves an import starting at `at`: local domain first, then
+    /// breadth-first over links the importer's `rights` and the type's
+    /// scope admit, up to `max_hops`. The nearest (fewest-hop) domain
+    /// with any match answers; `policy` picks among that domain's
+    /// matches.
+    ///
+    /// # Errors
+    ///
+    /// See [`ImportError`]; notably [`ImportError::AccessDenied`] is
+    /// distinguished from [`ImportError::NoMatch`] so callers can tell
+    /// policy failures from genuine scarcity.
+    #[allow(clippy::too_many_arguments)] // the full import context; callers name each piece
+    pub fn import(
+        &mut self,
+        at: DomainId,
+        rights: Rights,
+        service_type: &ServiceType,
+        required: &QosSpec,
+        policy: SelectionPolicy,
+        max_hops: u32,
+        net: Option<&Network>,
+    ) -> Result<ImportResolution, ImportError> {
+        if !self.domains.contains_key(&at) {
+            return Err(ImportError::UnknownDomain(at));
+        }
+        let mut visited: BTreeSet<DomainId> = BTreeSet::new();
+        let mut queue: VecDeque<(DomainId, u32)> = VecDeque::new();
+        queue.push_back((at, 0));
+        visited.insert(at);
+        let mut barred_offers_exist = false;
+
+        while let Some((domain, hops)) = queue.pop_front() {
+            let offers = self
+                .domains
+                .get_mut(&domain)
+                .map(|store| store.offers_of_type(service_type))
+                .unwrap_or_default();
+            let matches = match_offers(&offers, required);
+            if let Some(matched) = select(&matches, policy, &mut self.selection_load, net) {
+                return Ok(ImportResolution {
+                    matched,
+                    domain,
+                    hops,
+                });
+            }
+            if hops >= max_hops {
+                continue;
+            }
+            for link in self.links.iter().filter(|l| l.from == domain) {
+                if visited.contains(&link.to) {
+                    continue;
+                }
+                let admissible =
+                    service_type.in_scope(&link.scope) && rights.contains(link.required);
+                if !admissible {
+                    // Only report AccessDenied if something real was
+                    // barred: check the target actually holds the type.
+                    if self
+                        .domains
+                        .get(&link.to)
+                        .is_some_and(|s| s.has_type(service_type))
+                    {
+                        barred_offers_exist = true;
+                    }
+                    continue;
+                }
+                visited.insert(link.to);
+                queue.push_back((link.to, hops + 1));
+            }
+        }
+        if barred_offers_exist {
+            Err(ImportError::AccessDenied)
+        } else {
+            Err(ImportError::NoMatch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offer::{ServiceOffer, SessionKind};
+    use odp_sim::net::NodeId;
+
+    fn store_with(traders: &[u32], offers: &[(&str, u32)]) -> ShardedStore {
+        let mut s = ShardedStore::new(traders.iter().copied().map(NodeId));
+        for (name, node) in offers {
+            s.export(ServiceOffer::session(
+                ServiceType::new(*name),
+                SessionKind::Conference,
+                QosSpec::video(),
+                NodeId(*node),
+            ))
+            .unwrap();
+        }
+        s
+    }
+
+    fn st() -> ServiceType {
+        ServiceType::new("video/conference")
+    }
+
+    #[test]
+    fn local_offers_win_with_zero_hops() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[("video/conference", 5)]));
+        let r = fed
+            .import(
+                DomainId(0),
+                Rights::READ,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                3,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.domain, DomainId(0));
+    }
+
+    #[test]
+    fn federated_import_crosses_an_admissible_link() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
+        fed.link(DomainId(0), DomainId(1), "video/", Rights::READ);
+        let r = fed
+            .import(
+                DomainId(0),
+                Rights::READ,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                3,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.hops, 1);
+        assert_eq!(r.domain, DomainId(1));
+        assert_eq!(r.matched.offer.node, NodeId(15));
+    }
+
+    #[test]
+    fn out_of_scope_types_do_not_cross() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
+        fed.link(DomainId(0), DomainId(1), "audio/", Rights::NONE);
+        let err = fed
+            .import(
+                DomainId(0),
+                Rights::ALL,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                3,
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err, ImportError::AccessDenied);
+    }
+
+    #[test]
+    fn missing_rights_bar_the_link() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
+        fed.link(
+            DomainId(0),
+            DomainId(1),
+            "",
+            Rights::READ.union(Rights::GRANT),
+        );
+        assert_eq!(
+            fed.import(
+                DomainId(0),
+                Rights::READ,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                3,
+                None
+            )
+            .unwrap_err(),
+            ImportError::AccessDenied
+        );
+        // With GRANT added the same import succeeds.
+        assert!(fed
+            .import(
+                DomainId(0),
+                Rights::READ.union(Rights::GRANT),
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                3,
+                None
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn hop_bound_limits_transitive_reach() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[("video/conference", 25)]));
+        fed.link(DomainId(0), DomainId(1), "", Rights::NONE);
+        fed.link(DomainId(1), DomainId(2), "", Rights::NONE);
+        assert_eq!(
+            fed.import(
+                DomainId(0),
+                Rights::NONE,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                1,
+                None
+            )
+            .unwrap_err(),
+            ImportError::NoMatch
+        );
+        let r = fed
+            .import(
+                DomainId(0),
+                Rights::NONE,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                2,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.hops, 2);
+    }
+
+    #[test]
+    fn nearest_domain_answers_first() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 11)]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[("video/conference", 22)]));
+        fed.link(DomainId(0), DomainId(1), "", Rights::NONE);
+        fed.link(DomainId(1), DomainId(2), "", Rights::NONE);
+        let r = fed
+            .import(
+                DomainId(0),
+                Rights::NONE,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                5,
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.domain, DomainId(1), "one hop beats two");
+    }
+
+    #[test]
+    fn unknown_start_domain_errors() {
+        let mut fed = Federation::new();
+        assert_eq!(
+            fed.import(
+                DomainId(9),
+                Rights::ALL,
+                &st(),
+                &QosSpec::video(),
+                SelectionPolicy::FirstFit,
+                1,
+                None
+            )
+            .unwrap_err(),
+            ImportError::UnknownDomain(DomainId(9))
+        );
+    }
+}

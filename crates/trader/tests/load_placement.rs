@@ -1,0 +1,78 @@
+//! Trader → management integration: the sharded store's lookup-load
+//! report feeds `odp_mgmt::placement` so management can co-locate
+//! replicas (or the trader database itself) with trading hot spots.
+
+use odp_mgmt::placement::{place, PlacementPolicy};
+use odp_sim::net::NodeId;
+use odp_sim::time::SimDuration;
+use odp_streams::qos::QosSpec;
+use odp_trader::offer::{ServiceOffer, ServiceType, SessionKind};
+use odp_trader::store::ShardedStore;
+
+#[test]
+fn placement_follows_trader_lookup_load() {
+    let traders = [NodeId(0), NodeId(1), NodeId(2)];
+    let mut store = ShardedStore::new(traders);
+
+    // Find two types living on different shards so we can skew load.
+    let mut types = (0..)
+        .map(|i| ServiceType::new(format!("svc/kind-{i}")))
+        .filter(|t| store.shard_for(t).is_some());
+    let hot = types.next().unwrap();
+    let cold = types
+        .find(|t| store.shard_for(t) != store.shard_for(&hot))
+        .unwrap();
+    let hot_shard = store.shard_for(&hot).unwrap();
+
+    for (st, node) in [(&hot, 10), (&cold, 11)] {
+        store
+            .export(ServiceOffer::session(
+                st.clone(),
+                SessionKind::Workspace,
+                QosSpec::audio(),
+                NodeId(node),
+            ))
+            .unwrap();
+    }
+
+    // 50 lookups against the hot type, 2 against the cold one.
+    for _ in 0..50 {
+        store.offers_of_type(&hot);
+    }
+    for _ in 0..2 {
+        store.offers_of_type(&cold);
+    }
+
+    let usage = store.usage_pattern();
+    assert_eq!(usage.total(), 52);
+    assert_eq!(usage.count(hot_shard), 50);
+
+    // Management places a shared object among the trader nodes using
+    // the trader's own load report: group-mean placement must follow
+    // the lookup traffic to the hot shard.
+    let latency = |a: NodeId, b: NodeId| {
+        if a == b {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_millis(10)
+        }
+    };
+    let placement = place(
+        PlacementPolicy::GroupMean,
+        &usage,
+        &traders,
+        NodeId(2),
+        &latency,
+    );
+    assert_eq!(placement.node, hot_shard);
+
+    // The naive baseline ignores the report and stays home.
+    let home = place(
+        PlacementPolicy::StaticHome,
+        &usage,
+        &traders,
+        NodeId(2),
+        &latency,
+    );
+    assert_eq!(home.node, NodeId(2));
+}

@@ -312,10 +312,13 @@ mod tests {
     fn freeform_accepts_anything_and_forces_nothing() {
         let mut m = FreeFormModel::new(items(3));
         // Finish out of order, start after finish, whatever.
-        m.attempt(Party(2), WorkAction::Finish(WorkItem(2))).unwrap();
+        m.attempt(Party(2), WorkAction::Finish(WorkItem(2)))
+            .unwrap();
         m.attempt(Party(0), WorkAction::Start(WorkItem(0))).unwrap();
-        m.attempt(Party(1), WorkAction::Finish(WorkItem(0))).unwrap();
-        m.attempt(Party(1), WorkAction::Finish(WorkItem(1))).unwrap();
+        m.attempt(Party(1), WorkAction::Finish(WorkItem(0)))
+            .unwrap();
+        m.attempt(Party(1), WorkAction::Finish(WorkItem(1)))
+            .unwrap();
         assert!(m.is_complete());
         let s = m.stats();
         assert_eq!(s.forced_acts, 0);
@@ -325,14 +328,30 @@ mod tests {
     #[test]
     fn procedure_rejects_out_of_order_and_wrong_role() {
         let steps = vec![
-            ProcedureStep { item: WorkItem(0), role: Party(0) },
-            ProcedureStep { item: WorkItem(1), role: Party(1) },
+            ProcedureStep {
+                item: WorkItem(0),
+                role: Party(0),
+            },
+            ProcedureStep {
+                item: WorkItem(1),
+                role: Party(1),
+            },
         ];
         let mut m = ProcedureModel::new(steps);
-        assert!(m.attempt(Party(1), WorkAction::Finish(WorkItem(1))).is_err(), "out of order");
-        assert!(m.attempt(Party(1), WorkAction::Finish(WorkItem(0))).is_err(), "wrong role");
-        m.attempt(Party(0), WorkAction::Finish(WorkItem(0))).unwrap();
-        m.attempt(Party(1), WorkAction::Finish(WorkItem(1))).unwrap();
+        assert!(
+            m.attempt(Party(1), WorkAction::Finish(WorkItem(1)))
+                .is_err(),
+            "out of order"
+        );
+        assert!(
+            m.attempt(Party(1), WorkAction::Finish(WorkItem(0)))
+                .is_err(),
+            "wrong role"
+        );
+        m.attempt(Party(0), WorkAction::Finish(WorkItem(0)))
+            .unwrap();
+        m.attempt(Party(1), WorkAction::Finish(WorkItem(1)))
+            .unwrap();
         assert!(m.is_complete());
         assert_eq!(m.stats().rejections, 2);
     }
@@ -341,7 +360,8 @@ mod tests {
     fn speech_act_forces_four_acts_per_item() {
         let mut m = SpeechActModel::new(Party(9), [(WorkItem(0), Party(1))]);
         m.attempt(Party(1), WorkAction::Start(WorkItem(0))).unwrap();
-        m.attempt(Party(1), WorkAction::Finish(WorkItem(0))).unwrap();
+        m.attempt(Party(1), WorkAction::Finish(WorkItem(0)))
+            .unwrap();
         assert!(m.is_complete());
         let s = m.stats();
         assert_eq!(s.forced_acts, 4, "request+promise+report+declare");
@@ -351,7 +371,9 @@ mod tests {
     #[test]
     fn speech_act_rejects_finish_before_start_and_wrong_performer() {
         let mut m = SpeechActModel::new(Party(9), [(WorkItem(0), Party(1))]);
-        assert!(m.attempt(Party(1), WorkAction::Finish(WorkItem(0))).is_err());
+        assert!(m
+            .attempt(Party(1), WorkAction::Finish(WorkItem(0)))
+            .is_err());
         assert!(m.attempt(Party(2), WorkAction::Start(WorkItem(0))).is_err());
         assert!(m.attempt(Party(1), WorkAction::Start(WorkItem(9))).is_err());
         assert_eq!(m.stats().rejections, 3);
@@ -369,8 +391,14 @@ mod tests {
         ];
         let mut free = FreeFormModel::new(items(2));
         let mut proc = ProcedureModel::new(vec![
-            ProcedureStep { item: WorkItem(0), role: Party(1) },
-            ProcedureStep { item: WorkItem(1), role: Party(2) },
+            ProcedureStep {
+                item: WorkItem(0),
+                role: Party(1),
+            },
+            ProcedureStep {
+                item: WorkItem(1),
+                role: Party(2),
+            },
         ]);
         let mut speech =
             SpeechActModel::new(Party(0), [(WorkItem(0), Party(1)), (WorkItem(1), Party(2))]);

@@ -239,10 +239,7 @@ mod tests {
             id: StepId(id),
             role: Party(role),
             description: format!("step {id}"),
-            routes: routes
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
+            routes: routes.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         }
     }
 
@@ -254,7 +251,10 @@ mod tests {
                 step(
                     1,
                     2,
-                    &[("approved", Next::Step(StepId(2))), ("rejected", Next::Step(StepId(0)))],
+                    &[
+                        ("approved", Next::Step(StepId(2))),
+                        ("rejected", Next::Step(StepId(0))),
+                    ],
                 ),
                 step(2, 3, &[("filed", Next::Done)]),
             ],
@@ -307,7 +307,10 @@ mod tests {
         p.perform(Party(1), "done").unwrap();
         p.perform(Party(2), "approved").unwrap();
         p.perform(Party(3), "filed").unwrap();
-        assert_eq!(p.perform(Party(1), "done").unwrap_err(), RouteError::AlreadyDone);
+        assert_eq!(
+            p.perform(Party(1), "done").unwrap_err(),
+            RouteError::AlreadyDone
+        );
     }
 
     #[test]

@@ -97,7 +97,11 @@ pub struct Rejected {
 
 impl fmt::Display for Rejected {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} may not {} in state {:?}", self.by, self.act, self.state)
+        write!(
+            f,
+            "{} may not {} in state {:?}",
+            self.by, self.act, self.state
+        )
     }
 }
 
@@ -273,9 +277,15 @@ mod tests {
     #[test]
     fn out_of_order_acts_are_rejected() {
         let mut c = convo();
-        assert!(c.act(Party(1), ReportCompletion).is_err(), "no work promised yet");
+        assert!(
+            c.act(Party(1), ReportCompletion).is_err(),
+            "no work promised yet"
+        );
         c.act(Party(0), Request).unwrap();
-        assert!(c.act(Party(0), DeclareComplete).is_err(), "nothing reported");
+        assert!(
+            c.act(Party(0), DeclareComplete).is_err(),
+            "nothing reported"
+        );
         assert_eq!(c.rejections(), 2);
         assert_eq!(c.acts_taken(), 1);
     }

@@ -40,7 +40,10 @@ fn main() {
         .expect("valid anchor");
     println!("Reviewer annotations visible to author:");
     for ann in doc.visible_to(NodeId(0)) {
-        println!("  [{:?}] by {} at {:?}: {}", ann.kind, ann.author, ann.range, ann.body);
+        println!(
+            "  [{:?}] by {} at {:?}: {}",
+            ann.kind, ann.author, ann.range, ann.body
+        );
         for (who, text) in &ann.replies {
             println!("      ↳ {who}: {text}");
         }
@@ -63,7 +66,9 @@ fn main() {
         .local_edit(CharOp::Insert { pos: 0, ch: '!' })
         .expect("in bounds");
     let m2 = bob
-        .local_edit(CharOp::Delete { pos: base.chars().count() - 1 })
+        .local_edit(CharOp::Delete {
+            pos: base.chars().count() - 1,
+        })
         .expect("in bounds");
     println!("  alice (local): {:?}", alice.text());
     println!("  bob   (local): {:?}", bob.text());

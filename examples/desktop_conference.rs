@@ -28,13 +28,19 @@ fn main() {
     let out = shared
         .input(NodeId(0), "draw architecture box", SimTime::from_secs(1))
         .expect("holder may draw");
-    println!("Transparent whiteboard: node 0 draws; output multicast to {} screens.", out.len());
+    println!(
+        "Transparent whiteboard: node 0 draws; output multicast to {} screens.",
+        out.len()
+    );
     match shared.input(NodeId(1), "draw too", SimTime::from_secs(2)) {
         Err(e) => println!("Node 1 tries to draw concurrently: {e} (turn-taking enforced)"),
         Ok(_) => unreachable!("floor control must refuse"),
     }
     shared.release_floor(NodeId(0), SimTime::from_secs(3));
-    println!("Floor passes to node {:?} on release.\n", shared.floor_holder());
+    println!(
+        "Floor passes to node {:?} on release.\n",
+        shared.floor_holder()
+    );
 
     // ---- Collaboration-aware: relaxed WYSIWIS -------------------------
     let mut aware = AwareConference::new();
@@ -47,8 +53,14 @@ fn main() {
     aware.input(NodeId(0), "edit title").expect("member");
     aware.input(NodeId(1), "edit section 3").expect("member");
     println!("Aware editor: members hold different viewports (0 vs 40),");
-    println!("node 1's telepointer renders on {} peer screens,", watchers.len());
-    println!("and {} inputs interleaved without a floor.\n", aware.shared_log().len());
+    println!(
+        "node 1's telepointer renders on {} peer screens,",
+        watchers.len()
+    );
+    println!(
+        "and {} inputs interleaved without a floor.\n",
+        aware.shared_log().len()
+    );
 
     // ---- The video channel with QoS management ------------------------
     println!("Conference video (25 fps contract, link degrades at t=5s):");
@@ -87,10 +99,16 @@ fn main() {
     sim.run_for(SimDuration::from_secs(30));
     let source: &SourceActor = sim.actor(NodeId(0)).expect("source");
     let sink: &SinkActor = sim.actor(NodeId(1)).expect("sink");
-    println!("  violations reported : {}", sim.metrics().counter("stream.violation_reports"));
+    println!(
+        "  violations reported : {}",
+        sim.metrics().counter("stream.violation_reports")
+    );
     println!("  renegotiations      : {}", source.renegotiations());
     println!("  final contract      : {}", source.contract());
-    println!("  media integrity     : {:.1}%", sink.sink().integrity() * 100.0);
+    println!(
+        "  media integrity     : {:.1}%",
+        sink.sink().integrity() * 100.0
+    );
     println!("\nThe sink detected the degradation end-to-end, informed the");
     println!("source, and the stream renegotiated down instead of dying.");
 }

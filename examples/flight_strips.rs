@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example flight_strips`
 
-use cscw::core::flightstrips::{
-    Beacon, Callsign, FlightProgressBoard, FlightStrip, PlacementMode,
-};
+use cscw::core::flightstrips::{Beacon, Callsign, FlightProgressBoard, FlightStrip, PlacementMode};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 
@@ -30,16 +28,35 @@ fn main() {
     board.add_rack(talla.clone());
 
     // The assistant files incoming strips automatically (silent).
-    for (cs, eta, fl) in [("BAW123", 12, 330), ("EIN456", 18, 350), ("KLM789", 25, 330)] {
+    for (cs, eta, fl) in [
+        ("BAW123", 12, 330),
+        ("EIN456", 18, 350),
+        ("KLM789", 25, 330),
+    ] {
         board
-            .place(NodeId(0), pol.clone(), strip(cs, eta, fl), PlacementMode::Automatic, None, SimTime::ZERO)
+            .place(
+                NodeId(0),
+                pol.clone(),
+                strip(cs, eta, fl),
+                PlacementMode::Automatic,
+                None,
+                SimTime::ZERO,
+            )
             .expect("rack exists");
     }
     println!("After automatic filing, rack POL (ETA order):");
     for s in board.rack(&pol).expect("rack exists") {
-        println!("  {:<8} FL{} ETA t+{}min", s.callsign, s.level, s.eta.as_millis() / 60_000);
+        println!(
+            "  {:<8} FL{} ETA t+{}min",
+            s.callsign,
+            s.level,
+            s.eta.as_millis() / 60_000
+        );
     }
-    println!("Attention events so far: {} (automation is silent)\n", board.attention().len());
+    println!(
+        "Attention events so far: {} (automation is silent)\n",
+        board.attention().len()
+    );
 
     // A controller spots trouble: AFR999 is coming in close behind BAW123
     // at the same level. She places the strip *by hand*, cocked out at
@@ -57,7 +74,10 @@ fn main() {
     println!("Controller n2 manually places AFR999 at the top of the rack.");
     println!("Attention events now: {}", board.attention().len());
     for ev in board.attention() {
-        println!("  team sees: {} moved {} in rack {}", ev.by, ev.callsign, ev.beacon);
+        println!(
+            "  team sees: {} moved {} in rack {}",
+            ev.by, ev.callsign, ev.beacon
+        );
     }
 
     // "At a glance": loading and emerging problems.
@@ -70,15 +90,25 @@ fn main() {
     for (beacon, a, b) in &conflicts {
         println!("  {a} vs {b} over {beacon}");
     }
-    assert!(!conflicts.is_empty(), "the manual placement flagged a real conflict");
+    assert!(
+        !conflicts.is_empty(),
+        "the manual placement flagged a real conflict"
+    );
 
     // Resolve it: amend the strip with an instruction.
     board
-        .amend(&pol, &Callsign("AFR999".to_owned()), "climb FL350, resequence behind EIN456")
+        .amend(
+            &pol,
+            &Callsign("AFR999".to_owned()),
+            "climb FL350, resequence behind EIN456",
+        )
         .expect("strip exists");
     println!("\nInstruction recorded on AFR999's strip:");
     let rack = board.rack(&pol).expect("rack exists");
-    let s = rack.iter().find(|s| s.callsign.0 == "AFR999").expect("strip present");
+    let s = rack
+        .iter()
+        .find(|s| s.callsign.0 == "AFR999")
+        .expect("strip present");
     for i in &s.instructions {
         println!("  -> {i}");
     }

@@ -24,7 +24,9 @@ fn main() {
 
     println!("Tom glances into Gordon's office:");
     match ms.connect(NodeId(0), NodeId(1), ConnectionType::Glance, SimTime::ZERO) {
-        ConnectOutcome::Connected(id) => println!("  connected immediately ({id:?}) — policy is Auto"),
+        ConnectOutcome::Connected(id) => {
+            println!("  connected immediately ({id:?}) — policy is Auto")
+        }
         other => unreachable!("glance is auto: {other:?}"),
     }
     println!("Tom tries a vphone call:");
@@ -33,7 +35,12 @@ fn main() {
         other => unreachable!("vphone is refused: {other:?}"),
     }
     println!("Tom requests an office-share:");
-    match ms.connect(NodeId(0), NodeId(1), ConnectionType::OfficeShare, SimTime::ZERO) {
+    match ms.connect(
+        NodeId(0),
+        NodeId(1),
+        ConnectionType::OfficeShare,
+        SimTime::ZERO,
+    ) {
         ConnectOutcome::Pending(id) => {
             println!("  pending — Gordon is asked first...");
             let answered = ms
@@ -64,9 +71,18 @@ fn main() {
     // ---- The spatial model ---------------------------------------------
     println!("\nShared virtual space (focus/nimbus):");
     let mut space = SpatialModel::new();
-    space.place(NodeId(0), SpatialBody::symmetric(Position::new(0.0, 0.0), 500.0, 30.0));
-    space.place(NodeId(1), SpatialBody::symmetric(Position::new(10.0, 0.0), 500.0, 30.0));
-    space.place(NodeId(2), SpatialBody::symmetric(Position::new(200.0, 0.0), 500.0, 30.0));
+    space.place(
+        NodeId(0),
+        SpatialBody::symmetric(Position::new(0.0, 0.0), 500.0, 30.0),
+    );
+    space.place(
+        NodeId(1),
+        SpatialBody::symmetric(Position::new(10.0, 0.0), 500.0, 30.0),
+    );
+    space.place(
+        NodeId(2),
+        SpatialBody::symmetric(Position::new(200.0, 0.0), 500.0, 30.0),
+    );
     for who in [NodeId(0), NodeId(2)] {
         let aware = space.aware_of(who);
         println!("  {who} is aware of: {aware:?}");

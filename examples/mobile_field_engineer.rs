@@ -26,7 +26,10 @@ fn main() {
     engineer.cache_mut().hoard(ObjectId(1));
     engineer.cache_mut().hoard(ObjectId(2));
     let report = engineer.reconnect(&mut office).expect("depot network up");
-    println!("08:00 depot   : hoarded {} work orders ({} bytes).", report.refreshed, report.bulk_bytes);
+    println!(
+        "08:00 depot   : hoarded {} work orders ({} bytes).",
+        report.refreshed, report.bulk_bytes
+    );
 
     // 09:00 — on the road (partial/radio): reads come from the cache.
     engineer.set_connectivity(Connectivity::Partial);
@@ -57,26 +60,48 @@ fn main() {
 
     // 16:00 — back at the depot: reintegration detects the conflict.
     let report = engineer.reconnect(&mut office).expect("depot network up");
-    println!("\n16:00 depot   : reintegrating {} logged change(s)...", report.replay.len());
+    println!(
+        "\n16:00 depot   : reintegrating {} logged change(s)...",
+        report.replay.len()
+    );
     for outcome in &report.replay {
         match outcome {
-            ReplayOutcome::Applied { object, new_version } => {
+            ReplayOutcome::Applied {
+                object,
+                new_version,
+            } => {
                 println!("  {object}: applied cleanly (now v{new_version})");
             }
-            ReplayOutcome::Conflict { object, mobile_value, server_value, applied } => {
+            ReplayOutcome::Conflict {
+                object,
+                mobile_value,
+                server_value,
+                applied,
+            } => {
                 println!("  {object}: CONFLICT");
                 println!("    field copy : {mobile_value:?}");
                 println!("    office copy: {server_value:?}");
                 println!(
                     "    policy     : server wins (field copy {})",
-                    if *applied { "applied anyway" } else { "preserved for manual merge" }
+                    if *applied {
+                        "applied anyway"
+                    } else {
+                        "preserved for manual merge"
+                    }
                 );
             }
         }
     }
     let (available, unavailable) = engineer.availability();
     println!("\nDay's availability: {available} operations served, {unavailable} unavailable.");
-    println!("Cache hit rate    : {:.0}%", engineer.cache().hit_rate() * 100.0);
-    assert_eq!(report.conflicts(), 1, "the concurrent cancellation conflicts");
+    println!(
+        "Cache hit rate    : {:.0}%",
+        engineer.cache().hit_rate() * 100.0
+    );
+    assert_eq!(
+        report.conflicts(),
+        1,
+        "the concurrent cancellation conflicts"
+    );
     let _ = Served::Cache; // (typed surface exercised above)
 }

@@ -16,8 +16,8 @@ fn main() {
     for scheme in [Scheme::TwoPhase, Scheme::TxGroup] {
         let sim = run_scheme(scheme, 4, 10, 42);
         let blocked = sim.metrics().counter("cc.blocked");
-        let notices = sim.metrics().counter("cc.notices_sent")
-            + sim.metrics().counter("cc.group_notices");
+        let notices =
+            sim.metrics().counter("cc.notices_sent") + sim.metrics().counter("cc.group_notices");
         let response = sim
             .metrics()
             .histogram("cc.response")
@@ -27,7 +27,10 @@ fn main() {
             })
             .expect("workload ran");
         println!("--- {} ---", scheme.label());
-        println!("  edits applied      : {}", sim.metrics().counter("cc.edits_applied"));
+        println!(
+            "  edits applied      : {}",
+            sim.metrics().counter("cc.edits_applied")
+        );
         println!("  operations blocked : {blocked}");
         println!("  awareness notices  : {notices}");
         println!("  response time      : {response}");

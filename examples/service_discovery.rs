@@ -1,0 +1,168 @@
+//! Trader-mediated service discovery (paper §4.2.1): in an open system
+//! clients find conferences through the *trading function*, not through
+//! configuration files. A campus trader runs two shards; a partner
+//! organisation's trader federates in over a scoped link; a desktop
+//! client and a mobile client import the same conference type and get
+//! contracts matched to what their connectivity can sustain.
+//!
+//! Run with: `cargo run --example service_discovery`
+
+use cscw::access::rights::Rights;
+use cscw::streams::qos::QosSpec;
+use cscw::trader::cache::LookupCache;
+use cscw::trader::federation::{DomainId, Federation, ImportError};
+use cscw::trader::offer::{ServiceOffer, ServiceType, SessionKind};
+use cscw::trader::select::SelectionPolicy;
+use cscw::trader::store::ShardedStore;
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+
+const CAMPUS: DomainId = DomainId(0);
+const PARTNER: DomainId = DomainId(1);
+
+fn main() {
+    println!("Service discovery through a trading federation");
+    println!("==============================================\n");
+
+    // --- The campus trader: one domain, two shards --------------------
+    let mut federation = Federation::new();
+    federation.add_domain(CAMPUS, ShardedStore::new([NodeId(100), NodeId(101)]));
+    federation.add_domain(PARTNER, ShardedStore::new([NodeId(200)]));
+    // The partner exposes only its conference offers, read-only.
+    federation.link(CAMPUS, PARTNER, "conference/", Rights::READ);
+
+    // --- Exporters advertise conferences ------------------------------
+    let offers = [
+        (
+            CAMPUS,
+            "conference/design-review",
+            NodeId(10),
+            QosSpec::video(),
+        ),
+        (CAMPUS, "conference/standup", NodeId(11), QosSpec::audio()),
+        (
+            PARTNER,
+            "conference/site-walkthrough",
+            NodeId(20),
+            QosSpec::mobile_video(),
+        ),
+    ];
+    for (domain, name, host, qos) in offers {
+        let id = federation
+            .domain_mut(domain)
+            .unwrap()
+            .export(
+                ServiceOffer::session(ServiceType::new(name), SessionKind::Conference, qos, host)
+                    .with_property("organiser", format!("node-{}", host.0)),
+            )
+            .expect("domain has shards");
+        println!("export  {name:<32} -> domain {} offer #{}", domain.0, id.0);
+    }
+    let campus = federation.domain_mut(CAMPUS).unwrap();
+    println!(
+        "\nCampus shards hold {} offers (balance ratio {:.2}):",
+        campus.len(),
+        campus.balance_ratio()
+    );
+    for (node, load) in campus.loads() {
+        println!("  shard {:>3}: {} offers", node.0, load.offers);
+    }
+
+    // --- A desktop client imports broadcast-grade video ---------------
+    let wanted = ServiceType::new("conference/design-review");
+    let resolution = federation
+        .import(
+            CAMPUS,
+            Rights::READ,
+            &wanted,
+            &QosSpec::video(),
+            SelectionPolicy::FirstFit,
+            2,
+            None,
+        )
+        .expect("local offer matches");
+    println!(
+        "\ndesktop import: {wanted} @ node {} agreed {} fps ({} hop(s))",
+        resolution.matched.offer.node, resolution.matched.agreed.throughput_fps, resolution.hops
+    );
+
+    // --- A mobile client asks for the same conference, degraded -------
+    // Its radio link can only sustain mobile-grade video; negotiation
+    // walks the degradation ladder instead of refusing outright.
+    let resolution = federation
+        .import(
+            CAMPUS,
+            Rights::READ,
+            &wanted,
+            &QosSpec::mobile_video(),
+            SelectionPolicy::FirstFit,
+            2,
+            None,
+        )
+        .expect("degraded contract still agreed");
+    println!(
+        "mobile  import: {wanted} @ node {} agreed {} fps, loss <= {:.0}%",
+        resolution.matched.offer.node,
+        resolution.matched.agreed.throughput_fps,
+        resolution.matched.agreed.loss_bound * 100.0
+    );
+
+    // --- Federation: the partner's conference, one hop away -----------
+    let remote = ServiceType::new("conference/site-walkthrough");
+    let resolution = federation
+        .import(
+            CAMPUS,
+            Rights::READ,
+            &remote,
+            &QosSpec::mobile_video(),
+            SelectionPolicy::FirstFit,
+            2,
+            None,
+        )
+        .expect("scoped link admits conference/ imports");
+    println!(
+        "remote  import: {remote} via domain {} ({} hop(s))",
+        resolution.domain.0, resolution.hops
+    );
+    // Without READ rights the same link is barred — and the trader says
+    // so, rather than pretending the service doesn't exist.
+    match federation.import(
+        CAMPUS,
+        Rights::NONE,
+        &remote,
+        &QosSpec::mobile_video(),
+        SelectionPolicy::FirstFit,
+        2,
+        None,
+    ) {
+        Err(ImportError::AccessDenied) => println!("        (without READ rights: access denied)"),
+        other => unreachable!("expected AccessDenied, got {other:?}"),
+    }
+
+    // --- Importer-side cache: the second lookup never hits the trader -
+    let mut cache = LookupCache::new(SimDuration::from_secs(30));
+    let now = SimTime::ZERO;
+    for t in [now, now + SimDuration::from_secs(5)] {
+        match cache.get(&wanted, t) {
+            Some(cached) => println!("\ncache hit : {} offer(s) served locally", cached.len()),
+            None => {
+                let resolved = federation
+                    .domain_mut(CAMPUS)
+                    .unwrap()
+                    .offers_of_type(&wanted);
+                println!(
+                    "\ncache miss: asked the trader, caching {} offer(s)",
+                    resolved.len()
+                );
+                cache.put(wanted.clone(), resolved, t);
+            }
+        }
+    }
+    let stats = cache.stats();
+    println!(
+        "cache     : {} hit(s), {} miss(es) — hit rate {:.0}%",
+        stats.hits,
+        stats.misses,
+        cache.stats().hit_rate() * 100.0
+    );
+}

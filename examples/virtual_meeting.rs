@@ -19,9 +19,11 @@ use odp_sim::prelude::*;
 
 fn meeting_workspace() -> SharedWorkspace {
     let mut ws = SharedWorkspace::new();
-    ws.policy_mut().add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
+    ws.policy_mut()
+        .add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
     for i in 0..3u32 {
-        ws.policy_mut().assign(odp_access::matrix::Subject(i), RoleId(1));
+        ws.policy_mut()
+            .assign(odp_access::matrix::Subject(i), RoleId(1));
         ws.register_observer(NodeId(i), 0.0);
     }
     ws.create_artefact(ObjectId(1), "shared/1", "meeting agenda: (empty)");
@@ -36,11 +38,17 @@ fn main() {
     let mut building = Building::new();
     building.create(RoomId(1), RoomKind::Office(0));
     building.create(RoomId(2), RoomKind::MeetingRoom);
-    building.set_door(RoomId(1), DoorState::Ajar).expect("room exists");
-    building.place_artefact(RoomId(2), "whiteboard").expect("room exists");
+    building
+        .set_door(RoomId(1), DoorState::Ajar)
+        .expect("room exists");
+    building
+        .place_artefact(RoomId(2), "whiteboard")
+        .expect("room exists");
 
     for n in 0..3u32 {
-        building.enter(NodeId(n), RoomId(2)).expect("meeting room is open");
+        building
+            .enter(NodeId(n), RoomId(2))
+            .expect("meeting room is open");
     }
     println!(
         "All three participants entered the meeting room; occupants: {:?}",
@@ -53,9 +61,18 @@ fn main() {
 
     // ---- Spatial awareness around the table ---------------------------
     let mut space = SpatialModel::new();
-    space.place(NodeId(0), SpatialBody::symmetric(Position::new(0.0, 0.0), 100.0, 15.0));
-    space.place(NodeId(1), SpatialBody::symmetric(Position::new(3.0, 0.0), 100.0, 15.0));
-    space.place(NodeId(2), SpatialBody::symmetric(Position::new(0.0, 4.0), 100.0, 15.0));
+    space.place(
+        NodeId(0),
+        SpatialBody::symmetric(Position::new(0.0, 0.0), 100.0, 15.0),
+    );
+    space.place(
+        NodeId(1),
+        SpatialBody::symmetric(Position::new(3.0, 0.0), 100.0, 15.0),
+    );
+    space.place(
+        NodeId(2),
+        SpatialBody::symmetric(Position::new(0.0, 4.0), 100.0, 15.0),
+    );
     println!("Around the table, n0 is aware of:");
     for (who, weight) in space.aware_of(NodeId(0)) {
         println!("  {who} with weight {weight:.2}");
@@ -69,15 +86,26 @@ fn main() {
     net.set_default_link(LinkSpec::wan(SimDuration::from_millis(15)));
     let mut sim: Sim<GcMsg<WsOp>> = Sim::with_network(5, net);
     for i in 0..3u32 {
-        sim.add_actor(NodeId(i), replica_actor(NodeId(i), view.clone(), meeting_workspace()));
+        sim.add_actor(
+            NodeId(i),
+            replica_actor(NodeId(i), view.clone(), meeting_workspace()),
+        );
     }
     // Concurrent edits from all three participants.
-    for (i, text) in [(0u32, "1. review QoS draft"), (1, "2. assign reviewers"), (2, "3. plan demo")] {
+    for (i, text) in [
+        (0u32, "1. review QoS draft"),
+        (1, "2. assign reviewers"),
+        (2, "3. plan demo"),
+    ] {
         sim.inject(
             SimTime::from_millis(20),
             NodeId(i),
             NodeId(i),
-            GcMsg::AppCmd(WsOp { actor: i, object: 1, value: format!("agenda + {text}") }),
+            GcMsg::AppCmd(WsOp {
+                actor: i,
+                object: 1,
+                value: format!("agenda + {text}"),
+            }),
         );
     }
     sim.run_for(SimDuration::from_secs(10));
@@ -91,20 +119,31 @@ fn main() {
             .iter()
             .map(|h| format!("by n{}", h.who))
             .collect();
-        println!("replica {i}: {} edits applied ({})", actor.app().applied(), history.join(", "));
+        println!(
+            "replica {i}: {} edits applied ({})",
+            actor.app().applied(),
+            history.join(", ")
+        );
         finals.push(history);
     }
-    assert!(finals.windows(2).all(|w| w[0] == w[1]), "replicas agree on the edit order");
+    assert!(
+        finals.windows(2).all(|w| w[0] == w[1]),
+        "replicas agree on the edit order"
+    );
     println!("\nAll replicas applied the same edits in the same (total) order.");
 
     // ---- Leaving: doors and privacy -------------------------------------
     println!("\nThe meeting ends. n0 returns to the office (owners always may):");
-    building.enter(NodeId(0), RoomId(1)).expect("owners enter their own office");
+    building
+        .enter(NodeId(0), RoomId(1))
+        .expect("owners enter their own office");
     match building.enter(NodeId(1), RoomId(1)) {
         Ok(()) => println!("n1 knocks on the ajar door; n0 is inside, so n1 is admitted."),
         Err(e) => unreachable!("occupied ajar office admits: {e}"),
     }
-    building.set_door(RoomId(1), DoorState::Closed).expect("room exists");
+    building
+        .set_door(RoomId(1), DoorState::Closed)
+        .expect("room exists");
     match building.enter(NodeId(2), RoomId(1)) {
         Err(e) => println!("n2 tries the now-closed door: {e}."),
         Ok(()) => unreachable!("closed doors refuse non-owners"),

@@ -19,16 +19,26 @@ fn main() {
     let customer = Party(0);
     let performer = Party(1);
     let mut convo = Conversation::new(customer, performer);
-    convo.act(customer, SpeechAct::Request).expect("customer opens");
+    convo
+        .act(customer, SpeechAct::Request)
+        .expect("customer opens");
     // The performer tries to just... do the work and declare it done.
     match convo.act(performer, SpeechAct::DeclareComplete) {
         Err(rej) => println!("   deviation rejected: {rej}"),
         Ok(_) => unreachable!("the protocol forbids this"),
     }
-    convo.act(performer, SpeechAct::CounterOffer).expect("performer negotiates");
-    convo.act(customer, SpeechAct::AcceptCounter).expect("customer agrees");
-    convo.act(performer, SpeechAct::ReportCompletion).expect("work reported");
-    convo.act(customer, SpeechAct::DeclareComplete).expect("customer satisfied");
+    convo
+        .act(performer, SpeechAct::CounterOffer)
+        .expect("performer negotiates");
+    convo
+        .act(customer, SpeechAct::AcceptCounter)
+        .expect("customer agrees");
+    convo
+        .act(performer, SpeechAct::ReportCompletion)
+        .expect("work reported");
+    convo
+        .act(customer, SpeechAct::DeclareComplete)
+        .expect("customer satisfied");
     println!(
         "   completed after {} explicit speech acts ({} deviation rejected)\n",
         convo.acts_taken(),
@@ -62,8 +72,13 @@ fn main() {
     ];
     let mut claim = RoutedProcedure::new(steps, StepId(0)).expect("valid route");
     claim.perform(Party(1), "submitted").expect("clerk submits");
-    claim.perform(Party(2), "rejected").expect("manager bounces it");
-    println!("   manager rejected; route loops back to {}", claim.current().expect("looped").description);
+    claim
+        .perform(Party(2), "rejected")
+        .expect("manager bounces it");
+    println!(
+        "   manager rejected; route loops back to {}",
+        claim.current().expect("looped").description
+    );
     claim.perform(Party(1), "submitted").expect("resubmitted");
     claim.perform(Party(2), "approved").expect("approved");
     claim.perform(Party(3), "filed").expect("filed");
@@ -77,8 +92,10 @@ fn main() {
     println!("3. Free-form coordination (Object Lens spirit):");
     let mut free = FreeFormModel::new((0..2).map(WorkItem));
     // Anyone does anything, in any order — including helping a colleague.
-    free.attempt(Party(2), WorkAction::Finish(WorkItem(1))).expect("no rules");
-    free.attempt(Party(1), WorkAction::Finish(WorkItem(0))).expect("no rules");
+    free.attempt(Party(2), WorkAction::Finish(WorkItem(1)))
+        .expect("no rules");
+    free.attempt(Party(1), WorkAction::Finish(WorkItem(0)))
+        .expect("no rules");
     let s = free.stats();
     println!(
         "   complete: {}; forced acts: {}; rejections: {}",

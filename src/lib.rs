@@ -15,6 +15,7 @@
 //! - [`streams`] — continuous-media streams with QoS management
 //! - [`mobility`] — mobile hosts, disconnection, reintegration
 //! - [`mgmt`] — group-aware placement and migration
+//! - [`trader`] — federated, QoS-aware service trading
 //! - [`workflow`] — speech-act and office-procedure workflows
 //! - [`core`] — the groupware toolkit tying the substrates together
 //!
@@ -34,4 +35,5 @@ pub use odp_mgmt as mgmt;
 pub use odp_mobility as mobility;
 pub use odp_sim as sim;
 pub use odp_streams as streams;
+pub use odp_trader as trader;
 pub use odp_workflow as workflow;

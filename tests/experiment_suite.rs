@@ -15,7 +15,10 @@ fn all_experiments_produce_tables_with_rows() {
         "E1", "E2", "E3", "E4", "E5", "E5b", "E6", "E6b", "E7", "E7b", "E8", "E8b", "E8c", "E8d",
         "E9", "E9b", "E10", "E10b", "E11", "E12", "E13",
     ] {
-        assert!(ids.contains(&expected), "missing table {expected}; got {ids:?}");
+        assert!(
+            ids.contains(&expected),
+            "missing table {expected}; got {ids:?}"
+        );
     }
     for t in &tables {
         assert!(!t.rows.is_empty(), "table {} has no rows", t.id);
@@ -38,13 +41,20 @@ fn different_seeds_keep_the_qualitative_shapes() {
     for seed in [1u64, 99] {
         let tables = run_all(seed);
         let e2 = tables.iter().find(|t| t.id == "E2").expect("E2 exists");
-        let tp = e2.cell_f64("2pl-transactions(n=8)", "awareness_notices").unwrap();
-        let tg = e2.cell_f64("transaction-group(n=8)", "awareness_notices").unwrap();
+        let tp = e2
+            .cell_f64("2pl-transactions(n=8)", "awareness_notices")
+            .unwrap();
+        let tg = e2
+            .cell_f64("transaction-group(n=8)", "awareness_notices")
+            .unwrap();
         assert_eq!(tp, 0.0, "seed {seed}: transactions stay wall-like");
         assert!(tg > 0.0, "seed {seed}: groups stay awareness-rich");
         let e11 = tables.iter().find(|t| t.id == "E11").expect("E11 exists");
         let free = e11.cell_f64("free-form", "forced_acts").unwrap();
         let speech = e11.cell_f64("speech-act", "forced_acts").unwrap();
-        assert!(speech > free, "seed {seed}: the prescriptiveness ladder holds");
+        assert!(
+            speech > free,
+            "seed {seed}: the prescriptiveness ladder holds"
+        );
     }
 }

@@ -1,0 +1,182 @@
+//! A small, offline drop-in for the subset of the `criterion` API this
+//! workspace uses: `Criterion::bench_function`, `benchmark_group` +
+//! `sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples of an adaptively chosen iteration batch,
+//! and reports min / median / mean per-iteration wall-clock time as a
+//! plain line on stdout. There is no statistical analysis, plotting, or
+//! baseline persistence — the goal is that `cargo bench` produces
+//! honest comparable numbers without network-fetched dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier.
+pub use std::hint::black_box;
+
+/// Drives closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.default_sample_size, f);
+        self
+    }
+
+    /// Starts a named group whose settings apply to its benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Warm-up + batch sizing: grow the batch until one sample takes at
+    // least ~2ms or the batch reaches 1M iterations, so cheap routines
+    // are measured over enough work to beat timer resolution.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1_000_000 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "bench {name:<40} min {} median {} mean {} ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+        per_iter.len(),
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:8.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:8.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:8.3} us", secs * 1e6)
+    } else {
+        format!("{:8.3} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group function invoking each benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group unless `--test` is passed
+/// (cargo's bench-target smoke mode) — then it only checks they exist.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes harness=false bench binaries with
+            // `--test`; keep that mode fast by skipping measurement.
+            let smoke = ::std::env::args().any(|a| a == "--test");
+            if smoke {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("add", |b| b.iter(|| black_box(2u64 * 2)));
+        g.finish();
+    }
+}

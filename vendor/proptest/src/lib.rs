@@ -1,0 +1,753 @@
+//! A small, offline drop-in for the subset of the `proptest` API this
+//! workspace uses: the `proptest!` macro, `prop_assert*` macros, range /
+//! tuple / collection / regex-string strategies, `any::<T>()`,
+//! `prop_map`, `Just`, `proptest::char::range`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **Deterministic**: every test derives its RNG seed from its fully
+//!   qualified name plus the case index, so runs are reproducible without
+//!   a persistence file.
+//! - **No shrinking**: a failing case reports its generated inputs (all
+//!   strategy values are `Debug`) and re-raises the panic unshrunk.
+//! - **Regression files are not consulted**: `.proptest-regressions`
+//!   seeds are opaque to this implementation; known edge cases should
+//!   also be pinned as plain `#[test]`s.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic case RNG.
+
+    pub use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Number of cases to run per property (a subset of the real
+    /// proptest config).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many generated cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The RNG handed to strategies, seeded from the test name and case
+    /// index so every run of the suite generates the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for one `(test, case)` pair.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                inner: SmallRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64),
+            }
+        }
+
+        /// The underlying generator.
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.inner
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace samples.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical uniform strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.rng().gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.rng().gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.rng().gen::<f64>()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary + core::fmt::Debug> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A uniform strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod char {
+    //! Character strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A uniform strategy over an inclusive character range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    /// Uniform characters in `[lo, hi]` (both inclusive).
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn new_value(&self, rng: &mut TestRng) -> char {
+            // Resample on the (never-used-here) surrogate gap.
+            loop {
+                let v = rng.rng().gen_range(self.lo..self.hi + 1);
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! `vec` and `btree_set` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An admissible collection size: fixed or drawn from a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.lo + 1 == self.hi {
+                self.lo
+            } else {
+                rng.rng().gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Sets of `element` values with a target size drawn from `size`.
+    /// The produced set may be smaller if the element strategy cannot
+    /// supply enough distinct values.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + core::fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(20) + 20 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod string {
+    //! Strings generated from a restricted regex dialect.
+    //!
+    //! Supported: literal characters, character classes `[a-z0-9 .!?\n]`
+    //! (ranges, literals, the escapes `\n`, `\t`, `\r`, `\\`, `\-`,
+    //! `\]`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the last
+    //! two capped at 32 repetitions). Anything else panics with a clear
+    //! message — extend the parser rather than silently mis-generating.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Lit(char),
+        Class(Vec<char>),
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) struct Pattern {
+        parts: Vec<(Atom, usize, usize)>, // atom, min, max (inclusive)
+    }
+
+    pub(crate) fn parse(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut members = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(c) = chars.next() else {
+                            panic!("unterminated character class in regex {pattern:?}");
+                        };
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let e = chars.next().unwrap_or_else(|| {
+                                    panic!("dangling escape in regex {pattern:?}")
+                                });
+                                let lit = match e {
+                                    'n' => '\n',
+                                    't' => '\t',
+                                    'r' => '\r',
+                                    other => other,
+                                };
+                                members.push(lit);
+                                prev = Some(lit);
+                            }
+                            '-' => {
+                                // A range if flanked by members, else literal.
+                                match (prev, chars.peek().copied()) {
+                                    (Some(lo), Some(hi)) if hi != ']' => {
+                                        chars.next();
+                                        assert!(
+                                            lo <= hi,
+                                            "inverted range {lo}-{hi} in regex {pattern:?}"
+                                        );
+                                        for v in (lo as u32 + 1)..=(hi as u32) {
+                                            if let Some(ch) = char::from_u32(v) {
+                                                members.push(ch);
+                                            }
+                                        }
+                                        prev = None;
+                                    }
+                                    _ => {
+                                        members.push('-');
+                                        prev = Some('-');
+                                    }
+                                }
+                            }
+                            other => {
+                                members.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    assert!(
+                        !members.is_empty(),
+                        "empty character class in regex {pattern:?}"
+                    );
+                    Atom::Class(members)
+                }
+                '\\' => {
+                    let e = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                    Atom::Lit(match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    })
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    panic!("unsupported regex construct {c:?} in {pattern:?}")
+                }
+                other => Atom::Lit(other),
+            };
+            // Quantifier?
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => {
+                            let lo = m.trim().parse::<usize>().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{spec}}} in regex {pattern:?}")
+                            });
+                            let hi = n.trim().parse::<usize>().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{spec}}} in regex {pattern:?}")
+                            });
+                            assert!(lo <= hi, "inverted quantifier in regex {pattern:?}");
+                            (lo, hi)
+                        }
+                        None => {
+                            let n = spec.trim().parse::<usize>().unwrap_or_else(|_| {
+                                panic!("bad quantifier {{{spec}}} in regex {pattern:?}")
+                            });
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 32)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 32)
+                }
+                _ => (1, 1),
+            };
+            parts.push((atom, min, max));
+        }
+        Pattern { parts }
+    }
+
+    impl Pattern {
+        pub(crate) fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (atom, min, max) in &self.parts {
+                let n = if min == max {
+                    *min
+                } else {
+                    rng.rng().gen_range(*min..max + 1)
+                };
+                for _ in 0..n {
+                    match atom {
+                        Atom::Lit(c) => out.push(*c),
+                        Atom::Class(members) => {
+                            let i = rng.rng().gen_range(0usize..members.len());
+                            out.push(members[i]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Re-exports matching `use proptest::prelude::*;` in real proptest.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(test_name, case);
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);
+                    __inputs.push_str(concat!(stringify!($arg), " = "));
+                    __inputs.push_str(&::std::format!("{:?}, ", &__value));
+                    let $arg = __value;
+                )+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body })
+                );
+                if let ::std::result::Result::Err(payload) = outcome {
+                    ::std::eprintln!(
+                        "proptest {test_name} failed at case {case} with inputs: {__inputs}"
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the built-in strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type (must be `Debug` so failing cases can be
+        /// reported).
+        type Value: core::fmt::Debug;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: core::fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards values failing `f`, resampling (up to a cap, after
+        /// which the last sample is returned regardless — no global
+        /// rejection bookkeeping).
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: core::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            let mut last = self.inner.new_value(rng);
+            for _ in 0..1000 {
+                if (self.f)(&last) {
+                    return last;
+                }
+                last = self.inner.new_value(rng);
+            }
+            panic!(
+                "prop_filter({:?}) rejected 1000 consecutive samples",
+                self.reason
+            );
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo == hi {
+                        return lo;
+                    }
+                    // Widen to u128 arithmetic via the Range impl where
+                    // possible; +1 cannot overflow after the lo==hi check
+                    // for every type narrower than u128.
+                    let span_end = hi;
+                    let v = rng.rng().gen_range(lo..span_end);
+                    // Give the endpoint equal weight by a second draw.
+                    if rng.rng().gen_range(0u64..(span_end as u64).wrapping_sub(lo as u64).max(1) + 1) == 0 {
+                        hi
+                    } else {
+                        v
+                    }
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.rng().gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.rng().gen::<f64>() * (hi - lo)
+        }
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::parse(self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ );)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_within_spec() {
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = Strategy::new_value(&"[a-z]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::new_value(&"[a-zA-Z .!?\n]{0,200}", &mut rng);
+            assert!(t.len() <= 200);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || " .!?\n".contains(c)));
+            let u = Strategy::new_value(&"[a-z ]{10,60}", &mut rng);
+            assert!((10..=60).contains(&u.len()));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let gen = |_run: u32| {
+            let mut rng = TestRng::for_case("det", 0); // same seed every run
+            Strategy::new_value(&(0u64..1000, 0.0f64..1.0), &mut rng)
+        };
+        assert_eq!(gen(0).0, gen(1).0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn the_macro_itself_works(
+            a in 0u32..10,
+            v in prop::collection::vec(0u64..5, 1..4),
+            s in "[a-z]{0,4}",
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((1..4).contains(&v.len()));
+            prop_assert!(s.len() <= 4);
+            prop_assert_eq!(flag as u32 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! A tiny, offline drop-in for the subset of the `serde` facade this
+//! workspace uses: the `Serialize` / `Deserialize` names for `use`
+//! statements and `#[derive(..)]` attributes. The workspace derives the
+//! traits on its data types to document wire-format intent, but never
+//! serialises through them (there is no format crate in the approved
+//! dependency set), so the derives expand to nothing and the traits are
+//! pure markers.
+
+/// Marker for types whose values could be serialised.
+pub trait Serialize {}
+
+/// Marker for types whose values could be deserialised.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserialisable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

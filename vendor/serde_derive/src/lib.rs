@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline `serde` stub. The workspace only ever names the traits in
+//! derives (never serialises through them), so the expansion is empty;
+//! `#[serde(...)]` attributes are accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts the item and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the item and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
