@@ -180,7 +180,7 @@ impl SpatialModel {
             .map(|&n| (n, self.weight(observer, n)))
             .filter(|&(_, w)| w > 0.0)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are finite"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 

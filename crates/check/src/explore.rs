@@ -1,0 +1,485 @@
+//! Bounded exploration of message-delivery interleavings.
+//!
+//! The default simulator schedule processes events in `(time, seq)`
+//! order, which exercises exactly one interleaving per seed. Protocol
+//! bugs of the kind the paper worries about — stale caches, divergent
+//! replicas, mis-resolved deadlocks — hide in the *other* orders, so
+//! this module drives [`Sim::step_nth`] through a bounded DFS over
+//! pending-delivery permutations, in the style of stateless model
+//! checkers for optimistic-replication algorithms.
+//!
+//! Exploration is stateless: a schedule is identified by the choice
+//! indices taken at each branch point, and replaying a prefix means
+//! rebuilding the simulation from its seed and stepping through the
+//! same choices. That makes every counterexample a `(seed, choices)`
+//! pair that reproduces exactly, on any machine.
+
+use odp_sim::sim::{PendingEvent, Sim};
+use odp_sim::time::{SimDuration, SimTime};
+
+/// A safety/liveness predicate checked while a schedule runs.
+///
+/// An instance is created fresh (via the invariant factory handed to
+/// [`Explorer::explore`]) for every explored schedule, so it may keep
+/// per-run state such as "last vector clock seen per member".
+pub trait Invariant<M> {
+    /// Short stable name, quoted in counterexamples.
+    fn name(&self) -> &'static str;
+
+    /// Called after every processed event.
+    fn check_step(&mut self, _sim: &Sim<M>) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Called once the schedule quiesces (event queue drained).
+    fn check_quiescent(&mut self, _sim: &Sim<M>) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Exploration limits. Schedules grow as `branch^depth`, so both knobs
+/// are small by design; `max_runs` caps the total regardless.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Branch points permuted per schedule; beyond this the run follows
+    /// the default order.
+    pub max_depth: usize,
+    /// Alternatives considered per branch point (first `n` pending
+    /// deliveries).
+    pub max_branch: usize,
+    /// Total schedules explored.
+    pub max_runs: usize,
+    /// Per-schedule event cap (runaway guard).
+    pub max_events: u64,
+    /// Treat a run as quiescent once no deliveries are in flight and
+    /// the next event (necessarily a timer) lies past this time.
+    /// Required for protocols with self-re-arming tick timers, whose
+    /// event queue never empties on its own.
+    pub horizon: Option<SimTime>,
+    /// Only deliveries scheduled within this much of the earliest
+    /// pending delivery count as concurrent (and thus permutable).
+    /// Models bounded network reordering: a message is never delayed
+    /// past traffic sent much later, so branch depth is spent on
+    /// genuine races instead of wildly anachronistic orders.
+    pub window: SimDuration,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_depth: 6,
+            max_branch: 3,
+            max_runs: 400,
+            max_events: 200_000,
+            horizon: None,
+            window: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl Budget {
+    /// A small budget for CI smoke runs.
+    pub fn smoke() -> Self {
+        Budget {
+            max_depth: 4,
+            max_branch: 3,
+            max_runs: 60,
+            max_events: 100_000,
+            horizon: None,
+            window: SimDuration::from_millis(10),
+        }
+    }
+
+    /// The same budget with a quiescence horizon.
+    pub fn with_horizon(mut self, at: SimTime) -> Self {
+        self.horizon = Some(at);
+        self
+    }
+}
+
+/// A reproducible schedule that violated an invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The simulation seed.
+    pub seed: u64,
+    /// Branch choices taken, in order (indices into each branch point's
+    /// candidate list).
+    pub choices: Vec<usize>,
+    /// Which invariant failed.
+    pub invariant: String,
+    /// The invariant's message.
+    pub violation: String,
+}
+
+impl Counterexample {
+    /// The compact replayable form: `seed:c0.c1.c2`.
+    pub fn trace(&self) -> String {
+        let choices: Vec<String> = self.choices.iter().map(|c| c.to_string()).collect();
+        format!("{}:{}", self.seed, choices.join("."))
+    }
+
+    /// Parses the form produced by [`Counterexample::trace`].
+    pub fn parse_trace(s: &str) -> Option<(u64, Vec<usize>)> {
+        let (seed, rest) = s.split_once(':')?;
+        let seed = seed.parse().ok()?;
+        if rest.is_empty() {
+            return Some((seed, Vec::new()));
+        }
+        let choices = rest
+            .split('.')
+            .map(|c| c.parse().ok())
+            .collect::<Option<Vec<usize>>>()?;
+        Some((seed, choices))
+    }
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant `{}` violated under schedule {} — {}",
+            self.invariant,
+            self.trace(),
+            self.violation
+        )
+    }
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules executed.
+    pub runs: usize,
+    /// Events processed across all schedules.
+    pub events: u64,
+    /// The first violation found, if any.
+    pub violation: Option<Counterexample>,
+    /// True when the whole bounded schedule space was covered before
+    /// `max_runs` tripped.
+    pub complete: bool,
+}
+
+/// The bounded-DFS schedule explorer.
+pub struct Explorer {
+    seed: u64,
+    budget: Budget,
+}
+
+enum RunOutcome {
+    Violation(Counterexample),
+    /// Sibling prefixes discovered at branch points past this run's
+    /// prescribed prefix.
+    Extensions(Vec<Vec<usize>>),
+}
+
+impl Explorer {
+    /// An explorer over schedules of `factory(seed)`.
+    pub fn new(seed: u64, budget: Budget) -> Self {
+        Explorer { seed, budget }
+    }
+
+    /// The seed in force.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Explores the bounded schedule space. `factory` must build the
+    /// *same* simulation for the same seed every call; `invariants`
+    /// builds a fresh invariant set per schedule.
+    pub fn explore<M, F, G>(&self, factory: F, invariants: G) -> Report
+    where
+        M: 'static,
+        F: Fn(u64) -> Sim<M>,
+        G: Fn() -> Vec<Box<dyn Invariant<M>>>,
+    {
+        let mut report = Report {
+            runs: 0,
+            events: 0,
+            violation: None,
+            complete: false,
+        };
+        // Lazy DFS over the schedule tree: run a prefix following
+        // choice 0 past its end, and enqueue the sibling prefixes seen
+        // along the way. Every bounded schedule is visited exactly once.
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        while let Some(prefix) = stack.pop() {
+            if report.runs >= self.budget.max_runs {
+                return report;
+            }
+            report.runs += 1;
+            match self.run_schedule(&factory, &invariants, &prefix, &mut report.events) {
+                RunOutcome::Violation(cx) => {
+                    report.violation = Some(cx);
+                    return report;
+                }
+                RunOutcome::Extensions(exts) => {
+                    // Reverse keeps exploration order depth-first in
+                    // ascending choice order.
+                    stack.extend(exts.into_iter().rev());
+                }
+            }
+        }
+        report.complete = true;
+        report
+    }
+
+    /// Replays one exact schedule (e.g. a counterexample's `choices`)
+    /// and returns its violation, if it still fails.
+    pub fn replay<M, F, G>(
+        &self,
+        factory: F,
+        invariants: G,
+        choices: &[usize],
+    ) -> Option<Counterexample>
+    where
+        M: 'static,
+        F: Fn(u64) -> Sim<M>,
+        G: Fn() -> Vec<Box<dyn Invariant<M>>>,
+    {
+        let mut events = 0;
+        match self.run_schedule(&factory, &invariants, choices, &mut events) {
+            RunOutcome::Violation(cx) => Some(cx),
+            RunOutcome::Extensions(_) => None,
+        }
+    }
+
+    /// Runs one schedule: follow `prefix` at branch points, then
+    /// default to choice 0, recording sibling prefixes along the way.
+    fn run_schedule<M, F, G>(
+        &self,
+        factory: &F,
+        invariants: &G,
+        prefix: &[usize],
+        total_events: &mut u64,
+    ) -> RunOutcome
+    where
+        M: 'static,
+        F: Fn(u64) -> Sim<M>,
+        G: Fn() -> Vec<Box<dyn Invariant<M>>>,
+    {
+        let mut sim = factory(self.seed);
+        sim.set_max_events(self.budget.max_events);
+        let mut invs = invariants();
+        let mut taken: Vec<usize> = Vec::new();
+        let mut extensions: Vec<Vec<usize>> = Vec::new();
+        let mut events_this_run = 0u64;
+
+        loop {
+            if sim.pending_len() == 0 {
+                break;
+            }
+            if events_this_run >= self.budget.max_events {
+                break;
+            }
+            let candidates = branch_candidates(&sim, self.budget.max_branch, self.budget.window);
+            if candidates.is_empty() {
+                // Only timers/net-changes remain; past the horizon the
+                // protocol is as settled as it will get.
+                if let (Some(h), Some(next)) = (self.budget.horizon, sim.next_event_time()) {
+                    if next > h {
+                        break;
+                    }
+                }
+            }
+            let stepped = if candidates.len() >= 2 && taken.len() < self.budget.max_depth {
+                let choice = prefix.get(taken.len()).copied().unwrap_or(0);
+                if taken.len() >= prefix.len() {
+                    // A branch point past the prescribed prefix: its
+                    // siblings become new prefixes to explore.
+                    for c in 1..candidates.len() {
+                        let mut ext = taken.clone();
+                        ext.push(c);
+                        extensions.push(ext);
+                    }
+                }
+                let idx = candidates.get(choice).copied().unwrap_or(0);
+                taken.push(choice);
+                sim.step_nth(idx)
+            } else {
+                sim.step()
+            };
+            if !stepped {
+                break;
+            }
+            events_this_run += 1;
+            *total_events += 1;
+            for inv in &mut invs {
+                if let Err(violation) = inv.check_step(&sim) {
+                    return RunOutcome::Violation(Counterexample {
+                        seed: self.seed,
+                        choices: taken,
+                        invariant: inv.name().to_string(),
+                        violation,
+                    });
+                }
+            }
+        }
+        for inv in &mut invs {
+            if let Err(violation) = inv.check_quiescent(&sim) {
+                return RunOutcome::Violation(Counterexample {
+                    seed: self.seed,
+                    choices: taken,
+                    invariant: inv.name().to_string(),
+                    violation,
+                });
+            }
+        }
+        RunOutcome::Extensions(extensions)
+    }
+}
+
+/// The indices (in pending `(time, seq)` order) of the first
+/// `max_branch` in-flight deliveries that genuinely race the head
+/// event. Branching happens only when the next-due event *is* a
+/// delivery — timers and scheduled mutations fire exactly when the sim
+/// says they do; reordering a delivery ahead of a pending timer would
+/// fabricate schedules the deterministic runtime can never produce
+/// (e.g. a node reacting to a message before generating its own
+/// scripted event, changing the causal structure under test). Among
+/// deliveries, only those due within `window` of the head and before
+/// the next non-delivery event count as concurrent.
+fn branch_candidates<M: 'static>(
+    sim: &Sim<M>,
+    max_branch: usize,
+    window: SimDuration,
+) -> Vec<usize> {
+    let pending = sim.pending_events();
+    let Some(PendingEvent::Deliver { time: head, .. }) = pending.first() else {
+        return Vec::new();
+    };
+    let mut cutoff = head.saturating_add(window);
+    if let Some(barrier) = pending
+        .iter()
+        .find(|ev| !matches!(ev, PendingEvent::Deliver { .. }))
+    {
+        cutoff = cutoff.min(barrier.time());
+    }
+    pending
+        .iter()
+        .enumerate()
+        .filter(|(_, ev)| matches!(ev, PendingEvent::Deliver { time, .. } if *time <= cutoff))
+        .map(|(i, _)| i)
+        .take(max_branch)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odp_sim::net::NodeId;
+    use odp_sim::prelude::*;
+
+    /// An actor that records the order messages arrive in.
+    struct Recorder {
+        got: Vec<u32>,
+    }
+    impl Actor<u32> for Recorder {
+        fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, msg: u32) {
+            self.got.push(msg);
+        }
+    }
+
+    fn build(seed: u64) -> Sim<u32> {
+        let mut sim = Sim::new(seed);
+        sim.add_actor(NodeId(0), Recorder { got: Vec::new() });
+        for (i, at) in [1u64, 2, 3].iter().enumerate() {
+            sim.inject(
+                SimTime::from_millis(*at),
+                NodeId(9),
+                NodeId(0),
+                i as u32 + 1,
+            );
+        }
+        sim
+    }
+
+    /// Rejects the order 3,1,2 — the explorer must find it.
+    struct NoThreeFirst;
+    impl Invariant<u32> for NoThreeFirst {
+        fn name(&self) -> &'static str {
+            "no-three-first"
+        }
+        fn check_quiescent(&mut self, sim: &Sim<u32>) -> Result<(), String> {
+            let r: &Recorder = sim.actor(NodeId(0)).ok_or("no recorder")?;
+            if r.got == vec![3, 1, 2] {
+                return Err(format!("forbidden order {:?}", r.got));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn explorer_finds_a_specific_bad_order() {
+        let ex = Explorer::new(7, Budget::default());
+        let report = ex.explore(build, || vec![Box::new(NoThreeFirst)]);
+        let cx = report.violation.expect("must find the 3,1,2 schedule");
+        // The counterexample replays.
+        let again = ex
+            .replay(build, || vec![Box::new(NoThreeFirst)], &cx.choices)
+            .expect("replay reproduces");
+        assert_eq!(again.violation, cx.violation);
+    }
+
+    #[test]
+    fn exploration_covers_all_permutations_of_three_messages() {
+        // With no invariant, a full exploration of 3 pending deliveries
+        // needs 3! = 6 schedules (branch points shrink as messages
+        // drain).
+        let ex = Explorer::new(7, Budget::default());
+        let report = ex.explore(build, Vec::new);
+        assert!(report.complete);
+        assert_eq!(report.runs, 6, "3! interleavings");
+    }
+
+    #[test]
+    fn clean_invariants_pass_and_space_is_complete() {
+        struct AllThree;
+        impl Invariant<u32> for AllThree {
+            fn name(&self) -> &'static str {
+                "all-three-arrive"
+            }
+            fn check_quiescent(&mut self, sim: &Sim<u32>) -> Result<(), String> {
+                let r: &Recorder = sim.actor(NodeId(0)).ok_or("no recorder")?;
+                if r.got.len() != 3 {
+                    return Err(format!("only {:?}", r.got));
+                }
+                Ok(())
+            }
+        }
+        let ex = Explorer::new(7, Budget::default());
+        let report = ex.explore(build, || vec![Box::new(AllThree)]);
+        assert!(report.violation.is_none());
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let cx = Counterexample {
+            seed: 42,
+            choices: vec![2, 0, 1],
+            invariant: "x".into(),
+            violation: "y".into(),
+        };
+        assert_eq!(cx.trace(), "42:2.0.1");
+        assert_eq!(
+            Counterexample::parse_trace(&cx.trace()),
+            Some((42, vec![2, 0, 1]))
+        );
+        assert_eq!(Counterexample::parse_trace("5:"), Some((5, vec![])));
+        assert_eq!(Counterexample::parse_trace("bogus"), None);
+    }
+
+    #[test]
+    fn max_runs_truncates() {
+        let ex = Explorer::new(
+            7,
+            Budget {
+                max_runs: 2,
+                ..Budget::default()
+            },
+        );
+        let report = ex.explore(build, Vec::new);
+        assert_eq!(report.runs, 2);
+        assert!(!report.complete);
+    }
+}

@@ -1,0 +1,20 @@
+//! Invariants and harnesses for the workspace's protocol subsystems.
+//!
+//! Each submodule pairs a small simulation harness (actors wrapping the
+//! protocol engine under test, with injectable workloads) with the
+//! [`crate::explore::Invariant`]s that must hold across *every*
+//! explored schedule:
+//!
+//! - [`locks`] — strict-2PL lock-table consistency and deadlock-victim
+//!   liveness ([`odp_concurrency::twophase`]).
+//! - [`groupcomm`] — vector-clock monotonicity and delivery-order
+//!   agreement ([`odp_groupcomm::multicast`]).
+//! - [`replication`] — OT/dOPT convergence: all replicas equal at
+//!   quiescence ([`odp_concurrency::dopt`]).
+//! - [`trader`] — importer-cache coherence: no stale entry survives
+//!   withdraw/modify/rebalance ([`odp_trader`]).
+
+pub mod groupcomm;
+pub mod locks;
+pub mod replication;
+pub mod trader;

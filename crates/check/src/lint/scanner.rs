@@ -1,0 +1,416 @@
+//! Source preparation for the lint rules: a small scanner that strips
+//! comments and literals, records `odp-check: allow(...)` comments, and
+//! marks `#[cfg(test)]` regions, so rules run over a token stream that
+//! cannot be fooled by strings or doc text.
+//!
+//! This is deliberately *not* a Rust parser. The rules are lexical
+//! (method-call and path patterns), and a lexical scanner keeps the
+//! checker dependency-free and robust to code it has never seen; the
+//! cost is a small false-positive rate, which the allow-comment
+//! mechanism absorbs.
+
+use std::fmt;
+
+/// One word or punctuation character of the cleaned source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text: an identifier/number word, or one punctuation
+    /// character.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when the token is an identifier-like word.
+    pub fn is_word(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+}
+
+/// An `// odp-check: allow(rule, ...)` comment found in the source.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule names listed in the comment.
+    pub rules: Vec<String>,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Lines the allow applies to: its own line plus the next line that
+    /// carries code.
+    pub covers: Vec<usize>,
+}
+
+/// A scanned source file, ready for the rules.
+pub struct ScannedFile {
+    /// The cleaned token stream (comments and literal contents gone).
+    pub tokens: Vec<Token>,
+    /// Allow-comments in source order.
+    pub allows: Vec<Allow>,
+    /// For each 1-based line, whether it lies inside a `#[cfg(test)]`
+    /// item (index 0 unused).
+    test_lines: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// True when `line` (1-based) is inside a `#[cfg(test)]` region.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+}
+
+impl fmt::Debug for ScannedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScannedFile")
+            .field("tokens", &self.tokens.len())
+            .field("allows", &self.allows)
+            .finish()
+    }
+}
+
+/// The marker the allow-comment syntax hangs off.
+pub const ALLOW_PREFIX: &str = "odp-check: allow(";
+
+/// Scans one file's source text.
+pub fn scan(src: &str) -> ScannedFile {
+    let line_count = src.lines().count() + 1;
+    let mut cleaned = String::with_capacity(src.len());
+    let mut allows: Vec<Allow> = Vec::new();
+
+    // Pass 1: strip comments / string / char literals, keeping newlines
+    // so line numbers survive. Allow-comments are harvested here, since
+    // they are comments and would otherwise vanish.
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let rest = &src[i..];
+        if rest.starts_with("//") {
+            let end = rest.find('\n').map_or(src.len(), |n| i + n);
+            let comment = &src[i..end];
+            // An allow-comment is a plain `//` comment whose body BEGINS
+            // with the marker. Doc comments, and comments that merely
+            // mention the syntax mid-sentence, are prose, not directives.
+            let body = comment
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .trim_start();
+            let is_doc = comment.starts_with("///") || comment.starts_with("//!");
+            if !is_doc && body.starts_with(ALLOW_PREFIX) {
+                let args = &body[ALLOW_PREFIX.len()..];
+                let args = args.split(')').next().unwrap_or("");
+                let rules = args
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                allows.push(Allow {
+                    rules,
+                    line,
+                    covers: Vec::new(),
+                });
+            }
+            i = end;
+        } else if rest.starts_with("/*") {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if src[j..].starts_with("/*") {
+                    depth += 1;
+                    j += 2;
+                } else if src[j..].starts_with("*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        cleaned.push('\n');
+                    }
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if rest.starts_with("r\"") || rest.starts_with("r#") || rest.starts_with("br") {
+            // Raw string: r"..." or r#"..."# (any number of #).
+            let prefix_len = if rest.starts_with("br") { 2 } else { 1 };
+            let mut hashes = 0;
+            let mut j = i + prefix_len;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' {
+                j += 1;
+                let closer = format!("\"{}", "#".repeat(hashes));
+                let end = src[j..]
+                    .find(&closer)
+                    .map_or(src.len(), |n| j + n + closer.len());
+                for &b in &bytes[j..end.min(bytes.len())] {
+                    if b == b'\n' {
+                        line += 1;
+                        cleaned.push('\n');
+                    }
+                }
+                cleaned.push_str("\"\"");
+                i = end;
+            } else {
+                // `r` was just an identifier prefix (e.g. `r#if` raw ident).
+                cleaned.push_str(&src[i..j]);
+                i = j;
+            }
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        line += 1;
+                        cleaned.push('\n');
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            cleaned.push_str("\"\"");
+            i = j;
+        } else if bytes[i] == b'\'' {
+            // Char literal or lifetime. A lifetime has no closing quote
+            // within a couple of characters; a char literal does.
+            let lit_end = src[i + 1..]
+                .char_indices()
+                .take(6)
+                .scan(false, |esc, (off, c)| {
+                    if *esc {
+                        *esc = false;
+                        Some((off, c, false))
+                    } else {
+                        *esc = c == '\\';
+                        Some((off, c, c == '\'' && off > 0))
+                    }
+                })
+                .find(|(_, _, close)| *close)
+                .map(|(off, _, _)| i + 1 + off);
+            // 'a (lifetime) vs 'x' (char). Treat `'` followed by
+            // `ident` then non-quote as a lifetime and keep it.
+            let is_char = matches!(lit_end, Some(e) if e > i + 1);
+            if is_char {
+                let e = lit_end.unwrap_or(i + 1) + 1;
+                for &b in &bytes[i..e.min(bytes.len())] {
+                    if b == b'\n' {
+                        line += 1;
+                        cleaned.push('\n');
+                    }
+                }
+                cleaned.push_str("' '");
+                i = e;
+            } else {
+                cleaned.push('\'');
+                i += 1;
+            }
+        } else {
+            let c = src[i..].chars().next().unwrap_or(' ');
+            if c == '\n' {
+                line += 1;
+            }
+            cleaned.push(c);
+            i += c.len_utf8();
+        }
+    }
+
+    // Pass 2: tokenize the cleaned text.
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut line = 1;
+    let mut word = String::new();
+    let mut word_line = 1;
+    for c in cleaned.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            if word.is_empty() {
+                word_line = line;
+            }
+            word.push(c);
+            continue;
+        }
+        if !word.is_empty() {
+            tokens.push(Token {
+                text: std::mem::take(&mut word),
+                line: word_line,
+            });
+        }
+        if c == '\n' {
+            line += 1;
+        } else if !c.is_whitespace() {
+            tokens.push(Token {
+                text: c.to_string(),
+                line,
+            });
+        }
+    }
+    if !word.is_empty() {
+        tokens.push(Token {
+            text: word,
+            line: word_line,
+        });
+    }
+
+    // Pass 3: which lines carry code, and which lie inside a
+    // `#[cfg(test)]` item (attribute → following brace-balanced block).
+    let mut code_lines = vec![false; line_count + 1];
+    for t in &tokens {
+        if t.line < code_lines.len() {
+            code_lines[t.line] = true;
+        }
+    }
+    let mut test_lines = vec![false; line_count + 1];
+    let mut idx = 0;
+    while idx < tokens.len() {
+        if is_cfg_test_at(&tokens, idx) {
+            // Find the block the attribute is attached to: the first `{`
+            // at or after the attribute, then its matching `}`.
+            let mut j = idx;
+            while j < tokens.len() && tokens[j].text != "{" {
+                j += 1;
+            }
+            let mut depth = 0;
+            let start_line = tokens[idx].line;
+            let mut end_line = start_line;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = tokens[j].line;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if depth != 0 {
+                end_line = line_count;
+            }
+            for flag in &mut test_lines[start_line..=end_line.min(line_count)] {
+                *flag = true;
+            }
+            idx = j.max(idx + 1);
+        } else {
+            idx += 1;
+        }
+    }
+
+    // Resolve each allow's coverage: its own line plus the next line
+    // with code on it.
+    for allow in &mut allows {
+        allow.covers.push(allow.line);
+        if let Some(l) = (allow.line + 1..code_lines.len()).find(|&l| code_lines[l]) {
+            allow.covers.push(l);
+        }
+    }
+
+    ScannedFile {
+        tokens,
+        allows,
+        test_lines,
+    }
+}
+
+/// Matches `# [ cfg ( test ) ]` or `# [ cfg ( all|any ( ... test ... ) ) ]`
+/// starting at token `idx`.
+fn is_cfg_test_at(tokens: &[Token], idx: usize) -> bool {
+    let texts: Vec<&str> = tokens[idx..]
+        .iter()
+        .take(12)
+        .map(|t| t.text.as_str())
+        .collect();
+    if texts.len() < 6 {
+        return false;
+    }
+    if texts[0] != "#" || texts[1] != "[" || texts[2] != "cfg" || texts[3] != "(" {
+        return false;
+    }
+    // Scan the attribute body for a bare `test` word.
+    let mut depth = 0;
+    for t in &tokens[idx + 3..] {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "]" if depth == 0 => return false,
+            "test" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let s = scan(r#"let x = "a.unwrap()"; // .unwrap() in comment"#);
+        assert!(!s.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let s = scan("let x = r#\"body .unwrap() here\"#; let y = 1;");
+        assert!(!s.tokens.iter().any(|t| t.text == "unwrap"));
+        assert!(s.tokens.iter().any(|t| t.text == "y"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(s.tokens.iter().any(|t| t.text == "a"));
+        assert!(!s.tokens.iter().any(|t| t.text == "x" && t.line == 0));
+    }
+
+    #[test]
+    fn prose_mentioning_the_allow_syntax_is_not_a_directive() {
+        let src = "//! Suppress with `// odp-check: allow(unwrap)` comments.\n\
+                   /// See `// odp-check: allow(rule, ...)` for syntax.\n\
+                   fn f() {}\n";
+        let s = scan(src);
+        assert!(s.allows.is_empty(), "{:?}", s.allows);
+    }
+
+    #[test]
+    fn allow_comment_parses_and_covers_next_code_line() {
+        let src = "fn f() {\n    // odp-check: allow(unwrap, wallclock)\n\n    x.unwrap();\n}\n";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].rules, vec!["unwrap", "wallclock"]);
+        assert_eq!(s.allows[0].covers, vec![2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let s = scan(src);
+        assert!(!s.in_test_code(1));
+        assert!(s.in_test_code(2));
+        assert!(s.in_test_code(4));
+        assert!(s.in_test_code(5));
+        assert!(!s.in_test_code(6));
+    }
+
+    #[test]
+    fn token_lines_are_accurate() {
+        let s = scan("a\nb b\n  c");
+        let lines: Vec<usize> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 2, 3]);
+    }
+}

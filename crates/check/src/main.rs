@@ -1,0 +1,302 @@
+//! The `odp-check` command-line tool.
+//!
+//! ```text
+//! odp-check lint [ROOT]          run the determinism lint pass
+//! odp-check explore [--smoke]    run every invariant suite
+//! odp-check explore <CHECK> [--smoke]
+//! odp-check replay <CHECK> <TRACE>   re-run one schedule (seed:c0.c1...)
+//! odp-check list                 list the invariant suites
+//! ```
+//!
+//! Exits non-zero on any lint finding or invariant violation.
+
+use std::process::ExitCode;
+
+use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, Report};
+use odp_check::invariants::{groupcomm, locks, replication, trader};
+use odp_check::lint;
+use odp_groupcomm::multicast::Ordering;
+use odp_sim::time::SimTime;
+
+/// One named invariant suite: a harness factory plus its invariants,
+/// with a budget tuned to its schedule space.
+struct Check {
+    name: &'static str,
+    about: &'static str,
+    run: fn(u64, Budget) -> Report,
+    replay: fn(u64, Budget, &[usize]) -> Option<Counterexample>,
+    budget: fn(bool) -> Budget,
+}
+
+fn plain_budget(smoke: bool) -> Budget {
+    if smoke {
+        Budget::smoke()
+    } else {
+        Budget::default()
+    }
+}
+
+fn horizon_budget(smoke: bool) -> Budget {
+    plain_budget(smoke).with_horizon(SimTime::from_secs(2))
+}
+
+fn locks_invs(n: usize) -> Vec<Box<dyn Invariant<locks::TxnHarnessMsg>>> {
+    vec![
+        Box::new(locks::LockTableConsistent),
+        Box::new(locks::DeadlockResolved::new(n)),
+    ]
+}
+
+fn run_locks(n: usize, seed: u64, budget: Budget) -> Report {
+    Explorer::new(seed, budget).explore(|s| locks::cycle_sim(s, n), || locks_invs(n))
+}
+
+fn replay_locks(n: usize, seed: u64, budget: Budget, choices: &[usize]) -> Option<Counterexample> {
+    Explorer::new(seed, budget).replay(|s| locks::cycle_sim(s, n), || locks_invs(n), choices)
+}
+
+fn group_invs(ordering: Ordering) -> Vec<Box<dyn Invariant<odp_groupcomm::multicast::GcMsg<u64>>>> {
+    let members = groupcomm::group_members();
+    let mut invs: Vec<Box<dyn Invariant<_>>> =
+        vec![Box::new(groupcomm::VClockMonotone::new(members.clone()))];
+    match ordering {
+        Ordering::Fifo => invs.push(Box::new(groupcomm::FifoDelivery::new(members, 2))),
+        Ordering::Total => invs.push(Box::new(groupcomm::DeliveryAgreement::new(members))),
+        Ordering::Causal | Ordering::Unordered => {}
+    }
+    invs
+}
+
+fn run_group(ordering: Ordering, seed: u64, budget: Budget) -> Report {
+    Explorer::new(seed, budget).explore(
+        |s| groupcomm::group_sim(s, ordering, 2),
+        || group_invs(ordering),
+    )
+}
+
+fn replay_group(
+    ordering: Ordering,
+    seed: u64,
+    budget: Budget,
+    choices: &[usize],
+) -> Option<Counterexample> {
+    Explorer::new(seed, budget).replay(
+        |s| groupcomm::group_sim(s, ordering, 2),
+        || group_invs(ordering),
+        choices,
+    )
+}
+
+fn dopt_invs(n: usize) -> Vec<Box<dyn Invariant<odp_concurrency::dopt::RemoteOp>>> {
+    vec![Box::new(replication::Converged::new(
+        replication::dopt_sites(n),
+    ))]
+}
+
+fn trader_invs() -> Vec<Box<dyn Invariant<odp_trader::actors::TraderMsg>>> {
+    vec![Box::new(trader::CacheCoherent::for_rebalance_sim())]
+}
+
+const CHECKS: &[Check] = &[
+    Check {
+        name: "locks-cycle-2",
+        about: "strict 2PL: 2-txn lock cycle resolves, victim is youngest",
+        run: |seed, b| run_locks(2, seed, b),
+        replay: |seed, b, c| replay_locks(2, seed, b, c),
+        budget: plain_budget,
+    },
+    Check {
+        name: "locks-cycle-3",
+        about: "strict 2PL: 3-txn lock cycle resolves, victim is youngest",
+        run: |seed, b| run_locks(3, seed, b),
+        replay: |seed, b, c| replay_locks(3, seed, b, c),
+        budget: plain_budget,
+    },
+    Check {
+        name: "group-fifo",
+        about: "multicast: vclock monotone + per-origin FIFO delivery",
+        run: |seed, b| run_group(Ordering::Fifo, seed, b),
+        replay: |seed, b, c| replay_group(Ordering::Fifo, seed, b, c),
+        budget: horizon_budget,
+    },
+    Check {
+        name: "group-total",
+        about: "multicast: vclock monotone + total-order delivery agreement",
+        run: |seed, b| run_group(Ordering::Total, seed, b),
+        replay: |seed, b, c| replay_group(Ordering::Total, seed, b, c),
+        budget: horizon_budget,
+    },
+    Check {
+        name: "dopt-pair",
+        about: "dOPT: two concurrent replicas converge at quiescence",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore(|s| replication::dopt_sim(s, 2), || dopt_invs(2))
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(|s| replication::dopt_sim(s, 2), || dopt_invs(2), c)
+        },
+        budget: plain_budget,
+    },
+    Check {
+        name: "trader-rebalance",
+        about: "trader: importer caches stay coherent across a ring change",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore(|s| trader::rebalance_sim(s, true), trader_invs)
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(|s| trader::rebalance_sim(s, true), trader_invs, c)
+        },
+        budget: horizon_budget,
+    },
+];
+
+const DEFAULT_SEED: u64 = 42;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  odp-check lint [ROOT]\n  odp-check explore [CHECK] [--smoke] [--seed N]\n  \
+         odp-check replay <CHECK> <TRACE>\n  odp-check list"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_lint(root_arg: Option<&str>) -> ExitCode {
+    let start = match root_arg {
+        Some(r) => std::path::PathBuf::from(r),
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("odp-check: cannot determine working directory: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let root = lint::workspace_root(&start).unwrap_or(start);
+    match lint::run(&root, &lint::LintConfig::default()) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                println!("odp-check lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("odp-check lint: {} finding(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("odp-check lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn find_check(name: &str) -> Option<&'static Check> {
+    CHECKS.iter().find(|c| c.name == name)
+}
+
+fn cmd_explore(which: Option<&str>, smoke: bool, seed: u64) -> ExitCode {
+    let selected: Vec<&Check> = match which {
+        Some(name) => match find_check(name) {
+            Some(c) => vec![c],
+            None => {
+                eprintln!("odp-check: unknown check `{name}` (try `odp-check list`)");
+                return ExitCode::from(2);
+            }
+        },
+        None => CHECKS.iter().collect(),
+    };
+    let mut failed = false;
+    for check in selected {
+        let report = (check.run)(seed, (check.budget)(smoke));
+        let coverage = if report.complete {
+            "complete"
+        } else {
+            "bounded"
+        };
+        match &report.violation {
+            Some(cx) => {
+                failed = true;
+                println!(
+                    "FAIL {} — {} ({} runs, {} events)\n     {}",
+                    check.name, check.about, report.runs, report.events, cx
+                );
+                println!(
+                    "     replay: odp-check replay {} {}",
+                    check.name,
+                    cx.trace()
+                );
+            }
+            None => {
+                println!(
+                    "ok   {} — {} ({} runs, {} events, {coverage})",
+                    check.name, check.about, report.runs, report.events
+                );
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_replay(name: &str, trace: &str) -> ExitCode {
+    let Some(check) = find_check(name) else {
+        eprintln!("odp-check: unknown check `{name}` (try `odp-check list`)");
+        return ExitCode::from(2);
+    };
+    let Some((seed, choices)) = Counterexample::parse_trace(trace) else {
+        eprintln!("odp-check: malformed trace `{trace}` (expected seed:c0.c1...)");
+        return ExitCode::from(2);
+    };
+    match (check.replay)(seed, (check.budget)(false), &choices) {
+        Some(cx) => {
+            println!("reproduced: {cx}");
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("schedule {trace} runs clean for {name}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut smoke = false;
+    let mut seed = DEFAULT_SEED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(),
+            other => positional.push(other),
+        }
+    }
+    match positional.as_slice() {
+        ["lint"] => cmd_lint(None),
+        ["lint", root] => cmd_lint(Some(root)),
+        ["explore"] => cmd_explore(None, smoke, seed),
+        ["explore", name] => cmd_explore(Some(name), smoke, seed),
+        ["replay", name, trace] => cmd_replay(name, trace),
+        ["list"] => {
+            for c in CHECKS {
+                println!("{:18} {}", c.name, c.about);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -155,8 +155,12 @@ impl DoptSite {
                 entry.executed = entry2;
             }
         }
+        // OT transformation keeps remote ops applicable; failing here is
+        // a transformation-function bug and fail-stop is the only safe
+        // response for a replica.
         self.doc
             .apply(op)
+            // odp-check: allow(unwrap)
             .expect("transformed remote op applies cleanly");
         self.clock.tick(remote.site);
         self.log.push(LogEntry {

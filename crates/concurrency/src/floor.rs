@@ -182,7 +182,9 @@ impl FloorControl {
         let Some(pos) = self.queue.iter().position(|&(c, _)| c == target) else {
             return Err(FloorError::TargetNotWaiting(target));
         };
-        let (target, asked) = self.queue.remove(pos).expect("present");
+        let Some((target, asked)) = self.queue.remove(pos) else {
+            return Err(FloorError::TargetNotWaiting(target));
+        };
         self.holder = None;
         Ok(self.grant(target, asked, now))
     }

@@ -174,8 +174,11 @@ impl OtServer {
     ) -> Result<Vec<(u32, OpMsg)>, UnknownClient> {
         let bridge = self.bridges.get_mut(&from).ok_or(UnknownClient(from))?;
         let op = bridge.receive(msg);
+        // The bridge transform keeps client ops applicable; a failure is
+        // a transformation bug, and the authoritative doc must not drift.
         self.doc
             .apply(op)
+            // odp-check: allow(unwrap)
             .expect("transformed op applies to authoritative doc");
         let mut fanout = Vec::new();
         for (&client, bridge) in self.bridges.iter_mut() {
@@ -226,8 +229,10 @@ impl OtClient {
     /// Integrates a message from the server into the local replica.
     pub fn server_message(&mut self, msg: OpMsg) {
         let op = self.bridge.receive(msg);
+        // Same invariant as the server side: transformed ops apply.
         self.doc
             .apply(op)
+            // odp-check: allow(unwrap)
             .expect("transformed op applies to replica");
     }
 

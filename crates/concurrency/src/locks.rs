@@ -195,7 +195,7 @@ impl LockState {
 #[derive(Debug)]
 pub struct LockTable {
     scheme: LockScheme,
-    locks: HashMap<ResourceId, LockState>,
+    locks: BTreeMap<ResourceId, LockState>,
 }
 
 impl LockTable {
@@ -203,7 +203,7 @@ impl LockTable {
     pub fn new(scheme: LockScheme) -> Self {
         LockTable {
             scheme,
-            locks: HashMap::new(),
+            locks: BTreeMap::new(),
         }
     }
 
@@ -335,9 +335,7 @@ impl LockTable {
     /// Releases everything `client` holds or waits for (client departure).
     pub fn release_all(&mut self, client: ClientId, now: SimTime) -> Vec<Notice> {
         let mut notices = Vec::new();
-        let resources: Vec<ResourceId> = self.locks.keys().copied().collect();
-        for r in resources {
-            let state = self.locks.get_mut(&r).expect("present");
+        for (&r, state) in self.locks.iter_mut() {
             state.queue.retain(|w| w.client != client);
             state
                 .tickles
@@ -382,8 +380,12 @@ impl LockTable {
                     resource,
                 });
                 // The requester jumps its queue entry.
-                if let Some(pos) = state.queue.iter().position(|w| w.client == requester) {
-                    let waiter = state.queue.remove(pos).expect("present");
+                let jumped = state
+                    .queue
+                    .iter()
+                    .position(|w| w.client == requester)
+                    .and_then(|pos| state.queue.remove(pos));
+                if let Some(waiter) = jumped {
                     state.holders.insert(waiter.client, waiter.mode);
                     state.last_access.insert(waiter.client, now);
                     notices.push(Notice {
@@ -408,7 +410,9 @@ impl LockTable {
             if !ok {
                 break;
             }
-            let w = state.queue.pop_front().expect("present");
+            let Some(w) = state.queue.pop_front() else {
+                break;
+            };
             state.holders.insert(w.client, w.mode);
             state.last_access.insert(w.client, now);
             notices.push(Notice {
@@ -418,6 +422,12 @@ impl LockTable {
             });
         }
         notices
+    }
+
+    /// Every resource with lock state, in ascending id order (so
+    /// checkers walking the table see a stable order).
+    pub fn resources(&self) -> Vec<ResourceId> {
+        self.locks.keys().copied().collect()
     }
 
     /// Current holders of `resource`.

@@ -8,7 +8,7 @@
 //! Deadlocks are detected on a wait-for graph and resolved by aborting the
 //! youngest transaction in the cycle.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use odp_sim::time::SimTime;
@@ -107,6 +107,9 @@ pub enum TxnError {
     AlreadyBlocked(TxnId),
     /// The underlying store rejected the edit.
     Store(StoreError),
+    /// Internal bookkeeping broke an invariant (a bug, not a caller
+    /// error); the message names the broken invariant.
+    Inconsistent(&'static str),
 }
 
 impl fmt::Display for TxnError {
@@ -115,6 +118,7 @@ impl fmt::Display for TxnError {
             TxnError::UnknownTxn(t) => write!(f, "unknown or finished transaction {t}"),
             TxnError::AlreadyBlocked(t) => write!(f, "{t} already has a blocked operation"),
             TxnError::Store(e) => write!(f, "store error: {e}"),
+            TxnError::Inconsistent(what) => write!(f, "manager state inconsistent: {what}"),
         }
     }
 }
@@ -161,7 +165,7 @@ struct Txn {
 pub struct TxnManager {
     table: LockTable,
     store: ObjectStore,
-    txns: HashMap<TxnId, Txn>,
+    txns: BTreeMap<TxnId, Txn>,
     next: u64,
     granularity: Granularity,
     aborts: u64,
@@ -174,7 +178,7 @@ impl TxnManager {
         TxnManager {
             table: LockTable::new(LockScheme::Hard),
             store: ObjectStore::new(),
-            txns: HashMap::new(),
+            txns: BTreeMap::new(),
             next: 0,
             granularity,
             aborts: 0,
@@ -195,6 +199,11 @@ impl TxnManager {
     /// The locking granularity in force.
     pub fn granularity(&self) -> Granularity {
         self.granularity
+    }
+
+    /// Read access to the lock table (consistency checkers walk it).
+    pub fn lock_table(&self) -> &LockTable {
+        &self.table
     }
 
     /// Total committed transactions.
@@ -272,12 +281,18 @@ impl TxnManager {
         match reply {
             LockReply::Granted => {
                 let result = self.perform(txn, &op)?;
-                let state = self.txns.get_mut(&txn).expect("present");
+                let state = self
+                    .txns
+                    .get_mut(&txn)
+                    .ok_or(TxnError::Inconsistent("granted txn vanished"))?;
                 state.held.insert(resource);
                 Ok((SubmitReply::Done(result), Vec::new()))
             }
             LockReply::Queued => {
-                let state = self.txns.get_mut(&txn).expect("present");
+                let state = self
+                    .txns
+                    .get_mut(&txn)
+                    .ok_or(TxnError::Inconsistent("queued txn vanished"))?;
                 state.pending = Some(op);
                 state.waiting_on = Some(resource);
                 let events = self.resolve_deadlocks(now);
@@ -333,7 +348,10 @@ impl TxnManager {
                 let resumed = TxnId(notice.to.0 as u64);
                 if let Some(state) = self.txns.get_mut(&resumed) {
                     if state.waiting_on == Some(notice.resource) {
-                        let op = state.pending.take().expect("blocked txn has pending op");
+                        let op = state
+                            .pending
+                            .take()
+                            .ok_or(TxnError::Inconsistent("blocked txn lost its pending op"))?;
                         state.waiting_on = None;
                         state.held.insert(notice.resource);
                         let result = self.perform(resumed, &op)?;
@@ -353,7 +371,9 @@ impl TxnManager {
     fn resolve_deadlocks(&mut self, now: SimTime) -> Vec<TxnEvent> {
         let mut events = Vec::new();
         while let Some(cycle) = self.find_cycle() {
-            let victim = *cycle.iter().max().expect("cycle non-empty");
+            let Some(victim) = cycle.iter().max().copied() else {
+                break; // find_cycle never returns an empty cycle
+            };
             self.aborts += 1;
             events.push(TxnEvent::TxnAborted {
                 txn: victim,
@@ -399,6 +419,8 @@ impl TxnManager {
             for &next in edges.get(&node).map(|v| v.as_slice()).unwrap_or(&[]) {
                 match marks.get(&next).copied().unwrap_or(Mark::Black) {
                     Mark::Grey => {
+                        // A Grey node is on the DFS stack by construction.
+                        // odp-check: allow(unwrap)
                         let pos = stack.iter().position(|&n| n == next).expect("on stack");
                         return Some(stack[pos..].to_vec());
                     }

@@ -462,6 +462,8 @@ impl SchemeServer {
                     } = &mut self.state
                     {
                         blocked.remove(&txn);
+                        // Order-independent: the predicate only tests values.
+                        // odp-check: allow(hashmap-iter)
                         sessions.retain(|_, &mut t| t != txn);
                     }
                 }

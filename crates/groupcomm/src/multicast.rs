@@ -213,7 +213,7 @@ pub struct GroupEngine<P> {
     // Dedup of data/assign messages already processed.
     seen: HashSet<MsgId>,
     // Reliable retransmission state.
-    rel_out: HashMap<MsgId, RelOut<P>>,
+    rel_out: BTreeMap<MsgId, RelOut<P>>,
     // FIFO: next expected per-origin seq and hold-back queue.
     fifo_expected: BTreeMap<NodeId, u64>,
     fifo_holdback: BTreeMap<(NodeId, u64), DataMsg<P>>,
@@ -241,7 +241,7 @@ impl<P: Clone> GroupEngine<P> {
             reliability,
             next_seq: 0,
             seen: HashSet::new(),
-            rel_out: HashMap::new(),
+            rel_out: BTreeMap::new(),
             fifo_expected: BTreeMap::new(),
             fifo_holdback: BTreeMap::new(),
             vclock: VectorClock::new(),
@@ -263,6 +263,12 @@ impl<P: Clone> GroupEngine<P> {
     /// The current view.
     pub fn view(&self) -> &View {
         &self.view
+    }
+
+    /// This member's vector clock (ticked per causal delivery; checkers
+    /// assert it only ever grows).
+    pub fn clock(&self) -> &VectorClock {
+        &self.vclock
     }
 
     /// The ordering discipline.
@@ -532,7 +538,9 @@ impl<P: Clone> GroupEngine<P> {
             for (origin, seq) in keys {
                 let expected = self.fifo_expected.entry(origin).or_insert(1);
                 if seq == *expected {
-                    let data = self.fifo_holdback.remove(&(origin, seq)).expect("held");
+                    let Some(data) = self.fifo_holdback.remove(&(origin, seq)) else {
+                        continue;
+                    };
                     *expected += 1;
                     step.delivered.push(Delivery {
                         id: data.id,
@@ -551,9 +559,12 @@ impl<P: Clone> GroupEngine<P> {
     fn try_deliver_causal(&mut self) -> Step<P> {
         let mut step = Step::empty();
         loop {
+            // Causal senders always stamp a clock; a clockless message
+            // (a peer in the wrong mode) is simply never deliverable.
             let idx = self.causal_holdback.iter().position(|m| {
-                let clock = m.vclock.as_ref().expect("causal data carries a clock");
-                self.vclock.deliverable(clock, m.id.origin)
+                m.vclock
+                    .as_ref()
+                    .is_some_and(|clock| self.vclock.deliverable(clock, m.id.origin))
             });
             let Some(idx) = idx else { break };
             let data = self.causal_holdback.remove(idx);

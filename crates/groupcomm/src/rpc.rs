@@ -10,7 +10,7 @@
 //! act simultaneously (skew is then bounded by clock agreement, which in
 //! the simulator is exact).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use odp_sim::net::NodeId;
@@ -118,7 +118,7 @@ struct PendingCall<P> {
 pub struct RpcEngine<P> {
     me: NodeId,
     next_call: u64,
-    pending: HashMap<u64, PendingCall<P>>,
+    pending: BTreeMap<u64, PendingCall<P>>,
 }
 
 impl<P: Clone> RpcEngine<P> {
@@ -127,7 +127,7 @@ impl<P: Clone> RpcEngine<P> {
         RpcEngine {
             me,
             next_call: 0,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 
@@ -187,31 +187,32 @@ impl<P: Clone> RpcEngine<P> {
         payload: P,
         now: SimTime,
     ) -> Option<CallOutcome<P>> {
-        let pending = self.pending.get_mut(&call)?;
+        // Take the call out; it goes back in only while still waiting.
+        let mut pending = self.pending.remove(&call)?;
         if !pending.targets.contains(&from) {
+            self.pending.insert(call, pending);
             return None; // stray reply
         }
         if now >= pending.deadline {
-            let done = self.pending.remove(&call).expect("present");
             return Some(CallOutcome {
                 call,
                 status: CallStatus::TimedOut,
-                replies: done.replies,
-                started: done.started,
+                replies: pending.replies,
+                started: pending.started,
                 finished: now,
             });
         }
         pending.replies.insert(from, payload);
         if pending.replies.len() >= pending.required {
-            let done = self.pending.remove(&call).expect("present");
             Some(CallOutcome {
                 call,
                 status: CallStatus::Completed,
-                replies: done.replies,
-                started: done.started,
+                replies: pending.replies,
+                started: pending.started,
                 finished: now,
             })
         } else {
+            self.pending.insert(call, pending);
             None
         }
     }
@@ -227,15 +228,15 @@ impl<P: Clone> RpcEngine<P> {
             .collect();
         expired
             .into_iter()
-            .map(|call| {
-                let p = self.pending.remove(&call).expect("present");
-                CallOutcome {
+            .filter_map(|call| {
+                let p = self.pending.remove(&call)?;
+                Some(CallOutcome {
                     call,
                     status: CallStatus::TimedOut,
                     replies: p.replies,
                     started: p.started,
                     finished: now,
-                }
+                })
             })
             .collect()
     }

@@ -136,6 +136,8 @@ fn best_by(candidates: &[NodeId], home: NodeId, score: impl Fn(NodeId) -> f64) -
             best = Some(Placement { node, cost_us });
         }
     }
+    // `place` asserts candidates is non-empty (documented panic contract).
+    // odp-check: allow(unwrap)
     best.expect("candidates non-empty")
 }
 

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::metrics::{Histogram, MetricsRegistry, Summary};
     pub use crate::net::{Connectivity, DropReason, LinkSpec, Network, NodeId, Verdict};
     pub use crate::rng::DetRng;
-    pub use crate::sim::Sim;
+    pub use crate::sim::{PendingEvent, Sim};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent};
 }

@@ -7,7 +7,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 use crate::actor::{Actor, Ctx, Effect, TimerId};
 use crate::metrics::MetricsRegistry;
@@ -66,6 +66,53 @@ struct ActorSlot<M> {
     rng: DetRng,
 }
 
+/// A lightweight description of one queued event, in `(time, seq)`
+/// order, as exposed by [`Sim::pending_events`]. Schedule explorers use
+/// this to decide which deliveries are worth permuting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingEvent {
+    /// An actor's `on_start` is queued.
+    Start {
+        /// The starting actor.
+        node: NodeId,
+        /// When it runs.
+        time: SimTime,
+    },
+    /// A message is in flight.
+    Deliver {
+        /// The sender.
+        from: NodeId,
+        /// The destination.
+        to: NodeId,
+        /// The scheduled delivery time.
+        time: SimTime,
+    },
+    /// A timer is armed on `node` (possibly already cancelled).
+    Timer {
+        /// The node whose timer it is.
+        node: NodeId,
+        /// When it fires.
+        time: SimTime,
+    },
+    /// A scheduled network mutation.
+    NetChange {
+        /// When it applies.
+        time: SimTime,
+    },
+}
+
+impl PendingEvent {
+    /// When the event is due.
+    pub fn time(&self) -> SimTime {
+        match self {
+            PendingEvent::Start { time, .. }
+            | PendingEvent::Deliver { time, .. }
+            | PendingEvent::Timer { time, .. }
+            | PendingEvent::NetChange { time } => *time,
+        }
+    }
+}
+
 /// A deterministic discrete-event simulation.
 ///
 /// # Examples
@@ -100,7 +147,7 @@ pub struct Sim<M> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Event<M>>>,
-    actors: HashMap<NodeId, ActorSlot<M>>,
+    actors: BTreeMap<NodeId, ActorSlot<M>>,
     net: Network,
     rng: DetRng,
     metrics: MetricsRegistry,
@@ -125,7 +172,7 @@ impl<M: 'static> Sim<M> {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
-            actors: HashMap::new(),
+            actors: BTreeMap::new(),
             net,
             rng: DetRng::seed_from(seed),
             metrics: MetricsRegistry::new(),
@@ -247,9 +294,7 @@ impl<M: 'static> Sim<M> {
 
     /// Node ids with registered actors, in ascending order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<_> = self.actors.keys().copied().collect();
-        ids.sort();
-        ids
+        self.actors.keys().copied().collect()
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind<M>) {
@@ -267,9 +312,77 @@ impl<M: 'static> Sim<M> {
         if self.events_processed >= self.max_events {
             return false;
         }
+        self.process(ev);
+        true
+    }
+
+    /// Number of events currently queued (cancelled timers included).
+    pub fn pending_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// When the next queued event is due, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Descriptions of every queued event in `(time, seq)` order — the
+    /// order [`Sim::step`] would process them. Index `n` here is the `n`
+    /// accepted by [`Sim::step_nth`].
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        let mut evs: Vec<(&SimTime, &u64, PendingEvent)> = self
+            .queue
+            .iter()
+            .map(|Reverse(ev)| {
+                let desc = match &ev.kind {
+                    EventKind::Start(node) => PendingEvent::Start {
+                        node: *node,
+                        time: ev.time,
+                    },
+                    EventKind::Deliver { from, to, .. } => PendingEvent::Deliver {
+                        from: *from,
+                        to: *to,
+                        time: ev.time,
+                    },
+                    EventKind::Timer { node, .. } => PendingEvent::Timer {
+                        node: *node,
+                        time: ev.time,
+                    },
+                    EventKind::NetChange(_) => PendingEvent::NetChange { time: ev.time },
+                };
+                (&ev.time, &ev.seq, desc)
+            })
+            .collect();
+        evs.sort_by_key(|(t, s, _)| (**t, **s));
+        evs.into_iter().map(|(_, _, desc)| desc).collect()
+    }
+
+    /// Processes the `n`-th queued event in `(time, seq)` order instead
+    /// of the first — the schedule-exploration hook. Running an event
+    /// early never rewinds the clock: simulated time is clamped to stay
+    /// monotone, so a later `step` of an "overtaken" earlier event runs
+    /// at the current time. Returns false when `n` is out of range or
+    /// the event cap is reached.
+    pub fn step_nth(&mut self, n: usize) -> bool {
+        if n >= self.queue.len() || self.events_processed >= self.max_events {
+            return false;
+        }
+        let mut evs: Vec<Event<M>> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .map(|Reverse(ev)| ev)
+            .collect();
+        evs.sort_by_key(|ev| (ev.time, ev.seq));
+        let chosen = evs.remove(n);
+        self.queue = evs.into_iter().map(Reverse).collect();
+        self.process(chosen);
+        true
+    }
+
+    fn process(&mut self, ev: Event<M>) {
         self.events_processed += 1;
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+        // Under step_nth the chosen event may carry an earlier timestamp
+        // than an already-processed one; the clock only moves forward.
+        self.now = self.now.max(ev.time);
         match ev.kind {
             EventKind::Start(node) => self.dispatch(node, Dispatch::Start),
             EventKind::Deliver { from, to, msg } => {
@@ -283,7 +396,6 @@ impl<M: 'static> Sim<M> {
             }
             EventKind::NetChange(f) => f(&mut self.net),
         }
-        true
     }
 
     fn dispatch(&mut self, node: NodeId, what: Dispatch<M>) {
@@ -314,6 +426,8 @@ impl<M: 'static> Sim<M> {
                 Dispatch::Timer { id, tag } => actor.on_timer(&mut ctx, id, tag),
             }
         }
+        // The slot was taken from this map when dispatch began.
+        // odp-check: allow(unwrap)
         let slot = self.actors.get_mut(&node).expect("slot exists");
         slot.actor = Some(actor);
         slot.rng = rng;
@@ -560,6 +674,42 @@ mod tests {
         assert!(sink.got >= 4 && sink.got <= 5, "got={}", sink.got);
         assert!(sim.metrics().counter("sim.dropped.Disconnected") >= 4);
         net.heal(); // silence unused-mut lint on the clone
+    }
+
+    #[test]
+    fn step_nth_reorders_but_keeps_time_monotone() {
+        let mut sim: Sim<Msg> = Sim::new(11);
+        struct Collector {
+            got: Vec<u32>,
+        }
+        impl Actor<Msg> for Collector {
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, msg: Msg) {
+                if let Msg::Ping(n) = msg {
+                    self.got.push(n);
+                }
+            }
+        }
+        sim.add_actor(NodeId(0), Collector { got: Vec::new() });
+        sim.inject(SimTime::from_millis(1), NodeId(9), NodeId(0), Msg::Ping(1));
+        sim.inject(SimTime::from_millis(2), NodeId(9), NodeId(0), Msg::Ping(2));
+        sim.inject(SimTime::from_millis(3), NodeId(9), NodeId(0), Msg::Ping(3));
+        // Drain the Start event first, then deliver out of order: 3, 1, 2.
+        assert!(sim.step());
+        let pending = sim.pending_events();
+        assert_eq!(pending.len(), 3);
+        assert!(matches!(
+            pending[0],
+            PendingEvent::Deliver { to: NodeId(0), .. }
+        ));
+        assert!(sim.step_nth(2));
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+        assert!(sim.step_nth(0));
+        // The overtaken 1ms delivery ran late; the clock did not rewind.
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+        assert!(sim.step());
+        assert!(!sim.step_nth(0), "queue exhausted");
+        let c: &Collector = sim.actor(NodeId(0)).unwrap();
+        assert_eq!(c.got, vec![3, 1, 2]);
     }
 
     #[test]

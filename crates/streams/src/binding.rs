@@ -249,7 +249,7 @@ impl BindingRegistry {
                 Some(prev) => strictest(prev, c.qos),
             });
         }
-        let agreed = agreed.expect("at least one consumer");
+        let agreed = agreed.ok_or(BindError::NoConsumers)?;
         // Admission control: the producing node must have headroom for
         // the new contract on top of everything already admitted.
         let node = p.node;

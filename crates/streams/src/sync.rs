@@ -175,8 +175,12 @@ impl LipSync {
             .copied()
             .collect();
         for seq in common {
-            let tm = self.last_master_play.remove(&seq).expect("present");
-            let ts = self.last_slave_play.remove(&seq).expect("present");
+            let (Some(tm), Some(ts)) = (
+                self.last_master_play.remove(&seq),
+                self.last_slave_play.remove(&seq),
+            ) else {
+                continue;
+            };
             let skew_us = ts.as_micros() as i64 - tm.as_micros() as i64;
             self.skews.push(skew_us);
             let cooling = self

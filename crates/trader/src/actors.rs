@@ -22,7 +22,7 @@ use odp_streams::qos::QosSpec;
 use crate::cache::LookupCache;
 use crate::offer::{OfferId, ServiceOffer, ServiceType};
 use crate::select::{match_offers, select, SelectionLoad, SelectionPolicy};
-use crate::store::OfferStore;
+use crate::store::{HashRing, OfferStore};
 
 /// Why a cached entry went stale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,9 @@ pub enum InvalidationReason {
     Withdrawn,
     /// The exporter re-advertised with different QoS.
     Modified,
+    /// The type's offers moved to a different shard (ring change), so
+    /// resolutions cached against the old owner may be stale.
+    Rebalanced,
 }
 
 /// The cache-coherence note traders multicast on withdraw/modify.
@@ -71,6 +74,17 @@ pub enum TraderMsg {
         /// Satisfying offers, best first; empty = no match.
         resolved: Vec<ServiceOffer>,
     },
+    /// Operator → everyone: the trader ring changed. Traders rehome
+    /// offers; importers re-route future lookups.
+    ShardChange {
+        /// Traders that joined the ring.
+        added: Vec<NodeId>,
+        /// Traders that left the ring.
+        removed: Vec<NodeId>,
+    },
+    /// Trader → trader: an offer migrating to its new owner after a
+    /// ring change.
+    Transfer(ServiceOffer),
     /// Cache-coherence traffic (reliable multicast engine payloads).
     Gc(GcMsg<Invalidation>),
 }
@@ -85,23 +99,59 @@ pub struct TraderActor {
     engine: GroupEngine<Invalidation>,
     policy: SelectionPolicy,
     selection_load: SelectionLoad,
+    ring: HashRing,
+    rebalance_invalidations: bool,
 }
 
 impl TraderActor {
     /// A trader for node `me`, multicasting invalidations to
-    /// `coherence_group` (traders + importers).
+    /// `coherence_group` (traders + importers). The shard ring contains
+    /// only `me`; deployments that rebalance use
+    /// [`TraderActor::with_ring`].
     pub fn new(me: NodeId, coherence_group: View, policy: SelectionPolicy) -> Self {
+        Self::with_ring(me, coherence_group, policy, HashRing::new([me]))
+    }
+
+    /// Like [`TraderActor::new`] but sharing the domain ring, so the
+    /// trader can rehome offers when a [`TraderMsg::ShardChange`]
+    /// arrives.
+    pub fn with_ring(
+        me: NodeId,
+        coherence_group: View,
+        policy: SelectionPolicy,
+        ring: HashRing,
+    ) -> Self {
         TraderActor {
             store: OfferStore::new(),
             engine: GroupEngine::new(me, coherence_group, Ordering::Fifo, Reliability::reliable()),
             policy,
             selection_load: SelectionLoad::new(),
+            ring,
+            rebalance_invalidations: true,
         }
     }
 
     /// The shard's store (assertions in tests).
     pub fn store(&self) -> &OfferStore {
         &self.store
+    }
+
+    /// The trader's view of the domain ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Fault injection for the coherence checker: when disabled, the
+    /// trader rebalances shards *silently* — neither the old owner
+    /// (after migrating offers out on a [`TraderMsg::ShardChange`]) nor
+    /// the new owner (after adopting a [`TraderMsg::Transfer`])
+    /// multicasts the `Rebalanced` invalidation. An importer whose
+    /// lookup races the in-flight transfer then caches a stale (empty)
+    /// resolution that nothing ever evicts — the exact bug the
+    /// ROADMAP's "cache coherence under churn" item describes.
+    /// Production code never calls this.
+    pub fn set_rebalance_invalidations(&mut self, on: bool) {
+        self.rebalance_invalidations = on;
     }
 
     fn flush(step: Step<Invalidation>, ctx: &mut Ctx<'_, TraderMsg>) {
@@ -124,10 +174,22 @@ impl Actor<TraderMsg> for TraderActor {
     fn on_message(&mut self, ctx: &mut Ctx<'_, TraderMsg>, from: NodeId, msg: TraderMsg) {
         match msg {
             TraderMsg::Export(offer) => {
-                ctx.metrics().incr("trader.exports");
-                let shard_counter = format!("trader.shard.{}.offers", ctx.id());
-                ctx.metrics().add(&shard_counter, 1);
-                self.store.insert(offer);
+                // A slow export can arrive after a ring change moved its
+                // type to another shard; forward it to the owner rather
+                // than stranding the offer here.
+                let me = ctx.id();
+                match self.ring.node_for(&offer.service_type) {
+                    Some(owner) if owner != me => {
+                        ctx.metrics().incr("trader.exports.forwarded");
+                        ctx.send(owner, TraderMsg::Export(offer));
+                    }
+                    _ => {
+                        ctx.metrics().incr("trader.exports");
+                        let shard_counter = format!("trader.shard.{me}.offers");
+                        ctx.metrics().add(&shard_counter, 1);
+                        self.store.insert(offer);
+                    }
+                }
             }
             TraderMsg::Withdraw(id) => {
                 if let Some(offer) = self.store.remove(id) {
@@ -143,19 +205,17 @@ impl Actor<TraderMsg> for TraderActor {
             }
             TraderMsg::Modify(id, qos) => {
                 if self.store.modify_qos(id, qos) {
-                    let service_type = self
-                        .store
-                        .offer(id)
-                        .map(|o| o.service_type.clone())
-                        .expect("offer present: modify_qos succeeded");
-                    ctx.metrics().incr("trader.modifications");
-                    self.invalidate(
-                        Invalidation {
-                            service_type,
-                            reason: InvalidationReason::Modified,
-                        },
-                        ctx,
-                    );
+                    if let Some(service_type) = self.store.offer(id).map(|o| o.service_type.clone())
+                    {
+                        ctx.metrics().incr("trader.modifications");
+                        self.invalidate(
+                            Invalidation {
+                                service_type,
+                                reason: InvalidationReason::Modified,
+                            },
+                            ctx,
+                        );
+                    }
                 }
             }
             TraderMsg::Lookup {
@@ -186,6 +246,76 @@ impl Actor<TraderMsg> for TraderActor {
                         resolved,
                     },
                 );
+            }
+            TraderMsg::ShardChange { added, removed } => {
+                for t in &added {
+                    self.ring.add(*t);
+                }
+                for t in &removed {
+                    self.ring.remove(*t);
+                }
+                // Rehome: every held offer whose type now hashes
+                // elsewhere migrates to its new owner, and the moved
+                // types are invalidated so importers drop resolutions
+                // cached against this shard.
+                let me = ctx.id();
+                let to_move: Vec<OfferId> = self
+                    .store
+                    .iter()
+                    .filter(|o| self.ring.node_for(&o.service_type) != Some(me))
+                    .map(|o| o.id)
+                    .collect();
+                let mut moved_types = std::collections::BTreeSet::new();
+                for id in to_move {
+                    let Some(offer) = self.store.remove(id) else {
+                        continue;
+                    };
+                    let Some(owner) = self.ring.node_for(&offer.service_type) else {
+                        continue;
+                    };
+                    ctx.metrics().incr("trader.transfers.out");
+                    moved_types.insert(offer.service_type.clone());
+                    ctx.send(owner, TraderMsg::Transfer(offer));
+                }
+                if self.rebalance_invalidations {
+                    for service_type in moved_types {
+                        self.invalidate(
+                            Invalidation {
+                                service_type,
+                                reason: InvalidationReason::Rebalanced,
+                            },
+                            ctx,
+                        );
+                    }
+                }
+            }
+            TraderMsg::Transfer(offer) => {
+                // Double churn: the type moved again while this transfer
+                // was in flight, so pass the offer along to its current
+                // owner instead of adopting it.
+                let me = ctx.id();
+                if let Some(owner) = self.ring.node_for(&offer.service_type) {
+                    if owner != me {
+                        ctx.metrics().incr("trader.transfers.forwarded");
+                        ctx.send(owner, TraderMsg::Transfer(offer));
+                        return;
+                    }
+                }
+                ctx.metrics().incr("trader.transfers.in");
+                let service_type = offer.service_type.clone();
+                self.store.place(offer);
+                // Announce the adopted type: importers that cached an
+                // empty resolution while the offer was in flight (or a
+                // resolution against the old owner) must re-resolve.
+                if self.rebalance_invalidations {
+                    self.invalidate(
+                        Invalidation {
+                            service_type,
+                            reason: InvalidationReason::Rebalanced,
+                        },
+                        ctx,
+                    );
+                }
             }
             TraderMsg::Gc(gc) => {
                 let step = self.engine.on_message(from, gc, ctx.now());
@@ -234,11 +364,17 @@ pub struct ImporterStats {
 
 /// An importing client as a simulator actor.
 pub struct ImporterActor {
-    trader_for: Box<dyn Fn(&ServiceType) -> NodeId>,
+    ring: HashRing,
     cache: LookupCache,
     engine: GroupEngine<Invalidation>,
     jobs: Vec<LookupJob>,
-    pending: std::collections::BTreeMap<u64, (ServiceType, SimTime)>,
+    /// call → (type, issue time, the type's invalidation epoch at issue).
+    pending: std::collections::BTreeMap<u64, (ServiceType, SimTime, u64)>,
+    /// Per-type count of invalidations seen. A reply that raced an
+    /// invalidation (issued under an older epoch) is *used* but not
+    /// *cached*: the result was valid when computed, but caching it
+    /// would resurrect an entry the invalidation just evicted.
+    epochs: std::collections::BTreeMap<ServiceType, u64>,
     next_call: u64,
     stats: ImporterStats,
     /// The most recent resolution per type (tests bind through this).
@@ -246,27 +382,32 @@ pub struct ImporterActor {
 }
 
 impl ImporterActor {
-    /// An importer for node `me`: `trader_for` routes a type to its
-    /// shard's trader (the domain ring), `ttl` bounds cache staleness,
-    /// `coherence_group` delivers invalidations, `jobs` is the scripted
-    /// workload.
+    /// An importer for node `me`: `ring` routes a type to its shard's
+    /// trader (updated on [`TraderMsg::ShardChange`]), `ttl` bounds
+    /// cache staleness, `coherence_group` delivers invalidations,
+    /// `jobs` is the scripted workload.
     pub fn new(
         me: NodeId,
         coherence_group: View,
         ttl: SimDuration,
-        trader_for: impl Fn(&ServiceType) -> NodeId + 'static,
+        ring: HashRing,
         jobs: Vec<LookupJob>,
     ) -> Self {
         ImporterActor {
-            trader_for: Box::new(trader_for),
+            ring,
             cache: LookupCache::new(ttl),
             engine: GroupEngine::new(me, coherence_group, Ordering::Fifo, Reliability::reliable()),
             jobs,
             pending: std::collections::BTreeMap::new(),
+            epochs: std::collections::BTreeMap::new(),
             next_call: 0,
             stats: ImporterStats::default(),
             last_resolved: std::collections::BTreeMap::new(),
         }
+    }
+
+    fn epoch(&self, service_type: &ServiceType) -> u64 {
+        self.epochs.get(service_type).copied().unwrap_or(0)
     }
 
     /// Accumulated counters.
@@ -321,9 +462,17 @@ impl ImporterActor {
         self.stats.cold_lookups += 1;
         self.next_call += 1;
         let call = self.next_call;
-        self.pending
-            .insert(call, (job.service_type.clone(), ctx.now()));
-        let trader = (self.trader_for)(&job.service_type);
+        self.pending.insert(
+            call,
+            (
+                job.service_type.clone(),
+                ctx.now(),
+                self.epoch(&job.service_type),
+            ),
+        );
+        let Some(trader) = self.ring.node_for(&job.service_type) else {
+            return;
+        };
         ctx.send(
             trader,
             TraderMsg::Lookup {
@@ -350,7 +499,7 @@ impl Actor<TraderMsg> for ImporterActor {
                 service_type,
                 resolved,
             } => {
-                let Some((_, sent_at)) = self.pending.remove(&call) else {
+                let Some((_, sent_at, issue_epoch)) = self.pending.remove(&call) else {
                     return; // stale duplicate
                 };
                 let latency = ctx.now().saturating_since(sent_at);
@@ -360,23 +509,69 @@ impl Actor<TraderMsg> for ImporterActor {
                     self.stats.resolved += 1;
                 }
                 Self::record_outcome(ctx, latency, false);
-                self.cache
-                    .put(service_type.clone(), resolved.clone(), ctx.now());
+                // The epoch guard: an invalidation for this type arrived
+                // while the lookup was in flight, so the reply reflects
+                // a store state the coherence protocol already declared
+                // stale. Use it for this resolution, but do not cache.
+                if issue_epoch == self.epoch(&service_type) {
+                    self.cache
+                        .put(service_type.clone(), resolved.clone(), ctx.now());
+                } else {
+                    ctx.metrics().incr("importer.cache.raced_reply");
+                }
                 self.last_resolved.insert(service_type, resolved);
             }
             TraderMsg::Gc(gc) => {
                 let step = self.engine.on_message(from, gc, ctx.now());
                 for delivery in &step.delivered {
-                    if self.cache.invalidate(&delivery.payload.service_type) {
+                    let service_type = &delivery.payload.service_type;
+                    *self.epochs.entry(service_type.clone()).or_insert(0) += 1;
+                    if self.cache.invalidate(service_type) {
                         ctx.metrics().incr("importer.cache.invalidated");
                     }
                 }
                 Self::flush(step, ctx);
             }
+            TraderMsg::ShardChange { added, removed } => {
+                // Conservative eviction: any type whose owner moves —
+                // cached *or* with a lookup in flight to the old owner —
+                // is treated as invalidated immediately rather than
+                // waiting for the rebalance multicast, so a reply
+                // computed against the pre-change ring can never be
+                // cached after the change.
+                let affected: std::collections::BTreeSet<ServiceType> = self
+                    .cache
+                    .entries()
+                    .map(|(t, _)| t.clone())
+                    .chain(self.pending.values().map(|(t, _, _)| t.clone()))
+                    .collect();
+                let owners_before: Vec<(ServiceType, Option<NodeId>)> = affected
+                    .into_iter()
+                    .map(|t| {
+                        let owner = self.ring.node_for(&t);
+                        (t, owner)
+                    })
+                    .collect();
+                for t in &added {
+                    self.ring.add(*t);
+                }
+                for t in &removed {
+                    self.ring.remove(*t);
+                }
+                for (service_type, owner) in owners_before {
+                    if self.ring.node_for(&service_type) != owner {
+                        *self.epochs.entry(service_type.clone()).or_insert(0) += 1;
+                        if self.cache.invalidate(&service_type) {
+                            ctx.metrics().incr("importer.cache.invalidated");
+                        }
+                    }
+                }
+            }
             // Importers ignore trader-side traffic.
             TraderMsg::Export(_)
             | TraderMsg::Withdraw(_)
             | TraderMsg::Modify(..)
+            | TraderMsg::Transfer(_)
             | TraderMsg::Lookup { .. } => {}
         }
     }
@@ -437,7 +632,6 @@ mod tests {
 
     fn build(jobs_ms: &[u64], ttl_ms: u64) -> Sim<TraderMsg> {
         let mut sim = Sim::new(42);
-        let ring = HashRing::new([T1, T2]);
         sim.add_actor(T1, TraderActor::new(T1, view(), SelectionPolicy::FirstFit));
         sim.add_actor(T2, TraderActor::new(T2, view(), SelectionPolicy::FirstFit));
         sim.add_actor(
@@ -446,7 +640,7 @@ mod tests {
                 IMP,
                 view(),
                 SimDuration::from_millis(ttl_ms),
-                move |t| ring.node_for(t).expect("ring has traders"),
+                HashRing::new([T1, T2]),
                 jobs(jobs_ms),
             ),
         );
@@ -537,6 +731,64 @@ mod tests {
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
         assert_eq!(sim.metrics().counter("importer.cache.invalidated"), 1);
         assert_eq!(sim.metrics().counter("trader.modifications"), 1);
+    }
+
+    #[test]
+    fn rebalancing_migrates_offers_and_invalidates_caches() {
+        // Both traders share the ring; the offer's owner is removed
+        // from the ring mid-run, so the offer must migrate to the
+        // survivor and the importer's cached resolution must go stale.
+        let ring = || HashRing::new([T1, T2]);
+        let owner = ring().node_for(&st()).unwrap();
+        let survivor = if owner == T1 { T2 } else { T1 };
+        let mut sim = Sim::new(42);
+        for t in [T1, T2] {
+            sim.add_actor(
+                t,
+                TraderActor::with_ring(t, view(), SelectionPolicy::FirstFit, ring()),
+            );
+        }
+        sim.add_actor(
+            IMP,
+            ImporterActor::new(
+                IMP,
+                view(),
+                SimDuration::from_secs(60),
+                ring(),
+                jobs(&[10, 2000]),
+            ),
+        );
+        sim.inject(SimTime::ZERO, EXP, owner, TraderMsg::Export(offer()));
+        let change = || TraderMsg::ShardChange {
+            added: vec![],
+            removed: vec![owner],
+        };
+        for node in [T1, T2, IMP] {
+            sim.inject(
+                SimTime::ZERO + SimDuration::from_secs(1),
+                NodeId(99),
+                node,
+                change(),
+            );
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(4));
+        assert_eq!(sim.metrics().counter("trader.transfers.out"), 1);
+        assert_eq!(sim.metrics().counter("trader.transfers.in"), 1);
+        let surv: &TraderActor = sim.actor(survivor).unwrap();
+        assert_eq!(surv.store().load().offers, 1, "offer migrated");
+        let old: &TraderActor = sim.actor(owner).unwrap();
+        assert_eq!(old.store().load().offers, 0, "old owner drained");
+        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        assert_eq!(
+            imp.stats().cold_lookups,
+            2,
+            "post-rebalance lookup must go cold, not serve the stale entry"
+        );
+        assert_eq!(imp.stats().resolved, 2, "both lookups resolved the offer");
+        assert!(
+            !imp.last_resolved.get(&st()).unwrap().is_empty(),
+            "the migrated offer is still discoverable"
+        );
     }
 
     #[test]

@@ -117,6 +117,12 @@ impl LookupCache {
         self.entries.clear();
     }
 
+    /// Every cached resolution, in type order (coherence checkers
+    /// compare these against the owning shard's store).
+    pub fn entries(&self) -> impl Iterator<Item = (&ServiceType, &[ServiceOffer])> {
+        self.entries.iter().map(|(t, e)| (t, e.resolved.as_slice()))
+    }
+
     /// Entries currently held (expired-but-unqueried entries count).
     pub fn len(&self) -> usize {
         self.entries.len()

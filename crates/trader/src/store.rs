@@ -119,8 +119,9 @@ impl OfferStore {
     }
 
     /// Places an offer without counting it as a fresh export (shard
-    /// migration during resharding).
-    fn place(&mut self, offer: ServiceOffer) {
+    /// migration during resharding, `Transfer` receipt during actor
+    /// rebalancing).
+    pub fn place(&mut self, offer: ServiceOffer) {
         self.by_type
             .entry(offer.service_type.clone())
             .or_default()
