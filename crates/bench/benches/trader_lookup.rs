@@ -1,19 +1,21 @@
 //! Trader lookup latency: cold imports against the sharded store, hits
-//! in the importer-side TTL cache, and the sharded fan-out a federation
-//! hop adds. The cold/cached gap is the whole argument for the
-//! importer cache; the fan-out row bounds what federation costs.
+//! in the importer-side TTL cache, the sharded fan-out a federation hop
+//! adds, and the planner-vs-flood economics on a campus-style topology.
+//! The cold/cached gap is the whole argument for the importer cache;
+//! the planner/flood pair shows scope pruning cutting the cross-domain
+//! lookups a federated import sends.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use odp_access::rights::Rights;
-use odp_sim::net::NodeId;
+use odp_sim::net::{LinkQos, NodeId};
 use odp_sim::time::{SimDuration, SimTime};
 use odp_streams::qos::QosSpec;
 use odp_trader::cache::LookupCache;
 use odp_trader::federation::{DomainId, Federation};
 use odp_trader::offer::{ServiceOffer, ServiceType, SessionKind};
-use odp_trader::select::SelectionPolicy;
+use odp_trader::plan::ImportRequest;
 use odp_trader::store::ShardedStore;
 
 const OFFERS_PER_DOMAIN: u32 = 64;
@@ -47,6 +49,43 @@ fn federation_with_link() -> Federation {
     federation
 }
 
+fn room(i: u32) -> ImportRequest {
+    ImportRequest::for_type(ServiceType::new(format!("conference/room-{i}")))
+        .qos(QosSpec::video())
+        .rights(Rights::READ)
+}
+
+/// The campus topology the federation planner integration suite also
+/// uses: a hub linked to four gateway domains under disjoint scope
+/// prefixes, each gateway linked (scope "") to two leaf domains. Only
+/// the `conference/` arm reaches the populated leaf, so scope pruning
+/// saves the other three arms' cross-domain lookups.
+fn campus_federation() -> Federation {
+    let hub = DomainId(0);
+    let mut fed = Federation::new();
+    fed.add_domain(hub, ShardedStore::new([NodeId(1)]));
+    let penalty = |ms| LinkQos::new(SimDuration::from_millis(ms), SimDuration::ZERO, 0.0);
+    for (i, scope) in ["audio/", "video/", "workspace/", "conference/"]
+        .iter()
+        .enumerate()
+    {
+        let gw = DomainId(10 + i as u32);
+        fed.add_domain(gw, ShardedStore::new([NodeId(100 + i as u32)]));
+        fed.link_via(hub, gw, *scope, Rights::READ, penalty(10));
+        for leaf_n in 0..2u32 {
+            let leaf = DomainId(20 + 2 * i as u32 + leaf_n);
+            let store = if *scope == "conference/" && leaf_n == 1 {
+                populated_store(&[NodeId(200 + 2 * i as u32 + leaf_n)], 3_000)
+            } else {
+                ShardedStore::new([NodeId(200 + 2 * i as u32 + leaf_n)])
+            };
+            fed.add_domain(leaf, store);
+            fed.link_via(gw, leaf, "", Rights::READ, penalty(5 + leaf_n as u64));
+        }
+    }
+    fed
+}
+
 fn bench_trader_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("trader_lookup");
 
@@ -54,24 +93,16 @@ fn bench_trader_lookup(c: &mut Criterion) {
     // scan, QoS negotiation, selection.
     group.bench_function("cold_local", |b| {
         let mut federation = federation_with_link();
-        let wanted: Vec<ServiceType> = (0..OFFERS_PER_DOMAIN)
-            .map(|i| ServiceType::new(format!("conference/room-{i}")))
+        let wanted: Vec<ImportRequest> = (0..OFFERS_PER_DOMAIN)
+            .map(|i| room(i).max_hops(1))
             .collect();
         let mut i = 0usize;
         b.iter(|| {
-            let st = &wanted[i % wanted.len()];
+            let request = &wanted[i % wanted.len()];
             i += 1;
             black_box(
                 federation
-                    .import(
-                        DomainId(0),
-                        Rights::READ,
-                        black_box(st),
-                        &QosSpec::video(),
-                        SelectionPolicy::FirstFit,
-                        1,
-                        None,
-                    )
+                    .resolve(DomainId(0), black_box(request), None)
                     .expect("offer exists"),
             )
         })
@@ -107,20 +138,56 @@ fn bench_trader_lookup(c: &mut Criterion) {
             populated_store(&[NodeId(200), NodeId(201)], 2_000),
         );
         federation.link(DomainId(0), DomainId(1), "conference/", Rights::READ);
-        let st = ServiceType::new("conference/room-7");
+        let request = room(7).max_hops(2);
         b.iter(|| {
             black_box(
                 federation
-                    .import(
-                        DomainId(0),
-                        Rights::READ,
-                        black_box(&st),
-                        &QosSpec::video(),
-                        SelectionPolicy::FirstFit,
-                        2,
-                        None,
-                    )
+                    .resolve(DomainId(0), black_box(&request), None)
                     .expect("remote offer exists"),
+            )
+        })
+    });
+
+    // Planner vs flood on the campus topology: identical resolutions,
+    // but scope pruning at the hub never consults the three arms whose
+    // narrowed scope cannot admit a conference type.
+    let mut campus = campus_federation();
+    let planned = campus
+        .resolve(DomainId(0), &room(7), None)
+        .expect("campus offer exists");
+    let flooded = campus
+        .resolve(DomainId(0), &room(7).narrowing(false), None)
+        .expect("campus offer exists");
+    assert_eq!(planned.matched.offer, flooded.matched.offer);
+    assert!(planned.domains_queried < flooded.domains_queried);
+    eprintln!(
+        "trader_lookup/campus: planner queries {} remote domain(s), flood queries {} \
+         (scope pruning saves {} cross-domain lookups per import)",
+        planned.domains_queried,
+        flooded.domains_queried,
+        flooded.domains_queried - planned.domains_queried
+    );
+
+    group.bench_function("campus_planned", |b| {
+        let mut federation = campus_federation();
+        let request = room(7);
+        b.iter(|| {
+            black_box(
+                federation
+                    .resolve(DomainId(0), black_box(&request), None)
+                    .expect("campus offer exists"),
+            )
+        })
+    });
+
+    group.bench_function("campus_flooded", |b| {
+        let mut federation = campus_federation();
+        let request = room(7).narrowing(false);
+        b.iter(|| {
+            black_box(
+                federation
+                    .resolve(DomainId(0), black_box(&request), None)
+                    .expect("campus offer exists"),
             )
         })
     });

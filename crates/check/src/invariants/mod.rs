@@ -13,7 +13,11 @@
 //!   quiescence ([`odp_concurrency::dopt`]).
 //! - [`trader`] — importer-cache coherence: no stale entry survives
 //!   withdraw/modify/rebalance ([`odp_trader`]).
+//! - [`federation`] — federated import soundness: every resolution's
+//!   narrowed scope, penalty and agreed contract withstand
+//!   recomputation from the traversed links ([`odp_trader::plan`]).
 
+pub mod federation;
 pub mod groupcomm;
 pub mod locks;
 pub mod replication;

@@ -179,7 +179,7 @@ impl Invariant<TraderMsg> for CacheCoherent {
         // shard would resolve right now.
         for &imp in &self.importers {
             let importer: &ImporterActor = sim.actor(imp).ok_or("importer missing")?;
-            for (service_type, cached) in importer.cache().entries() {
+            for (service_type, _scope, cached) in importer.cache().entries() {
                 let cached_ids: BTreeSet<OfferId> = cached.iter().map(|o| o.id).collect();
                 let Some(owner) = ring.node_for(service_type) else {
                     return Err(format!(

@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, Report};
-use odp_check::invariants::{groupcomm, locks, replication, trader};
+use odp_check::invariants::{federation, groupcomm, locks, replication, trader};
 use odp_check::lint;
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
@@ -97,6 +97,10 @@ fn trader_invs() -> Vec<Box<dyn Invariant<odp_trader::actors::TraderMsg>>> {
     vec![Box::new(trader::CacheCoherent::for_rebalance_sim())]
 }
 
+fn federation_invs() -> Vec<Box<dyn Invariant<federation::FedMsg>>> {
+    vec![Box::new(federation::FederationSound)]
+}
+
 const CHECKS: &[Check] = &[
     Check {
         name: "locks-cycle-2",
@@ -147,6 +151,21 @@ const CHECKS: &[Check] = &[
             Explorer::new(seed, b).replay(|s| trader::rebalance_sim(s, true), trader_invs, c)
         },
         budget: horizon_budget,
+    },
+    Check {
+        name: "trader-federation",
+        about: "trader: federated imports are scope-sound and penalty-accounted",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore(|s| federation::federation_sim(s, true), federation_invs)
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(
+                |s| federation::federation_sim(s, true),
+                federation_invs,
+                c,
+            )
+        },
+        budget: plain_budget,
     },
 ];
 

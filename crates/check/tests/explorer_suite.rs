@@ -3,7 +3,7 @@
 //! known-bad variants — proving the detector actually detects.
 
 use odp_check::explore::{Budget, Explorer, Invariant};
-use odp_check::invariants::{groupcomm, locks, replication, trader};
+use odp_check::invariants::{federation, groupcomm, locks, replication, trader};
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
 
@@ -99,6 +99,60 @@ fn explorer_finds_the_silent_transfer_coherence_bug() {
         .expect("counterexample must reproduce");
     assert_eq!(replayed.violation, cx.violation);
     // The trace is the user-facing replay handle; it must round-trip.
+    let (seed, choices) =
+        odp_check::explore::Counterexample::parse_trace(&cx.trace()).expect("trace parses");
+    assert_eq!(seed, SEED);
+    assert_eq!(choices, cx.choices);
+}
+
+fn federation_invs() -> Vec<Box<dyn Invariant<federation::FedMsg>>> {
+    vec![Box::new(federation::FederationSound)]
+}
+
+/// Every explored interleaving of imports against offer churn yields
+/// resolutions whose narrowed scope, penalty and agreed contract
+/// withstand recomputation from the traversed links.
+#[test]
+fn federated_imports_are_sound_in_every_schedule() {
+    let report = Explorer::new(SEED, Budget::default())
+        .explore(|s| federation::federation_sim(s, true), federation_invs);
+    assert!(
+        report.violation.is_none(),
+        "unsound resolution: {}",
+        report.violation.unwrap()
+    );
+    assert!(
+        report.runs > 1,
+        "federation scenario explored only one schedule"
+    );
+}
+
+/// Seeded known-bad fixture: with penalty accounting disabled the
+/// planner reports offers on their raw advertised QoS, so any
+/// resolution across a penalized link disagrees with the link
+/// recomputation. The explorer must find it within the CI smoke budget
+/// and the counterexample must replay.
+#[test]
+fn explorer_finds_the_unaccounted_penalty_bug() {
+    let ex = Explorer::new(SEED, Budget::smoke());
+    let report = ex.explore(|s| federation::federation_sim(s, false), federation_invs);
+    let cx = report
+        .violation
+        .expect("the disabled penalty accounting must be detected");
+    assert_eq!(cx.invariant, "trader-federation-sound");
+    assert!(
+        cx.violation.contains("penalty accounting broken"),
+        "unexpected violation: {}",
+        cx.violation
+    );
+    let replayed = ex
+        .replay(
+            |s| federation::federation_sim(s, false),
+            federation_invs,
+            &cx.choices,
+        )
+        .expect("counterexample must reproduce");
+    assert_eq!(replayed.violation, cx.violation);
     let (seed, choices) =
         odp_check::explore::Counterexample::parse_trace(&cx.trace()).expect("trace parses");
     assert_eq!(seed, SEED);

@@ -15,8 +15,10 @@ use odp_access::rights::Rights;
 use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
 use odp_streams::qos::QosSpec;
-use odp_trader::federation::{DomainId, Federation, ImportError};
+use odp_trader::error::TraderError;
+use odp_trader::federation::{DomainId, Federation};
 use odp_trader::offer::{OfferId, ServiceOffer, ServiceType, SessionKind};
+use odp_trader::plan::ImportRequest;
 use odp_trader::select::SelectionPolicy;
 
 use crate::session::{Session, SessionError, SessionId, SessionMode, TimeMode};
@@ -28,7 +30,7 @@ const MAX_IMPORT_HOPS: u32 = 3;
 #[derive(Debug, Clone, PartialEq)]
 pub enum DiscoveryError {
     /// The trader could not resolve the service type.
-    Import(ImportError),
+    Import(TraderError),
     /// The resolved offer names a session this directory doesn't hold
     /// (withdrawn but not yet invalidated, or a foreign domain's).
     StaleOffer(ServiceType),
@@ -46,7 +48,15 @@ impl std::fmt::Display for DiscoveryError {
     }
 }
 
-impl std::error::Error for DiscoveryError {}
+impl std::error::Error for DiscoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiscoveryError::Import(e) => Some(e),
+            DiscoveryError::Session(e) => Some(e),
+            DiscoveryError::StaleOffer(_) => None,
+        }
+    }
+}
 
 /// A successful trader-mediated join.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,17 +169,14 @@ impl SessionDirectory {
         who: NodeId,
         now: SimTime,
     ) -> Result<JoinOutcome, DiscoveryError> {
+        let request = ImportRequest::for_type(service_type.clone())
+            .qos(*required)
+            .rights(rights)
+            .policy(SelectionPolicy::FirstFit)
+            .max_hops(MAX_IMPORT_HOPS);
         let resolution = self
             .federation
-            .import(
-                at,
-                rights,
-                service_type,
-                required,
-                SelectionPolicy::FirstFit,
-                MAX_IMPORT_HOPS,
-                None,
-            )
+            .resolve(at, &request, None)
             .map_err(DiscoveryError::Import)?;
         let (session_id, _, _) = *self
             .advertised
@@ -288,7 +295,7 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap_err();
-        assert!(matches!(err, DiscoveryError::Import(ImportError::NoMatch)));
+        assert!(matches!(err, DiscoveryError::Import(TraderError::NoMatch)));
     }
 
     #[test]
@@ -305,7 +312,7 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap_err();
-        assert!(matches!(err, DiscoveryError::Import(ImportError::NoMatch)));
+        assert!(matches!(err, DiscoveryError::Import(TraderError::NoMatch)));
     }
 
     #[test]
@@ -335,7 +342,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            DiscoveryError::Import(ImportError::AccessDenied)
+            DiscoveryError::Import(TraderError::AccessDenied)
         ));
         // With READ it crosses one hop.
         let outcome = dir

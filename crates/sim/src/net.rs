@@ -114,6 +114,103 @@ impl Default for LinkSpec {
     }
 }
 
+/// The QoS degradation one traversed link charges end-to-end: added
+/// latency, added jitter and compounded loss.
+///
+/// Overlay layers (e.g. trader federation links) annotate their edges
+/// with a `LinkQos` drawn from the topology ([`LinkQos::from_spec`]) and
+/// accumulate it along a path with [`LinkQos::then`], so that a remote
+/// offer's QoS can be judged *as seen from here* rather than as
+/// advertised at its home.
+///
+/// # Examples
+///
+/// ```
+/// use odp_sim::net::{LinkQos, LinkSpec};
+/// use odp_sim::time::SimDuration;
+///
+/// let hop = LinkQos::from_spec(&LinkSpec::wan(SimDuration::from_millis(40)));
+/// let path = LinkQos::NONE.then(hop).then(hop);
+/// assert_eq!(path.latency, SimDuration::from_millis(80));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkQos {
+    /// Added one-way propagation delay.
+    pub latency: SimDuration,
+    /// Added delay variance.
+    pub jitter: SimDuration,
+    /// Independent loss probability contributed by this link, in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl LinkQos {
+    /// The identity penalty: a free traversal (local resolution, or an
+    /// un-annotated overlay edge).
+    pub const NONE: LinkQos = LinkQos {
+        latency: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+        loss: 0.0,
+    };
+
+    /// A penalty with the given components; loss is clamped to `[0, 1]`.
+    pub fn new(latency: SimDuration, jitter: SimDuration, loss: f64) -> Self {
+        LinkQos {
+            latency,
+            jitter,
+            loss: loss.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The penalty a message pays crossing a link of this spec
+    /// (bandwidth is a capacity constraint, not a per-traversal charge,
+    /// so it does not appear here).
+    pub fn from_spec(spec: &LinkSpec) -> Self {
+        LinkQos::new(spec.latency, spec.jitter, spec.loss)
+    }
+
+    /// Sequential composition: latency and jitter add; independent loss
+    /// stages compound as `1 - (1-a)(1-b)`. A zero-loss side is the
+    /// exact identity on the other (no floating-point drift), so
+    /// composing with [`LinkQos::NONE`] changes nothing.
+    pub fn then(self, next: LinkQos) -> LinkQos {
+        let loss = if self.loss == 0.0 {
+            next.loss
+        } else if next.loss == 0.0 {
+            self.loss
+        } else {
+            (1.0 - (1.0 - self.loss) * (1.0 - next.loss)).clamp(0.0, 1.0)
+        };
+        LinkQos {
+            latency: self.latency + next.latency,
+            jitter: self.jitter + next.jitter,
+            loss,
+        }
+    }
+
+    /// True for the identity penalty.
+    pub fn is_none(&self) -> bool {
+        *self == LinkQos::NONE
+    }
+}
+
+impl Default for LinkQos {
+    fn default() -> Self {
+        LinkQos::NONE
+    }
+}
+
+impl fmt::Display for LinkQos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "+{} lat, +{} jit, {:.2}% loss",
+            self.latency,
+            self.jitter,
+            self.loss * 100.0
+        )
+    }
+}
+
 /// The paper's three connectivity levels for mobile hosts (§4.2.2:
 /// "connection may vary from being disconnected to being partially
 /// connected ... to being fully connected").
@@ -235,6 +332,13 @@ impl Network {
         } else {
             base
         }
+    }
+
+    /// The per-traversal QoS penalty currently charged from `from` to
+    /// `to` (the [`LinkQos`] of the link in force, including partial
+    /// connectivity degradation).
+    pub fn link_qos(&self, from: NodeId, to: NodeId) -> LinkQos {
+        LinkQos::from_spec(&self.link(from, to))
     }
 
     /// Sets the link characteristics used while a node is at
@@ -433,6 +537,48 @@ mod tests {
             &mut rng(),
         );
         assert_eq!(v, Verdict::DeliverAt(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn link_qos_composes_additively_and_compounds_loss() {
+        let a = LinkQos::new(
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(2),
+            0.1,
+        );
+        let b = LinkQos::new(
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(5),
+            0.1,
+        );
+        let path = a.then(b);
+        assert_eq!(path.latency, SimDuration::from_millis(40));
+        assert_eq!(path.jitter, SimDuration::from_millis(7));
+        // 1 - 0.9 * 0.9
+        assert!((path.loss - 0.19).abs() < 1e-12, "loss={}", path.loss);
+    }
+
+    #[test]
+    fn link_qos_none_is_the_exact_identity() {
+        let hop = LinkQos::new(
+            SimDuration::from_millis(25),
+            SimDuration::from_millis(3),
+            0.01,
+        );
+        assert_eq!(hop.then(LinkQos::NONE), hop);
+        assert_eq!(LinkQos::NONE.then(hop), hop);
+        assert!(LinkQos::NONE.is_none());
+        assert!(!hop.is_none());
+    }
+
+    #[test]
+    fn link_qos_reads_off_the_network_topology() {
+        let mut net = Network::new(LinkSpec::ideal());
+        let wan = LinkSpec::wan(SimDuration::from_millis(50));
+        net.set_link(NodeId(0), NodeId(1), wan);
+        let qos = net.link_qos(NodeId(0), NodeId(1));
+        assert_eq!(qos, LinkQos::from_spec(&wan));
+        assert!(net.link_qos(NodeId(0), NodeId(2)).is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use odp_sim::net::Connectivity;
+use odp_sim::net::{Connectivity, LinkQos};
 use odp_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +66,46 @@ impl QosSpec {
             jitter_bound: SimDuration::from_millis(150),
             loss_bound: 0.10,
             min_connectivity: Connectivity::Partial,
+        }
+    }
+
+    /// The accept-anything requirement: 1 fps, ten-second bounds, total
+    /// loss tolerated, valid down to full disconnection. Importers that
+    /// only care about *finding* a service (not its quality) negotiate
+    /// against this; every real offer satisfies it.
+    pub fn permissive() -> Self {
+        QosSpec {
+            throughput_fps: 1,
+            latency_bound: SimDuration::from_secs(10),
+            jitter_bound: SimDuration::from_secs(10),
+            loss_bound: 1.0,
+            min_connectivity: Connectivity::Disconnected,
+        }
+    }
+
+    /// This contract as observed *across* a path charging `path`
+    /// degradation: the latency and jitter bounds the far side can
+    /// actually hold here widen by the path's share, and loss compounds
+    /// as independent stages (`1 - (1-spec)(1-path)`). Throughput and
+    /// connectivity are capacity/validity constraints, not per-hop
+    /// charges, and pass through unchanged.
+    ///
+    /// A zero-loss path leaves `loss_bound` bit-identical (no
+    /// floating-point drift), so degrading across [`LinkQos::NONE`] is
+    /// the exact identity. The result is monotonically non-improving in
+    /// the path: composing more hops never tightens a bound.
+    pub fn degrade_across(&self, path: &LinkQos) -> QosSpec {
+        let loss_bound = if path.loss == 0.0 {
+            self.loss_bound
+        } else {
+            (1.0 - (1.0 - self.loss_bound) * (1.0 - path.loss)).clamp(0.0, 1.0)
+        };
+        QosSpec {
+            throughput_fps: self.throughput_fps,
+            latency_bound: self.latency_bound + path.latency,
+            jitter_bound: self.jitter_bound + path.jitter,
+            loss_bound,
+            min_connectivity: self.min_connectivity,
         }
     }
 
@@ -285,6 +325,60 @@ mod tests {
     fn upgrade_at_ceiling_is_none() {
         let v = QosSpec::video();
         assert_eq!(v.upgraded(&v), None);
+    }
+
+    #[test]
+    fn degrade_across_widens_bounds_and_compounds_loss() {
+        let path = LinkQos::new(
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(10),
+            0.01,
+        );
+        let seen = QosSpec::video().degrade_across(&path);
+        assert_eq!(seen.latency_bound, SimDuration::from_millis(190));
+        assert_eq!(seen.jitter_bound, SimDuration::from_millis(40));
+        // 1 - 0.99 * 0.99
+        assert!((seen.loss_bound - 0.0199).abs() < 1e-12);
+        assert_eq!(seen.throughput_fps, QosSpec::video().throughput_fps);
+        assert!(
+            !seen.satisfies(&QosSpec::video()),
+            "a penalized offer is strictly weaker"
+        );
+    }
+
+    #[test]
+    fn degrade_across_the_identity_is_exact() {
+        let v = QosSpec::video();
+        assert_eq!(v.degrade_across(&LinkQos::NONE), v);
+    }
+
+    #[test]
+    fn degrade_across_is_monotonically_non_improving() {
+        let hop = LinkQos::new(
+            SimDuration::from_millis(15),
+            SimDuration::from_millis(3),
+            0.02,
+        );
+        let mut path = LinkQos::NONE;
+        let mut prev = QosSpec::video();
+        for _ in 0..5 {
+            path = path.then(hop);
+            let seen = QosSpec::video().degrade_across(&path);
+            assert!(
+                prev.satisfies(&seen) || prev == seen,
+                "adding a hop must never improve the contract"
+            );
+            assert!(seen.latency_bound >= prev.latency_bound);
+            assert!(seen.loss_bound >= prev.loss_bound);
+            prev = seen;
+        }
+    }
+
+    #[test]
+    fn every_preset_satisfies_the_permissive_requirement() {
+        for offer in [QosSpec::video(), QosSpec::audio(), QosSpec::mobile_video()] {
+            assert!(offer.satisfies(&QosSpec::permissive()));
+        }
     }
 
     #[test]

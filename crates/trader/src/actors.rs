@@ -542,7 +542,7 @@ impl Actor<TraderMsg> for ImporterActor {
                 let affected: std::collections::BTreeSet<ServiceType> = self
                     .cache
                     .entries()
-                    .map(|(t, _)| t.clone())
+                    .map(|(t, _, _)| t.clone())
                     .chain(self.pending.values().map(|(t, _, _)| t.clone()))
                     .collect();
                 let owners_before: Vec<(ServiceType, Option<NodeId>)> = affected

@@ -7,12 +7,25 @@
 //! (via `odp-groupcomm`) and importers evict eagerly on receipt — TTL
 //! expiry is only the backstop for importers outside the multicast
 //! group.
+//!
+//! Entries are keyed by **(service type, effective scope)**: a
+//! resolution obtained across a federation path is only valid under the
+//! scope that path narrowed to, and caching it under the bare type
+//! would leak a cross-link hit to a caller whose admissible scope is
+//! narrower (or vice versa). Local resolutions use [`Scope::all`] via
+//! the [`LookupCache::get`] / [`LookupCache::put`] shorthands;
+//! federated callers key with
+//! [`ImportResolution::narrowed_scope`](crate::plan::ImportResolution::narrowed_scope)
+//! through [`LookupCache::get_scoped`] / [`LookupCache::put_scoped`].
+//! Invalidation notes name only the type and evict every scope's entry
+//! for it.
 
 use std::collections::BTreeMap;
 
 use odp_sim::time::{SimDuration, SimTime};
 
 use crate::offer::{ServiceOffer, ServiceType};
+use crate::plan::Scope;
 
 #[derive(Debug, Clone)]
 struct CacheEntry {
@@ -46,12 +59,12 @@ impl CacheStats {
     }
 }
 
-/// A TTL + invalidation cache of resolved lookups, keyed by service
-/// type.
+/// A TTL + invalidation cache of resolved lookups, keyed by (service
+/// type, effective scope).
 #[derive(Debug, Clone)]
 pub struct LookupCache {
     ttl: SimDuration,
-    entries: BTreeMap<ServiceType, CacheEntry>,
+    entries: BTreeMap<ServiceType, BTreeMap<Scope, CacheEntry>>,
     stats: CacheStats,
 }
 
@@ -70,16 +83,33 @@ impl LookupCache {
         self.ttl
     }
 
-    /// Looks a type up, counting a hit or a miss. Expired entries are
-    /// evicted and count as misses.
+    /// Looks a type up under the unrestricted scope (local
+    /// resolutions). See [`LookupCache::get_scoped`].
     pub fn get(&mut self, service_type: &ServiceType, now: SimTime) -> Option<Vec<ServiceOffer>> {
-        match self.entries.get(service_type) {
+        self.get_scoped(service_type, &Scope::all(), now)
+    }
+
+    /// Looks a (type, effective scope) pair up, counting a hit or a
+    /// miss. Expired entries are evicted and count as misses. An entry
+    /// cached under a different scope — even a wider one — never
+    /// answers.
+    pub fn get_scoped(
+        &mut self,
+        service_type: &ServiceType,
+        scope: &Scope,
+        now: SimTime,
+    ) -> Option<Vec<ServiceOffer>> {
+        let scopes = self.entries.get_mut(service_type)?;
+        match scopes.get(scope) {
             Some(entry) if now.saturating_since(entry.cached_at) <= self.ttl => {
                 self.stats.hits += 1;
                 Some(entry.resolved.clone())
             }
             Some(_) => {
-                self.entries.remove(service_type);
+                scopes.remove(scope);
+                if scopes.is_empty() {
+                    self.entries.remove(service_type);
+                }
                 self.stats.expiries += 1;
                 self.stats.misses += 1;
                 None
@@ -91,10 +121,22 @@ impl LookupCache {
         }
     }
 
-    /// Stores a resolved lookup.
+    /// Stores a resolved lookup under the unrestricted scope (local
+    /// resolutions). See [`LookupCache::put_scoped`].
     pub fn put(&mut self, service_type: ServiceType, resolved: Vec<ServiceOffer>, now: SimTime) {
-        self.entries.insert(
-            service_type,
+        self.put_scoped(service_type, Scope::all(), resolved, now);
+    }
+
+    /// Stores a resolved lookup under the scope it was obtained under.
+    pub fn put_scoped(
+        &mut self,
+        service_type: ServiceType,
+        scope: Scope,
+        resolved: Vec<ServiceOffer>,
+        now: SimTime,
+    ) {
+        self.entries.entry(service_type).or_default().insert(
+            scope,
             CacheEntry {
                 resolved,
                 cached_at: now,
@@ -102,14 +144,17 @@ impl LookupCache {
         );
     }
 
-    /// Evicts one type (a withdraw/modify invalidation note arrived).
-    /// Returns whether an entry was present.
+    /// Evicts one type (a withdraw/modify invalidation note arrived) —
+    /// every scope's entry for it, since the note names only the type.
+    /// Returns whether any entry was present.
     pub fn invalidate(&mut self, service_type: &ServiceType) -> bool {
-        let present = self.entries.remove(service_type).is_some();
-        if present {
-            self.stats.invalidations += 1;
+        match self.entries.remove(service_type) {
+            Some(scopes) => {
+                self.stats.invalidations += scopes.len() as u64;
+                true
+            }
+            None => false,
         }
-        present
     }
 
     /// Drops everything (view change, trader failover).
@@ -117,15 +162,19 @@ impl LookupCache {
         self.entries.clear();
     }
 
-    /// Every cached resolution, in type order (coherence checkers
-    /// compare these against the owning shard's store).
-    pub fn entries(&self) -> impl Iterator<Item = (&ServiceType, &[ServiceOffer])> {
-        self.entries.iter().map(|(t, e)| (t, e.resolved.as_slice()))
+    /// Every cached resolution, in (type, scope) order (coherence
+    /// checkers compare these against the owning shard's store).
+    pub fn entries(&self) -> impl Iterator<Item = (&ServiceType, &Scope, &[ServiceOffer])> {
+        self.entries.iter().flat_map(|(t, scopes)| {
+            scopes
+                .iter()
+                .map(move |(s, e)| (t, s, e.resolved.as_slice()))
+        })
     }
 
     /// Entries currently held (expired-but-unqueried entries count).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().map(BTreeMap::len).sum()
     }
 
     /// True when the cache holds nothing.
@@ -173,6 +222,7 @@ mod tests {
             "ttl boundary is inclusive"
         );
         assert!(cache.get(&st(), at_ms(101)).is_none(), "expired");
+        assert!(cache.is_empty(), "expiry evicts");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.expiries), (2, 1, 1));
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
@@ -196,5 +246,53 @@ mod tests {
         let mut cache = LookupCache::new(SimDuration::from_secs(1));
         assert!(cache.get(&st(), SimTime::ZERO).is_none());
         assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn scoped_entries_do_not_leak_across_scopes() {
+        // The regression this keying fixes: a resolution obtained
+        // across a wide link must not answer a caller whose effective
+        // scope is narrower, nor the other way around.
+        let mut cache = LookupCache::new(SimDuration::from_secs(10));
+        cache.put_scoped(st(), Scope::prefix("video/"), resolved(), at_ms(0));
+        assert!(
+            cache.get(&st(), at_ms(1)).is_none(),
+            "unrestricted lookup must not see the scoped entry"
+        );
+        assert!(cache
+            .get_scoped(&st(), &Scope::prefix("video/"), at_ms(1))
+            .is_some());
+        assert!(
+            cache
+                .get_scoped(&st(), &Scope::prefix("video/hd/"), at_ms(1))
+                .is_none(),
+            "a narrower effective scope is a different key"
+        );
+    }
+
+    #[test]
+    fn invalidation_names_the_type_and_evicts_every_scope() {
+        let mut cache = LookupCache::new(SimDuration::from_secs(10));
+        cache.put(st(), resolved(), at_ms(0));
+        cache.put_scoped(st(), Scope::prefix("video/"), resolved(), at_ms(0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.invalidate(&st()));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 2, "one per evicted scope");
+    }
+
+    #[test]
+    fn entries_iterate_in_type_then_scope_order() {
+        let mut cache = LookupCache::new(SimDuration::from_secs(10));
+        cache.put_scoped(st(), Scope::prefix("video/"), resolved(), at_ms(0));
+        cache.put(st(), resolved(), at_ms(0));
+        let keys: Vec<(ServiceType, Scope)> = cache
+            .entries()
+            .map(|(t, s, _)| (t.clone(), s.clone()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![(st(), Scope::all()), (st(), Scope::prefix("video/")),]
+        );
     }
 }

@@ -1,0 +1,73 @@
+//! The unified trader error.
+//!
+//! Earlier revisions spread failures over per-module enums (a store
+//! error in [`crate::offer`], an import error in [`crate::federation`]),
+//! which forced callers juggling both surfaces to write two error paths
+//! for one logical operation. This module collapses them into a single
+//! [`TraderError`]: non-exhaustive (the trading function grows — new
+//! variants must not break downstream matches) and a proper
+//! [`std::error::Error`] so embedding errors (e.g. `cscw-core`'s
+//! discovery error) can expose it through `source()` chains.
+
+use std::fmt;
+
+use crate::federation::DomainId;
+use crate::offer::OfferId;
+
+/// Why a trading operation failed — store, cache and federation
+/// surfaces share this one enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraderError {
+    /// No shard holds the named offer.
+    UnknownOffer(OfferId),
+    /// The store has no shard (no trader nodes registered).
+    NoShards,
+    /// The starting domain is not in the federation.
+    UnknownDomain(DomainId),
+    /// No reachable domain holds a satisfying offer — genuine scarcity,
+    /// possibly after penalized-QoS rejection of every candidate.
+    NoMatch,
+    /// Offers of the type exist in linked domains, but every path to
+    /// them is barred: missing rights, an inadmissible link scope, or a
+    /// transitively narrowed scope that excludes the type.
+    AccessDenied,
+}
+
+impl fmt::Display for TraderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraderError::UnknownOffer(id) => write!(f, "unknown {id}"),
+            TraderError::NoShards => write!(f, "offer store has no trader shards"),
+            TraderError::UnknownDomain(d) => write!(f, "unknown {d}"),
+            TraderError::NoMatch => write!(f, "no satisfying offer in reach"),
+            TraderError::AccessDenied => write!(f, "offers exist but every path is barred"),
+        }
+    }
+}
+
+impl std::error::Error for TraderError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        assert_eq!(
+            TraderError::UnknownDomain(DomainId(9)).to_string(),
+            "unknown domain9"
+        );
+        assert_eq!(
+            TraderError::UnknownOffer(OfferId(3)).to_string(),
+            "unknown offer#3"
+        );
+        assert!(TraderError::AccessDenied.to_string().contains("barred"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(TraderError::NoMatch);
+        assert!(err.source().is_none(), "TraderError is a root cause");
+    }
+}

@@ -1,5 +1,5 @@
 //! Trader federation: linked trading domains with scoped, access-gated
-//! import paths.
+//! import paths and a QoS-penalty-aware import planner.
 //!
 //! The paper's open distributed processing setting is inherently
 //! multi-organisational ("negotiation and interaction between different
@@ -13,18 +13,34 @@
 //! - **required rights** — the importer must hold the link's
 //!   `odp_access::rights::Rights` for the traversal (export gating).
 //!
-//! Imports search the local domain first, then breadth-first over
-//! admissible links up to a hop bound.
+//! and charges a [`LinkQos`] **penalty** — the latency, jitter and loss
+//! a binding to an offer behind the link would actually pay, typically
+//! drawn from the simulated topology via [`Network::link_qos`].
+//!
+//! [`Federation::resolve`] plans an import as a best-first search over
+//! (narrowed scope, accumulated penalty) path states: link scopes
+//! intersect transitively ([`Scope::narrow`]) and branches whose
+//! narrowed scope can no longer admit the requested type are pruned
+//! *before* their stores are consulted; domains are settled in order of
+//! accumulated penalty, so the first satisfying answer is also the
+//! least-penalized one, and offers are matched on their QoS *as seen
+//! across the path* ([`QosSpec::degrade_across`]) — a weaker-but-nearer
+//! offer can beat a stronger-but-farther one, and an offer whose
+//! penalized QoS no longer satisfies the requirement is rejected before
+//! selection. With zero penalties the search degenerates to exactly the
+//! legacy breadth-first order.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use odp_access::rights::Rights;
-use odp_sim::net::Network;
+use odp_sim::net::{LinkQos, Network};
 use odp_streams::qos::QosSpec;
 
+use crate::error::TraderError;
 use crate::offer::ServiceType;
-use crate::select::{match_offers, select, OfferMatch, SelectionLoad, SelectionPolicy};
+use crate::plan::{ImportRequest, ImportResolution, PathState, Scope};
+use crate::select::{match_offers_via, select, SelectionLoad, SelectionPolicy};
 use crate::store::ShardedStore;
 
 /// Names a trading domain (one administrative authority).
@@ -48,42 +64,13 @@ pub struct TraderLink {
     pub scope: String,
     /// Rights the importer must hold to traverse.
     pub required: Rights,
+    /// The QoS degradation a binding across this link pays.
+    pub qos: LinkQos,
 }
 
-/// A successful federated import.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ImportResolution {
-    /// The selected offer.
-    pub matched: OfferMatch,
-    /// The domain the offer came from.
-    pub domain: DomainId,
-    /// Federation hops traversed (0 = local domain).
-    pub hops: u32,
-}
-
-/// Why a federated import failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ImportError {
-    /// The starting domain is not in the federation.
-    UnknownDomain(DomainId),
-    /// No reachable domain holds a satisfying offer.
-    NoMatch,
-    /// Offers of the type exist in linked domains, but every path to
-    /// them is barred (scope or rights).
-    AccessDenied,
-}
-
-impl fmt::Display for ImportError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ImportError::UnknownDomain(d) => write!(f, "unknown {d}"),
-            ImportError::NoMatch => write!(f, "no satisfying offer in reach"),
-            ImportError::AccessDenied => write!(f, "offers exist but every link is barred"),
-        }
-    }
-}
-
-impl std::error::Error for ImportError {}
+/// Deprecated name for the unified [`TraderError`].
+#[deprecated(since = "0.1.0", note = "use odp_trader::TraderError")]
+pub type ImportError = TraderError;
 
 /// A federation of trading domains joined by scoped links.
 #[derive(Debug, Default)]
@@ -114,9 +101,9 @@ impl Federation {
         self.domains.get_mut(&id)
     }
 
-    /// Links `from` to `to`: lookups started in `from` may consult `to`
-    /// for service types under `scope`, if the importer holds
-    /// `required`.
+    /// Links `from` to `to` with no QoS penalty: lookups started in
+    /// `from` may consult `to` for service types under `scope`, if the
+    /// importer holds `required`.
     pub fn link(
         &mut self,
         from: DomainId,
@@ -124,12 +111,31 @@ impl Federation {
         scope: impl Into<String>,
         required: Rights,
     ) {
+        self.link_via(from, to, scope, required, LinkQos::NONE);
+    }
+
+    /// Links `from` to `to` charging `qos` per traversal (typically
+    /// [`Network::link_qos`] between the domains' gateway nodes).
+    pub fn link_via(
+        &mut self,
+        from: DomainId,
+        to: DomainId,
+        scope: impl Into<String>,
+        required: Rights,
+        qos: LinkQos,
+    ) {
         self.links.push(TraderLink {
             from,
             to,
             scope: scope.into(),
             required,
+            qos,
         });
+    }
+
+    /// Every link, in registration order.
+    pub fn links(&self) -> &[TraderLink] {
+        &self.links
     }
 
     /// The links out of a domain.
@@ -137,18 +143,150 @@ impl Federation {
         self.links.iter().filter(move |l| l.from == from)
     }
 
-    /// Resolves an import starting at `at`: local domain first, then
-    /// breadth-first over links the importer's `rights` and the type's
-    /// scope admit, up to `max_hops`. The nearest (fewest-hop) domain
-    /// with any match answers; `policy` picks among that domain's
+    /// Plans and resolves an import starting at `at`.
+    ///
+    /// Best-first over accumulated link penalty (ties: fewest hops,
+    /// then link registration order — the legacy breadth-first order):
+    /// the local domain is settled first, then reachable domains in
+    /// penalty order, up to the request's hop bound. A link is enqueued
+    /// only if the importer holds its rights and (under scope
+    /// narrowing) the path's narrowed scope still admits the requested
+    /// type. The first settled domain with a satisfying *penalized*
+    /// match answers; the request's policy picks among that domain's
     /// matches.
+    ///
+    /// `net` is consulted only by [`SelectionPolicy::LowestLatency`];
+    /// link penalties live on the links themselves.
     ///
     /// # Errors
     ///
-    /// See [`ImportError`]; notably [`ImportError::AccessDenied`] is
-    /// distinguished from [`ImportError::NoMatch`] so callers can tell
+    /// See [`TraderError`]; notably [`TraderError::AccessDenied`] is
+    /// distinguished from [`TraderError::NoMatch`] so callers can tell
     /// policy failures from genuine scarcity.
-    #[allow(clippy::too_many_arguments)] // the full import context; callers name each piece
+    pub fn resolve(
+        &mut self,
+        at: DomainId,
+        request: &ImportRequest,
+        net: Option<&Network>,
+    ) -> Result<ImportResolution, TraderError> {
+        if !self.domains.contains_key(&at) {
+            return Err(TraderError::UnknownDomain(at));
+        }
+        let mut frontier: BTreeMap<(u64, u64, u64, u32, u64), PathState> = BTreeMap::new();
+        // Settled per (domain, narrowed scope): the same domain reached
+        // under a different narrowed scope is a genuinely different
+        // state (it may admit types the first visit could not).
+        let mut settled: BTreeSet<(DomainId, Scope)> = BTreeSet::new();
+        let mut seq = 0u64;
+        let start = PathState {
+            domain: at,
+            hops: 0,
+            scope: Scope::all(),
+            penalty: LinkQos::NONE,
+            path: vec![at],
+            seq,
+        };
+        frontier.insert(start.key(), start);
+        let mut barred_offers_exist = false;
+        let mut domains_queried = 0u32;
+
+        while let Some((_, state)) = frontier.pop_first() {
+            // Several frontier entries may reach the same (domain,
+            // scope) state; only the best-ranked one is settled (and
+            // thus queried).
+            if !settled.insert((state.domain, state.scope.clone())) {
+                continue;
+            }
+            let offers = self
+                .domains
+                .get_mut(&state.domain)
+                .map(|store| store.offers_of_type(request.service_type()))
+                .unwrap_or_default();
+            if state.domain != at {
+                domains_queried += 1;
+            }
+            // With narrowing the scope gate already ran at enqueue
+            // time; without it (flood mode) it must run here, at answer
+            // time, or out-of-scope offers would leak across.
+            let admitted = state.scope.admits(request.service_type());
+            if !admitted && !offers.is_empty() {
+                barred_offers_exist = true;
+            }
+            let path_penalty = if request.accounts_penalty() {
+                state.penalty
+            } else {
+                LinkQos::NONE
+            };
+            let matches = if admitted {
+                match_offers_via(&offers, request.required(), &path_penalty)
+            } else {
+                Vec::new()
+            };
+            if let Some(matched) = select(
+                &matches,
+                request.selection_policy(),
+                &mut self.selection_load,
+                net,
+            ) {
+                return Ok(ImportResolution {
+                    matched,
+                    domain: state.domain,
+                    hops: state.hops,
+                    path: state.path,
+                    narrowed_scope: state.scope,
+                    penalty: state.penalty,
+                    domains_queried,
+                });
+            }
+            if state.hops >= request.hop_bound() {
+                continue;
+            }
+            for link in self.links.iter().filter(|l| l.from == state.domain) {
+                let narrowed = state.scope.narrow(&link.scope);
+                if settled.contains(&(link.to, narrowed.clone())) {
+                    continue;
+                }
+                let scope_ok = !request.narrows_scope() || narrowed.admits(request.service_type());
+                let rights_ok = request.importer_rights().contains(link.required);
+                if !(scope_ok && rights_ok) {
+                    // Only report AccessDenied if something real was
+                    // barred: check the target actually holds the type.
+                    if self
+                        .domains
+                        .get(&link.to)
+                        .is_some_and(|s| s.has_type(request.service_type()))
+                    {
+                        barred_offers_exist = true;
+                    }
+                    continue;
+                }
+                seq += 1;
+                let mut path = state.path.clone();
+                path.push(link.to);
+                let next = PathState {
+                    domain: link.to,
+                    hops: state.hops + 1,
+                    scope: narrowed,
+                    penalty: state.penalty.then(link.qos),
+                    path,
+                    seq,
+                };
+                frontier.insert(next.key(), next);
+            }
+        }
+        if barred_offers_exist {
+            Err(TraderError::AccessDenied)
+        } else {
+            Err(TraderError::NoMatch)
+        }
+    }
+
+    /// Resolves an import from positional arguments.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an odp_trader::plan::ImportRequest and call Federation::resolve"
+    )]
+    #[allow(clippy::too_many_arguments)] // the legacy surface this shim preserves
     pub fn import(
         &mut self,
         at: DomainId,
@@ -158,60 +296,13 @@ impl Federation {
         policy: SelectionPolicy,
         max_hops: u32,
         net: Option<&Network>,
-    ) -> Result<ImportResolution, ImportError> {
-        if !self.domains.contains_key(&at) {
-            return Err(ImportError::UnknownDomain(at));
-        }
-        let mut visited: BTreeSet<DomainId> = BTreeSet::new();
-        let mut queue: VecDeque<(DomainId, u32)> = VecDeque::new();
-        queue.push_back((at, 0));
-        visited.insert(at);
-        let mut barred_offers_exist = false;
-
-        while let Some((domain, hops)) = queue.pop_front() {
-            let offers = self
-                .domains
-                .get_mut(&domain)
-                .map(|store| store.offers_of_type(service_type))
-                .unwrap_or_default();
-            let matches = match_offers(&offers, required);
-            if let Some(matched) = select(&matches, policy, &mut self.selection_load, net) {
-                return Ok(ImportResolution {
-                    matched,
-                    domain,
-                    hops,
-                });
-            }
-            if hops >= max_hops {
-                continue;
-            }
-            for link in self.links.iter().filter(|l| l.from == domain) {
-                if visited.contains(&link.to) {
-                    continue;
-                }
-                let admissible =
-                    service_type.in_scope(&link.scope) && rights.contains(link.required);
-                if !admissible {
-                    // Only report AccessDenied if something real was
-                    // barred: check the target actually holds the type.
-                    if self
-                        .domains
-                        .get(&link.to)
-                        .is_some_and(|s| s.has_type(service_type))
-                    {
-                        barred_offers_exist = true;
-                    }
-                    continue;
-                }
-                visited.insert(link.to);
-                queue.push_back((link.to, hops + 1));
-            }
-        }
-        if barred_offers_exist {
-            Err(ImportError::AccessDenied)
-        } else {
-            Err(ImportError::NoMatch)
-        }
+    ) -> Result<ImportResolution, TraderError> {
+        let request = ImportRequest::for_type(service_type.clone())
+            .qos(*required)
+            .rights(rights)
+            .policy(policy)
+            .max_hops(max_hops);
+        self.resolve(at, &request, net)
     }
 }
 
@@ -220,6 +311,7 @@ mod tests {
     use super::*;
     use crate::offer::{ServiceOffer, SessionKind};
     use odp_sim::net::NodeId;
+    use odp_sim::time::SimDuration;
 
     fn store_with(traders: &[u32], offers: &[(&str, u32)]) -> ShardedStore {
         let mut s = ShardedStore::new(traders.iter().copied().map(NodeId));
@@ -239,27 +331,318 @@ mod tests {
         ServiceType::new("video/conference")
     }
 
+    fn video_request() -> ImportRequest {
+        ImportRequest::for_type(st()).qos(QosSpec::video())
+    }
+
+    fn penalty_ms(lat: u64) -> LinkQos {
+        LinkQos::new(SimDuration::from_millis(lat), SimDuration::ZERO, 0.0)
+    }
+
     #[test]
     fn local_offers_win_with_zero_hops() {
         let mut fed = Federation::new();
         fed.add_domain(DomainId(0), store_with(&[0], &[("video/conference", 5)]));
         let r = fed
-            .import(
-                DomainId(0),
-                Rights::READ,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                3,
-                None,
-            )
+            .resolve(DomainId(0), &video_request().rights(Rights::READ), None)
             .unwrap();
         assert_eq!(r.hops, 0);
         assert_eq!(r.domain, DomainId(0));
+        assert_eq!(r.path, vec![DomainId(0)]);
+        assert_eq!(r.narrowed_scope, Scope::all());
+        assert!(r.penalty.is_none());
+        assert_eq!(r.domains_queried, 0, "the local store is free");
+        assert_eq!(r.matched.penalized, r.matched.offer.qos);
     }
 
     #[test]
     fn federated_import_crosses_an_admissible_link() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
+        fed.link(DomainId(0), DomainId(1), "video/", Rights::READ);
+        let r = fed
+            .resolve(DomainId(0), &video_request().rights(Rights::READ), None)
+            .unwrap();
+        assert_eq!(r.hops, 1);
+        assert_eq!(r.domain, DomainId(1));
+        assert_eq!(r.matched.offer.node, NodeId(15));
+        assert_eq!(r.path, vec![DomainId(0), DomainId(1)]);
+        assert_eq!(r.narrowed_scope, Scope::prefix("video/"));
+        assert_eq!(r.domains_queried, 1);
+    }
+
+    #[test]
+    fn out_of_scope_types_do_not_cross() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
+        fed.link(DomainId(0), DomainId(1), "audio/", Rights::NONE);
+        let err = fed
+            .resolve(DomainId(0), &video_request().rights(Rights::ALL), None)
+            .unwrap_err();
+        assert_eq!(err, TraderError::AccessDenied);
+    }
+
+    #[test]
+    fn missing_rights_bar_the_link() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
+        fed.link(
+            DomainId(0),
+            DomainId(1),
+            "",
+            Rights::READ.union(Rights::GRANT),
+        );
+        assert_eq!(
+            fed.resolve(DomainId(0), &video_request().rights(Rights::READ), None)
+                .unwrap_err(),
+            TraderError::AccessDenied
+        );
+        // With GRANT added the same import succeeds.
+        assert!(fed
+            .resolve(
+                DomainId(0),
+                &video_request().rights(Rights::READ.union(Rights::GRANT)),
+                None
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn hop_bound_limits_transitive_reach() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[("video/conference", 25)]));
+        fed.link(DomainId(0), DomainId(1), "", Rights::NONE);
+        fed.link(DomainId(1), DomainId(2), "", Rights::NONE);
+        assert_eq!(
+            fed.resolve(DomainId(0), &video_request().max_hops(1), None)
+                .unwrap_err(),
+            TraderError::NoMatch
+        );
+        let r = fed
+            .resolve(DomainId(0), &video_request().max_hops(2), None)
+            .unwrap();
+        assert_eq!(r.hops, 2);
+        assert_eq!(r.path, vec![DomainId(0), DomainId(1), DomainId(2)]);
+    }
+
+    #[test]
+    fn nearest_domain_answers_first() {
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 11)]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[("video/conference", 22)]));
+        fed.link(DomainId(0), DomainId(1), "", Rights::NONE);
+        fed.link(DomainId(1), DomainId(2), "", Rights::NONE);
+        let r = fed
+            .resolve(DomainId(0), &video_request().max_hops(5), None)
+            .unwrap();
+        assert_eq!(r.domain, DomainId(1), "one hop beats two");
+    }
+
+    #[test]
+    fn unknown_start_domain_errors() {
+        let mut fed = Federation::new();
+        assert_eq!(
+            fed.resolve(DomainId(9), &video_request(), None)
+                .unwrap_err(),
+            TraderError::UnknownDomain(DomainId(9))
+        );
+    }
+
+    #[test]
+    fn weaker_but_nearer_beats_stronger_but_farther() {
+        // Domain 1 is 100 ms away with a broadcast-grade offer; domain
+        // 2 is 10 ms away with a modest one. Register the expensive
+        // link first so plain insertion order would pick domain 1 —
+        // only penalty ranking can prefer domain 2.
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[]));
+        let strong =
+            ServiceOffer::session(st(), SessionKind::Conference, QosSpec::video(), NodeId(11));
+        let modest = ServiceOffer::session(
+            st(),
+            SessionKind::Conference,
+            QosSpec {
+                throughput_fps: 12,
+                latency_bound: SimDuration::from_millis(300),
+                ..QosSpec::video()
+            },
+            NodeId(22),
+        );
+        fed.domain_mut(DomainId(1)).unwrap().export(strong).unwrap();
+        fed.domain_mut(DomainId(2)).unwrap().export(modest).unwrap();
+        fed.link_via(DomainId(0), DomainId(1), "", Rights::NONE, penalty_ms(100));
+        fed.link_via(DomainId(0), DomainId(2), "", Rights::NONE, penalty_ms(10));
+        let r = fed
+            .resolve(
+                DomainId(0),
+                &ImportRequest::for_type(st()).qos(QosSpec {
+                    throughput_fps: 10,
+                    latency_bound: SimDuration::from_millis(400),
+                    jitter_bound: SimDuration::from_millis(60),
+                    ..QosSpec::video()
+                }),
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.domain, DomainId(2), "the nearer modest offer wins");
+        assert_eq!(r.penalty, penalty_ms(10));
+        assert_eq!(
+            r.matched.penalized.latency_bound,
+            SimDuration::from_millis(310),
+            "the match is judged on penalized QoS"
+        );
+    }
+
+    #[test]
+    fn penalized_offers_that_no_longer_satisfy_are_rejected() {
+        // The offer satisfies the requirement at home, but two lossy
+        // links compound to ~19% loss — past anything the video
+        // requirement's degradation ladder tolerates.
+        let lossy = LinkQos::new(SimDuration::ZERO, SimDuration::ZERO, 0.1);
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[("video/conference", 25)]));
+        fed.link_via(DomainId(0), DomainId(1), "", Rights::NONE, lossy);
+        fed.link_via(DomainId(1), DomainId(2), "", Rights::NONE, lossy);
+        assert_eq!(
+            fed.resolve(DomainId(0), &video_request(), None)
+                .unwrap_err(),
+            TraderError::NoMatch
+        );
+        // Disabling accounting (the checker's fault-injection knob)
+        // makes the same import succeed on the raw advertised QoS.
+        let r = fed
+            .resolve(
+                DomainId(0),
+                &video_request().penalty_accounting(false),
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.domain, DomainId(2));
+        assert_eq!(r.matched.penalized, r.matched.offer.qos);
+    }
+
+    #[test]
+    fn diamond_narrowing_prunes_the_excluding_arm() {
+        // 0 → 1 (video/) → 3 ("") and 0 → 2 (video/hd/) → 3 (""):
+        // "video/conference" can only arrive via the 1-arm; the 2-arm's
+        // narrowed scope video/hd/ excludes it, and the planner must
+        // not query domain 2 at all. The 2-arm is cheaper, so without
+        // narrowing it would be settled (and queried) first.
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[]));
+        fed.add_domain(DomainId(3), store_with(&[30], &[("video/conference", 35)]));
+        fed.link_via(
+            DomainId(0),
+            DomainId(1),
+            "video/",
+            Rights::NONE,
+            penalty_ms(40),
+        );
+        fed.link_via(
+            DomainId(0),
+            DomainId(2),
+            "video/hd/",
+            Rights::NONE,
+            penalty_ms(10),
+        );
+        fed.link_via(DomainId(1), DomainId(3), "", Rights::NONE, penalty_ms(40));
+        fed.link_via(DomainId(2), DomainId(3), "", Rights::NONE, penalty_ms(10));
+        let r = fed.resolve(DomainId(0), &video_request(), None).unwrap();
+        assert_eq!(r.path, vec![DomainId(0), DomainId(1), DomainId(3)]);
+        assert_eq!(r.narrowed_scope, Scope::prefix("video/"));
+        assert_eq!(r.penalty, penalty_ms(80));
+        assert_eq!(
+            r.domains_queried, 2,
+            "domain 2 is pruned before its store is consulted"
+        );
+
+        // The same diamond admits "video/hd/tour" through *both* arms;
+        // the cheaper hd-arm wins and the scope narrows to the longer
+        // prefix.
+        let hd = ServiceType::new("video/hd/tour");
+        fed.domain_mut(DomainId(3))
+            .unwrap()
+            .export(ServiceOffer::session(
+                hd.clone(),
+                SessionKind::Conference,
+                QosSpec::video(),
+                NodeId(36),
+            ))
+            .unwrap();
+        let r = fed
+            .resolve(
+                DomainId(0),
+                &ImportRequest::for_type(hd).qos(QosSpec::mobile_video()),
+                None,
+            )
+            .unwrap();
+        assert_eq!(r.path, vec![DomainId(0), DomainId(2), DomainId(3)]);
+        assert_eq!(r.narrowed_scope, Scope::prefix("video/hd/"));
+        assert_eq!(r.penalty, penalty_ms(20));
+    }
+
+    #[test]
+    fn flood_mode_finds_the_same_offer_but_queries_more_domains() {
+        // Same diamond as above: flood mode (narrowing off) traverses
+        // on rights alone and filters at answer time, so it consults
+        // the pruned arm's stores too — the planner's saving is exactly
+        // the cross-domain messages it never sends.
+        let mut fed = Federation::new();
+        fed.add_domain(DomainId(0), store_with(&[0], &[]));
+        fed.add_domain(DomainId(1), store_with(&[10], &[]));
+        fed.add_domain(DomainId(2), store_with(&[20], &[]));
+        fed.add_domain(DomainId(3), store_with(&[30], &[("video/conference", 35)]));
+        fed.link_via(
+            DomainId(0),
+            DomainId(1),
+            "video/",
+            Rights::NONE,
+            penalty_ms(40),
+        );
+        fed.link_via(
+            DomainId(0),
+            DomainId(2),
+            "video/hd/",
+            Rights::NONE,
+            penalty_ms(10),
+        );
+        fed.link_via(DomainId(1), DomainId(3), "", Rights::NONE, penalty_ms(40));
+        fed.link_via(DomainId(2), DomainId(3), "", Rights::NONE, penalty_ms(10));
+        let planned = fed.resolve(DomainId(0), &video_request(), None).unwrap();
+        let flooded = fed
+            .resolve(DomainId(0), &video_request().narrowing(false), None)
+            .unwrap();
+        assert_eq!(planned.matched.offer, flooded.matched.offer);
+        assert!(
+            planned.domains_queried < flooded.domains_queried,
+            "pruning must cut cross-domain lookups: {} vs {}",
+            planned.domains_queried,
+            flooded.domains_queried
+        );
+        // Flood mode settles the cheap hd-arm first, reaches domain 3
+        // under the narrowed scope video/hd/ — which bars the answer at
+        // query time — and only finds the offer on the second visit,
+        // via the admitting video/ arm: two wasted cross-domain
+        // queries the planner never sends.
+        assert_eq!(flooded.domain, planned.domain);
+        assert_eq!(flooded.narrowed_scope, Scope::prefix("video/"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_import_shim_still_resolves() {
         let mut fed = Federation::new();
         fed.add_domain(DomainId(0), store_with(&[0], &[]));
         fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
@@ -275,141 +658,7 @@ mod tests {
                 None,
             )
             .unwrap();
-        assert_eq!(r.hops, 1);
         assert_eq!(r.domain, DomainId(1));
-        assert_eq!(r.matched.offer.node, NodeId(15));
-    }
-
-    #[test]
-    fn out_of_scope_types_do_not_cross() {
-        let mut fed = Federation::new();
-        fed.add_domain(DomainId(0), store_with(&[0], &[]));
-        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
-        fed.link(DomainId(0), DomainId(1), "audio/", Rights::NONE);
-        let err = fed
-            .import(
-                DomainId(0),
-                Rights::ALL,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                3,
-                None,
-            )
-            .unwrap_err();
-        assert_eq!(err, ImportError::AccessDenied);
-    }
-
-    #[test]
-    fn missing_rights_bar_the_link() {
-        let mut fed = Federation::new();
-        fed.add_domain(DomainId(0), store_with(&[0], &[]));
-        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
-        fed.link(
-            DomainId(0),
-            DomainId(1),
-            "",
-            Rights::READ.union(Rights::GRANT),
-        );
-        assert_eq!(
-            fed.import(
-                DomainId(0),
-                Rights::READ,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                3,
-                None
-            )
-            .unwrap_err(),
-            ImportError::AccessDenied
-        );
-        // With GRANT added the same import succeeds.
-        assert!(fed
-            .import(
-                DomainId(0),
-                Rights::READ.union(Rights::GRANT),
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                3,
-                None
-            )
-            .is_ok());
-    }
-
-    #[test]
-    fn hop_bound_limits_transitive_reach() {
-        let mut fed = Federation::new();
-        fed.add_domain(DomainId(0), store_with(&[0], &[]));
-        fed.add_domain(DomainId(1), store_with(&[10], &[]));
-        fed.add_domain(DomainId(2), store_with(&[20], &[("video/conference", 25)]));
-        fed.link(DomainId(0), DomainId(1), "", Rights::NONE);
-        fed.link(DomainId(1), DomainId(2), "", Rights::NONE);
-        assert_eq!(
-            fed.import(
-                DomainId(0),
-                Rights::NONE,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                1,
-                None
-            )
-            .unwrap_err(),
-            ImportError::NoMatch
-        );
-        let r = fed
-            .import(
-                DomainId(0),
-                Rights::NONE,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                2,
-                None,
-            )
-            .unwrap();
-        assert_eq!(r.hops, 2);
-    }
-
-    #[test]
-    fn nearest_domain_answers_first() {
-        let mut fed = Federation::new();
-        fed.add_domain(DomainId(0), store_with(&[0], &[]));
-        fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 11)]));
-        fed.add_domain(DomainId(2), store_with(&[20], &[("video/conference", 22)]));
-        fed.link(DomainId(0), DomainId(1), "", Rights::NONE);
-        fed.link(DomainId(1), DomainId(2), "", Rights::NONE);
-        let r = fed
-            .import(
-                DomainId(0),
-                Rights::NONE,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                5,
-                None,
-            )
-            .unwrap();
-        assert_eq!(r.domain, DomainId(1), "one hop beats two");
-    }
-
-    #[test]
-    fn unknown_start_domain_errors() {
-        let mut fed = Federation::new();
-        assert_eq!(
-            fed.import(
-                DomainId(9),
-                Rights::ALL,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                1,
-                None
-            )
-            .unwrap_err(),
-            ImportError::UnknownDomain(DomainId(9))
-        );
+        assert_eq!(r.hops, 1);
     }
 }

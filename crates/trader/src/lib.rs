@@ -19,10 +19,17 @@
 //!   `odp_streams::qos::negotiate` as the satisfaction check) and
 //!   pluggable selection: first-fit, least-loaded,
 //!   lowest-expected-latency;
-//! - [`cache`] — the importer-side TTL cache, invalidated eagerly by
-//!   multicast notes when exporters withdraw or re-advertise;
-//! - [`federation`] — linked trading domains with scoped, rights-gated
-//!   import paths across administrative boundaries;
+//! - [`cache`] — the importer-side TTL cache, keyed by (type, effective
+//!   scope) and invalidated eagerly by multicast notes when exporters
+//!   withdraw or re-advertise;
+//! - [`plan`] — the [`ImportRequest`] builder, transitive [`Scope`]
+//!   narrowing, and the rich [`ImportResolution`] (path taken, narrowed
+//!   scope, accumulated penalty, penalized/agreed QoS);
+//! - [`federation`] — linked trading domains with scoped, rights-gated,
+//!   QoS-penalized import paths across administrative boundaries,
+//!   resolved by a best-first planner
+//!   ([`Federation::resolve`](federation::Federation::resolve));
+//! - [`error`] — the unified, non-exhaustive [`TraderError`];
 //! - [`actors`] — [`TraderActor`] / [`ImporterActor`] measuring lookup
 //!   latency, cache hit rate and shard balance under the simulator.
 //!
@@ -47,8 +54,10 @@
 
 pub mod actors;
 pub mod cache;
+pub mod error;
 pub mod federation;
 pub mod offer;
+pub mod plan;
 pub mod select;
 pub mod store;
 
@@ -57,21 +66,34 @@ pub use actors::{
     TraderMsg,
 };
 pub use cache::{CacheStats, LookupCache};
-pub use federation::{DomainId, Federation, ImportError, ImportResolution, TraderLink};
-pub use offer::{OfferId, OfferedInterface, ServiceOffer, ServiceType, SessionKind, TraderError};
-pub use select::{match_offers, select, OfferMatch, SelectionLoad, SelectionPolicy};
+pub use error::TraderError;
+pub use federation::{DomainId, Federation, TraderLink};
+pub use offer::{OfferId, OfferedInterface, ServiceOffer, ServiceType, SessionKind};
+pub use plan::{ImportRequest, ImportResolution, Scope};
+pub use select::{
+    match_offers, match_offers_via, select, OfferMatch, SelectionLoad, SelectionPolicy,
+};
 pub use store::{HashRing, OfferStore, ShardLoad, ShardedStore};
+
+#[allow(deprecated)]
+pub use federation::ImportError;
 
 /// Everything an importer or exporter typically needs.
 pub mod prelude {
     pub use crate::actors::{ImporterActor, LookupJob, TraderActor, TraderMsg};
     pub use crate::cache::LookupCache;
-    pub use crate::federation::{DomainId, Federation};
+    pub use crate::error::TraderError;
+    pub use crate::federation::{DomainId, Federation, TraderLink};
     pub use crate::offer::{OfferId, OfferedInterface, ServiceOffer, ServiceType, SessionKind};
-    pub use crate::select::{match_offers, select, SelectionPolicy};
+    pub use crate::plan::{ImportRequest, ImportResolution, Scope};
+    pub use crate::select::{match_offers, match_offers_via, select, OfferMatch, SelectionPolicy};
     pub use crate::store::{HashRing, ShardedStore};
+    pub use odp_sim::net::LinkQos;
+    pub use odp_streams::qos::QosSpec;
 }
 
 // Re-exported so doc examples and downstream crates can name the QoS
-// type the trader matches on without importing odp-streams themselves.
+// type the trader matches on — and the per-link penalty it charges —
+// without importing odp-streams/odp-sim themselves.
+pub use odp_sim::net::LinkQos;
 pub use odp_streams::qos::QosSpec;

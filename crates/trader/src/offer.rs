@@ -142,25 +142,10 @@ impl ServiceOffer {
     }
 }
 
-/// Why a store operation failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraderError {
-    /// No such offer anywhere in the store.
-    UnknownOffer(OfferId),
-    /// The store has no shard (no trader nodes registered).
-    NoShards,
-}
-
-impl fmt::Display for TraderError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TraderError::UnknownOffer(id) => write!(f, "unknown {id}"),
-            TraderError::NoShards => write!(f, "offer store has no trader shards"),
-        }
-    }
-}
-
-impl std::error::Error for TraderError {}
+// The store error enum used to live here; it is now one surface of the
+// unified error. Re-exported so `odp_trader::offer::TraderError` paths
+// keep compiling.
+pub use crate::error::TraderError;
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,7 @@
 //! load over equivalent exporters, or minimise expected network latency
 //! to the importer using the simulator's link model.
 
-use odp_sim::net::{Network, NodeId};
+use odp_sim::net::{LinkQos, Network, NodeId};
 use odp_streams::qos::{negotiate, NegotiationOutcome, QosSpec};
 
 use crate::offer::ServiceOffer;
@@ -18,22 +18,44 @@ use crate::offer::ServiceOffer;
 pub struct OfferMatch {
     /// The matching offer.
     pub offer: ServiceOffer,
+    /// The offer's QoS as seen by the importer — the advertised QoS
+    /// degraded across the federation path's accumulated penalty
+    /// (identical to `offer.qos` for local resolutions).
+    pub penalized: QosSpec,
     /// The agreed QoS (the requirement, possibly walked down its
-    /// degradation ladder until the offer satisfies it).
+    /// degradation ladder until the *penalized* offer satisfies it).
     pub agreed: QosSpec,
 }
 
 /// Filters `offers` to those whose advertised QoS can meet `required`
-/// (via negotiation), preserving input order.
+/// (via negotiation), preserving input order. Equivalent to
+/// [`match_offers_via`] with a free path.
 pub fn match_offers(offers: &[ServiceOffer], required: &QosSpec) -> Vec<OfferMatch> {
+    match_offers_via(offers, required, &LinkQos::NONE)
+}
+
+/// Filters `offers` to those that can meet `required` *across* a path
+/// charging `penalty`: each offer's advertised QoS is first degraded by
+/// the accumulated penalty, and negotiation runs against that. Offers
+/// that satisfy at home but not across the path are rejected here,
+/// before selection.
+pub fn match_offers_via(
+    offers: &[ServiceOffer],
+    required: &QosSpec,
+    penalty: &LinkQos,
+) -> Vec<OfferMatch> {
     offers
         .iter()
-        .filter_map(|offer| match negotiate(&offer.qos, required) {
-            NegotiationOutcome::Agreed(agreed) => Some(OfferMatch {
-                offer: offer.clone(),
-                agreed,
-            }),
-            NegotiationOutcome::BestEffortOnly(_) => None,
+        .filter_map(|offer| {
+            let penalized = offer.qos.degrade_across(penalty);
+            match negotiate(&penalized, required) {
+                NegotiationOutcome::Agreed(agreed) => Some(OfferMatch {
+                    offer: offer.clone(),
+                    penalized,
+                    agreed,
+                }),
+                NegotiationOutcome::BestEffortOnly(_) => None,
+            }
         })
         .collect()
 }
@@ -210,5 +232,37 @@ mod tests {
     fn empty_match_set_selects_nothing() {
         let mut load = SelectionLoad::new();
         assert!(select(&[], SelectionPolicy::FirstFit, &mut load, None).is_none());
+    }
+
+    #[test]
+    fn penalized_matching_charges_the_path() {
+        use odp_sim::net::LinkQos;
+        // At home the offer meets the video requirement exactly; across
+        // a 60 ms path it no longer does, and negotiation must settle
+        // on a degraded contract instead.
+        let offer = offer_at(0, QosSpec::video());
+        let penalty = LinkQos::new(SimDuration::from_millis(60), SimDuration::ZERO, 0.0);
+        let at_home = match_offers_via(
+            std::slice::from_ref(&offer),
+            &QosSpec::video(),
+            &LinkQos::NONE,
+        );
+        assert_eq!(at_home[0].agreed, QosSpec::video());
+        assert_eq!(at_home[0].penalized, offer.qos);
+        let across = match_offers_via(std::slice::from_ref(&offer), &QosSpec::video(), &penalty);
+        assert_eq!(across.len(), 1);
+        assert_eq!(
+            across[0].penalized.latency_bound,
+            SimDuration::from_millis(210)
+        );
+        assert!(
+            across[0].agreed.throughput_fps < 25,
+            "the agreement reflects the penalized offer"
+        );
+        // A hopeless path rejects the offer outright.
+        let lossy = LinkQos::new(SimDuration::ZERO, SimDuration::ZERO, 0.5);
+        assert!(
+            match_offers_via(std::slice::from_ref(&offer), &QosSpec::video(), &lossy).is_empty()
+        );
     }
 }

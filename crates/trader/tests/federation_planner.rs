@@ -1,0 +1,224 @@
+//! Federation planner integration suite: scope-prefix edge cases
+//! (empty-prefix links, nested prefixes, diamond exclusion) and the
+//! planner-vs-flood cross-domain message economics on a topology the
+//! `trader_lookup` bench mirrors.
+
+use odp_access::rights::Rights;
+use odp_sim::net::{LinkQos, NodeId};
+use odp_sim::time::SimDuration;
+use odp_trader::prelude::*;
+
+fn store_with(trader: u32, offers: &[(&str, u32)]) -> ShardedStore {
+    let mut s = ShardedStore::new([NodeId(trader)]);
+    for (name, node) in offers {
+        s.export(ServiceOffer::session(
+            ServiceType::new(*name),
+            SessionKind::Conference,
+            QosSpec::video(),
+            NodeId(*node),
+        ))
+        .unwrap();
+    }
+    s
+}
+
+fn penalty_ms(lat: u64) -> LinkQos {
+    LinkQos::new(SimDuration::from_millis(lat), SimDuration::ZERO, 0.0)
+}
+
+/// A hub-and-spoke federation: the hub links to four gateway domains
+/// under disjoint scope prefixes, and each gateway links on (scope "")
+/// to two leaf domains. Only the `conference/` arm can reach the wanted
+/// offer, which lives in the *second* leaf behind that gateway.
+fn campus_federation() -> (Federation, DomainId) {
+    let hub = DomainId(0);
+    let mut fed = Federation::new();
+    fed.add_domain(hub, store_with(1, &[]));
+    let scopes = ["audio/", "video/", "workspace/", "conference/"];
+    for (i, scope) in scopes.iter().enumerate() {
+        let gw = DomainId(10 + i as u32);
+        fed.add_domain(gw, store_with(100 + i as u32, &[]));
+        fed.link_via(hub, gw, *scope, Rights::NONE, penalty_ms(10));
+        for leaf_n in 0..2u32 {
+            let leaf = DomainId(20 + 2 * i as u32 + leaf_n);
+            let offers: &[(&str, u32)] = if *scope == "conference/" && leaf_n == 1 {
+                &[("conference/room-7", 77)]
+            } else {
+                &[]
+            };
+            fed.add_domain(leaf, store_with(200 + 2 * i as u32 + leaf_n, offers));
+            fed.link_via(gw, leaf, "", Rights::NONE, penalty_ms(5 + leaf_n as u64));
+        }
+    }
+    (fed, hub)
+}
+
+fn room7() -> ImportRequest {
+    ImportRequest::for_type(ServiceType::new("conference/room-7"))
+        .qos(QosSpec::video())
+        .max_hops(3)
+}
+
+#[test]
+fn empty_prefix_links_never_narrow() {
+    let mut fed = Federation::new();
+    fed.add_domain(DomainId(0), store_with(1, &[]));
+    fed.add_domain(DomainId(1), store_with(2, &[]));
+    fed.add_domain(DomainId(2), store_with(3, &[("anything/at/all", 9)]));
+    fed.link(DomainId(0), DomainId(1), "", Rights::NONE);
+    fed.link(DomainId(1), DomainId(2), "", Rights::NONE);
+    let r = fed
+        .resolve(
+            DomainId(0),
+            &ImportRequest::for_type(ServiceType::new("anything/at/all")),
+            None,
+        )
+        .unwrap();
+    assert_eq!(
+        r.narrowed_scope,
+        Scope::all(),
+        "two unrestricted links leave the scope unrestricted"
+    );
+    assert_eq!(r.hops, 2);
+}
+
+#[test]
+fn nested_prefixes_narrow_to_the_longest() {
+    // video/ then video/hd/ then "": the path scope is video/hd/ the
+    // whole way after the second link, regardless of later wider links.
+    let mut fed = Federation::new();
+    fed.add_domain(DomainId(0), store_with(1, &[]));
+    fed.add_domain(DomainId(1), store_with(2, &[]));
+    fed.add_domain(DomainId(2), store_with(3, &[]));
+    fed.add_domain(DomainId(3), store_with(4, &[("video/hd/tour", 9)]));
+    fed.link(DomainId(0), DomainId(1), "video/", Rights::NONE);
+    fed.link(DomainId(1), DomainId(2), "video/hd/", Rights::NONE);
+    fed.link(DomainId(2), DomainId(3), "", Rights::NONE);
+    let r = fed
+        .resolve(
+            DomainId(0),
+            &ImportRequest::for_type(ServiceType::new("video/hd/tour")),
+            None,
+        )
+        .unwrap();
+    assert_eq!(r.narrowed_scope, Scope::prefix("video/hd/"));
+
+    // A plain video/ type is admitted by the first link but excluded
+    // the moment the path would narrow to video/hd/: the link into
+    // domain 2 is pruned even though domain 2 holds the type, and the
+    // bar is reported as AccessDenied, not scarcity.
+    fed.domain_mut(DomainId(2))
+        .unwrap()
+        .export(ServiceOffer::session(
+            ServiceType::new("video/conference"),
+            SessionKind::Conference,
+            QosSpec::video(),
+            NodeId(10),
+        ))
+        .unwrap();
+    let err = fed
+        .resolve(
+            DomainId(0),
+            &ImportRequest::for_type(ServiceType::new("video/conference")),
+            None,
+        )
+        .unwrap_err();
+    assert_eq!(err, TraderError::AccessDenied);
+}
+
+#[test]
+fn diamond_exclusion_takes_the_admitting_arm() {
+    // One arm narrows to exclusion (workspace/ ∩ video/ = nothing),
+    // the other admits; the planner must find the offer via the
+    // admitting arm and never query the excluded one.
+    let mut fed = Federation::new();
+    fed.add_domain(DomainId(0), store_with(1, &[]));
+    fed.add_domain(DomainId(1), store_with(2, &[]));
+    fed.add_domain(DomainId(2), store_with(3, &[]));
+    fed.add_domain(DomainId(3), store_with(4, &[("video/conference", 9)]));
+    fed.link_via(
+        DomainId(0),
+        DomainId(1),
+        "workspace/",
+        Rights::NONE,
+        penalty_ms(1),
+    );
+    fed.link_via(
+        DomainId(0),
+        DomainId(2),
+        "video/",
+        Rights::NONE,
+        penalty_ms(50),
+    );
+    fed.link_via(
+        DomainId(1),
+        DomainId(3),
+        "video/",
+        Rights::NONE,
+        penalty_ms(1),
+    );
+    fed.link_via(DomainId(2), DomainId(3), "", Rights::NONE, penalty_ms(50));
+    let r = fed
+        .resolve(
+            DomainId(0),
+            &ImportRequest::for_type(ServiceType::new("video/conference")).qos(QosSpec::video()),
+            None,
+        )
+        .unwrap();
+    assert_eq!(
+        r.path,
+        vec![DomainId(0), DomainId(2), DomainId(3)],
+        "only the video/ arm admits the type, despite costing 100x"
+    );
+    assert_eq!(r.narrowed_scope, Scope::prefix("video/"));
+    assert_eq!(r.domains_queried, 2, "the workspace/ arm is never queried");
+}
+
+#[test]
+fn planner_prunes_where_flood_pays() {
+    // The acceptance-criteria topology (mirrored by the federated
+    // trader_lookup bench rows): scope pruning at the hub cuts the
+    // whole non-conference arms — 9 of 12 remote domains are never
+    // sent a lookup.
+    let (mut fed, hub) = campus_federation();
+    let planned = fed.resolve(hub, &room7(), None).unwrap();
+    let flooded = fed.resolve(hub, &room7().narrowing(false), None).unwrap();
+    assert_eq!(planned.matched.offer, flooded.matched.offer);
+    assert_eq!(planned.matched.offer.node, NodeId(77));
+    assert_eq!(
+        planned.domains_queried, 3,
+        "conference gateway + its two leaves"
+    );
+    assert_eq!(
+        flooded.domains_queried, 12,
+        "eager forwarding consults every reachable domain"
+    );
+    assert!(planned.domains_queried < flooded.domains_queried);
+    assert_eq!(
+        planned.penalty,
+        penalty_ms(16),
+        "hub→gw (10) + gw→leaf1 (6)"
+    );
+}
+
+#[test]
+fn resolutions_cache_under_their_narrowed_scope() {
+    use odp_sim::time::SimTime;
+    let (mut fed, hub) = campus_federation();
+    let r = fed.resolve(hub, &room7(), None).unwrap();
+    let mut cache = LookupCache::new(SimDuration::from_secs(60));
+    cache.put_scoped(
+        r.matched.offer.service_type.clone(),
+        r.narrowed_scope.clone(),
+        vec![r.matched.offer.clone()],
+        SimTime::ZERO,
+    );
+    // A caller resolving under the narrowed scope hits; an
+    // unrestricted (local) caller must not be served the cross-link
+    // resolution.
+    let t = ServiceType::new("conference/room-7");
+    assert!(cache
+        .get_scoped(&t, &Scope::prefix("conference/"), SimTime::ZERO)
+        .is_some());
+    assert!(cache.get(&t, SimTime::ZERO).is_none());
+}

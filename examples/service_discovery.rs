@@ -1,35 +1,57 @@
 //! Trader-mediated service discovery (paper §4.2.1): in an open system
 //! clients find conferences through the *trading function*, not through
 //! configuration files. A campus trader runs two shards; a partner
-//! organisation's trader federates in over a scoped link; a desktop
-//! client and a mobile client import the same conference type and get
-//! contracts matched to what their connectivity can sustain.
+//! organisation's trader federates in over a scoped link whose QoS
+//! penalty is read off the simulated topology; desktop and mobile
+//! clients import the same conference type through [`ImportRequest`]s
+//! and get contracts matched to what their connectivity — and the
+//! federation path — can sustain.
 //!
 //! Run with: `cargo run --example service_discovery`
 
 use cscw::access::rights::Rights;
 use cscw::streams::qos::QosSpec;
 use cscw::trader::cache::LookupCache;
-use cscw::trader::federation::{DomainId, Federation, ImportError};
+use cscw::trader::error::TraderError;
+use cscw::trader::federation::{DomainId, Federation};
 use cscw::trader::offer::{ServiceOffer, ServiceType, SessionKind};
-use cscw::trader::select::SelectionPolicy;
-use cscw::trader::store::ShardedStore;
-use odp_sim::net::NodeId;
+use cscw::trader::plan::ImportRequest;
+use odp_sim::net::{LinkSpec, Network, NodeId};
 use odp_sim::time::{SimDuration, SimTime};
 
 const CAMPUS: DomainId = DomainId(0);
 const PARTNER: DomainId = DomainId(1);
 
+/// The campus trader's gateway node and the partner's, joined by a WAN
+/// link in the simulated topology.
+const CAMPUS_GW: NodeId = NodeId(100);
+const PARTNER_GW: NodeId = NodeId(200);
+
 fn main() {
+    use cscw::trader::store::ShardedStore;
+
     println!("Service discovery through a trading federation");
     println!("==============================================\n");
 
+    // --- The inter-organisation topology ------------------------------
+    // The federation link's QoS penalty is not configured by hand: it is
+    // read off the simulated network between the two gateways.
+    let mut net = Network::new(LinkSpec::lan());
+    net.set_link(
+        CAMPUS_GW,
+        PARTNER_GW,
+        LinkSpec::wan(SimDuration::from_millis(40)),
+    );
+    let wan_penalty = net.link_qos(CAMPUS_GW, PARTNER_GW);
+
     // --- The campus trader: one domain, two shards --------------------
     let mut federation = Federation::new();
-    federation.add_domain(CAMPUS, ShardedStore::new([NodeId(100), NodeId(101)]));
-    federation.add_domain(PARTNER, ShardedStore::new([NodeId(200)]));
-    // The partner exposes only its conference offers, read-only.
-    federation.link(CAMPUS, PARTNER, "conference/", Rights::READ);
+    federation.add_domain(CAMPUS, ShardedStore::new([CAMPUS_GW, NodeId(101)]));
+    federation.add_domain(PARTNER, ShardedStore::new([PARTNER_GW]));
+    // The partner exposes only its conference offers, read-only, and
+    // every import across the link pays the WAN's latency and loss.
+    federation.link_via(CAMPUS, PARTNER, "conference/", Rights::READ, wan_penalty);
+    println!("federated link CAMPUS -> PARTNER charges {wan_penalty}\n");
 
     // --- Exporters advertise conferences ------------------------------
     let offers = [
@@ -71,13 +93,12 @@ fn main() {
     // --- A desktop client imports broadcast-grade video ---------------
     let wanted = ServiceType::new("conference/design-review");
     let resolution = federation
-        .import(
+        .resolve(
             CAMPUS,
-            Rights::READ,
-            &wanted,
-            &QosSpec::video(),
-            SelectionPolicy::FirstFit,
-            2,
+            &ImportRequest::for_type(wanted.clone())
+                .qos(QosSpec::video())
+                .rights(Rights::READ)
+                .max_hops(2),
             None,
         )
         .expect("local offer matches");
@@ -90,13 +111,12 @@ fn main() {
     // Its radio link can only sustain mobile-grade video; negotiation
     // walks the degradation ladder instead of refusing outright.
     let resolution = federation
-        .import(
+        .resolve(
             CAMPUS,
-            Rights::READ,
-            &wanted,
-            &QosSpec::mobile_video(),
-            SelectionPolicy::FirstFit,
-            2,
+            &ImportRequest::for_type(wanted.clone())
+                .qos(QosSpec::mobile_video())
+                .rights(Rights::READ)
+                .max_hops(2),
             None,
         )
         .expect("degraded contract still agreed");
@@ -108,53 +128,53 @@ fn main() {
     );
 
     // --- Federation: the partner's conference, one hop away -----------
-    let remote = ServiceType::new("conference/site-walkthrough");
+    let remote_request = ImportRequest::for_type(ServiceType::new("conference/site-walkthrough"))
+        .qos(QosSpec::mobile_video())
+        .rights(Rights::READ)
+        .max_hops(2);
+    let remote = remote_request.service_type().clone();
     let resolution = federation
-        .import(
-            CAMPUS,
-            Rights::READ,
-            &remote,
-            &QosSpec::mobile_video(),
-            SelectionPolicy::FirstFit,
-            2,
-            None,
-        )
+        .resolve(CAMPUS, &remote_request, None)
         .expect("scoped link admits conference/ imports");
     println!(
-        "remote  import: {remote} via domain {} ({} hop(s))",
-        resolution.domain.0, resolution.hops
+        "remote  import: {remote} via domain {} under scope {} ({} hop(s), penalty {})",
+        resolution.domain.0, resolution.narrowed_scope, resolution.hops, resolution.penalty
+    );
+    println!(
+        "        matched on penalized QoS: latency bound {} (advertised {})",
+        resolution.matched.penalized.latency_bound, resolution.matched.offer.qos.latency_bound
     );
     // Without READ rights the same link is barred — and the trader says
     // so, rather than pretending the service doesn't exist.
-    match federation.import(
-        CAMPUS,
-        Rights::NONE,
-        &remote,
-        &QosSpec::mobile_video(),
-        SelectionPolicy::FirstFit,
-        2,
-        None,
-    ) {
-        Err(ImportError::AccessDenied) => println!("        (without READ rights: access denied)"),
+    match federation.resolve(CAMPUS, &remote_request.clone().rights(Rights::NONE), None) {
+        Err(TraderError::AccessDenied) => println!("        (without READ rights: access denied)"),
         other => unreachable!("expected AccessDenied, got {other:?}"),
     }
 
     // --- Importer-side cache: the second lookup never hits the trader -
+    // Cross-link resolutions are cached under the scope the path
+    // narrowed to, so they can never answer a caller whose admissible
+    // scope differs.
     let mut cache = LookupCache::new(SimDuration::from_secs(30));
+    let scope = resolution.narrowed_scope.clone();
     let now = SimTime::ZERO;
     for t in [now, now + SimDuration::from_secs(5)] {
-        match cache.get(&wanted, t) {
+        match cache.get_scoped(&remote, &scope, t) {
             Some(cached) => println!("\ncache hit : {} offer(s) served locally", cached.len()),
             None => {
                 let resolved = federation
-                    .domain_mut(CAMPUS)
-                    .unwrap()
-                    .offers_of_type(&wanted);
+                    .resolve(CAMPUS, &remote_request, None)
+                    .expect("still resolvable");
                 println!(
-                    "\ncache miss: asked the trader, caching {} offer(s)",
-                    resolved.len()
+                    "\ncache miss: asked the trader ({} cross-domain lookup(s)), caching under {}",
+                    resolved.domains_queried, scope
                 );
-                cache.put(wanted.clone(), resolved, t);
+                cache.put_scoped(
+                    remote.clone(),
+                    scope.clone(),
+                    vec![resolved.matched.offer],
+                    t,
+                );
             }
         }
     }

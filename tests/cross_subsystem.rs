@@ -180,16 +180,13 @@ fn trader_resolved_producer_binds_with_negotiated_contract() {
 
     // The importer is on a weaker path: it asks for mobile-grade video.
     let required = QosSpec::mobile_video();
+    let request = cscw::trader::plan::ImportRequest::for_type(st.clone())
+        .qos(required)
+        .rights(cscw::access::rights::Rights::READ)
+        .policy(SelectionPolicy::FirstFit)
+        .max_hops(2);
     let resolution = federation
-        .import(
-            DomainId(0),
-            cscw::access::rights::Rights::READ,
-            &st,
-            &required,
-            SelectionPolicy::FirstFit,
-            2,
-            None,
-        )
+        .resolve(DomainId(0), &request, None)
         .expect("trader resolves the producer");
     assert_eq!(resolution.hops, 0);
     let resolved = *resolution
