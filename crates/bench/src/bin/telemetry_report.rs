@@ -1,0 +1,151 @@
+//! Measures the telemetry subsystem's overhead on the E13
+//! replicated-workspace workload and writes `BENCH_telemetry.json`.
+//!
+//! The workload is E13's largest configuration (8 replicas over the
+//! 15 ms WAN, 4 totally-ordered edits each) run twice on the report
+//! seed: once with span telemetry off (the seeded baseline) and once
+//! with every replica's `set_telemetry(true)`. Each variant is timed
+//! over several iterations and the fastest run is kept, so the
+//! overhead figure reflects the instrumentation, not scheduler noise.
+//! The instrumented run's trace is then assembled into a
+//! [`Collector`], audited, and aggregated into the machine-readable
+//! [`TelemetryReport`] embedded in the JSON.
+//!
+//! ```text
+//! cargo run -p cscw-bench --bin telemetry_report --release [OUT.json]
+//! ```
+
+use odp_access::matrix::Subject;
+use odp_access::rbac::{Effect, RoleId};
+use odp_access::rights::Rights;
+
+use cscw_core::replicated::{replica_actor, WsOp};
+use cscw_core::workspace::{ObjectId, SharedWorkspace};
+
+use odp_groupcomm::membership::{GroupId, View};
+use odp_groupcomm::multicast::GcMsg;
+use odp_sim::net::{LinkSpec, Network, NodeId};
+use odp_sim::prelude::Sim;
+use odp_sim::time::{SimDuration, SimTime};
+use odp_telemetry::collector::Collector;
+use odp_telemetry::report::{json_string, TelemetryReport};
+
+/// E13's largest group size.
+const REPLICAS: u32 = 8;
+/// Concurrent edits submitted per replica.
+const WRITES_EACH: u32 = 4;
+/// Timed iterations per variant; the fastest is reported. The
+/// workload simulates in ~2 ms, so a generous iteration count (plus
+/// interleaving the two variants) is what keeps scheduler noise out
+/// of the overhead figure.
+const ITERS: u32 = 30;
+
+fn configured_workspace(n: u32) -> SharedWorkspace {
+    let mut ws = SharedWorkspace::new();
+    ws.policy_mut()
+        .add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
+    for i in 0..n {
+        ws.policy_mut().assign(Subject(i), RoleId(1));
+        ws.register_observer(NodeId(i), 0.0);
+    }
+    ws.create_artefact(ObjectId(1), "shared/1", "v0");
+    ws
+}
+
+/// The E13 replicated-workspace sim, with span telemetry toggled on
+/// every replica's group actor.
+fn e13_sim(seed: u64, telemetry: bool) -> Sim<GcMsg<WsOp>> {
+    let view = View::initial(GroupId(0), (0..REPLICAS).map(NodeId));
+    let link = LinkSpec::wan(SimDuration::from_millis(15));
+    let mut net = Network::new(link);
+    net.set_default_link(link);
+    let mut sim: Sim<GcMsg<WsOp>> = Sim::with_network(seed, net);
+    for i in 0..REPLICAS {
+        let mut replica = replica_actor(NodeId(i), view.clone(), configured_workspace(REPLICAS));
+        replica.set_telemetry(telemetry);
+        sim.add_actor(NodeId(i), replica);
+    }
+    for i in 0..REPLICAS {
+        for w in 0..WRITES_EACH {
+            sim.inject(
+                SimTime::from_millis(10 + w as u64 * 50),
+                NodeId(i),
+                NodeId(i),
+                GcMsg::AppCmd(WsOp {
+                    actor: i,
+                    object: 1,
+                    value: format!("edit-{i}-{w}"),
+                }),
+            );
+        }
+    }
+    sim
+}
+
+/// Runs one variant once; returns the wall-clock nanoseconds of
+/// `run_for` and the finished sim.
+fn run_once(seed: u64, telemetry: bool) -> (u128, Sim<GcMsg<WsOp>>) {
+    let mut sim = e13_sim(seed, telemetry);
+    let start = std::time::Instant::now(); // odp-check: allow(wallclock)
+    sim.run_for(SimDuration::from_secs(30));
+    (start.elapsed().as_nanos(), sim)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_telemetry.json".to_owned());
+    let seed = cscw_bench::REPORT_SEED;
+
+    // Warm-up round (page in code and allocator arenas), then
+    // interleave the variants so frequency drift hits both equally;
+    // keep each variant's fastest run.
+    let (_, _) = run_once(seed, false);
+    let (_, mut sim) = run_once(seed, true);
+    let mut baseline_ns = u128::MAX;
+    let mut instrumented_ns = u128::MAX;
+    for _ in 0..ITERS {
+        let (off_ns, _) = run_once(seed, false);
+        baseline_ns = baseline_ns.min(off_ns);
+        let (on_ns, on_sim) = run_once(seed, true);
+        if on_ns < instrumented_ns {
+            instrumented_ns = on_ns;
+            sim = on_sim;
+        }
+    }
+
+    let collector = Collector::from_trace(sim.trace());
+    if let Err(e) = collector.well_formed() {
+        eprintln!("telemetry_report: span audit failed: {e}");
+        std::process::exit(1);
+    }
+    let report = TelemetryReport::from_collector(seed, &collector, sim.trace().dropped());
+
+    let overhead_pct = if baseline_ns > 0 {
+        (instrumented_ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
+    } else {
+        f64::NAN
+    };
+
+    let json = format!(
+        "{{\"workload\":{},\"replicas\":{REPLICAS},\"writes_each\":{WRITES_EACH},\
+         \"iters\":{ITERS},\"baseline_ns\":{baseline_ns},\
+         \"instrumented_ns\":{instrumented_ns},\"overhead_pct\":{overhead_pct:.3},\
+         \"report\":{}}}",
+        json_string("e13-replicated-workspace"),
+        report.to_json(),
+    );
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("telemetry_report: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    println!("telemetry overhead on E13 (seed {seed}, best of {ITERS}):");
+    println!("  baseline     {:>12} ns", baseline_ns);
+    println!("  instrumented {:>12} ns", instrumented_ns);
+    println!(
+        "  overhead     {overhead_pct:>11.3} %  ({} spans, {} traces, {} unclosed)",
+        report.spans, report.traces, report.unclosed
+    );
+    println!("  wrote {out_path}");
+}

@@ -16,9 +16,13 @@
 //! - [`federation`] — federated import soundness: every resolution's
 //!   narrowed scope, penalty and agreed contract withstand
 //!   recomputation from the traversed links ([`odp_trader::plan`]).
+//! - [`telemetry`] — span-log well-formedness: every causal span
+//!   closes, parents open before children, DAGs are acyclic
+//!   ([`odp_telemetry`]).
 
 pub mod federation;
 pub mod groupcomm;
 pub mod locks;
 pub mod replication;
+pub mod telemetry;
 pub mod trader;

@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, Report};
-use odp_check::invariants::{federation, groupcomm, locks, replication, trader};
+use odp_check::invariants::{federation, groupcomm, locks, replication, telemetry, trader};
 use odp_check::lint;
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
@@ -101,6 +101,10 @@ fn federation_invs() -> Vec<Box<dyn Invariant<federation::FedMsg>>> {
     vec![Box::new(federation::FederationSound)]
 }
 
+fn telemetry_invs() -> Vec<Box<dyn Invariant<odp_groupcomm::multicast::GcMsg<String>>>> {
+    vec![Box::new(telemetry::TelemetrySpans)]
+}
+
 const CHECKS: &[Check] = &[
     Check {
         name: "locks-cycle-2",
@@ -166,6 +170,17 @@ const CHECKS: &[Check] = &[
             )
         },
         budget: plain_budget,
+    },
+    Check {
+        name: "telemetry-spans",
+        about: "telemetry: every span closes, parents precede children, DAGs acyclic",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore(|s| telemetry::telemetry_sim(s, true), telemetry_invs)
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(|s| telemetry::telemetry_sim(s, true), telemetry_invs, c)
+        },
+        budget: horizon_budget,
     },
 ];
 

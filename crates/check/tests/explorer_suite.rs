@@ -3,7 +3,7 @@
 //! known-bad variants — proving the detector actually detects.
 
 use odp_check::explore::{Budget, Explorer, Invariant};
-use odp_check::invariants::{federation, groupcomm, locks, replication, trader};
+use odp_check::invariants::{federation, groupcomm, locks, replication, telemetry, trader};
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
 
@@ -236,4 +236,55 @@ fn group_total_order_agreement_holds_in_every_schedule() {
         },
     );
     assert!(report.violation.is_none(), "{}", report.violation.unwrap());
+}
+
+fn telemetry_invs() -> Vec<Box<dyn Invariant<odp_groupcomm::multicast::GcMsg<String>>>> {
+    vec![Box::new(telemetry::TelemetrySpans)]
+}
+
+/// The instrumented group-RPC workload emits a well-formed span DAG in
+/// every explored schedule: all spans close, parents precede children.
+#[test]
+fn telemetry_spans_are_well_formed_in_every_schedule() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let report =
+        Explorer::new(SEED, budget).explore(|s| telemetry::telemetry_sim(s, true), telemetry_invs);
+    assert!(
+        report.violation.is_none(),
+        "malformed span log: {}",
+        report.violation.unwrap()
+    );
+    assert!(
+        report.runs > 1,
+        "telemetry scenario explored only one schedule"
+    );
+}
+
+/// Seeded known-bad fixture: a `bad.probe` span opened at start and
+/// never closed. The explorer must flag it in the first schedule and
+/// the counterexample must replay.
+#[test]
+fn explorer_finds_the_leaked_span() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let ex = Explorer::new(SEED, budget);
+    let report = ex.explore(|s| telemetry::telemetry_sim(s, false), telemetry_invs);
+    let cx = report.violation.expect("the leaked span must be detected");
+    assert_eq!(cx.invariant, "telemetry-spans");
+    assert!(
+        cx.violation.contains("never closed"),
+        "unexpected violation: {}",
+        cx.violation
+    );
+    let replayed = ex
+        .replay(
+            |s| telemetry::telemetry_sim(s, false),
+            telemetry_invs,
+            &cx.choices,
+        )
+        .expect("counterexample must reproduce");
+    assert_eq!(replayed.violation, cx.violation);
+    let (seed, choices) =
+        odp_check::explore::Counterexample::parse_trace(&cx.trace()).expect("trace parses");
+    assert_eq!(seed, SEED);
+    assert_eq!(choices, cx.choices);
 }

@@ -238,6 +238,7 @@ fn run_lipsync(seed: u64, correct: bool) -> LipSync {
                 },
                 captured: SimTime::from_micros(seq * 40_000),
                 bytes: 1_000,
+                span: None,
             };
             if is_master {
                 ls.master_mut().arrive(frame, SimTime::from_micros(at));

@@ -13,6 +13,7 @@ use std::fmt;
 
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
+use odp_telemetry::span::{SpanContext, CLOSE, OPEN};
 use serde::{Deserialize, Serialize};
 
 /// The time dimension of the matrix.
@@ -127,6 +128,58 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// One buffered telemetry record: when it happened, the span event
+/// label ([`OPEN`] or [`CLOSE`]) and its payload.
+pub type SpanEvent = (SimTime, &'static str, String);
+
+/// Counter-based span telemetry for a session's lifecycle.
+///
+/// Sessions are plain library state — they have no actor context and no
+/// RNG — so span ids are allocated from a counter instead of the seeded
+/// RNG (`SpanContext::root_with`/`child_with`), which is every bit as
+/// deterministic. A `session.live` root span covers the instrumented
+/// window; each join/leave/switch hangs a child off it. Events are
+/// buffered here and drained by the harness into the simulation
+/// [`odp_sim::trace::Trace`], where [`odp_telemetry`]'s collector picks
+/// them up alongside the wire-level spans.
+#[derive(Debug, Clone)]
+struct SessionSpans {
+    root: SpanContext,
+    next_span: u64,
+    open: bool,
+    events: Vec<SpanEvent>,
+}
+
+impl SessionSpans {
+    fn new(trace_id: u64, at: SimTime) -> Self {
+        let root = SpanContext::root_with(trace_id, 1);
+        let events = vec![(at, OPEN, root.open_data("session.live"))];
+        SessionSpans {
+            root,
+            next_span: 1,
+            open: true,
+            events,
+        }
+    }
+
+    fn child(&mut self, kind: &str, opened: SimTime, closed: SimTime) {
+        if !self.open {
+            return;
+        }
+        self.next_span += 1;
+        let span = self.root.child_with(self.next_span);
+        self.events.push((opened, OPEN, span.open_data(kind)));
+        self.events.push((closed, CLOSE, span.close_data()));
+    }
+
+    fn close(&mut self, at: SimTime) {
+        if self.open {
+            self.open = false;
+            self.events.push((at, CLOSE, self.root.close_data()));
+        }
+    }
+}
+
 /// A cooperative session.
 ///
 /// # Examples
@@ -149,6 +202,7 @@ pub struct Session {
     participants: BTreeSet<NodeId>,
     artefacts: BTreeSet<String>,
     transitions: Vec<Transition>,
+    spans: Option<SessionSpans>,
 }
 
 impl Session {
@@ -160,6 +214,45 @@ impl Session {
             participants: BTreeSet::new(),
             artefacts: BTreeSet::new(),
             transitions: Vec::new(),
+            spans: None,
+        }
+    }
+
+    /// Starts span telemetry: opens a `session.live` root span under
+    /// `trace_id` (callers pick a unique id, e.g. from the session id).
+    /// Off unless called — existing sessions record nothing.
+    pub fn enable_telemetry(&mut self, trace_id: u64, at: SimTime) {
+        if self.spans.is_none() {
+            self.spans = Some(SessionSpans::new(trace_id, at));
+        }
+    }
+
+    /// Closes the `session.live` root span. Further operations stop
+    /// minting spans; buffered events remain drainable.
+    pub fn close_telemetry(&mut self, at: SimTime) {
+        if let Some(spans) = &mut self.spans {
+            spans.close(at);
+        }
+    }
+
+    /// Drains the buffered span events so a harness can replay them into
+    /// the simulation trace:
+    ///
+    /// ```
+    /// # use cscw_core::session::{Session, SessionId, SessionMode};
+    /// # use odp_sim::{net::NodeId, time::SimTime, trace::Trace};
+    /// # let mut s = Session::new(SessionId(1), SessionMode::FACE_TO_FACE);
+    /// # s.enable_telemetry(7, SimTime::ZERO);
+    /// # s.close_telemetry(SimTime::ZERO);
+    /// # let mut trace = Trace::new();
+    /// for (at, label, data) in s.drain_telemetry() {
+    ///     trace.record(at, NodeId(0), label, data);
+    /// }
+    /// ```
+    pub fn drain_telemetry(&mut self) -> Vec<SpanEvent> {
+        match &mut self.spans {
+            Some(spans) => std::mem::take(&mut spans.events),
+            None => Vec::new(),
         }
     }
 
@@ -188,9 +281,12 @@ impl Session {
     /// # Errors
     ///
     /// [`SessionError::AlreadyJoined`] on duplicates.
-    pub fn join(&mut self, who: NodeId, _at: SimTime) -> Result<(), SessionError> {
+    pub fn join(&mut self, who: NodeId, at: SimTime) -> Result<(), SessionError> {
         if !self.participants.insert(who) {
             return Err(SessionError::AlreadyJoined(who));
+        }
+        if let Some(spans) = &mut self.spans {
+            spans.child("session.join", at, at);
         }
         Ok(())
     }
@@ -200,9 +296,12 @@ impl Session {
     /// # Errors
     ///
     /// [`SessionError::NotAMember`] if absent.
-    pub fn leave(&mut self, who: NodeId, _at: SimTime) -> Result<(), SessionError> {
+    pub fn leave(&mut self, who: NodeId, at: SimTime) -> Result<(), SessionError> {
         if !self.participants.remove(&who) {
             return Err(SessionError::NotAMember(who));
+        }
+        if let Some(spans) = &mut self.spans {
+            spans.child("session.leave", at, at);
         }
         Ok(())
     }
@@ -232,6 +331,11 @@ impl Session {
             cost,
         };
         self.mode = to;
+        // The switch span stays open for the rebind cost: its duration
+        // *is* the seam the transition machinery must hide.
+        if let Some(spans) = &mut self.spans {
+            spans.child("session.switch", at, at + cost);
+        }
         self.transitions.push(t.clone());
         t
     }
@@ -287,6 +391,58 @@ mod tests {
         assert_eq!(s.participants().len(), 2, "participants preserved");
         assert_eq!(s.artefacts(), vec!["report.tex"], "artefacts preserved");
         assert_eq!(s.mode(), SessionMode::ASYNC_DISTRIBUTED);
+    }
+
+    #[test]
+    fn session_telemetry_builds_a_well_formed_lifecycle_trace() {
+        use odp_sim::trace::Trace;
+        use odp_telemetry::collector::Collector;
+
+        let mut s = Session::new(SessionId(3), SessionMode::SYNC_DISTRIBUTED);
+        s.enable_telemetry(42, SimTime::ZERO);
+        s.join(NodeId(0), SimTime::from_millis(10)).unwrap();
+        s.join(NodeId(1), SimTime::from_millis(20)).unwrap();
+        s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(60));
+        s.leave(NodeId(1), SimTime::from_secs(90)).unwrap();
+        s.close_telemetry(SimTime::from_secs(100));
+
+        let mut trace = Trace::new();
+        for (at, label, data) in s.drain_telemetry() {
+            trace.record(at, NodeId(9), label, data);
+        }
+        let collector = Collector::from_trace(&trace);
+        assert_eq!(collector.well_formed(), Ok(()), "span audit must pass");
+        assert_eq!(collector.len(), 1, "one session, one trace");
+        let dag = collector.trace(42).unwrap();
+        assert_eq!(dag.len(), 5, "root + join + join + switch + leave");
+        let kinds: std::collections::BTreeSet<&str> =
+            dag.spans().map(|s| s.kind.as_str()).collect();
+        assert_eq!(
+            kinds.into_iter().collect::<Vec<_>>(),
+            [
+                "session.join",
+                "session.leave",
+                "session.live",
+                "session.switch"
+            ]
+        );
+        // The switch span's duration is the rebind cost (a time switch).
+        let switch = dag.spans().find(|s| s.kind == "session.switch").unwrap();
+        assert_eq!(
+            switch.closed.unwrap().saturating_since(switch.opened),
+            SimDuration::from_millis(200)
+        );
+        // Draining empties the buffer; telemetry stays closed.
+        assert!(s.drain_telemetry().is_empty());
+        assert!(s.join(NodeId(5), SimTime::from_secs(200)).is_ok());
+        assert!(s.drain_telemetry().is_empty(), "closed spans mint nothing");
+    }
+
+    #[test]
+    fn sessions_without_telemetry_buffer_nothing() {
+        let mut s = Session::new(SessionId(1), SessionMode::FACE_TO_FACE);
+        s.join(NodeId(0), SimTime::ZERO).unwrap();
+        assert!(s.drain_telemetry().is_empty());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::collections::BTreeMap;
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
+use odp_telemetry::span::{SpanContext, CLOSE, OPEN};
 
 use crate::multicast::{Delivery, GcMsg, GroupEngine, Step};
 use crate::rpc::{CallOutcome, Quorum, RpcEngine};
@@ -95,6 +96,8 @@ pub struct GroupActor<P, A> {
     tick_every: SimDuration,
     pending_exec: BTreeMap<u64, (u64, P)>, // timer tag -> (call, payload)
     next_exec_tag: u64,
+    telemetry: bool,
+    open_calls: BTreeMap<u64, SpanContext>, // call id -> rpc.call root span
 }
 
 impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
@@ -113,12 +116,28 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
             tick_every: SimDuration::from_millis(50),
             pending_exec: BTreeMap::new(),
             next_exec_tag: EXEC_BASE,
+            telemetry: false,
+            open_calls: BTreeMap::new(),
         }
     }
 
     /// Adjusts the maintenance tick period (default 50 ms).
     pub fn set_tick_interval(&mut self, every: SimDuration) {
         self.tick_every = every;
+    }
+
+    /// Enables causal span telemetry: multicasts and RPCs mint
+    /// [`SpanContext`]s from this actor's deterministic rng and record
+    /// `tel.open`/`tel.close` trace events. Off by default — minting
+    /// draws from the actor's rng stream, so enabling it perturbs runs
+    /// that share the seed with an uninstrumented baseline.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+    }
+
+    /// Whether span telemetry is enabled.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
     }
 
     /// Borrows the hosted application (post-run inspection).
@@ -152,6 +171,15 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
         }
         for delivery in step.delivered {
             ctx.metrics().incr("gc.delivered");
+            if self.telemetry {
+                if let Some(parent) = delivery.span {
+                    // Each delivery is an instantaneous child span: the
+                    // gap back to the root open is the delivery latency.
+                    let child = parent.child(ctx.rng());
+                    ctx.trace(OPEN, child.open_data("gc.deliver"));
+                    ctx.trace(CLOSE, child.close_data());
+                }
+            }
             self.app.on_deliver(ctx, delivery);
         }
     }
@@ -191,18 +219,37 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
         config: RpcConfig,
     ) -> u64 {
         let targets = self.engine.view().peers(self.engine.me());
-        let (call, outbound) = self.rpc.invoke(
+        let span = if self.telemetry {
+            let root = SpanContext::root(ctx.rng());
+            ctx.trace(OPEN, root.open_data("rpc.call"));
+            Some(root)
+        } else {
+            None
+        };
+        let (call, outbound) = self.rpc.invoke_spanned(
             targets,
             payload,
             config.execute_at,
             ctx.now(),
             config.timeout,
             config.quorum,
+            span,
         );
+        if let Some(root) = span {
+            self.open_calls.insert(call, root);
+        }
         for (to, msg) in outbound {
             ctx.send(to, msg);
         }
         call
+    }
+
+    /// Closes the `rpc.call` root span of a finished call, if telemetry
+    /// opened one.
+    fn close_call_span(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, call: u64) {
+        if let Some(root) = self.open_calls.remove(&call) {
+            ctx.trace(CLOSE, root.close_data());
+        }
     }
 }
 
@@ -216,7 +263,17 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
         match msg {
             GcMsg::AppCmd(cmd) => {
                 if let Some(payload) = self.app.on_command(ctx, cmd) {
-                    let step = self.engine.mcast(payload, ctx.now());
+                    let span = if self.telemetry {
+                        // The mcast root closes at issue time; deliveries
+                        // hang their children off it as they land.
+                        let root = SpanContext::root(ctx.rng());
+                        ctx.trace(OPEN, root.open_data("gc.mcast"));
+                        ctx.trace(CLOSE, root.close_data());
+                        Some(root)
+                    } else {
+                        None
+                    };
+                    let step = self.engine.mcast_spanned(payload, ctx.now(), span);
                     ctx.metrics().incr("gc.mcast");
                     self.apply_step(ctx, step);
                 }
@@ -224,13 +281,24 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
             GcMsg::RpcRequest {
                 call,
                 execute_at,
+                span,
                 payload,
             } => {
                 if let Some(reply) = self.app.on_rpc(ctx, from, call, &payload) {
+                    let serve = match span.filter(|_| self.telemetry) {
+                        Some(parent) => {
+                            let serve = parent.child(ctx.rng());
+                            ctx.trace(OPEN, serve.open_data("rpc.serve"));
+                            ctx.trace(CLOSE, serve.close_data());
+                            Some(serve)
+                        }
+                        None => None,
+                    };
                     ctx.send(
                         from,
                         GcMsg::RpcReply {
                             call,
+                            span: serve,
                             payload: reply,
                         },
                     );
@@ -243,8 +311,18 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
                     ctx.set_timer(delay, tag);
                 }
             }
-            GcMsg::RpcReply { call, payload } => {
+            GcMsg::RpcReply {
+                call,
+                span,
+                payload,
+            } => {
+                if let Some(parent) = span.filter(|_| self.telemetry) {
+                    let reply = parent.child(ctx.rng());
+                    ctx.trace(OPEN, reply.open_data("rpc.reply"));
+                    ctx.trace(CLOSE, reply.close_data());
+                }
                 if let Some(outcome) = self.rpc.on_reply(call, from, payload, ctx.now()) {
+                    self.close_call_span(ctx, outcome.call);
                     self.app.on_rpc_outcome(ctx, outcome);
                 }
             }
@@ -268,6 +346,7 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
             }
             self.apply_step(ctx, step);
             for outcome in self.rpc.on_tick(ctx.now()) {
+                self.close_call_span(ctx, outcome.call);
                 self.app.on_rpc_outcome(ctx, outcome);
             }
             ctx.set_timer(self.tick_every, TICK);
@@ -469,6 +548,117 @@ mod tests {
         assert_eq!(sim.trace().with_label("rpc.done").count(), 1);
         let caller: &CallOnStart = sim.actor(NodeId(0)).unwrap();
         assert_eq!(caller.inner.app().0.outcomes, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn telemetry_spans_form_a_well_formed_rpc_chain() {
+        use odp_telemetry::collector::Collector;
+
+        struct CallOnStart {
+            inner: GroupActor<String, Recorder>,
+        }
+        impl Actor<GcMsg<String>> for CallOnStart {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
+                self.inner.on_start(ctx);
+                self.inner
+                    .invoke_rpc_now(ctx, "ping".to_owned(), RpcConfig::default());
+            }
+            fn on_message(
+                &mut self,
+                ctx: &mut Ctx<'_, GcMsg<String>>,
+                from: NodeId,
+                m: GcMsg<String>,
+            ) {
+                self.inner.on_message(ctx, from, m);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {
+                self.inner.on_timer(ctx, t, tag);
+            }
+        }
+        let view = View::initial(GroupId(0), [NodeId(0), NodeId(1), NodeId(2)]);
+        let mut sim: Sim<GcMsg<String>> = Sim::new(17);
+        let mut caller = GroupActor::new(
+            NodeId(0),
+            view.clone(),
+            Ordering::Unordered,
+            Reliability::BestEffort,
+            Recorder::default(),
+        );
+        caller.set_telemetry(true);
+        sim.add_actor(NodeId(0), CallOnStart { inner: caller });
+        for i in 1..3u32 {
+            let mut member = GroupActor::new(
+                NodeId(i),
+                view.clone(),
+                Ordering::Unordered,
+                Reliability::BestEffort,
+                Recorder::default(),
+            );
+            member.set_telemetry(true);
+            sim.add_actor(NodeId(i), member);
+        }
+        sim.run_for(SimDuration::from_secs(2));
+
+        let collector = Collector::from_trace(sim.trace());
+        collector
+            .well_formed()
+            .expect("all spans closed and causal");
+        assert_eq!(collector.len(), 1, "one rpc call, one causal trace");
+        let (_, dag) = collector.traces().next().unwrap();
+        // rpc.call root + 2 serves + 2 replies.
+        assert_eq!(dag.len(), 5);
+        let path: Vec<_> = dag.critical_path().iter().map(|s| s.kind.clone()).collect();
+        assert_eq!(path, ["rpc.call", "rpc.serve", "rpc.reply"]);
+    }
+
+    #[test]
+    fn telemetry_spans_cover_multicast_deliveries() {
+        use odp_telemetry::collector::Collector;
+
+        let view = View::initial(GroupId(0), (0..3).map(NodeId));
+        let mut sim: Sim<GcMsg<String>> = Sim::new(23);
+        for i in 0..3u32 {
+            let mut member = GroupActor::new(
+                NodeId(i),
+                view.clone(),
+                Ordering::Total,
+                Reliability::BestEffort,
+                Recorder::default(),
+            );
+            member.set_telemetry(true);
+            sim.add_actor(NodeId(i), member);
+        }
+        sim.inject(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(1),
+            GcMsg::AppCmd("note".to_owned()),
+        );
+        sim.run_for(SimDuration::from_secs(2));
+
+        let collector = Collector::from_trace(sim.trace());
+        collector.well_formed().expect("mcast spans well-formed");
+        assert_eq!(collector.len(), 1);
+        let (_, dag) = collector.traces().next().unwrap();
+        // One gc.mcast root plus a gc.deliver child per member (total
+        // ordering delivers at all 3 members, sender included).
+        let delivers = dag.spans().filter(|s| s.kind == "gc.deliver").count();
+        assert_eq!(delivers, 3);
+        assert_eq!(dag.len(), 4);
+    }
+
+    #[test]
+    fn telemetry_off_emits_no_span_events() {
+        let mut sim = build(3, Ordering::Fifo);
+        sim.inject(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(0),
+            GcMsg::AppCmd("quiet".to_owned()),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.trace().with_label(OPEN).count(), 0);
+        assert_eq!(sim.trace().with_label(CLOSE).count(), 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::fmt;
 
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
+use odp_telemetry::span::{Carrier, SpanContext};
 use serde::{Deserialize, Serialize};
 
 use crate::membership::{GroupId, View};
@@ -89,8 +90,20 @@ pub struct DataMsg<P> {
     pub group: GroupId,
     /// Causal timestamp (present only under [`Ordering::Causal`]).
     pub vclock: Option<VectorClock>,
+    /// Piggybacked telemetry span (see `odp_telemetry`).
+    pub span: Option<SpanContext>,
     /// Application payload.
     pub payload: P,
+}
+
+impl<P> Carrier for DataMsg<P> {
+    fn span(&self) -> Option<SpanContext> {
+        self.span
+    }
+
+    fn set_span(&mut self, span: Option<SpanContext>) {
+        self.span = span;
+    }
 }
 
 /// Wire messages exchanged by group members.
@@ -123,6 +136,8 @@ pub enum GcMsg<P> {
         call: u64,
         /// Optional agreed execution instant (group invocation).
         execute_at: Option<SimTime>,
+        /// Piggybacked telemetry span (the caller's `rpc.call` root).
+        span: Option<SpanContext>,
         /// Application payload.
         payload: P,
     },
@@ -130,6 +145,8 @@ pub enum GcMsg<P> {
     RpcReply {
         /// Correlation id from the request.
         call: u64,
+        /// Piggybacked telemetry span (the responder's `rpc.serve`).
+        span: Option<SpanContext>,
         /// Application payload.
         payload: P,
     },
@@ -143,11 +160,32 @@ pub enum GcMsg<P> {
     InstallView(crate::membership::View),
 }
 
+impl<P> Carrier for GcMsg<P> {
+    fn span(&self) -> Option<SpanContext> {
+        match self {
+            GcMsg::Data(d) => d.span,
+            GcMsg::RpcRequest { span, .. } | GcMsg::RpcReply { span, .. } => *span,
+            _ => None,
+        }
+    }
+
+    fn set_span(&mut self, new: Option<SpanContext>) {
+        match self {
+            GcMsg::Data(d) => d.span = new,
+            GcMsg::RpcRequest { span, .. } | GcMsg::RpcReply { span, .. } => *span = new,
+            _ => {}
+        }
+    }
+}
+
 /// A payload delivered to the application, with its provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Delivery<P> {
     /// The message id.
     pub id: MsgId,
+    /// The telemetry span the message carried, if any (the sender's
+    /// `gc.mcast` root; receivers mint `gc.deliver` children from it).
+    pub span: Option<SpanContext>,
     /// The application payload.
     pub payload: P,
 }
@@ -296,6 +334,18 @@ impl<P: Clone> GroupEngine<P> {
     /// under total ordering, where even the sender waits for the
     /// sequencer).
     pub fn mcast(&mut self, payload: P, now: SimTime) -> Step<P> {
+        self.mcast_spanned(payload, now, None)
+    }
+
+    /// Like [`GroupEngine::mcast`], but piggybacks a telemetry span on
+    /// the data message so deliveries can be stitched into the sender's
+    /// causal trace.
+    pub fn mcast_spanned(
+        &mut self,
+        payload: P,
+        now: SimTime,
+        span: Option<SpanContext>,
+    ) -> Step<P> {
         self.next_seq += 1;
         let id = MsgId {
             origin: self.me,
@@ -311,6 +361,7 @@ impl<P: Clone> GroupEngine<P> {
             id,
             group: self.view.group,
             vclock,
+            span,
             payload,
         };
         let mut step = Step::empty();
@@ -356,12 +407,14 @@ impl<P: Clone> GroupEngine<P> {
                 self.fifo_expected.insert(self.me, id.seq + 1);
                 step.delivered.push(Delivery {
                     id,
+                    span: data.span,
                     payload: data.payload,
                 });
             }
             Ordering::Causal | Ordering::Unordered => {
                 step.delivered.push(Delivery {
                     id,
+                    span: data.span,
                     payload: data.payload,
                 });
             }
@@ -429,6 +482,7 @@ impl<P: Clone> GroupEngine<P> {
             Ordering::Unordered => {
                 step.delivered.push(Delivery {
                     id: data.id,
+                    span: data.span,
                     payload: data.payload,
                 });
             }
@@ -544,6 +598,7 @@ impl<P: Clone> GroupEngine<P> {
                     *expected += 1;
                     step.delivered.push(Delivery {
                         id: data.id,
+                        span: data.span,
                         payload: data.payload,
                     });
                     delivered_any = true;
@@ -571,6 +626,7 @@ impl<P: Clone> GroupEngine<P> {
             self.vclock.tick(data.id.origin);
             step.delivered.push(Delivery {
                 id: data.id,
+                span: data.span,
                 payload: data.payload,
             });
         }
@@ -587,6 +643,7 @@ impl<P: Clone> GroupEngine<P> {
             self.total_next_deliver += 1;
             step.delivered.push(Delivery {
                 id: data.id,
+                span: data.span,
                 payload: data.payload,
             });
         }

@@ -15,6 +15,7 @@ use std::fmt;
 
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
+use odp_telemetry::span::SpanContext;
 
 use crate::multicast::GcMsg;
 
@@ -148,6 +149,23 @@ impl<P: Clone> RpcEngine<P> {
         timeout: SimDuration,
         quorum: Quorum,
     ) -> (u64, Vec<(NodeId, GcMsg<P>)>) {
+        self.invoke_spanned(targets, payload, execute_at, now, timeout, quorum, None)
+    }
+
+    /// Like [`RpcEngine::invoke`], but piggybacks a telemetry span (the
+    /// caller's `rpc.call` root) on every request so responders can
+    /// parent their serve spans under it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn invoke_spanned(
+        &mut self,
+        targets: Vec<NodeId>,
+        payload: P,
+        execute_at: Option<SimTime>,
+        now: SimTime,
+        timeout: SimDuration,
+        quorum: Quorum,
+        span: Option<SpanContext>,
+    ) -> (u64, Vec<(NodeId, GcMsg<P>)>) {
         let call = self.next_call;
         self.next_call += 1;
         let required = quorum.required(targets.len());
@@ -159,6 +177,7 @@ impl<P: Clone> RpcEngine<P> {
                     GcMsg::RpcRequest {
                         call,
                         execute_at,
+                        span,
                         payload: payload.clone(),
                     },
                 )

@@ -354,6 +354,74 @@ mod tests {
     }
 
     #[test]
+    fn partial_connectivity_write_racing_a_server_edit_conflicts_on_reconnect() {
+        // The weak-radio scenario: under Partial connectivity writes go
+        // to the log (not through to the server), so a colleague's
+        // office edit during the weak window races the mobile edit just
+        // as a full disconnection would.
+        let mut srv = server();
+        let mut host = MobileHost::new(ConflictPolicy::ServerWins);
+        host.read(ObjectId(1), &mut srv).unwrap(); // cache the base
+        host.set_connectivity(Connectivity::Partial);
+        assert_eq!(
+            host.write(ObjectId(1), "radio edit", &mut srv, NOW)
+                .unwrap(),
+            Served::Logged
+        );
+        srv.write(ObjectId(1), "office edit").unwrap();
+        host.set_connectivity(Connectivity::Full);
+        let report = host.reconnect(&mut srv).unwrap();
+        assert_eq!(report.conflicts(), 1, "the race must surface as a conflict");
+        assert_eq!(
+            srv.read(ObjectId(1)).unwrap().value,
+            "office edit",
+            "server wins"
+        );
+        assert_eq!(
+            host.cache().peek(ObjectId(1)).unwrap().value,
+            "office edit",
+            "bulk refresh restores the winning value"
+        );
+        assert!(host.log().is_empty(), "the log drains on reintegration");
+    }
+
+    #[test]
+    fn partial_connectivity_client_wins_replays_over_the_server_edit() {
+        let mut srv = server();
+        let mut host = MobileHost::new(ConflictPolicy::ClientWins);
+        host.read(ObjectId(1), &mut srv).unwrap();
+        host.set_connectivity(Connectivity::Partial);
+        host.write(ObjectId(1), "radio edit", &mut srv, NOW)
+            .unwrap();
+        srv.write(ObjectId(1), "office edit").unwrap();
+        let report = host.reconnect(&mut srv).unwrap();
+        assert_eq!(report.conflicts(), 1, "still counted as a conflict");
+        assert_eq!(
+            srv.read(ObjectId(1)).unwrap().value,
+            "radio edit",
+            "client wins: the mobile edit overwrites"
+        );
+    }
+
+    #[test]
+    fn partial_connectivity_unraced_writes_reintegrate_cleanly() {
+        // Partial writes on distinct objects: the logged edit replays
+        // without conflict while the server-read miss path (object 2)
+        // stays untouched by reintegration.
+        let mut srv = server();
+        let mut host = MobileHost::new(ConflictPolicy::ServerWins);
+        host.read(ObjectId(1), &mut srv).unwrap();
+        host.set_connectivity(Connectivity::Partial);
+        host.write(ObjectId(1), "radio edit", &mut srv, NOW)
+            .unwrap();
+        srv.write(ObjectId(2), "office map edit").unwrap(); // different object
+        let report = host.reconnect(&mut srv).unwrap();
+        assert_eq!(report.conflicts(), 0, "no overlap, no conflict");
+        assert_eq!(srv.read(ObjectId(1)).unwrap().value, "radio edit");
+        assert_eq!(srv.read(ObjectId(2)).unwrap().value, "office map edit");
+    }
+
+    #[test]
     fn disconnected_write_without_cached_base_is_unavailable() {
         let mut srv = server();
         let mut host = MobileHost::new(ConflictPolicy::ServerWins);

@@ -23,7 +23,15 @@ pub struct TraceEvent {
     pub data: String,
 }
 
-/// An append-only event log for one simulation run.
+/// An event log for one simulation run, optionally bounded.
+///
+/// By default the log is append-only and unbounded. A *capacity* turns
+/// it into a sliding window over the most recent records: older records
+/// are evicted and counted in [`Trace::dropped`], so long
+/// telemetry-instrumented runs cannot grow memory without bound.
+/// Eviction is amortised — the backing storage holds at most twice the
+/// capacity and compacts in one move, so `record` stays O(1) and
+/// [`Trace::events`] stays a contiguous slice.
 ///
 /// # Examples
 ///
@@ -36,20 +44,40 @@ pub struct TraceEvent {
 /// t.record(SimTime::ZERO, NodeId(0), "op.issued", "op-1");
 /// t.record(SimTime::from_millis(3), NodeId(1), "op.applied", "op-1");
 /// assert_eq!(t.with_label("op.applied").count(), 1);
+///
+/// let mut bounded = Trace::with_capacity(2);
+/// for i in 0..5 {
+///     bounded.record(SimTime::from_millis(i), NodeId(0), "tick", i.to_string());
+/// }
+/// assert_eq!(bounded.len(), 2);
+/// assert_eq!(bounded.dropped(), 3);
+/// assert_eq!(bounded.events()[0].data, "3");
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     enabled: bool,
+    capacity: Option<usize>,
+    recorded: u64,
 }
 
 impl Trace {
-    /// Creates an enabled, empty trace.
+    /// Creates an enabled, empty, unbounded trace.
     pub fn new() -> Self {
         Trace {
             events: Vec::new(),
             enabled: true,
+            capacity: None,
+            recorded: 0,
         }
+    }
+
+    /// Creates an enabled, empty trace retaining only the most recent
+    /// `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut t = Trace::new();
+        t.capacity = Some(capacity);
+        t
     }
 
     /// Disables recording (records become no-ops); useful for large
@@ -63,7 +91,41 @@ impl Trace {
         self.enabled = true;
     }
 
-    /// Appends a record (no-op when disabled).
+    /// The retention bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Sets (or removes) the retention bound. Shrinking evicts the
+    /// oldest surplus records immediately.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        let len = self.events.len();
+        if let Some(cap) = capacity {
+            if len > cap {
+                self.events.drain(..len - cap);
+            }
+        }
+    }
+
+    /// Number of records evicted by the capacity bound since the last
+    /// [`Trace::clear`] (zero while unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.window().len() as u64
+    }
+
+    /// The retained window: the most recent `capacity` records (all of
+    /// them while unbounded). Compaction is amortised, so the backing
+    /// vector may briefly hold up to twice the capacity; every query
+    /// goes through this view.
+    fn window(&self) -> &[TraceEvent] {
+        let len = self.events.len();
+        let keep = len.min(self.capacity.unwrap_or(len));
+        &self.events[len - keep..]
+    }
+
+    /// Appends a record (no-op when disabled). When the trace is at
+    /// capacity the oldest retained record is evicted.
     pub fn record(
         &mut self,
         time: SimTime,
@@ -71,56 +133,66 @@ impl Trace {
         label: impl Into<String>,
         data: impl Into<String>,
     ) {
-        if self.enabled {
-            self.events.push(TraceEvent {
-                time,
-                node,
-                label: label.into(),
-                data: data.into(),
-            });
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            time,
+            node,
+            label: label.into(),
+            data: data.into(),
+        });
+        self.recorded += 1;
+        if let Some(cap) = self.capacity {
+            // Compact once the overflow region equals the window: one
+            // drain per `cap` records keeps eviction amortised O(1).
+            if self.events.len() >= cap.saturating_mul(2).max(cap + 1) {
+                self.events.drain(..self.events.len() - cap);
+            }
         }
     }
 
-    /// All records in time order (records are appended in event order,
-    /// which the engine guarantees is non-decreasing in time).
+    /// Retained records in time order (records are appended in event
+    /// order, which the engine guarantees is non-decreasing in time).
+    /// With a capacity set this is the most recent window only.
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        self.window()
     }
 
-    /// Number of records.
+    /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.window().len()
     }
 
-    /// True if the trace holds no records.
+    /// True if the trace retains no records.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.window().is_empty()
     }
 
-    /// Iterates records with the given label.
+    /// Iterates retained records with the given label.
     pub fn with_label<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events.iter().filter(move |e| e.label == label)
+        self.window().iter().filter(move |e| e.label == label)
     }
 
-    /// Iterates records with the given label *and* data payload.
+    /// Iterates retained records with the given label *and* data payload.
     pub fn matching<'a>(
         &'a self,
         label: &'a str,
         data: &'a str,
     ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events
+        self.window()
             .iter()
             .filter(move |e| e.label == label && e.data == data)
     }
 
-    /// The first record with this label, if any.
+    /// The first retained record with this label, if any.
     pub fn first(&self, label: &str) -> Option<&TraceEvent> {
-        self.events.iter().find(|e| e.label == label)
+        self.window().iter().find(|e| e.label == label)
     }
 
-    /// The last record with this label, if any.
+    /// The last retained record with this label, if any.
     pub fn last(&self, label: &str) -> Option<&TraceEvent> {
-        self.events.iter().rev().find(|e| e.label == label)
+        self.window().iter().rev().find(|e| e.label == label)
     }
 
     /// For every record labelled `cause` with payload `d`, finds the first
@@ -132,12 +204,13 @@ impl Trace {
         cause: &'a str,
         effect: &'a str,
     ) -> Vec<(&'a TraceEvent, &'a TraceEvent)> {
+        let window = self.window();
         let mut pairs = Vec::new();
-        for (i, c) in self.events.iter().enumerate() {
+        for (i, c) in window.iter().enumerate() {
             if c.label != cause {
                 continue;
             }
-            if let Some(e) = self.events[i + 1..]
+            if let Some(e) = window[i + 1..]
                 .iter()
                 .find(|e| e.label == effect && e.data == c.data)
             {
@@ -147,9 +220,11 @@ impl Trace {
         pairs
     }
 
-    /// Clears all records.
+    /// Clears all records and the dropped-events counter; the capacity
+    /// bound (and enablement) are kept.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.recorded = 0;
     }
 }
 
@@ -211,5 +286,83 @@ mod tests {
         let mut tr = Trace::new();
         tr.record(t(0), NodeId(0), "issued", "op1");
         assert!(tr.cause_effect_pairs("issued", "seen").is_empty());
+    }
+
+    #[test]
+    fn unbounded_trace_drops_nothing() {
+        let mut tr = Trace::new();
+        for i in 0..100 {
+            tr.record(t(i), NodeId(0), "e", i.to_string());
+        }
+        assert_eq!(tr.len(), 100);
+        assert_eq!(tr.dropped(), 0);
+        assert_eq!(tr.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_trace_keeps_the_most_recent_window() {
+        let mut tr = Trace::with_capacity(3);
+        for i in 0..10 {
+            tr.record(t(i), NodeId(0), "e", i.to_string());
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 7);
+        let data: Vec<_> = tr.events().iter().map(|e| e.data.as_str()).collect();
+        assert_eq!(data, ["7", "8", "9"]);
+        // Queries see only the window.
+        assert!(tr.matching("e", "0").next().is_none());
+        assert_eq!(tr.first("e").unwrap().data, "7");
+        assert_eq!(tr.last("e").unwrap().data, "9");
+    }
+
+    #[test]
+    fn bounded_backing_storage_stays_under_twice_capacity() {
+        let mut tr = Trace::with_capacity(4);
+        for i in 0..1000 {
+            tr.record(t(i), NodeId(0), "e", "x");
+            assert!(tr.events.len() <= 8, "backing grew to {}", tr.events.len());
+            assert_eq!(tr.len(), (i as usize + 1).min(4));
+        }
+        assert_eq!(tr.dropped(), 996);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut tr = Trace::new();
+        for i in 0..6 {
+            tr.record(t(i), NodeId(0), "e", i.to_string());
+        }
+        tr.set_capacity(Some(2));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 4);
+        assert_eq!(tr.events()[0].data, "4");
+        tr.set_capacity(None);
+        tr.record(t(9), NodeId(0), "e", "9");
+        assert_eq!(tr.len(), 3, "unbounded again, nothing else evicted");
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_dropped() {
+        let mut tr = Trace::with_capacity(2);
+        for i in 0..5 {
+            tr.record(t(i), NodeId(0), "e", "x");
+        }
+        assert!(tr.dropped() > 0);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 0);
+        assert_eq!(tr.capacity(), Some(2));
+        for i in 0..5 {
+            tr.record(t(i), NodeId(0), "e", i.to_string());
+        }
+        assert_eq!(tr.len(), 2, "bound survives clear()");
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut tr = Trace::with_capacity(0);
+        tr.record(t(0), NodeId(0), "e", "x");
+        assert!(tr.is_empty());
+        assert_eq!(tr.dropped(), 1);
     }
 }

@@ -6,6 +6,7 @@
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::{Connectivity, NodeId};
 use odp_sim::time::{SimDuration, SimTime};
+use odp_telemetry::span::{Carrier, SpanContext, CLOSE, OPEN};
 
 use crate::media::{Frame, MediaSink, MediaSource};
 use crate::monitor::{QosMonitor, Violation};
@@ -27,6 +28,21 @@ pub enum StreamMsg {
     /// (mobile hosts). Below the contract's accepted level, monitoring is
     /// suspended rather than violated.
     ConnectivityChanged(Connectivity),
+}
+
+impl Carrier for StreamMsg {
+    fn span(&self) -> Option<SpanContext> {
+        match self {
+            StreamMsg::Frame(f) => f.span(),
+            _ => None,
+        }
+    }
+
+    fn set_span(&mut self, span: Option<SpanContext>) {
+        if let StreamMsg::Frame(f) = self {
+            f.set_span(span);
+        }
+    }
 }
 
 const SEND: u64 = 1;
@@ -51,6 +67,7 @@ pub struct SourceActor {
     /// If false, violations are ignored (the E6 "no renegotiation"
     /// baseline).
     adaptive: bool,
+    telemetry: bool,
 }
 
 impl SourceActor {
@@ -66,12 +83,19 @@ impl SourceActor {
             change_cooldown: SimDuration::from_secs(5),
             last_change: None,
             adaptive: true,
+            telemetry: false,
         }
     }
 
     /// Disables adaptation (violations are received but ignored).
     pub fn disable_adaptation(&mut self) {
         self.adaptive = false;
+    }
+
+    /// Enables span telemetry. Off by default: minting spans draws from
+    /// the actor's RNG stream, which would perturb existing seeded runs.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
     }
 
     /// Contracts renegotiated downward so far.
@@ -143,7 +167,16 @@ impl Actor<StreamMsg> for SourceActor {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, StreamMsg>, _timer: TimerId, tag: u64) {
         match tag {
             SEND => {
-                let frame = self.source.next_frame(ctx.now());
+                let mut frame = self.source.next_frame(ctx.now());
+                // Frame span: a root per frame, closed at emission (the
+                // source cannot know arrival times); each sink hangs a
+                // stream.recv child off it as the frame lands.
+                if self.telemetry {
+                    let root = SpanContext::root(ctx.rng());
+                    ctx.trace(OPEN, root.open_data("stream.frame"));
+                    ctx.trace(CLOSE, root.close_data());
+                    frame.span = Some(root);
+                }
                 ctx.metrics().incr("stream.frames_sent");
                 for &c in &self.consumers {
                     ctx.send_sized(c, StreamMsg::Frame(frame), frame.bytes);
@@ -173,6 +206,7 @@ pub struct SinkActor {
     /// The latched violation, re-sent periodically while it persists —
     /// a single report can be lost on the very link that is violating.
     last_violation: Option<(Violation, SimTime)>,
+    telemetry: bool,
 }
 
 impl SinkActor {
@@ -186,7 +220,14 @@ impl SinkActor {
             health_report_every: SimDuration::from_secs(2),
             last_health_report: None,
             last_violation: None,
+            telemetry: false,
         }
+    }
+
+    /// Enables span telemetry. Off by default: minting spans draws from
+    /// the actor's RNG stream, which would perturb existing seeded runs.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
     }
 
     /// The playout sink (post-run inspection).
@@ -209,6 +250,15 @@ impl Actor<StreamMsg> for SinkActor {
         match msg {
             StreamMsg::Frame(frame) => {
                 ctx.metrics().incr("stream.frames_received");
+                // Receive span: a child of the frame's root, marking the
+                // arrival at this sink.
+                if self.telemetry {
+                    if let Some(parent) = frame.span {
+                        let recv = parent.child(ctx.rng());
+                        ctx.trace(OPEN, recv.open_data("stream.recv"));
+                        ctx.trace(CLOSE, recv.close_data());
+                    }
+                }
                 self.sink.arrive(frame, ctx.now());
             }
             StreamMsg::NewContract(spec) => {
@@ -287,6 +337,53 @@ mod tests {
         let monitor = QosMonitor::new(contract, SimDuration::from_secs(1));
         sim.add_actor(NodeId(1), SinkActor::new(sink, monitor, NodeId(0)));
         sim
+    }
+
+    #[test]
+    fn telemetry_spans_link_frames_to_arrivals() {
+        let mut net = Network::new(LinkSpec::lan());
+        net.set_default_link(LinkSpec::lan());
+        let mut sim: Sim<StreamMsg> = Sim::with_network(42, net);
+        let contract = QosSpec::video();
+        let src = MediaSource::new(StreamId(0), MediaKind::Video, 25, 4_000);
+        let mut source = SourceActor::new(src, vec![NodeId(1)], contract);
+        source.set_telemetry(true);
+        sim.add_actor(NodeId(0), source);
+        let sink = MediaSink::new(StreamId(0), SimDuration::from_millis(120));
+        let monitor = QosMonitor::new(contract, SimDuration::from_secs(1));
+        let mut sink_actor = SinkActor::new(sink, monitor, NodeId(0));
+        sink_actor.set_telemetry(true);
+        sim.add_actor(NodeId(1), sink_actor);
+        sim.run_for(SimDuration::from_secs(1));
+
+        let collector = odp_telemetry::collector::Collector::from_trace(sim.trace());
+        assert_eq!(collector.well_formed(), Ok(()), "span audit must pass");
+        assert!(collector.len() >= 20, "one trace per frame at 25 fps");
+        let mut delivered = 0;
+        for (_, dag) in collector.traces() {
+            // On a healthy LAN every emitted frame arrives: each trace is
+            // a stream.frame root with one stream.recv child — except a
+            // frame still in flight when the horizon cut the run short.
+            assert!(dag.len() <= 2);
+            if dag.len() == 2 {
+                delivered += 1;
+                let kinds: Vec<&str> = dag
+                    .critical_path()
+                    .iter()
+                    .map(|s| s.kind.as_str())
+                    .collect();
+                assert_eq!(kinds, ["stream.frame", "stream.recv"]);
+            }
+        }
+        assert!(delivered >= 20, "only {delivered} frames delivered");
+    }
+
+    #[test]
+    fn telemetry_off_emits_no_stream_span_events() {
+        let mut sim = stream_sim(LinkSpec::lan(), true);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.trace().with_label(OPEN).count(), 0);
+        assert_eq!(sim.trace().with_label(CLOSE).count(), 0);
     }
 
     #[test]

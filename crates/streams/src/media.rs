@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use odp_sim::time::{SimDuration, SimTime};
+use odp_telemetry::span::{Carrier, SpanContext};
 use serde::{Deserialize, Serialize};
 
 /// The kind of a continuous-media stream.
@@ -52,6 +53,19 @@ pub struct Frame {
     pub captured: SimTime,
     /// Wire size in bytes (drives the bandwidth model).
     pub bytes: usize,
+    /// Piggybacked telemetry span (the source's `stream.frame` root),
+    /// if the source has telemetry on.
+    pub span: Option<SpanContext>,
+}
+
+impl Carrier for Frame {
+    fn span(&self) -> Option<SpanContext> {
+        self.span
+    }
+
+    fn set_span(&mut self, span: Option<SpanContext>) {
+        self.span = span;
+    }
 }
 
 /// Generates frames at a fixed rate.
@@ -124,6 +138,7 @@ impl MediaSource {
             kind: self.kind,
             captured: now,
             bytes: self.frame_bytes,
+            span: None,
         };
         self.next_seq += 1;
         frame
@@ -293,6 +308,7 @@ mod tests {
             kind: MediaKind::Video,
             captured: SimTime::from_millis(captured_ms),
             bytes: 1000,
+            span: None,
         }
     }
 

@@ -238,6 +238,7 @@ mod tests {
             kind,
             captured: SimTime::from_millis(captured_ms),
             bytes: 100,
+            span: None,
         }
     }
 

@@ -80,6 +80,7 @@ proptest! {
                     kind: MediaKind::Video,
                     captured,
                     bytes: 100,
+                    span: None,
                 },
                 arrival,
             );

@@ -18,6 +18,7 @@ use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 use odp_streams::qos::QosSpec;
+use odp_telemetry::span::{Carrier, SpanContext, CLOSE, OPEN};
 
 use crate::cache::LookupCache;
 use crate::offer::{OfferId, ServiceOffer, ServiceType};
@@ -63,6 +64,9 @@ pub enum TraderMsg {
         service_type: ServiceType,
         /// The importer's requirement.
         required: QosSpec,
+        /// Piggybacked telemetry span (the importer's `trader.import`
+        /// root), if the importer has telemetry on.
+        span: Option<SpanContext>,
     },
     /// Trader → importer: the offers that satisfied the requirement
     /// (selection-policy-ranked; best first).
@@ -73,6 +77,9 @@ pub enum TraderMsg {
         service_type: ServiceType,
         /// Satisfying offers, best first; empty = no match.
         resolved: Vec<ServiceOffer>,
+        /// Piggybacked telemetry span (the trader's `trader.serve`
+        /// child), if the trader minted one.
+        span: Option<SpanContext>,
     },
     /// Operator → everyone: the trader ring changed. Traders rehome
     /// offers; importers re-route future lookups.
@@ -89,6 +96,21 @@ pub enum TraderMsg {
     Gc(GcMsg<Invalidation>),
 }
 
+impl Carrier for TraderMsg {
+    fn span(&self) -> Option<SpanContext> {
+        match self {
+            TraderMsg::Lookup { span, .. } | TraderMsg::LookupReply { span, .. } => *span,
+            _ => None,
+        }
+    }
+
+    fn set_span(&mut self, new: Option<SpanContext>) {
+        if let TraderMsg::Lookup { span, .. } | TraderMsg::LookupReply { span, .. } = self {
+            *span = new;
+        }
+    }
+}
+
 const TICK_TAG: u64 = 1;
 const LOOKUP_TAG: u64 = 2;
 const TICK_EVERY: SimDuration = SimDuration::from_millis(100);
@@ -101,6 +123,7 @@ pub struct TraderActor {
     selection_load: SelectionLoad,
     ring: HashRing,
     rebalance_invalidations: bool,
+    telemetry: bool,
 }
 
 impl TraderActor {
@@ -128,7 +151,14 @@ impl TraderActor {
             selection_load: SelectionLoad::new(),
             ring,
             rebalance_invalidations: true,
+            telemetry: false,
         }
+    }
+
+    /// Enables span telemetry. Off by default: minting spans draws from
+    /// the actor's RNG stream, which would perturb existing seeded runs.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
     }
 
     /// The shard's store (assertions in tests).
@@ -222,8 +252,21 @@ impl Actor<TraderMsg> for TraderActor {
                 call,
                 service_type,
                 required,
+                span,
             } => {
                 ctx.metrics().incr("trader.lookups");
+                // Serve span: a child of the importer's import root,
+                // open and closed here (service time is zero in the
+                // simulator; the span marks where the work happened).
+                let serve = match span.filter(|_| self.telemetry) {
+                    Some(parent) => {
+                        let serve = parent.child(ctx.rng());
+                        ctx.trace(OPEN, serve.open_data("trader.serve"));
+                        ctx.trace(CLOSE, serve.close_data());
+                        Some(serve)
+                    }
+                    None => None,
+                };
                 let offers: Vec<ServiceOffer> = self
                     .store
                     .offers_of_type(&service_type)
@@ -244,6 +287,7 @@ impl Actor<TraderMsg> for TraderActor {
                         call,
                         service_type,
                         resolved,
+                        span: serve,
                     },
                 );
             }
@@ -368,8 +412,9 @@ pub struct ImporterActor {
     cache: LookupCache,
     engine: GroupEngine<Invalidation>,
     jobs: Vec<LookupJob>,
-    /// call → (type, issue time, the type's invalidation epoch at issue).
-    pending: std::collections::BTreeMap<u64, (ServiceType, SimTime, u64)>,
+    /// call → (type, issue time, the type's invalidation epoch at
+    /// issue, the `trader.import` root span if telemetry is on).
+    pending: std::collections::BTreeMap<u64, (ServiceType, SimTime, u64, Option<SpanContext>)>,
     /// Per-type count of invalidations seen. A reply that raced an
     /// invalidation (issued under an older epoch) is *used* but not
     /// *cached*: the result was valid when computed, but caching it
@@ -377,6 +422,7 @@ pub struct ImporterActor {
     epochs: std::collections::BTreeMap<ServiceType, u64>,
     next_call: u64,
     stats: ImporterStats,
+    telemetry: bool,
     /// The most recent resolution per type (tests bind through this).
     pub last_resolved: std::collections::BTreeMap<ServiceType, Vec<ServiceOffer>>,
 }
@@ -402,8 +448,15 @@ impl ImporterActor {
             epochs: std::collections::BTreeMap::new(),
             next_call: 0,
             stats: ImporterStats::default(),
+            telemetry: false,
             last_resolved: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Enables span telemetry. Off by default: minting spans draws from
+    /// the actor's RNG stream, which would perturb existing seeded runs.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
     }
 
     fn epoch(&self, service_type: &ServiceType) -> u64 {
@@ -462,12 +515,23 @@ impl ImporterActor {
         self.stats.cold_lookups += 1;
         self.next_call += 1;
         let call = self.next_call;
+        // Import span: the root of this lookup's trace, closed when the
+        // reply is processed (or never, if the reply is lost — the
+        // telemetry audit will flag the unclosed span).
+        let root = if self.telemetry {
+            let root = SpanContext::root(ctx.rng());
+            ctx.trace(OPEN, root.open_data("trader.import"));
+            Some(root)
+        } else {
+            None
+        };
         self.pending.insert(
             call,
             (
                 job.service_type.clone(),
                 ctx.now(),
                 self.epoch(&job.service_type),
+                root,
             ),
         );
         let Some(trader) = self.ring.node_for(&job.service_type) else {
@@ -479,6 +543,7 @@ impl ImporterActor {
                 call,
                 service_type: job.service_type,
                 required: job.required,
+                span: root,
             },
         );
     }
@@ -498,11 +563,24 @@ impl Actor<TraderMsg> for ImporterActor {
                 call,
                 service_type,
                 resolved,
+                span,
             } => {
-                let Some((_, sent_at, issue_epoch)) = self.pending.remove(&call) else {
+                let Some((_, sent_at, issue_epoch, root)) = self.pending.remove(&call) else {
                     return; // stale duplicate
                 };
                 let latency = ctx.now().saturating_since(sent_at);
+                // Reply span (a child of the trader's serve span), then
+                // close the import root this reply completes.
+                if self.telemetry {
+                    if let Some(serve) = span {
+                        let reply = serve.child(ctx.rng());
+                        ctx.trace(OPEN, reply.open_data("trader.reply"));
+                        ctx.trace(CLOSE, reply.close_data());
+                    }
+                    if let Some(root) = root {
+                        ctx.trace(CLOSE, root.close_data());
+                    }
+                }
                 if resolved.is_empty() {
                     self.stats.unresolved += 1;
                 } else {
@@ -543,7 +621,7 @@ impl Actor<TraderMsg> for ImporterActor {
                     .cache
                     .entries()
                     .map(|(t, _, _)| t.clone())
-                    .chain(self.pending.values().map(|(t, _, _)| t.clone()))
+                    .chain(self.pending.values().map(|(t, ..)| t.clone()))
                     .collect();
                 let owners_before: Vec<(ServiceType, Option<NodeId>)> = affected
                     .into_iter()
@@ -647,6 +725,53 @@ mod tests {
         let shard = HashRing::new([T1, T2]).node_for(&st()).unwrap();
         sim.inject(SimTime::ZERO, EXP, shard, TraderMsg::Export(offer()));
         sim
+    }
+
+    #[test]
+    fn telemetry_spans_form_a_well_formed_import_chain() {
+        // One cold lookup with telemetry on everywhere: the importer
+        // mints the trader.import root, the owning shard parents a
+        // trader.serve under it, and the reply closes the chain with a
+        // trader.reply leaf.
+        let mut sim = Sim::new(42);
+        let mut t1 = TraderActor::new(T1, view(), SelectionPolicy::FirstFit);
+        t1.set_telemetry(true);
+        let mut t2 = TraderActor::new(T2, view(), SelectionPolicy::FirstFit);
+        t2.set_telemetry(true);
+        sim.add_actor(T1, t1);
+        sim.add_actor(T2, t2);
+        let mut imp = ImporterActor::new(
+            IMP,
+            view(),
+            SimDuration::from_millis(10_000),
+            HashRing::new([T1, T2]),
+            jobs(&[10]),
+        );
+        imp.set_telemetry(true);
+        sim.add_actor(IMP, imp);
+        let shard = HashRing::new([T1, T2]).node_for(&st()).unwrap();
+        sim.inject(SimTime::ZERO, EXP, shard, TraderMsg::Export(offer()));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+
+        let collector = odp_telemetry::collector::Collector::from_trace(sim.trace());
+        assert_eq!(collector.well_formed(), Ok(()), "span audit must pass");
+        assert_eq!(collector.len(), 1, "one lookup, one trace");
+        let dag = collector.traces().next().unwrap().1;
+        assert_eq!(dag.len(), 3);
+        let kinds: Vec<&str> = dag
+            .critical_path()
+            .iter()
+            .map(|s| s.kind.as_str())
+            .collect();
+        assert_eq!(kinds, ["trader.import", "trader.serve", "trader.reply"]);
+    }
+
+    #[test]
+    fn telemetry_off_emits_no_trader_span_events() {
+        let mut sim = build(&[10], 10_000);
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(sim.trace().with_label(OPEN).count(), 0);
+        assert_eq!(sim.trace().with_label(CLOSE).count(), 0);
     }
 
     #[test]

@@ -75,9 +75,6 @@ pub use select::{
 };
 pub use store::{HashRing, OfferStore, ShardLoad, ShardedStore};
 
-#[allow(deprecated)]
-pub use federation::ImportError;
-
 /// Everything an importer or exporter typically needs.
 pub mod prelude {
     pub use crate::actors::{ImporterActor, LookupJob, TraderActor, TraderMsg};
