@@ -8,6 +8,12 @@
 //!
 //! - [`events`] — weighted awareness-event distribution with per-observer
 //!   interest thresholds;
+//! - [`bus`] — the unified, rights-gated cooperation-event bus: one
+//!   [`CoopEvent`] vocabulary for lock, txgroup, floor, mobility,
+//!   session and trader notices, gated through `odp_access` rights and
+//!   scored by the same focus–nimbus weighting;
+//! - [`dist`] — bus distribution over `odp_groupcomm` causal multicast
+//!   with `aware.publish`/`aware.deliver` telemetry spans;
 //! - [`spatial`] — the aura/focus/nimbus spatial model of interaction
 //!   (Benford & Fahlén, DIVE);
 //! - [`weights`] — temporal decay and combined spatial×temporal×relevance
@@ -26,12 +32,18 @@
 //! assert!(space.weight(NodeId(0), NodeId(1)) > 0.5);
 //! ```
 
+pub mod bus;
+pub mod dist;
 pub mod events;
 pub mod mediaspace;
 pub mod portholes;
 pub mod spatial;
 pub mod weights;
 
+pub use bus::{
+    Audience, BusDelivery, BusStats, CoopEvent, CoopKind, CoopMode, CoopWeightFn, EventBus,
+};
+pub use dist::{BusActor, BusWire};
 pub use events::{ActivityKind, AwarenessEngine, AwarenessEvent, WeightedDelivery};
 pub use mediaspace::{
     Acceptance, ConnectOutcome, ConnectionId, ConnectionType, MediaSpace, MediaSpaceError,

@@ -154,4 +154,59 @@ mod tests {
         p.capture(NodeId(0), "x", SimTime::ZERO);
         assert!(p.wall_for(NodeId(7), SimTime::ZERO).is_empty());
     }
+
+    /// A re-`capture` freshens a snapshot across the stale boundary: the
+    /// same wall entry flips stale → fresh without growing the wall.
+    #[test]
+    fn recapture_refreshes_a_stale_snapshot() {
+        let mut p = Portholes::new(SimDuration::from_secs(10));
+        p.subscribe(NodeId(9), NodeId(0));
+        p.capture(NodeId(0), "typing", SimTime::ZERO);
+        let wall = p.wall_for(NodeId(9), SimTime::from_secs(30));
+        assert_eq!(wall.len(), 1);
+        assert!(wall[0].1, "first snapshot has gone stale");
+        p.capture(NodeId(0), "meeting", SimTime::from_secs(30));
+        let wall = p.wall_for(NodeId(9), SimTime::from_secs(31));
+        assert_eq!(wall.len(), 1, "replaced, not accumulated");
+        assert_eq!(wall[0].0.activity, "meeting");
+        assert!(!wall[0].1, "fresh again");
+    }
+
+    /// Re-`capture` overwrites the retained snapshot (one per target)
+    /// while the capture counter keeps accumulating — retention and
+    /// accounting are deliberately different.
+    #[test]
+    fn recapture_overwrites_retention_but_accumulates_the_counter() {
+        let mut p = Portholes::new(SimDuration::from_secs(60));
+        p.subscribe(NodeId(9), NodeId(0));
+        for (i, act) in ["idle", "typing", "away"].iter().enumerate() {
+            p.capture(NodeId(0), *act, SimTime::from_secs(i as u64));
+        }
+        assert_eq!(p.captures(), 3, "every capture is counted");
+        let wall = p.wall_for(NodeId(9), SimTime::from_secs(3));
+        assert_eq!(wall.len(), 1, "but only the latest is retained");
+        assert_eq!(wall[0].0.activity, "away");
+        assert_eq!(wall[0].0.at, SimTime::from_secs(2));
+    }
+
+    /// After unsubscribing, further captures of the dropped target no
+    /// longer grow the viewer's wall.
+    #[test]
+    fn unsubscribe_stops_wall_growth_for_future_captures() {
+        let mut p = Portholes::new(SimDuration::from_secs(60));
+        p.subscribe(NodeId(9), NodeId(0));
+        p.subscribe(NodeId(9), NodeId(1));
+        p.capture(NodeId(1), "typing", SimTime::ZERO);
+        p.unsubscribe(NodeId(9), NodeId(0));
+        // The dropped target only starts capturing *after* the
+        // unsubscribe; its snapshots must never reach this wall.
+        p.capture(NodeId(0), "typing", SimTime::from_secs(1));
+        p.capture(NodeId(0), "meeting", SimTime::from_secs(2));
+        let wall = p.wall_for(NodeId(9), SimTime::from_secs(3));
+        assert_eq!(wall.len(), 1);
+        assert_eq!(wall[0].0.who, NodeId(1));
+        // Another viewer still subscribed to the target sees them fine.
+        p.subscribe(NodeId(8), NodeId(0));
+        assert_eq!(p.wall_for(NodeId(8), SimTime::from_secs(3)).len(), 1);
+    }
 }

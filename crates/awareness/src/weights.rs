@@ -17,8 +17,10 @@ use serde::{Deserialize, Serialize};
 /// one half-life, and so on.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TemporalDecay {
-    /// Elapsed time at which the weight halves.
-    pub half_life: SimDuration,
+    /// Elapsed time at which the weight halves. Private: a zero value
+    /// would make `weight` divide 0-by-0 into NaN, which `powf` and
+    /// `clamp` propagate silently past every threshold comparison.
+    half_life: SimDuration,
 }
 
 impl TemporalDecay {
@@ -32,6 +34,11 @@ impl TemporalDecay {
         TemporalDecay { half_life }
     }
 
+    /// The configured half-life.
+    pub fn half_life(&self) -> SimDuration {
+        self.half_life
+    }
+
     /// The weight of an event that happened at `event_time`, observed at
     /// `now`. Future events weigh 1.0; events older than ~1074
     /// half-lives weigh an exact 0.0 (`0.5^ratio` underflows past the
@@ -39,6 +46,14 @@ impl TemporalDecay {
     /// platform-dependent, so the result is pinned).
     pub fn weight(&self, event_time: SimTime, now: SimTime) -> f64 {
         let elapsed = now.saturating_since(event_time);
+        // A zero half-life can still arrive via deserialization, which
+        // bypasses `new`'s assertion. 0/0 would be NaN — NaN fails the
+        // underflow comparison below, survives `powf` and `clamp`, and
+        // then fails *every* threshold comparison downstream, silently
+        // suppressing all deliveries. Saturate instead: instant decay.
+        if self.half_life.is_zero() {
+            return if elapsed.is_zero() { 1.0 } else { 0.0 };
+        }
         let ratio = elapsed.as_micros() as f64 / self.half_life.as_micros() as f64;
         if ratio >= 1074.0 {
             return 0.0;
@@ -161,6 +176,30 @@ mod tests {
         for w in [wa, wb, wab] {
             assert!((0.0..=1.0).contains(&w));
         }
+    }
+
+    /// Regression: a zero half-life (reachable through deserialization,
+    /// which skips `new`'s assertion) made `weight` compute `0/0 = NaN`;
+    /// NaN slipped past the underflow guard, `powf` and `clamp`, then
+    /// failed every `>= threshold` comparison, silently suppressing all
+    /// deliveries. The weight must instead saturate: 1.0 at the event
+    /// instant, 0.0 after.
+    #[test]
+    fn regression_zero_half_life_saturates_instead_of_nan() {
+        let d = TemporalDecay {
+            half_life: SimDuration::ZERO,
+        };
+        let w_now = d.weight(SimTime::ZERO, SimTime::ZERO);
+        let w_later = d.weight(SimTime::ZERO, SimTime::from_micros(1));
+        assert!(!w_now.is_nan() && !w_later.is_nan());
+        assert_eq!(w_now, 1.0, "instant decay still weighs 'just now' fully");
+        assert_eq!(w_later, 0.0, "anything older decays completely");
+    }
+
+    #[test]
+    fn half_life_is_exposed_via_the_getter() {
+        let d = TemporalDecay::new(SimDuration::from_secs(10));
+        assert_eq!(d.half_life(), SimDuration::from_secs(10));
     }
 
     #[test]

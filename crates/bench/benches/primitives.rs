@@ -9,6 +9,7 @@ use odp_access::delegation::DelegationRegistry;
 use odp_access::matrix::{Protected, Subject};
 use odp_access::rbac::{Effect, ObjectPath, RbacPolicy, RoleId};
 use odp_access::rights::Rights;
+use odp_awareness::bus::EventBus;
 use odp_concurrency::locks::{ClientId, LockMode, LockScheme, LockTable, ResourceId};
 use odp_concurrency::ot::{transform_pair, CharOp, TieBreak};
 use odp_groupcomm::vclock::VectorClock;
@@ -42,11 +43,15 @@ fn bench_vclock(c: &mut Criterion) {
 fn bench_lock_table(c: &mut Criterion) {
     c.bench_function("lock_request_release", |b| {
         let mut table = LockTable::new(LockScheme::Hard);
+        let mut bus = EventBus::new();
+        bus.register(NodeId(0), 0.0);
         let mut i = 0u64;
         b.iter(|| {
             let r = ResourceId(i % 64);
-            table.request(ClientId(0), r, LockMode::Exclusive, SimTime::ZERO);
-            table.release(ClientId(0), r, SimTime::ZERO).expect("held");
+            table.request_via(&mut bus, ClientId(0), r, LockMode::Exclusive, SimTime::ZERO);
+            table
+                .release_via(&mut bus, ClientId(0), r, SimTime::ZERO)
+                .expect("held");
             i += 1;
         })
     });

@@ -19,7 +19,11 @@
 //! - [`telemetry`] — span-log well-formedness: every causal span
 //!   closes, parents open before children, DAGs are acyclic
 //!   ([`odp_telemetry`]).
+//! - [`awareness`] — cooperation-event rights gating: no schedule may
+//!   deliver a `CoopEvent` to an observer lacking read rights on its
+//!   artefact ([`odp_awareness::bus`]).
 
+pub mod awareness;
 pub mod federation;
 pub mod groupcomm;
 pub mod locks;

@@ -13,7 +13,9 @@
 use std::process::ExitCode;
 
 use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, Report};
-use odp_check::invariants::{federation, groupcomm, locks, replication, telemetry, trader};
+use odp_check::invariants::{
+    awareness, federation, groupcomm, locks, replication, telemetry, trader,
+};
 use odp_check::lint;
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
@@ -105,6 +107,11 @@ fn telemetry_invs() -> Vec<Box<dyn Invariant<odp_groupcomm::multicast::GcMsg<Str
     vec![Box::new(telemetry::TelemetrySpans)]
 }
 
+fn awareness_invs(
+) -> Vec<Box<dyn Invariant<odp_groupcomm::multicast::GcMsg<odp_awareness::dist::BusWire>>>> {
+    vec![Box::new(awareness::RightsGated::for_gating_sim())]
+}
+
 const CHECKS: &[Check] = &[
     Check {
         name: "locks-cycle-2",
@@ -179,6 +186,17 @@ const CHECKS: &[Check] = &[
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| telemetry::telemetry_sim(s, true), telemetry_invs, c)
+        },
+        budget: horizon_budget,
+    },
+    Check {
+        name: "awareness-gating",
+        about: "awareness: no event reaches an observer without rights on its artefact",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore(|s| awareness::gating_sim(s, true), awareness_invs)
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(|s| awareness::gating_sim(s, true), awareness_invs, c)
         },
         budget: horizon_budget,
     },

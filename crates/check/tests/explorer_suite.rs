@@ -3,7 +3,9 @@
 //! known-bad variants — proving the detector actually detects.
 
 use odp_check::explore::{Budget, Explorer, Invariant};
-use odp_check::invariants::{federation, groupcomm, locks, replication, telemetry, trader};
+use odp_check::invariants::{
+    awareness, federation, groupcomm, locks, replication, telemetry, trader,
+};
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
 
@@ -258,6 +260,62 @@ fn telemetry_spans_are_well_formed_in_every_schedule() {
         report.runs > 1,
         "telemetry scenario explored only one schedule"
     );
+}
+
+fn awareness_invs(
+) -> Vec<Box<dyn Invariant<odp_groupcomm::multicast::GcMsg<odp_awareness::dist::BusWire>>>> {
+    vec![Box::new(awareness::RightsGated::for_gating_sim())]
+}
+
+/// The rights-gated cooperation-event bus never surfaces an event to an
+/// observer lacking read rights on its artefact, in every explored
+/// multicast schedule — and the workload is non-vacuous (events do
+/// reach the entitled observers).
+#[test]
+fn awareness_gating_holds_in_every_schedule() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let report =
+        Explorer::new(SEED, budget).explore(|s| awareness::gating_sim(s, true), awareness_invs);
+    assert!(
+        report.violation.is_none(),
+        "rights leak: {}",
+        report.violation.unwrap()
+    );
+    assert!(
+        report.runs > 1,
+        "gating scenario explored only one schedule"
+    );
+}
+
+/// Seeded known-bad fixture: every replica's rights gate disarmed. The
+/// rightless observer then receives the racing publications, the
+/// detector must flag it, and the counterexample must replay.
+#[test]
+fn explorer_finds_the_disarmed_rights_gate() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let ex = Explorer::new(SEED, budget);
+    let report = ex.explore(|s| awareness::gating_sim(s, false), awareness_invs);
+    let cx = report
+        .violation
+        .expect("the disarmed gate must be detected");
+    assert_eq!(cx.invariant, "awareness-gating");
+    assert!(
+        cx.violation.contains("no read rights"),
+        "unexpected violation: {}",
+        cx.violation
+    );
+    let replayed = ex
+        .replay(
+            |s| awareness::gating_sim(s, false),
+            awareness_invs,
+            &cx.choices,
+        )
+        .expect("counterexample must reproduce");
+    assert_eq!(replayed.violation, cx.violation);
+    let (seed, choices) =
+        odp_check::explore::Counterexample::parse_trace(&cx.trace()).expect("trace parses");
+    assert_eq!(seed, SEED);
+    assert_eq!(choices, cx.choices);
 }
 
 /// Seeded known-bad fixture: a `bad.probe` span opened at start and

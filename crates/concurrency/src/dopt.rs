@@ -15,10 +15,15 @@
 //! scheme in [`crate::jupiter`]; `dopt` is provided for fidelity to the
 //! paper and is guaranteed convergent for two sites (see tests).
 
+use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, EventBus};
 use odp_groupcomm::vclock::{Causality, VectorClock};
 use odp_sim::net::NodeId;
+use odp_sim::time::SimTime;
 
 use crate::ot::{transform_pair, ApplyError, CharOp, TextDoc, TieBreak};
+
+/// Artefact path used for dOPT remote-op cooperation events.
+pub const DOPT_ARTEFACT: &str = "doc";
 
 /// A stamped operation broadcast between sites.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +125,41 @@ impl DoptSite {
     /// causal predecessors arrive). Returns the ops actually applied to
     /// the local document, in application order.
     pub fn receive(&mut self, op: RemoteOp) -> Vec<CharOp> {
+        self.receive_inner(op)
+            .into_iter()
+            .map(|(_, executed)| executed)
+            .collect()
+    }
+
+    /// Like [`DoptSite::receive`], but every remote op actually applied
+    /// is also announced on the cooperation-event bus as a
+    /// [`CoopKind::RemoteOp`] broadcast from the *originating* site — so
+    /// co-authors become aware of whose edit just landed, not merely
+    /// that the text changed.
+    pub fn receive_via(
+        &mut self,
+        bus: &mut EventBus,
+        op: RemoteOp,
+        at: SimTime,
+    ) -> (Vec<CharOp>, Vec<BusDelivery>) {
+        let mut executed = Vec::new();
+        let mut deliveries = Vec::new();
+        for (remote, applied) in self.receive_inner(op) {
+            executed.push(applied);
+            deliveries.extend(bus.publish(CoopEvent::broadcast(
+                remote.site,
+                DOPT_ARTEFACT,
+                at,
+                CoopKind::RemoteOp {
+                    site: remote.site,
+                    seq: remote.clock.get(remote.site),
+                },
+            )));
+        }
+        (executed, deliveries)
+    }
+
+    fn receive_inner(&mut self, op: RemoteOp) -> Vec<(RemoteOp, CharOp)> {
         self.pending.push(op);
         let mut applied = Vec::new();
         loop {
@@ -130,7 +170,7 @@ impl DoptSite {
             let Some(idx) = ready else { break };
             let remote = self.pending.remove(idx);
             let executed = self.integrate(&remote);
-            applied.push(executed);
+            applied.push((remote, executed));
         }
         applied
     }
@@ -274,5 +314,40 @@ mod tests {
         let mut a = DoptSite::new(NodeId(0), "ab");
         assert!(a.local(Delete { pos: 7 }).is_err());
         assert_eq!(a.text(), "ab");
+    }
+
+    #[test]
+    fn via_integration_announces_the_originating_site() {
+        let mut bus = EventBus::new();
+        bus.register(NodeId(0), 0.0);
+        bus.register(NodeId(2), 0.0);
+        let mut a = DoptSite::new(NodeId(0), "x");
+        let mut b = DoptSite::new(NodeId(1), "x");
+        let op1 = b.local(Insert { pos: 1, ch: '1' }).unwrap();
+        let op2 = b.local(Insert { pos: 2, ch: '2' }).unwrap();
+        // Deliver out of causal order: op2 buffers, op1 releases both.
+        let (executed, seen) = a.receive_via(&mut bus, op2, SimTime::ZERO);
+        assert!(executed.is_empty() && seen.is_empty());
+        let (executed, seen) = a.receive_via(&mut bus, op1, SimTime::ZERO);
+        assert_eq!(executed.len(), 2);
+        // One broadcast per integrated op: actor is the *origin* (site 1),
+        // so both registered observers hear about both ops.
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|d| matches!(
+            d.event.kind,
+            CoopKind::RemoteOp {
+                site: NodeId(1),
+                ..
+            }
+        )));
+        let seqs: Vec<u64> = seen
+            .iter()
+            .filter(|d| d.observer == NodeId(2))
+            .map(|d| match d.event.kind {
+                CoopKind::RemoteOp { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2], "announced in application order");
     }
 }

@@ -10,6 +10,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, EventBus};
+use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 
 use crate::locks::ClientId;
@@ -45,6 +47,39 @@ pub enum FloorEvent {
     Idle,
 }
 
+/// The conference-floor artefact path the bus gates floor events on.
+pub const FLOOR_ARTEFACT: &str = "floor";
+
+impl FloorEvent {
+    /// The event as a unified cooperation event, broadcast to every
+    /// participant: floor movements concern the whole conference. The
+    /// actor is the granted/preempted party, or — for [`FloorEvent::Idle`],
+    /// which names nobody — the `fallback` client that triggered the
+    /// state change.
+    pub fn to_coop(&self, fallback: ClientId, at: SimTime) -> CoopEvent {
+        let (actor, at, kind) = match *self {
+            FloorEvent::Granted { who, at } => (who, at, CoopKind::FloorGranted),
+            FloorEvent::Preempted { who } => (who, at, CoopKind::FloorPreempted),
+            FloorEvent::Idle => (fallback, at, CoopKind::FloorIdle),
+        };
+        CoopEvent::broadcast(NodeId(actor.0), FLOOR_ARTEFACT, at, kind)
+    }
+}
+
+/// Publishes floor events through the bus, concatenating the surviving
+/// deliveries.
+fn publish_events(
+    bus: &mut EventBus,
+    events: &[FloorEvent],
+    fallback: ClientId,
+    at: SimTime,
+) -> Vec<BusDelivery> {
+    events
+        .iter()
+        .flat_map(|e| bus.publish(e.to_coop(fallback, at)))
+        .collect()
+}
+
 /// Errors from floor operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FloorError {
@@ -70,13 +105,19 @@ impl std::error::Error for FloorError {}
 /// # Examples
 ///
 /// ```
-/// use odp_concurrency::floor::{FloorControl, FloorEvent, FloorPolicy};
+/// use odp_awareness::bus::{CoopKind, EventBus};
+/// use odp_concurrency::floor::{FloorControl, FloorPolicy};
 /// use odp_concurrency::locks::ClientId;
+/// use odp_sim::net::NodeId;
 /// use odp_sim::time::SimTime;
 ///
+/// let mut bus = EventBus::new();
+/// bus.register(NodeId(0), 0.0);
+/// bus.register(NodeId(1), 0.0);
 /// let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
-/// let ev = fc.request(ClientId(0), SimTime::ZERO);
-/// assert!(matches!(ev.as_slice(), [FloorEvent::Granted { .. }]));
+/// let seen = fc.request_via(&mut bus, ClientId(0), SimTime::ZERO);
+/// // The grant is broadcast: participant 1 becomes aware of it.
+/// assert!(matches!(seen[0].event.kind, CoopKind::FloorGranted));
 /// assert_eq!(fc.holder(), Some(ClientId(0)));
 /// ```
 #[derive(Debug)]
@@ -127,8 +168,28 @@ impl FloorControl {
         self.wait_total
     }
 
+    /// Requests the floor, publishing resulting events through the
+    /// cooperation-event bus. Grants immediately if free, else queues.
+    pub fn request_via(
+        &mut self,
+        bus: &mut EventBus,
+        client: ClientId,
+        now: SimTime,
+    ) -> Vec<BusDelivery> {
+        let events = self.request_inner(client, now);
+        publish_events(bus, &events, client, now)
+    }
+
     /// Requests the floor. Grants immediately if free, else queues.
+    #[deprecated(
+        since = "0.1.0",
+        note = "floor events now flow through the cooperation-event bus; use `request_via`"
+    )]
     pub fn request(&mut self, client: ClientId, now: SimTime) -> Vec<FloorEvent> {
+        self.request_inner(client, now)
+    }
+
+    fn request_inner(&mut self, client: ClientId, now: SimTime) -> Vec<FloorEvent> {
         if self.holder.map(|(c, _)| c) == Some(client) {
             return Vec::new(); // already holding
         }
@@ -143,13 +204,41 @@ impl FloorControl {
         }
     }
 
+    /// Releases the floor via the cooperation-event bus, promoting the
+    /// next waiter (if the policy queues) or leaving the floor idle.
+    ///
+    /// # Errors
+    ///
+    /// [`FloorError::NotHolder`] if `client` does not hold the floor.
+    pub fn release_via(
+        &mut self,
+        bus: &mut EventBus,
+        client: ClientId,
+        now: SimTime,
+    ) -> Result<Vec<BusDelivery>, FloorError> {
+        let events = self.release_inner(client, now)?;
+        Ok(publish_events(bus, &events, client, now))
+    }
+
     /// Releases the floor, promoting the next waiter (if the policy
     /// queues) or leaving the floor idle.
     ///
     /// # Errors
     ///
     /// [`FloorError::NotHolder`] if `client` does not hold the floor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "floor events now flow through the cooperation-event bus; use `release_via`"
+    )]
     pub fn release(
+        &mut self,
+        client: ClientId,
+        now: SimTime,
+    ) -> Result<Vec<FloorEvent>, FloorError> {
+        self.release_inner(client, now)
+    }
+
+    fn release_inner(
         &mut self,
         client: ClientId,
         now: SimTime,
@@ -163,13 +252,43 @@ impl FloorControl {
         }
     }
 
+    /// Explicitly passes the floor to `target` via the cooperation-event
+    /// bus.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `client` is not the holder or `target` is not waiting.
+    pub fn pass_via(
+        &mut self,
+        bus: &mut EventBus,
+        client: ClientId,
+        target: ClientId,
+        now: SimTime,
+    ) -> Result<Vec<BusDelivery>, FloorError> {
+        let events = self.pass_inner(client, target, now)?;
+        Ok(publish_events(bus, &events, client, now))
+    }
+
     /// Explicitly passes the floor to `target` (who must be waiting) —
     /// required under [`FloorPolicy::ExplicitPass`], allowed under all.
     ///
     /// # Errors
     ///
     /// Fails if `client` is not the holder or `target` is not waiting.
+    #[deprecated(
+        since = "0.1.0",
+        note = "floor events now flow through the cooperation-event bus; use `pass_via`"
+    )]
     pub fn pass(
+        &mut self,
+        client: ClientId,
+        target: ClientId,
+        now: SimTime,
+    ) -> Result<Vec<FloorEvent>, FloorError> {
+        self.pass_inner(client, target, now)
+    }
+
+    fn pass_inner(
         &mut self,
         client: ClientId,
         target: ClientId,
@@ -189,9 +308,28 @@ impl FloorControl {
         Ok(self.grant(target, asked, now))
     }
 
+    /// Time-based maintenance via the cooperation-event bus: under
+    /// [`FloorPolicy::PreemptAfter`], preempts over-long holders.
+    pub fn tick_via(&mut self, bus: &mut EventBus, now: SimTime) -> Vec<BusDelivery> {
+        // Preemption only fires while someone holds the floor, so the
+        // fallback actor (only used for Idle, which tick never emits) is
+        // moot; the pre-tick holder keeps it well-defined regardless.
+        let fallback = self.holder().unwrap_or(ClientId(0));
+        let events = self.tick_inner(now);
+        publish_events(bus, &events, fallback, now)
+    }
+
     /// Time-based maintenance: under [`FloorPolicy::PreemptAfter`],
     /// preempts over-long holders.
+    #[deprecated(
+        since = "0.1.0",
+        note = "floor events now flow through the cooperation-event bus; use `tick_via`"
+    )]
     pub fn tick(&mut self, now: SimTime) -> Vec<FloorEvent> {
+        self.tick_inner(now)
+    }
+
+    fn tick_inner(&mut self, now: SimTime) -> Vec<FloorEvent> {
         let FloorPolicy::PreemptAfter(limit) = self.policy else {
             return Vec::new();
         };
@@ -242,11 +380,64 @@ impl FloorControl {
 }
 
 #[cfg(test)]
+// the legacy Vec<FloorEvent> shims stay covered until removal
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use odp_sim::net::NodeId;
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_millis(ms)
+    }
+
+    fn bus(n: u32) -> EventBus {
+        let mut bus = EventBus::new();
+        for i in 0..n {
+            bus.register(NodeId(i), 0.0);
+        }
+        bus
+    }
+
+    #[test]
+    fn via_grants_broadcast_to_every_other_participant() {
+        let mut bus = bus(3);
+        let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
+        let seen = fc.request_via(&mut bus, ClientId(0), t(0));
+        // Broadcast audience: the actor itself is excluded, the other two hear it.
+        let observers: Vec<NodeId> = seen.iter().map(|d| d.observer).collect();
+        assert_eq!(observers, vec![NodeId(1), NodeId(2)]);
+        assert!(seen
+            .iter()
+            .all(|d| matches!(d.event.kind, CoopKind::FloorGranted)));
+        assert!(seen.iter().all(|d| d.event.artefact == FLOOR_ARTEFACT));
+    }
+
+    #[test]
+    fn via_preemption_publishes_preempted_then_granted() {
+        let mut bus = bus(3);
+        let mut fc = FloorControl::new(FloorPolicy::PreemptAfter(SimDuration::from_millis(5)));
+        fc.request_via(&mut bus, ClientId(0), t(0));
+        fc.request_via(&mut bus, ClientId(1), t(1));
+        let seen = fc.tick_via(&mut bus, t(10));
+        // Each event fans out to the two non-actors, preserving order.
+        let labels: Vec<&str> = seen
+            .iter()
+            .filter(|d| d.observer == NodeId(2))
+            .map(|d| d.event.kind.label())
+            .collect();
+        assert_eq!(labels, vec!["floor.preempted", "floor.granted"]);
+    }
+
+    #[test]
+    fn via_release_with_empty_queue_publishes_idle_from_the_releaser() {
+        let mut bus = bus(2);
+        let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
+        fc.request_via(&mut bus, ClientId(0), t(0));
+        let seen = fc.release_via(&mut bus, ClientId(0), t(5)).unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].observer, NodeId(1));
+        assert!(matches!(seen[0].event.kind, CoopKind::FloorIdle));
+        assert_eq!(seen[0].event.actor, NodeId(0));
     }
 
     #[test]

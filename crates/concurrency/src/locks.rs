@@ -18,6 +18,8 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, CoopMode, EventBus};
+use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +64,15 @@ pub enum LockMode {
 impl LockMode {
     fn compatible(self, other: LockMode) -> bool {
         self == LockMode::Shared && other == LockMode::Shared
+    }
+}
+
+impl From<LockMode> for CoopMode {
+    fn from(mode: LockMode) -> CoopMode {
+        match mode {
+            LockMode::Shared => CoopMode::Shared,
+            LockMode::Exclusive => CoopMode::Exclusive,
+        }
     }
 }
 
@@ -138,6 +149,38 @@ pub enum NoticeKind {
     },
 }
 
+impl Notice {
+    /// The notice as a unified cooperation event: directed at its
+    /// addressee on the resource's artefact path (`res/<id>`), with the
+    /// causing party carried in the [`CoopKind`] payload. [`ClientId`]s
+    /// map 1:1 onto [`NodeId`]s.
+    pub fn to_coop(&self, at: SimTime) -> CoopEvent {
+        let to = NodeId(self.to.0);
+        let kind = match self.kind {
+            NoticeKind::Granted { mode } => CoopKind::LockGranted { mode: mode.into() },
+            NoticeKind::TickleRequest { by } => CoopKind::LockTickled { by: NodeId(by.0) },
+            NoticeKind::Revoked { to } => CoopKind::LockRevoked { to: NodeId(to.0) },
+            NoticeKind::ConflictWarning { with } => CoopKind::LockConflict {
+                with: NodeId(with.0),
+            },
+            NoticeKind::AccessNotification { by, mode } => CoopKind::LockAccess {
+                by: NodeId(by.0),
+                mode: mode.into(),
+            },
+        };
+        CoopEvent::direct(to, to, format!("res/{}", self.resource.0), at, kind)
+    }
+}
+
+/// Publishes each notice through the bus, concatenating the surviving
+/// deliveries.
+fn publish_notices(bus: &mut EventBus, notices: &[Notice], at: SimTime) -> Vec<BusDelivery> {
+    notices
+        .iter()
+        .flat_map(|n| bus.publish(n.to_coop(at)))
+        .collect()
+}
+
 /// Errors from lock operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockError {
@@ -183,13 +226,18 @@ impl LockState {
 /// # Examples
 ///
 /// ```
+/// use odp_awareness::bus::EventBus;
 /// use odp_concurrency::locks::{ClientId, LockMode, LockReply, LockScheme, LockTable, ResourceId};
+/// use odp_sim::net::NodeId;
 /// use odp_sim::time::SimTime;
 ///
+/// let mut bus = EventBus::new();
+/// bus.register(NodeId(0), 0.0);
+/// bus.register(NodeId(1), 0.0);
 /// let mut t = LockTable::new(LockScheme::Hard);
-/// let (r1, _) = t.request(ClientId(0), ResourceId(1), LockMode::Exclusive, SimTime::ZERO);
+/// let (r1, _) = t.request_via(&mut bus, ClientId(0), ResourceId(1), LockMode::Exclusive, SimTime::ZERO);
 /// assert_eq!(r1, LockReply::Granted);
-/// let (r2, _) = t.request(ClientId(1), ResourceId(1), LockMode::Exclusive, SimTime::ZERO);
+/// let (r2, _) = t.request_via(&mut bus, ClientId(1), ResourceId(1), LockMode::Exclusive, SimTime::ZERO);
 /// assert_eq!(r2, LockReply::Queued);
 /// ```
 #[derive(Debug)]
@@ -212,9 +260,38 @@ impl LockTable {
         self.scheme
     }
 
+    /// Requests a lock, publishing the resulting notices through the
+    /// cooperation-event bus. Returns the immediate reply plus the bus
+    /// deliveries that survived rights gating and weighting.
+    pub fn request_via(
+        &mut self,
+        bus: &mut EventBus,
+        client: ClientId,
+        resource: ResourceId,
+        mode: LockMode,
+        now: SimTime,
+    ) -> (LockReply, Vec<BusDelivery>) {
+        let (reply, notices) = self.request_inner(client, resource, mode, now);
+        (reply, publish_notices(bus, &notices, now))
+    }
+
     /// Requests a lock. Returns the immediate reply plus any notices to
     /// forward.
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `request_via`"
+    )]
     pub fn request(
+        &mut self,
+        client: ClientId,
+        resource: ResourceId,
+        mode: LockMode,
+        now: SimTime,
+    ) -> (LockReply, Vec<Notice>) {
+        self.request_inner(client, resource, mode, now)
+    }
+
+    fn request_inner(
         &mut self,
         client: ClientId,
         resource: ResourceId,
@@ -310,12 +387,42 @@ impl LockTable {
         }
     }
 
+    /// Releases a lock and promotes waiters, publishing grant notices
+    /// through the cooperation-event bus.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::NotHeld`] if the client holds no lock on `resource`.
+    pub fn release_via(
+        &mut self,
+        bus: &mut EventBus,
+        client: ClientId,
+        resource: ResourceId,
+        now: SimTime,
+    ) -> Result<Vec<BusDelivery>, LockError> {
+        let notices = self.release_inner(client, resource, now)?;
+        Ok(publish_notices(bus, &notices, now))
+    }
+
     /// Releases a lock and promotes waiters.
     ///
     /// # Errors
     ///
     /// [`LockError::NotHeld`] if the client holds no lock on `resource`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `release_via`"
+    )]
     pub fn release(
+        &mut self,
+        client: ClientId,
+        resource: ResourceId,
+        now: SimTime,
+    ) -> Result<Vec<Notice>, LockError> {
+        self.release_inner(client, resource, now)
+    }
+
+    fn release_inner(
         &mut self,
         client: ClientId,
         resource: ResourceId,
@@ -332,8 +439,28 @@ impl LockTable {
         Ok(Self::promote(state, resource, now))
     }
 
+    /// Releases everything `client` holds or waits for (client
+    /// departure), publishing grant notices through the bus.
+    pub fn release_all_via(
+        &mut self,
+        bus: &mut EventBus,
+        client: ClientId,
+        now: SimTime,
+    ) -> Vec<BusDelivery> {
+        let notices = self.release_all_inner(client, now);
+        publish_notices(bus, &notices, now)
+    }
+
     /// Releases everything `client` holds or waits for (client departure).
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `release_all_via`"
+    )]
     pub fn release_all(&mut self, client: ClientId, now: SimTime) -> Vec<Notice> {
+        self.release_all_inner(client, now)
+    }
+
+    fn release_all_inner(&mut self, client: ClientId, now: SimTime) -> Vec<Notice> {
         let mut notices = Vec::new();
         for (&r, state) in self.locks.iter_mut() {
             state.queue.retain(|w| w.client != client);
@@ -347,9 +474,25 @@ impl LockTable {
         notices
     }
 
+    /// Tickle maintenance via the cooperation-event bus: transfers
+    /// locks whose holders have been idle past the timeout, publishing
+    /// revocations and grants. Call periodically.
+    pub fn tick_via(&mut self, bus: &mut EventBus, now: SimTime) -> Vec<BusDelivery> {
+        let notices = self.tick_inner(now);
+        publish_notices(bus, &notices, now)
+    }
+
     /// Tickle maintenance: transfers locks whose holders have been idle
     /// past the timeout to the (oldest) tickler. Call periodically.
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `tick_via`"
+    )]
     pub fn tick(&mut self, now: SimTime) -> Vec<Notice> {
+        self.tick_inner(now)
+    }
+
+    fn tick_inner(&mut self, now: SimTime) -> Vec<Notice> {
         let LockScheme::Tickle { idle_timeout } = self.scheme else {
             return Vec::new();
         };
@@ -448,12 +591,100 @@ impl LockTable {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy Vec<Notice> shims stay covered until removal
 mod tests {
     use super::*;
 
     const R: ResourceId = ResourceId(1);
     fn t(ms: u64) -> SimTime {
         SimTime::from_millis(ms)
+    }
+
+    /// An open bus observing clients 0..n (1:1 client→node mapping).
+    fn bus(n: u32) -> EventBus {
+        let mut b = EventBus::new();
+        for i in 0..n {
+            b.register(NodeId(i), 0.0);
+        }
+        b
+    }
+
+    #[test]
+    fn via_promotion_grants_flow_through_the_bus() {
+        let mut b = bus(3);
+        let mut lt = LockTable::new(LockScheme::Hard);
+        lt.request_via(&mut b, ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request_via(&mut b, ClientId(1), R, LockMode::Exclusive, t(1));
+        let out = lt.release_via(&mut b, ClientId(0), R, t(2)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].observer, NodeId(1), "grant reaches the promotee");
+        assert_eq!(out[0].event.kind.label(), "lock.granted");
+        assert_eq!(out[0].event.artefact, "res/1");
+    }
+
+    #[test]
+    fn via_tickle_revocation_and_grant_flow_through_the_bus() {
+        let mut b = bus(2);
+        let mut lt = LockTable::new(LockScheme::Tickle {
+            idle_timeout: SimDuration::from_millis(100),
+        });
+        lt.request_via(&mut b, ClientId(0), R, LockMode::Exclusive, t(0));
+        let (reply, tickles) = lt.request_via(&mut b, ClientId(1), R, LockMode::Exclusive, t(50));
+        assert_eq!(reply, LockReply::Queued);
+        assert_eq!(tickles.len(), 1);
+        assert_eq!(tickles[0].observer, NodeId(0), "holder is tickled");
+        assert_eq!(tickles[0].event.kind.label(), "lock.tickled");
+        let out = lt.tick_via(&mut b, t(160));
+        let labels: Vec<&str> = out.iter().map(|d| d.event.kind.label()).collect();
+        assert_eq!(labels, vec!["lock.revoked", "lock.granted"]);
+        assert_eq!(out[0].observer, NodeId(0));
+        assert_eq!(out[1].observer, NodeId(1));
+    }
+
+    #[test]
+    fn rights_gate_suppresses_lock_notices_for_unauthorized_clients() {
+        use odp_access::matrix::Subject;
+        use odp_access::rbac::{Effect, RbacPolicy, RoleId};
+        use odp_access::rights::Rights;
+
+        // Only client 1 may read res/*; client 0's conflict warning is
+        // suppressed by the gate (a participant you may not see cannot
+        // make you aware of its activity).
+        let mut policy = RbacPolicy::new();
+        policy.add_rule(RoleId(1), "res".into(), Rights::READ, Effect::Allow);
+        policy.assign(Subject(1), RoleId(1));
+        let mut b = bus(2);
+        b.set_policy(policy);
+
+        let mut lt = LockTable::new(LockScheme::Soft);
+        lt.request_via(&mut b, ClientId(0), R, LockMode::Exclusive, t(0));
+        let (reply, out) = lt.request_via(&mut b, ClientId(1), R, LockMode::Exclusive, t(1));
+        assert!(matches!(reply, LockReply::GrantedConflict(_)));
+        assert!(out.is_empty(), "warning to client 0 is rights-gated");
+        assert_eq!(b.suppressed_by_rights(), 1);
+    }
+
+    #[test]
+    fn notice_conversion_addresses_the_recipient_directly() {
+        let n = Notice {
+            to: ClientId(3),
+            kind: NoticeKind::AccessNotification {
+                by: ClientId(7),
+                mode: LockMode::Shared,
+            },
+            resource: ResourceId(42),
+        };
+        let ev = n.to_coop(t(5));
+        assert_eq!(ev.actor, NodeId(3));
+        assert_eq!(ev.artefact, "res/42");
+        assert_eq!(ev.at, t(5));
+        assert!(matches!(
+            ev.kind,
+            CoopKind::LockAccess {
+                by: NodeId(7),
+                mode: CoopMode::Shared
+            }
+        ));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, EventBus};
 use odp_sim::time::SimTime;
 
 use crate::locks::ClientId;
@@ -81,22 +82,24 @@ struct GroupNode {
 /// # Examples
 ///
 /// ```
+/// use odp_awareness::bus::EventBus;
 /// use odp_concurrency::locks::ClientId;
 /// use odp_concurrency::nested::GroupTree;
 /// use odp_concurrency::store::{ObjectId, ObjectStore};
 /// use odp_concurrency::txgroup::CooperativeRule;
 /// use odp_sim::time::SimTime;
 ///
+/// let mut bus = EventBus::new();
 /// let mut store = ObjectStore::new();
 /// store.create(ObjectId(1), "v0");
 /// let mut tree = GroupTree::new(store, [ClientId(0)], Box::new(CooperativeRule));
 /// let sub = tree.create_subgroup(tree.root(), [ClientId(1)], Box::new(CooperativeRule))?;
-/// tree.write(sub, ClientId(1), ObjectId(1), "sub draft", SimTime::ZERO)?;
+/// tree.write_via(&mut bus, sub, ClientId(1), ObjectId(1), "sub draft", SimTime::ZERO)?;
 /// // The parent does not see the subgroup's dirty work yet...
-/// assert_eq!(tree.read(tree.root(), ClientId(0), ObjectId(1), SimTime::ZERO)?.0, "v0");
+/// assert_eq!(tree.read_via(&mut bus, tree.root(), ClientId(0), ObjectId(1), SimTime::ZERO)?.0, "v0");
 /// tree.commit(sub)?;
 /// // ...until the subgroup commits upward.
-/// assert_eq!(tree.read(tree.root(), ClientId(0), ObjectId(1), SimTime::ZERO)?.0, "sub draft");
+/// assert_eq!(tree.read_via(&mut bus, tree.root(), ClientId(0), ObjectId(1), SimTime::ZERO)?.0, "sub draft");
 /// # Ok::<(), odp_concurrency::nested::TreeError>(())
 /// ```
 pub struct GroupTree {
@@ -170,11 +173,35 @@ impl GroupTree {
         self.nodes.get_mut(&id).ok_or(TreeError::UnknownGroup(id))
     }
 
+    /// Reads inside a group (dirty within the group, per its rule),
+    /// publishing any access notices on the cooperation-event bus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rule denials and unknown groups/objects.
+    pub fn read_via(
+        &mut self,
+        bus: &mut EventBus,
+        group: GroupNodeId,
+        member: ClientId,
+        object: ObjectId,
+        at: SimTime,
+    ) -> Result<(String, Vec<BusDelivery>), TreeError> {
+        Ok(self
+            .node_mut(group)?
+            .group
+            .read_via(bus, member, object, at)?)
+    }
+
     /// Reads inside a group (dirty within the group, per its rule).
     ///
     /// # Errors
     ///
     /// Propagates rule denials and unknown groups/objects.
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `read_via`"
+    )]
     pub fn read(
         &mut self,
         group: GroupNodeId,
@@ -182,7 +209,29 @@ impl GroupTree {
         object: ObjectId,
         at: SimTime,
     ) -> Result<(String, Vec<GroupNotice>), TreeError> {
+        #[allow(deprecated)]
         Ok(self.node_mut(group)?.group.read(member, object, at)?)
+    }
+
+    /// Writes inside a group, publishing any access notices on the
+    /// cooperation-event bus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rule denials and unknown groups/objects.
+    pub fn write_via(
+        &mut self,
+        bus: &mut EventBus,
+        group: GroupNodeId,
+        member: ClientId,
+        object: ObjectId,
+        value: impl Into<String>,
+        at: SimTime,
+    ) -> Result<(u64, Vec<BusDelivery>), TreeError> {
+        Ok(self
+            .node_mut(group)?
+            .group
+            .write_via(bus, member, object, value, at)?)
     }
 
     /// Writes inside a group.
@@ -190,6 +239,10 @@ impl GroupTree {
     /// # Errors
     ///
     /// Propagates rule denials and unknown groups/objects.
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `write_via`"
+    )]
     pub fn write(
         &mut self,
         group: GroupNodeId,
@@ -198,6 +251,7 @@ impl GroupTree {
         value: impl Into<String>,
         at: SimTime,
     ) -> Result<(u64, Vec<GroupNotice>), TreeError> {
+        #[allow(deprecated)]
         Ok(self
             .node_mut(group)?
             .group
@@ -254,9 +308,12 @@ impl GroupTree {
 }
 
 #[cfg(test)]
+// the legacy Vec<GroupNotice> shims stay covered until removal
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::txgroup::{CooperativeRule, ExclusiveWriterRule};
+    use odp_sim::net::NodeId;
 
     const NOW: SimTime = SimTime::ZERO;
     const DOC: ObjectId = ObjectId(1);
@@ -358,5 +415,27 @@ mod tests {
             t.create_subgroup(ghost, [ClientId(5)], Box::new(CooperativeRule)),
             Err(TreeError::UnknownGroup(_))
         ));
+    }
+
+    #[test]
+    fn via_accesses_inside_a_subgroup_publish_on_the_bus() {
+        let mut bus = EventBus::new();
+        bus.register(NodeId(0), 0.0);
+        bus.register(NodeId(2), 0.0);
+        let mut t = tree();
+        let sub = t
+            .create_subgroup(
+                t.root(),
+                [ClientId(0), ClientId(2)],
+                Box::new(CooperativeRule),
+            )
+            .unwrap();
+        t.write_via(&mut bus, sub, ClientId(2), DOC, "sub work", NOW)
+            .unwrap();
+        let (value, seen) = t.read_via(&mut bus, sub, ClientId(0), DOC, NOW).unwrap();
+        assert_eq!(value, "sub work");
+        // The cooperative rule notifies the other member of the access.
+        assert!(seen.iter().any(|d| d.observer == NodeId(2)));
+        assert!(seen.iter().all(|d| d.event.kind.label() == "group.access"));
     }
 }

@@ -275,6 +275,9 @@ impl TxnManager {
             OpKind::Read => LockMode::Shared,
             OpKind::Insert(_) | OpKind::Delete(_) => LockMode::Exclusive,
         };
+        // The 2PL scheduler consumes raw notices to drive TxnEvents; its
+        // cooperative surface is the TxnEvent layer, not the bus.
+        #[allow(deprecated)]
         let (reply, _notices) = self
             .table
             .request(Self::lock_client(txn), resource, mode, now);
@@ -341,6 +344,7 @@ impl TxnManager {
 
     fn finish(&mut self, txn: TxnId, now: SimTime) -> Result<Vec<TxnEvent>, TxnError> {
         self.txns.remove(&txn).ok_or(TxnError::UnknownTxn(txn))?;
+        #[allow(deprecated)]
         let notices = self.table.release_all(Self::lock_client(txn), now);
         let mut events = Vec::new();
         for notice in notices {

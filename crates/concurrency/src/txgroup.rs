@@ -16,6 +16,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, CoopMode, EventBus};
+use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
 
 use crate::locks::ClientId;
@@ -180,6 +182,34 @@ pub struct GroupNotice {
     pub at: SimTime,
 }
 
+impl GroupNotice {
+    /// The notice as a unified cooperation event: the acting member is
+    /// the actor, the notified member the (direct) audience, on the
+    /// object's artefact path (`obj/<id>`).
+    pub fn to_coop(&self) -> CoopEvent {
+        let mode = match self.mode {
+            AccessMode::Read => CoopMode::Shared,
+            AccessMode::Write => CoopMode::Exclusive,
+        };
+        CoopEvent::direct(
+            NodeId(self.by.0),
+            NodeId(self.to.0),
+            format!("obj/{}", self.object.0),
+            self.at,
+            CoopKind::GroupAccess { mode },
+        )
+    }
+}
+
+/// Publishes each group notice through the bus, concatenating the
+/// surviving deliveries.
+fn publish_notices(bus: &mut EventBus, notices: &[GroupNotice]) -> Vec<BusDelivery> {
+    notices
+        .iter()
+        .flat_map(|n| bus.publish(n.to_coop()))
+        .collect()
+}
+
 /// Errors from group operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GroupError {
@@ -234,18 +264,23 @@ impl From<StoreError> for GroupError {
 /// # Examples
 ///
 /// ```
+/// use odp_awareness::bus::EventBus;
 /// use odp_concurrency::locks::ClientId;
 /// use odp_concurrency::store::{ObjectId, ObjectStore};
 /// use odp_concurrency::txgroup::{CooperativeRule, TransactionGroup};
+/// use odp_sim::net::NodeId;
 /// use odp_sim::time::SimTime;
 ///
+/// let mut bus = EventBus::new();
+/// bus.register(NodeId(0), 0.0);
+/// bus.register(NodeId(1), 0.0);
 /// let mut store = ObjectStore::new();
 /// store.create(ObjectId(1), "draft");
 /// let mut g = TransactionGroup::new(store, [ClientId(0), ClientId(1)], CooperativeRule);
-/// let (val, _) = g.read(ClientId(0), ObjectId(1), SimTime::ZERO)?;
+/// let (val, _) = g.read_via(&mut bus, ClientId(0), ObjectId(1), SimTime::ZERO)?;
 /// assert_eq!(val, "draft");
-/// let (_, notices) = g.write(ClientId(1), ObjectId(1), "draft v2", SimTime::ZERO)?;
-/// assert_eq!(notices.len(), 1, "reader 0 is notified of the write");
+/// let (_, seen) = g.write_via(&mut bus, ClientId(1), ObjectId(1), "draft v2", SimTime::ZERO)?;
+/// assert_eq!(seen.len(), 1, "reader 0 is notified of the write");
 /// # Ok::<(), odp_concurrency::txgroup::GroupError>(())
 /// ```
 pub struct TransactionGroup<R> {
@@ -326,13 +361,43 @@ impl<R: AccessRule> TransactionGroup<R> {
         }
     }
 
+    /// Reads the group-internal value of `object`, publishing awareness
+    /// notices through the cooperation-event bus.
+    ///
+    /// # Errors
+    ///
+    /// Denied accesses, non-members and unknown objects fail.
+    pub fn read_via(
+        &mut self,
+        bus: &mut EventBus,
+        member: ClientId,
+        object: ObjectId,
+        at: SimTime,
+    ) -> Result<(String, Vec<BusDelivery>), GroupError> {
+        let (value, notices) = self.read_inner(member, object, at)?;
+        Ok((value, publish_notices(bus, &notices)))
+    }
+
     /// Reads the group-internal value of `object` — including dirty writes
     /// by other members ("reading over their shoulder").
     ///
     /// # Errors
     ///
     /// Denied accesses, non-members and unknown objects fail.
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `read_via`"
+    )]
     pub fn read(
+        &mut self,
+        member: ClientId,
+        object: ObjectId,
+        at: SimTime,
+    ) -> Result<(String, Vec<GroupNotice>), GroupError> {
+        self.read_inner(member, object, at)
+    }
+
+    fn read_inner(
         &mut self,
         member: ClientId,
         object: ObjectId,
@@ -348,13 +413,45 @@ impl<R: AccessRule> TransactionGroup<R> {
         Ok((value, notices))
     }
 
+    /// Writes `object` inside the group, publishing awareness notices
+    /// through the cooperation-event bus.
+    ///
+    /// # Errors
+    ///
+    /// Denied accesses, non-members and unknown objects fail.
+    pub fn write_via(
+        &mut self,
+        bus: &mut EventBus,
+        member: ClientId,
+        object: ObjectId,
+        value: impl Into<String>,
+        at: SimTime,
+    ) -> Result<(u64, Vec<BusDelivery>), GroupError> {
+        let (version, notices) = self.write_inner(member, object, value, at)?;
+        Ok((version, publish_notices(bus, &notices)))
+    }
+
     /// Writes `object` inside the group. The new value is immediately
     /// visible to other members but not outside the group.
     ///
     /// # Errors
     ///
     /// Denied accesses, non-members and unknown objects fail.
+    #[deprecated(
+        since = "0.1.0",
+        note = "notices now flow through the cooperation-event bus; use `write_via`"
+    )]
     pub fn write(
+        &mut self,
+        member: ClientId,
+        object: ObjectId,
+        value: impl Into<String>,
+        at: SimTime,
+    ) -> Result<(u64, Vec<GroupNotice>), GroupError> {
+        self.write_inner(member, object, value, at)
+    }
+
+    fn write_inner(
         &mut self,
         member: ClientId,
         object: ObjectId,
@@ -405,6 +502,7 @@ impl<R: AccessRule> TransactionGroup<R> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy Vec<GroupNotice> shims stay covered until removal
 mod tests {
     use super::*;
 
@@ -415,6 +513,45 @@ mod tests {
     }
 
     const NOW: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn via_accesses_publish_group_notices_on_the_bus() {
+        let mut bus = EventBus::new();
+        for i in 0..3 {
+            bus.register(NodeId(i), 0.0);
+        }
+        let mut g = setup(CooperativeRule);
+        g.read_via(&mut bus, ClientId(0), ObjectId(1), NOW).unwrap();
+        g.read_via(&mut bus, ClientId(1), ObjectId(1), NOW).unwrap();
+        let (_, seen) = g
+            .write_via(&mut bus, ClientId(2), ObjectId(1), "x", NOW)
+            .unwrap();
+        let observers: Vec<NodeId> = seen.iter().map(|d| d.observer).collect();
+        assert_eq!(observers, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(seen[0].event.actor, NodeId(2));
+        assert_eq!(seen[0].event.artefact, "obj/1");
+        assert_eq!(seen[0].event.kind.label(), "group.access");
+    }
+
+    #[test]
+    fn group_notice_conversion_maps_modes_onto_coop_modes() {
+        let n = GroupNotice {
+            to: ClientId(1),
+            by: ClientId(2),
+            object: ObjectId(9),
+            mode: AccessMode::Write,
+            at: SimTime::from_millis(3),
+        };
+        let ev = n.to_coop();
+        assert_eq!(ev.actor, NodeId(2));
+        assert_eq!(ev.artefact, "obj/9");
+        assert!(matches!(
+            ev.kind,
+            CoopKind::GroupAccess {
+                mode: CoopMode::Exclusive
+            }
+        ));
+    }
 
     #[test]
     fn dirty_reads_inside_the_group_are_visible() {

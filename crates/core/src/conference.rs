@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, EventBus};
 use odp_concurrency::floor::{FloorControl, FloorEvent, FloorPolicy};
 use odp_concurrency::locks::ClientId;
 use odp_sim::net::NodeId;
@@ -55,14 +56,16 @@ impl std::error::Error for ConferenceError {}
 ///
 /// ```
 /// use cscw_core::conference::TransparentConference;
+/// use odp_awareness::bus::EventBus;
 /// use odp_concurrency::floor::FloorPolicy;
 /// use odp_sim::net::NodeId;
 /// use odp_sim::time::SimTime;
 ///
+/// let mut bus = EventBus::new();
 /// let mut conf = TransparentConference::new(FloorPolicy::RequestQueue);
 /// conf.join(NodeId(0));
 /// conf.join(NodeId(1));
-/// conf.request_floor(NodeId(0), SimTime::ZERO);
+/// conf.request_floor_via(&mut bus, NodeId(0), SimTime::ZERO);
 /// let outputs = conf.input(NodeId(0), "type A", SimTime::ZERO)?;
 /// assert_eq!(outputs.len(), 2, "both participants see the same output");
 /// # Ok::<(), cscw_core::conference::ConferenceError>(())
@@ -92,13 +95,48 @@ impl TransparentConference {
         }
     }
 
+    /// Requests the floor, announcing grants on the cooperation-event
+    /// bus (so every participant's awareness display can show whose turn
+    /// it is).
+    pub fn request_floor_via(
+        &mut self,
+        bus: &mut EventBus,
+        who: NodeId,
+        now: SimTime,
+    ) -> Vec<BusDelivery> {
+        self.floor.request_via(bus, ClientId(who.0), now)
+    }
+
     /// Requests the floor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "floor events now flow through the cooperation-event bus; use `request_floor_via`"
+    )]
     pub fn request_floor(&mut self, who: NodeId, now: SimTime) -> Vec<FloorEvent> {
+        #[allow(deprecated)]
         self.floor.request(ClientId(who.0), now)
     }
 
+    /// Releases the floor, announcing the hand-over on the
+    /// cooperation-event bus.
+    pub fn release_floor_via(
+        &mut self,
+        bus: &mut EventBus,
+        who: NodeId,
+        now: SimTime,
+    ) -> Vec<BusDelivery> {
+        self.floor
+            .release_via(bus, ClientId(who.0), now)
+            .unwrap_or_default()
+    }
+
     /// Releases the floor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "floor events now flow through the cooperation-event bus; use `release_floor_via`"
+    )]
     pub fn release_floor(&mut self, who: NodeId, now: SimTime) -> Vec<FloorEvent> {
+        #[allow(deprecated)]
         self.floor.release(ClientId(who.0), now).unwrap_or_default()
     }
 
@@ -234,10 +272,29 @@ impl AwareConference {
 }
 
 #[cfg(test)]
+// the legacy Vec<FloorEvent> shims stay covered until removal
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     const NOW: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn floor_grants_via_the_bus_reach_the_other_participants() {
+        let mut bus = EventBus::new();
+        bus.register(NodeId(0), 0.0);
+        bus.register(NodeId(1), 0.0);
+        let mut conf = TransparentConference::new(FloorPolicy::RequestQueue);
+        conf.join(NodeId(0));
+        conf.join(NodeId(1));
+        let seen = conf.request_floor_via(&mut bus, NodeId(0), NOW);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].observer, NodeId(1));
+        assert_eq!(seen[0].event.kind.label(), "floor.granted");
+        // The hand-over announces idle (empty queue) to the non-actor.
+        let seen = conf.release_floor_via(&mut bus, NodeId(0), NOW);
+        assert_eq!(seen[0].event.kind.label(), "floor.idle");
+    }
 
     #[test]
     fn transparent_conference_enforces_turn_taking() {

@@ -1,9 +1,10 @@
 //! Experiment E10: the mobile field engineer across connectivity levels.
 
+use odp_awareness::bus::EventBus;
 use odp_concurrency::store::{ObjectId, ObjectStore};
 use odp_mobility::host::{MobileHost, Served};
 use odp_mobility::reintegration::ConflictPolicy;
-use odp_sim::net::Connectivity;
+use odp_sim::net::{Connectivity, NodeId};
 use odp_sim::rng::DetRng;
 use odp_sim::time::SimTime;
 
@@ -35,11 +36,16 @@ pub fn e10_mobility(seed: u64) -> Vec<Table> {
             server.create(ObjectId(o), format!("work order {o}: survey the site"));
         }
         let mut host = MobileHost::new(ConflictPolicy::ServerWins);
+        // The office (node 0) observes the engineer's (node 1)
+        // reintegration conflicts on the cooperation-event bus.
+        let mut bus = EventBus::new();
+        bus.register(NodeId(0), 0.0);
         // Hoard the first 15 work orders at the depot.
         for o in 0..15 {
             host.cache_mut().hoard(ObjectId(o));
         }
-        host.reconnect(&mut server).expect("initial hoard fetch");
+        host.reconnect_via(&mut bus, NodeId(1), &mut server, SimTime::ZERO)
+            .expect("initial hoard fetch");
 
         let mut minute = 0u64;
         let mut conflicts = 0usize;
@@ -73,7 +79,19 @@ pub fn e10_mobility(seed: u64) -> Vec<Table> {
         }
         // Phase 3: back at the depot — reconnect, reintegrate, bulk
         // update.
-        let report = host.reconnect(&mut server).expect("reintegration");
+        let (report, announced) = host
+            .reconnect_via(
+                &mut bus,
+                NodeId(1),
+                &mut server,
+                SimTime::from_secs(minute * 60),
+            )
+            .expect("reintegration");
+        assert_eq!(
+            announced.len(),
+            report.conflicts(),
+            "every settled conflict reaches the office"
+        );
         conflicts += report.conflicts();
         bulk_bytes += report.bulk_bytes;
 
@@ -114,7 +132,9 @@ pub fn e10_mobility(seed: u64) -> Vec<Table> {
         for o in 0..6 {
             host.cache_mut().hoard(ObjectId(o));
         }
-        host.reconnect(&mut server).expect("hoard");
+        let mut bus = EventBus::new();
+        host.reconnect_via(&mut bus, NodeId(1), &mut server, SimTime::ZERO)
+            .expect("hoard");
         host.set_connectivity(level);
         let (mut by_server, mut by_cache, mut logged, mut unavailable) = (0u32, 0u32, 0u32, 0u32);
         for i in 0..30u64 {

@@ -14,6 +14,11 @@
 //! | `Ot` | never (local apply) | the relayed operation itself | push |
 //! | `Floor` | until the floor is granted | multicast output (WYSIWIS) | push |
 
+// This rig deliberately stays on the direct-notice shims: it forwards
+// raw notices as simulation messages and is the pre-bus baseline the
+// awareness_fanout bench compares the cooperation-event bus against.
+#![allow(deprecated)]
+
 use std::collections::HashMap;
 
 use odp_concurrency::floor::{FloorControl, FloorEvent, FloorPolicy};

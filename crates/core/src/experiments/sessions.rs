@@ -128,8 +128,18 @@ pub fn e12_transitions(seed: u64) -> Vec<Table> {
         .expect("write");
     let history_before = ws.history().len();
 
-    // Switch to asynchronous working overnight.
-    let t1 = session.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(3600));
+    // Switch to asynchronous working overnight. The transition is
+    // announced on the workspace's cooperation-event bus, so the other
+    // author's awareness display shows the seam.
+    ws.policy_mut()
+        .add_rule(RoleId(1), "session".into(), Rights::READ, Effect::Allow);
+    let (t1, announced) = session.switch_mode_via(
+        ws.bus_mut(),
+        a,
+        SessionMode::ASYNC_DISTRIBUTED,
+        SimTime::from_secs(3600),
+    );
+    assert_eq!(announced.len(), 1, "the co-author hears the switch");
     ws.write(
         a,
         ObjectId(1),
@@ -139,7 +149,12 @@ pub fn e12_transitions(seed: u64) -> Vec<Table> {
     .expect("write");
 
     // Reconvene synchronously next morning.
-    let t2 = session.switch_mode(SessionMode::SYNC_DISTRIBUTED, SimTime::from_secs(60_000));
+    let (t2, _) = session.switch_mode_via(
+        ws.bus_mut(),
+        b,
+        SessionMode::SYNC_DISTRIBUTED,
+        SimTime::from_secs(60_000),
+    );
     ws.write(
         b,
         ObjectId(1),

@@ -11,6 +11,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, EventBus};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 use odp_telemetry::span::{SpanContext, CLOSE, OPEN};
@@ -311,12 +312,47 @@ impl Session {
         self.artefacts.insert(artefact.into());
     }
 
+    /// Switches mode like [`Session::switch_mode`], additionally
+    /// announcing the transition on the cooperation-event bus as a
+    /// [`CoopKind::SessionSwitched`] broadcast from `by` on
+    /// `session/{id}` — a seam the *other* participants need to notice,
+    /// not just the one who pulled the lever.
+    ///
+    /// [`CoopKind::SessionSwitched`]: odp_awareness::bus::CoopKind::SessionSwitched
+    pub fn switch_mode_via(
+        &mut self,
+        bus: &mut EventBus,
+        by: NodeId,
+        to: SessionMode,
+        at: SimTime,
+    ) -> (Transition, Vec<BusDelivery>) {
+        let t = self.switch_mode_inner(to, at);
+        let deliveries = bus.publish(CoopEvent::broadcast(
+            by,
+            format!("session/{}", self.id.0),
+            at,
+            CoopKind::SessionSwitched {
+                from: t.from.label().to_owned(),
+                to: t.to.label().to_owned(),
+            },
+        ));
+        (t, deliveries)
+    }
+
     /// Switches mode **seamlessly**: participants and artefacts are
     /// untouched; the transition and its (modelled) rebind cost are
     /// logged. The cost model: switching the time dimension re-binds the
     /// interaction machinery (200 ms); switching place re-binds transport
     /// (50 ms); both switches compound.
+    #[deprecated(
+        since = "0.1.0",
+        note = "transitions now flow through the cooperation-event bus; use `switch_mode_via`"
+    )]
     pub fn switch_mode(&mut self, to: SessionMode, at: SimTime) -> Transition {
+        self.switch_mode_inner(to, at)
+    }
+
+    fn switch_mode_inner(&mut self, to: SessionMode, at: SimTime) -> Transition {
         let mut cost = SimDuration::ZERO;
         if self.mode.time != to.time {
             cost += SimDuration::from_millis(200);
@@ -347,6 +383,8 @@ impl Session {
 }
 
 #[cfg(test)]
+// the legacy bus-less shims stay covered until removal
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -443,6 +481,34 @@ mod tests {
         let mut s = Session::new(SessionId(1), SessionMode::FACE_TO_FACE);
         s.join(NodeId(0), SimTime::ZERO).unwrap();
         assert!(s.drain_telemetry().is_empty());
+    }
+
+    #[test]
+    fn via_transitions_broadcast_to_the_other_participants() {
+        let mut bus = EventBus::new();
+        bus.register(NodeId(0), 0.0);
+        bus.register(NodeId(1), 0.0);
+        let mut s = Session::new(SessionId(4), SessionMode::SYNC_DISTRIBUTED);
+        s.join(NodeId(0), SimTime::ZERO).unwrap();
+        s.join(NodeId(1), SimTime::ZERO).unwrap();
+        let (t, seen) = s.switch_mode_via(
+            &mut bus,
+            NodeId(0),
+            SessionMode::ASYNC_DISTRIBUTED,
+            SimTime::from_secs(60),
+        );
+        assert_eq!(t.cost, SimDuration::from_millis(200));
+        // The switcher is the actor, so only the other participant hears it.
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].observer, NodeId(1));
+        assert_eq!(seen[0].event.artefact, "session/4");
+        match &seen[0].event.kind {
+            CoopKind::SessionSwitched { from, to } => {
+                assert_eq!(from, "synchronous distributed interaction");
+                assert_eq!(to, "asynchronous distributed interaction");
+            }
+            other => panic!("expected a session switch, got {other:?}"),
+        }
     }
 
     #[test]

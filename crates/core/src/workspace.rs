@@ -11,7 +11,8 @@
 use odp_access::matrix::Subject;
 use odp_access::rbac::{ObjectPath, RbacPolicy};
 use odp_access::rights::Rights;
-use odp_awareness::events::{ActivityKind, AwarenessEngine, AwarenessEvent, WeightedDelivery};
+use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, EventBus};
+use odp_awareness::events::{ActivityKind, AwarenessEvent};
 use odp_concurrency::store::{ObjectStore, StoreError};
 use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
@@ -65,6 +66,12 @@ impl From<StoreError> for WorkspaceError {
 
 /// A shared workspace binding store + policy + awareness.
 ///
+/// Awareness flows through the rights-gated cooperation-event bus: the
+/// same [`RbacPolicy`] that adjudicates the *access* also gates who may
+/// *observe* it, so an observer without `READ` rights on an artefact
+/// never learns the artefact was touched (the bus discloses how much was
+/// withheld via [`EventBus::suppressed_by_rights`]).
+///
 /// # Examples
 ///
 /// ```
@@ -76,16 +83,18 @@ impl From<StoreError> for WorkspaceError {
 /// let mut ws = SharedWorkspace::new();
 /// ws.policy_mut().add_rule(RoleId(1), "notes".into(), Rights::ALL, Effect::Allow);
 /// ws.policy_mut().assign(Subject(0), RoleId(1));
+/// ws.policy_mut().assign(Subject(1), RoleId(1));
 /// ws.create_artefact(ObjectId(1), "notes/today", "agenda");
 /// ws.register_observer(NodeId(1), 0.0);
+/// ws.register_observer(NodeId(2), 0.0); // no rights on "notes"
 /// let deliveries = ws.write(NodeId(0), ObjectId(1), "agenda v2", SimTime::ZERO)?;
-/// assert_eq!(deliveries.len(), 1, "observer 1 saw the edit");
+/// assert_eq!(deliveries.len(), 1, "only the rightful observer saw the edit");
+/// assert_eq!(ws.bus().suppressed_by_rights(), 1, "the withholding is disclosed");
 /// # Ok::<(), cscw_core::workspace::WorkspaceError>(())
 /// ```
 pub struct SharedWorkspace {
     store: ObjectStore,
-    policy: RbacPolicy,
-    awareness: AwarenessEngine,
+    bus: EventBus,
     paths: std::collections::BTreeMap<ObjectId, ObjectPath>,
     history: Vec<HistoryEntry>,
 }
@@ -99,36 +108,52 @@ impl Default for SharedWorkspace {
 impl SharedWorkspace {
     /// Creates an empty workspace (every event weighs 1.0 by default;
     /// install a spatial weighting via
-    /// [`SharedWorkspace::set_weight_fn`]).
+    /// [`SharedWorkspace::set_weight_fn`]). The bus's rights gate is
+    /// armed from the start: the workspace policy is default-deny, so
+    /// observers only hear about artefacts they could read.
     pub fn new() -> Self {
+        let mut bus = EventBus::new();
+        bus.set_policy(RbacPolicy::new());
         SharedWorkspace {
             store: ObjectStore::new(),
-            policy: RbacPolicy::new(),
-            awareness: AwarenessEngine::new(Box::new(|_, _| 1.0)),
+            bus,
             paths: std::collections::BTreeMap::new(),
             history: Vec::new(),
         }
     }
 
-    /// The access policy (add rules, assign roles).
+    /// The access policy (add rules, assign roles). This is the same
+    /// policy the awareness gate consults.
     pub fn policy_mut(&mut self) -> &mut RbacPolicy {
-        &mut self.policy
+        self.bus.policy_mut()
     }
 
     /// Read access to the policy.
     pub fn policy(&self) -> &RbacPolicy {
-        &self.policy
+        self.bus.policy()
+    }
+
+    /// The underlying cooperation-event bus (observer statistics,
+    /// rights-suppression disclosure).
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Mutable access to the bus (e.g. to disarm the gate in a trusted
+    /// closed-team configuration).
+    pub fn bus_mut(&mut self) -> &mut EventBus {
+        &mut self.bus
     }
 
     /// Registers an awareness observer with an interest threshold.
     pub fn register_observer(&mut self, who: NodeId, threshold: f64) {
-        self.awareness.register(who, threshold);
+        self.bus.register(who, threshold);
     }
 
     /// Installs an awareness weighting function (e.g. from a
     /// [`odp_awareness::spatial::SpatialModel`]).
     pub fn set_weight_fn(&mut self, weight: WorkspaceWeightFn) {
-        self.awareness.set_weight_fn(weight);
+        self.bus.set_awareness_weight_fn(weight);
     }
 
     /// Creates an artefact at an access-control path.
@@ -151,11 +176,11 @@ impl SharedWorkspace {
 
     fn check(&self, who: NodeId, id: ObjectId, needed: Rights) -> Result<(), WorkspaceError> {
         let path = self.path_of(id);
-        let decision = self.policy.check(Subject(who.0), &path, needed);
+        let decision = self.bus.policy().check(Subject(who.0), &path, needed);
         if decision.allowed {
             Ok(())
         } else {
-            Err(WorkspaceError::Denied(self.policy.explain(
+            Err(WorkspaceError::Denied(self.bus.policy().explain(
                 Subject(who.0),
                 &path,
                 needed,
@@ -169,7 +194,7 @@ impl SharedWorkspace {
         id: ObjectId,
         kind: ActivityKind,
         at: SimTime,
-    ) -> Vec<WeightedDelivery> {
+    ) -> Vec<BusDelivery> {
         let artefact = self.path_of(id).to_string();
         self.history.push(HistoryEntry {
             who: who.0,
@@ -177,16 +202,16 @@ impl SharedWorkspace {
             kind,
             at,
         });
-        self.awareness.publish(AwarenessEvent {
-            actor: who,
+        self.bus.publish(CoopEvent::broadcast(
+            who,
             artefact,
-            kind,
             at,
-        })
+            CoopKind::Activity(kind),
+        ))
     }
 
-    /// Reads an artefact (requires `READ`); peers with interest get a
-    /// `View` awareness event.
+    /// Reads an artefact (requires `READ`); peers with interest *and*
+    /// `READ` rights on the artefact get a `View` awareness event.
     ///
     /// # Errors
     ///
@@ -196,14 +221,15 @@ impl SharedWorkspace {
         who: NodeId,
         id: ObjectId,
         at: SimTime,
-    ) -> Result<(String, Vec<WeightedDelivery>), WorkspaceError> {
+    ) -> Result<(String, Vec<BusDelivery>), WorkspaceError> {
         self.check(who, id, Rights::READ)?;
         let value = self.store.read(id)?.value.clone();
         let deliveries = self.publish(who, id, ActivityKind::View, at);
         Ok((value, deliveries))
     }
 
-    /// Writes an artefact (requires `WRITE`); peers get an `Edit` event.
+    /// Writes an artefact (requires `WRITE`); peers with `READ` rights
+    /// get an `Edit` event.
     ///
     /// # Errors
     ///
@@ -214,7 +240,7 @@ impl SharedWorkspace {
         id: ObjectId,
         value: impl Into<String>,
         at: SimTime,
-    ) -> Result<Vec<WeightedDelivery>, WorkspaceError> {
+    ) -> Result<Vec<BusDelivery>, WorkspaceError> {
         self.check(who, id, Rights::WRITE)?;
         self.store.write(id, value)?;
         Ok(self.publish(who, id, ActivityKind::Edit, at))
@@ -274,13 +300,27 @@ mod tests {
     const NOW: SimTime = SimTime::ZERO;
 
     #[test]
-    fn writes_flow_to_observers() {
+    fn writes_flow_to_observers_with_rights() {
+        let mut ws = workspace();
+        ws.register_observer(NodeId(1), 0.0); // reader role on "docs"
+        ws.register_observer(NodeId(2), 0.0); // no role at all
+        let deliveries = ws.write(NodeId(0), ObjectId(1), "v2", NOW).unwrap();
+        // The rightless observer is gated out, and the gate discloses it.
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].observer, NodeId(1));
+        assert_eq!(deliveries[0].event.kind.activity(), ActivityKind::Edit);
+        assert_eq!(ws.bus().suppressed_by_rights(), 1);
+        assert_eq!(ws.bus().stats(NodeId(2)).unwrap().suppressed_by_rights, 1);
+    }
+
+    #[test]
+    fn disarming_the_gate_restores_open_fanout() {
         let mut ws = workspace();
         ws.register_observer(NodeId(1), 0.0);
         ws.register_observer(NodeId(2), 0.0);
+        ws.bus_mut().set_rights_gate(false);
         let deliveries = ws.write(NodeId(0), ObjectId(1), "v2", NOW).unwrap();
-        assert_eq!(deliveries.len(), 2);
-        assert_eq!(deliveries[0].event.kind, ActivityKind::Edit);
+        assert_eq!(deliveries.len(), 2, "trusted closed team: everyone hears");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use cscw_core::conference::TransparentConference;
 use cscw_core::document::{AnnotationKind, QuiltDocument};
 use cscw_core::flightstrips::{Beacon, Callsign, FlightProgressBoard, FlightStrip, PlacementMode};
 use cscw_core::session::{Session, SessionId, SessionMode};
+use odp_awareness::bus::EventBus;
 use odp_concurrency::floor::FloorPolicy;
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
@@ -17,6 +18,7 @@ use std::collections::BTreeMap;
 /// async ends the floor-controlled phase but preserves the artefacts.
 #[test]
 fn conference_lives_inside_a_session() {
+    let mut bus = EventBus::new();
     let mut session = Session::new(SessionId(3), SessionMode::SYNC_DISTRIBUTED);
     let mut conf = TransparentConference::new(FloorPolicy::RequestQueue);
     for n in 0..3u32 {
@@ -24,14 +26,22 @@ fn conference_lives_inside_a_session() {
             .join(NodeId(n), SimTime::ZERO)
             .expect("fresh member");
         conf.join(NodeId(n));
+        bus.register(NodeId(n), 0.0);
     }
     session.share("whiteboard");
-    conf.request_floor(NodeId(0), SimTime::ZERO);
+    let grants = conf.request_floor_via(&mut bus, NodeId(0), SimTime::ZERO);
+    assert_eq!(grants.len(), 2, "both other members see the floor grant");
     conf.input(NodeId(0), "sketch the design", SimTime::from_secs(1))
         .expect("floor holder");
     // The meeting ends; work continues asynchronously on the same session.
-    let t = session.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(3_600));
+    let (t, announced) = session.switch_mode_via(
+        &mut bus,
+        NodeId(0),
+        SessionMode::ASYNC_DISTRIBUTED,
+        SimTime::from_secs(3_600),
+    );
     assert!(t.cost > SimDuration::ZERO);
+    assert_eq!(announced.len(), 2, "the seam is announced to the others");
     assert_eq!(
         session.artefacts(),
         vec!["whiteboard"],

@@ -12,12 +12,13 @@
 
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, EventBus};
 use odp_concurrency::store::{ObjectId, ObjectStore, StoreError};
-use odp_sim::net::Connectivity;
+use odp_sim::net::{Connectivity, NodeId};
 use odp_sim::time::SimTime;
 
 use crate::cache::MobileCache;
-use crate::reintegration::{reintegrate, ChangeLog, ConflictPolicy, ReplayOutcome};
+use crate::reintegration::{reintegrate_via, ChangeLog, ConflictPolicy, ReplayOutcome};
 
 /// How an operation was satisfied (for the E10 availability accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,17 +216,53 @@ impl MobileHost {
         }
     }
 
+    /// Restores full connectivity like [`MobileHost::reconnect`], but
+    /// announces every reintegration conflict on the cooperation-event
+    /// bus (as `mobile`, the node this host runs on) so co-authors whose
+    /// edits raced the disconnection learn how the race was settled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reintegration store failures.
+    pub fn reconnect_via(
+        &mut self,
+        bus: &mut EventBus,
+        mobile: NodeId,
+        server: &mut ObjectStore,
+        at: SimTime,
+    ) -> Result<(ReconnectReport, Vec<BusDelivery>), MobileError> {
+        self.connectivity = Connectivity::Full;
+        let (replay, deliveries) = reintegrate_via(bus, mobile, &self.log, server, self.policy, at)
+            .map_err(|e| match e {
+                crate::reintegration::ReintegrationError::Store(s) => MobileError::Store(s),
+            })?;
+        Ok((self.finish_reconnect(server, replay), deliveries))
+    }
+
     /// Restores full connectivity: reintegrates the disconnected log,
     /// then bulk-refreshes every hoarded and cached object.
     ///
     /// # Errors
     ///
     /// Propagates reintegration store failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "conflicts now flow through the cooperation-event bus; use `reconnect_via`"
+    )]
     pub fn reconnect(&mut self, server: &mut ObjectStore) -> Result<ReconnectReport, MobileError> {
         self.connectivity = Connectivity::Full;
-        let replay = reintegrate(&self.log, server, self.policy).map_err(|e| match e {
-            crate::reintegration::ReintegrationError::Store(s) => MobileError::Store(s),
-        })?;
+        let replay = crate::reintegration::reintegrate_inner(&self.log, server, self.policy)
+            .map_err(|e| match e {
+                crate::reintegration::ReintegrationError::Store(s) => MobileError::Store(s),
+            })?;
+        Ok(self.finish_reconnect(server, replay))
+    }
+
+    fn finish_reconnect(
+        &mut self,
+        server: &mut ObjectStore,
+        replay: Vec<ReplayOutcome>,
+    ) -> ReconnectReport {
         self.log.clear();
         // Bulk update: refresh hoarded objects and all current entries.
         let mut refreshed = 0;
@@ -244,15 +281,17 @@ impl MobileHost {
                 refreshed += 1;
             }
         }
-        Ok(ReconnectReport {
+        ReconnectReport {
             replay,
             refreshed,
             bulk_bytes,
-        })
+        }
     }
 }
 
 #[cfg(test)]
+// the legacy ReconnectReport-only shims stay covered until removal
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -430,6 +469,28 @@ mod tests {
             host.write(ObjectId(1), "x", &mut srv, NOW).unwrap_err(),
             MobileError::Unavailable(ObjectId(1))
         );
+    }
+
+    #[test]
+    fn reconnect_via_broadcasts_the_settled_conflict() {
+        let mut bus = EventBus::new();
+        bus.register(NodeId(3), 0.0); // the mobile
+        bus.register(NodeId(0), 0.0); // the desk-bound co-author
+        let mut srv = server();
+        let mut host = MobileHost::new(ConflictPolicy::ClientWins);
+        host.read(ObjectId(1), &mut srv).unwrap();
+        host.set_connectivity(Connectivity::Disconnected);
+        host.write(ObjectId(1), "field edit", &mut srv, NOW)
+            .unwrap();
+        srv.write(ObjectId(1), "desk edit").unwrap();
+        let (report, seen) = host
+            .reconnect_via(&mut bus, NodeId(3), &mut srv, SimTime::from_secs(5))
+            .unwrap();
+        assert_eq!(report.conflicts(), 1);
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].observer, NodeId(0));
+        assert_eq!(seen[0].event.kind.label(), "mobility.conflict");
+        assert!(host.log().is_empty(), "via path also drains the log");
     }
 
     #[test]

@@ -43,5 +43,8 @@ pub use addressing::{AddressingError, HomeAgent, MobileId};
 pub use cache::{CachedObject, MobileCache};
 pub use host::{MobileError, MobileHost, ReconnectReport, Served};
 pub use reintegration::{
-    reintegrate, ChangeLog, ConflictPolicy, LogEntry, ReintegrationError, ReplayOutcome,
+    reintegrate_via, ChangeLog, ConflictPolicy, LogEntry, ReintegrationError, ReplayOutcome,
 };
+// the deprecated shim stays re-exported until removal
+#[allow(deprecated)]
+pub use reintegration::reintegrate;

@@ -10,7 +10,9 @@
 
 use std::fmt;
 
+use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, EventBus};
 use odp_concurrency::store::{ObjectId, ObjectStore, StoreError};
+use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -161,6 +163,46 @@ impl From<StoreError> for ReintegrationError {
     }
 }
 
+/// Replays an optimised log against the authoritative `server` store,
+/// announcing every write/write conflict on the cooperation-event bus as
+/// a [`CoopKind::ReintegrationConflict`] broadcast from `mobile` on
+/// `obj/{id}` — so the co-authors whose edits raced the disconnected
+/// mobile learn the race was settled (and how). Clean applies are not
+/// announced; they are ordinary writes.
+///
+/// Returns the per-entry outcomes (in log order) plus the bus
+/// deliveries. The log is not cleared — callers clear it after
+/// inspecting the outcomes.
+///
+/// # Errors
+///
+/// Fails only if an object vanished from the server entirely.
+pub fn reintegrate_via(
+    bus: &mut EventBus,
+    mobile: NodeId,
+    log: &ChangeLog,
+    server: &mut ObjectStore,
+    policy: ConflictPolicy,
+    at: SimTime,
+) -> Result<(Vec<ReplayOutcome>, Vec<BusDelivery>), ReintegrationError> {
+    let outcomes = reintegrate_inner(log, server, policy)?;
+    let mut deliveries = Vec::new();
+    for outcome in &outcomes {
+        if let ReplayOutcome::Conflict {
+            object, applied, ..
+        } = outcome
+        {
+            deliveries.extend(bus.publish(CoopEvent::broadcast(
+                mobile,
+                format!("obj/{}", object.0),
+                at,
+                CoopKind::ReintegrationConflict { applied: *applied },
+            )));
+        }
+    }
+    Ok((outcomes, deliveries))
+}
+
 /// Replays an optimised log against the authoritative `server` store.
 /// Returns one outcome per entry, in log order. The log is not cleared —
 /// callers clear it after inspecting the outcomes.
@@ -168,7 +210,19 @@ impl From<StoreError> for ReintegrationError {
 /// # Errors
 ///
 /// Fails only if an object vanished from the server entirely.
+#[deprecated(
+    since = "0.1.0",
+    note = "conflicts now flow through the cooperation-event bus; use `reintegrate_via`"
+)]
 pub fn reintegrate(
+    log: &ChangeLog,
+    server: &mut ObjectStore,
+    policy: ConflictPolicy,
+) -> Result<Vec<ReplayOutcome>, ReintegrationError> {
+    reintegrate_inner(log, server, policy)
+}
+
+pub(crate) fn reintegrate_inner(
     log: &ChangeLog,
     server: &mut ObjectStore,
     policy: ConflictPolicy,
@@ -199,6 +253,8 @@ pub fn reintegrate(
 }
 
 #[cfg(test)]
+// the legacy Vec<ReplayOutcome> shims stay covered until removal
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -285,5 +341,36 @@ mod tests {
         log.record(ObjectId(1), 0, "x", SimTime::ZERO);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn via_announces_conflicts_but_not_clean_applies() {
+        let mut bus = EventBus::new();
+        bus.register(NodeId(7), 0.0); // the mobile itself
+        bus.register(NodeId(1), 0.0); // the co-author whose edit raced
+        let mut srv = server();
+        srv.write(ObjectId(1), "desk edit").unwrap(); // races the mobile
+        let mut log = ChangeLog::new();
+        log.record(ObjectId(1), 0, "field edit", SimTime::ZERO);
+        log.record(ObjectId(2), 0, "clean edit", SimTime::ZERO);
+        let (out, seen) = reintegrate_via(
+            &mut bus,
+            NodeId(7),
+            &log,
+            &mut srv,
+            ConflictPolicy::ServerWins,
+            SimTime::from_secs(9),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        // Only the conflict is announced; the broadcast excludes the actor.
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].observer, NodeId(1));
+        assert_eq!(seen[0].event.actor, NodeId(7));
+        assert_eq!(seen[0].event.artefact, "obj/1");
+        assert!(matches!(
+            seen[0].event.kind,
+            CoopKind::ReintegrationConflict { applied: false }
+        ));
     }
 }

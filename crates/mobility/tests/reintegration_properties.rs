@@ -1,9 +1,10 @@
 //! Property tests for disconnected operation and reintegration.
 
+use odp_awareness::bus::EventBus;
 use odp_concurrency::store::{ObjectId, ObjectStore};
 use odp_mobility::host::MobileHost;
-use odp_mobility::reintegration::{reintegrate, ChangeLog, ConflictPolicy, ReplayOutcome};
-use odp_sim::net::Connectivity;
+use odp_mobility::reintegration::{reintegrate_via, ChangeLog, ConflictPolicy, ReplayOutcome};
+use odp_sim::net::{Connectivity, NodeId};
 use odp_sim::time::SimTime;
 use proptest::prelude::*;
 
@@ -57,13 +58,19 @@ proptest! {
             dirtied.insert(o);
         }
         let policy = if client_wins { ConflictPolicy::ClientWins } else { ConflictPolicy::ServerWins };
-        let outcomes = reintegrate(&log, &mut server, policy).expect("all objects exist");
+        // An office observer hears each conflict on the cooperation-event bus.
+        let mut bus = EventBus::new();
+        bus.register(NodeId(9), 0.0);
+        let (outcomes, announced) =
+            reintegrate_via(&mut bus, NodeId(1), &log, &mut server, policy, SimTime::ZERO)
+                .expect("all objects exist");
         let conflicts = outcomes
             .iter()
             .filter(|o| matches!(o, ReplayOutcome::Conflict { .. }))
             .count();
         let expected_conflicts = logged.intersection(&dirtied).count();
         prop_assert_eq!(conflicts, expected_conflicts);
+        prop_assert_eq!(announced.len(), expected_conflicts, "one bus notice per conflict");
         for &o in &logged {
             let value = &server.read(ObjectId(o)).expect("exists").value;
             if dirtied.contains(&o) && !client_wins {
@@ -87,7 +94,10 @@ proptest! {
         for o in 0..4 {
             host.cache_mut().hoard(ObjectId(o));
         }
-        host.reconnect(&mut server).expect("hoard");
+        let mut bus = EventBus::new();
+        bus.register(NodeId(9), 0.0);
+        host.reconnect_via(&mut bus, NodeId(1), &mut server, SimTime::ZERO)
+            .expect("hoard");
         host.set_connectivity(Connectivity::Disconnected);
         for (i, &(o, write)) in ops.iter().enumerate() {
             if write {
@@ -97,8 +107,11 @@ proptest! {
                 host.read(ObjectId(o), &mut server).expect("hoarded");
             }
         }
-        let report = host.reconnect(&mut server).expect("reintegrate");
+        let (report, announced) = host
+            .reconnect_via(&mut bus, NodeId(1), &mut server, SimTime::from_secs(100))
+            .expect("reintegrate");
         prop_assert_eq!(report.conflicts(), 0);
+        prop_assert!(announced.is_empty(), "clean replays stay quiet on the bus");
         for o in 0..4u64 {
             let server_val = server.read(ObjectId(o)).expect("exists").value.clone();
             let cached = host.cache().peek(ObjectId(o)).expect("hoarded").value.clone();

@@ -35,12 +35,10 @@ use std::fmt;
 
 use odp_access::rights::Rights;
 use odp_sim::net::{LinkQos, Network};
-use odp_streams::qos::QosSpec;
 
 use crate::error::TraderError;
-use crate::offer::ServiceType;
 use crate::plan::{ImportRequest, ImportResolution, PathState, Scope};
-use crate::select::{match_offers_via, select, SelectionLoad, SelectionPolicy};
+use crate::select::{match_offers_via, select, SelectionLoad};
 use crate::store::ShardedStore;
 
 /// Names a trading domain (one administrative authority).
@@ -280,38 +278,16 @@ impl Federation {
             Err(TraderError::NoMatch)
         }
     }
-
-    /// Resolves an import from positional arguments.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an odp_trader::plan::ImportRequest and call Federation::resolve"
-    )]
-    #[allow(clippy::too_many_arguments)] // the legacy surface this shim preserves
-    pub fn import(
-        &mut self,
-        at: DomainId,
-        rights: Rights,
-        service_type: &ServiceType,
-        required: &QosSpec,
-        policy: SelectionPolicy,
-        max_hops: u32,
-        net: Option<&Network>,
-    ) -> Result<ImportResolution, TraderError> {
-        let request = ImportRequest::for_type(service_type.clone())
-            .qos(*required)
-            .rights(rights)
-            .policy(policy)
-            .max_hops(max_hops);
-        self.resolve(at, &request, net)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::offer::{ServiceOffer, SessionKind};
+    use crate::offer::{ServiceOffer, ServiceType, SessionKind};
+    use crate::select::SelectionPolicy;
     use odp_sim::net::NodeId;
     use odp_sim::time::SimDuration;
+    use odp_streams::qos::QosSpec;
 
     fn store_with(traders: &[u32], offers: &[(&str, u32)]) -> ShardedStore {
         let mut s = ShardedStore::new(traders.iter().copied().map(NodeId));
@@ -641,23 +617,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_import_shim_still_resolves() {
+    fn builder_request_resolves_across_one_link() {
         let mut fed = Federation::new();
         fed.add_domain(DomainId(0), store_with(&[0], &[]));
         fed.add_domain(DomainId(1), store_with(&[10], &[("video/conference", 15)]));
         fed.link(DomainId(0), DomainId(1), "video/", Rights::READ);
-        let r = fed
-            .import(
-                DomainId(0),
-                Rights::READ,
-                &st(),
-                &QosSpec::video(),
-                SelectionPolicy::FirstFit,
-                3,
-                None,
-            )
-            .unwrap();
+        let request = ImportRequest::for_type(st())
+            .qos(QosSpec::video())
+            .rights(Rights::READ)
+            .policy(SelectionPolicy::FirstFit)
+            .max_hops(3);
+        let r = fed.resolve(DomainId(0), &request, None).unwrap();
         assert_eq!(r.domain, DomainId(1));
         assert_eq!(r.hops, 1);
     }

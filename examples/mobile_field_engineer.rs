@@ -5,10 +5,11 @@
 //!
 //! Run with: `cargo run --example mobile_field_engineer`
 
+use cscw::awareness::bus::EventBus;
 use cscw::concurrency::store::{ObjectId, ObjectStore};
 use cscw::mobility::host::{MobileHost, Served};
 use cscw::mobility::reintegration::{ConflictPolicy, ReplayOutcome};
-use odp_sim::net::Connectivity;
+use odp_sim::net::{Connectivity, NodeId};
 use odp_sim::time::SimTime;
 
 fn main() {
@@ -21,11 +22,17 @@ fn main() {
     office.create(ObjectId(3), "WO-3: survey new cable route");
 
     let mut engineer = MobileHost::new(ConflictPolicy::ServerWins);
+    // The dispatcher (node 0) observes the engineer's (node 1)
+    // reintegration conflicts on the cooperation-event bus.
+    let mut bus = EventBus::new();
+    bus.register(NodeId(0), 0.0);
 
     // 08:00 — at the depot (fully connected): hoard today's work orders.
     engineer.cache_mut().hoard(ObjectId(1));
     engineer.cache_mut().hoard(ObjectId(2));
-    let report = engineer.reconnect(&mut office).expect("depot network up");
+    let (report, _) = engineer
+        .reconnect_via(&mut bus, NodeId(1), &mut office, SimTime::ZERO)
+        .expect("depot network up");
     println!(
         "08:00 depot   : hoarded {} work orders ({} bytes).",
         report.refreshed, report.bulk_bytes
@@ -59,10 +66,21 @@ fn main() {
     println!("11:00 office  : dispatcher cancels WO-1 (concurrent edit!).");
 
     // 16:00 — back at the depot: reintegration detects the conflict.
-    let report = engineer.reconnect(&mut office).expect("depot network up");
+    let (report, announced) = engineer
+        .reconnect_via(
+            &mut bus,
+            NodeId(1),
+            &mut office,
+            SimTime::from_secs(8 * 3600),
+        )
+        .expect("depot network up");
     println!(
         "\n16:00 depot   : reintegrating {} logged change(s)...",
         report.replay.len()
+    );
+    println!(
+        "               ({} conflict notice(s) reach the dispatcher on the bus)",
+        announced.len()
     );
     for outcome in &report.replay {
         match outcome {

@@ -6,6 +6,7 @@ use cscw::access::matrix::Subject;
 use cscw::access::negotiation::Negotiator;
 use cscw::access::rbac::{Effect, RoleId};
 use cscw::access::rights::Rights;
+use cscw::awareness::bus::EventBus;
 use cscw::awareness::spatial::{Position, SpatialBody, SpatialModel};
 use cscw::concurrency::store::{ObjectId as MobObj, ObjectStore};
 use cscw::core::session::{Session, SessionId, SessionMode};
@@ -121,6 +122,12 @@ fn cross_organisation_co_authoring() {
     );
 
     // --- Mobility: offline work on a parallel artefact -------------------
+    // Cooperation events (reintegration conflicts, session transitions)
+    // flow over a shared, open bus everyone observes.
+    let mut bus = EventBus::new();
+    for n in [author, contractor, mobile] {
+        bus.register(n, 0.0);
+    }
     let mut field_store = ObjectStore::new();
     field_store.create(MobObj(7), "site notes v0");
     let mut host = MobileHost::new(ConflictPolicy::ServerWins);
@@ -134,15 +141,24 @@ fn cross_organisation_co_authoring() {
         SimTime::from_secs(30),
     )
     .expect("cached base");
-    let report = host.reconnect(&mut field_store).expect("reintegration");
+    let (report, announced) = host
+        .reconnect_via(&mut bus, mobile, &mut field_store, SimTime::from_secs(40))
+        .expect("reintegration");
     assert_eq!(report.conflicts(), 0);
+    assert!(announced.is_empty(), "clean replays stay quiet on the bus");
     assert_eq!(
         field_store.read(MobObj(7)).expect("exists").value,
         "site notes v1 (offline)"
     );
 
     // --- Seamless transition to async ------------------------------------
-    let t = session.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(3600));
+    let (t, seam) = session.switch_mode_via(
+        &mut bus,
+        author,
+        SessionMode::ASYNC_DISTRIBUTED,
+        SimTime::from_secs(3600),
+    );
+    assert_eq!(seam.len(), 2, "the others hear about the mode switch");
     assert_eq!(session.participants().len(), 3, "membership survives");
     assert!(t.cost.as_millis() > 0);
     // The public history carries everything for late joiners.
