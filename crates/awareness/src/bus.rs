@@ -274,7 +274,11 @@ pub struct BusDelivery {
 ///
 /// Returning `0.0` suppresses delivery entirely (broadcast audience
 /// only; directed events bypass weighting).
-pub type CoopWeightFn = Box<dyn Fn(NodeId, &CoopEvent) -> f64>;
+///
+/// `Send` so a bus replica can be hosted on a threaded transport
+/// backend (`odp-net`'s TCP driver moves the actor into its driver
+/// thread).
+pub type CoopWeightFn = Box<dyn Fn(NodeId, &CoopEvent) -> f64 + Send>;
 
 /// Per-observer bus state.
 struct BusObserver {

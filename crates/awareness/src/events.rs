@@ -78,7 +78,10 @@ pub struct WeightedDelivery {
 /// Computes the awareness weight of `event` for `observer`.
 ///
 /// Returning `0.0` suppresses delivery entirely.
-pub type WeightFn = Box<dyn Fn(NodeId, &AwarenessEvent) -> f64>;
+///
+/// `Send` so awareness state can ride along when a hosting actor moves
+/// into a threaded transport backend.
+pub type WeightFn = Box<dyn Fn(NodeId, &AwarenessEvent) -> f64 + Send>;
 
 /// Per-observer delivery configuration.
 struct Observer {

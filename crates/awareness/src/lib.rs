@@ -39,6 +39,7 @@ pub mod mediaspace;
 pub mod portholes;
 pub mod spatial;
 pub mod weights;
+pub mod wire;
 
 pub use bus::{
     Audience, BusDelivery, BusStats, CoopEvent, CoopKind, CoopMode, CoopWeightFn, EventBus,

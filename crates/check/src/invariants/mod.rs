@@ -22,6 +22,10 @@
 //! - [`awareness`] — cooperation-event rights gating: no schedule may
 //!   deliver a `CoopEvent` to an observer lacking read rights on its
 //!   artefact ([`odp_awareness::bus`]).
+//! - [`transport`] — transport fidelity: the live transport's session
+//!   layer shows no sequence gaps after reconnect replay and delivers a
+//!   crashed origin's forwarded broadcasts exactly once
+//!   ([`odp_net::session`]).
 
 pub mod awareness;
 pub mod federation;
@@ -30,3 +34,4 @@ pub mod locks;
 pub mod replication;
 pub mod telemetry;
 pub mod trader;
+pub mod transport;

@@ -13,6 +13,7 @@
 use odp_groupcomm::actors::{GroupActor, GroupApp, RpcConfig};
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
+use odp_net::ctx::NetCtx;
 use odp_sim::prelude::*;
 use odp_telemetry::collector::Collector;
 use odp_telemetry::span::{SpanContext, OPEN};
@@ -23,11 +24,11 @@ use crate::explore::Invariant;
 pub struct EchoApp;
 
 impl GroupApp<String> for EchoApp {
-    fn on_deliver(&mut self, _ctx: &mut Ctx<'_, GcMsg<String>>, _delivery: Delivery<String>) {}
+    fn on_deliver(&mut self, _ctx: &mut dyn NetCtx<GcMsg<String>>, _delivery: Delivery<String>) {}
 
     fn on_rpc(
         &mut self,
-        _ctx: &mut Ctx<'_, GcMsg<String>>,
+        _ctx: &mut dyn NetCtx<GcMsg<String>>,
         _from: NodeId,
         _call: u64,
         payload: &String,
@@ -46,7 +47,7 @@ struct CallerHost {
 
 impl Actor<GcMsg<String>> for CallerHost {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
-        self.inner.on_start(ctx);
+        Actor::on_start(&mut self.inner, ctx);
         if self.leak_a_span {
             // Fixed ids, not rng-minted: the leak must appear in every
             // explored schedule, not just the first.
@@ -58,7 +59,7 @@ impl Actor<GcMsg<String>> for CallerHost {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, from: NodeId, msg: GcMsg<String>) {
-        self.inner.on_message(ctx, from, msg);
+        Actor::on_message(&mut self.inner, ctx, from, msg);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, timer: TimerId, tag: u64) {

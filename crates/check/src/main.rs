@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, Report};
 use odp_check::invariants::{
-    awareness, federation, groupcomm, locks, replication, telemetry, trader,
+    awareness, federation, groupcomm, locks, replication, telemetry, trader, transport,
 };
 use odp_check::lint;
 use odp_groupcomm::multicast::Ordering;
@@ -112,6 +112,10 @@ fn awareness_invs(
     vec![Box::new(awareness::RightsGated::for_gating_sim())]
 }
 
+fn transport_invs() -> Vec<Box<dyn Invariant<transport::TransportMsg>>> {
+    vec![Box::new(transport::TransportFidelity::for_transport_sim())]
+}
+
 const CHECKS: &[Check] = &[
     Check {
         name: "locks-cycle-2",
@@ -197,6 +201,17 @@ const CHECKS: &[Check] = &[
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| awareness::gating_sim(s, true), awareness_invs, c)
+        },
+        budget: horizon_budget,
+    },
+    Check {
+        name: "transport-fidelity",
+        about: "net: no seq gaps after reconnect, forwarded broadcasts exactly-once",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore(|s| transport::transport_sim(s, true), transport_invs)
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(|s| transport::transport_sim(s, true), transport_invs, c)
         },
         budget: horizon_budget,
     },

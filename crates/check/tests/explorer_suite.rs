@@ -4,7 +4,7 @@
 
 use odp_check::explore::{Budget, Explorer, Invariant};
 use odp_check::invariants::{
-    awareness, federation, groupcomm, locks, replication, telemetry, trader,
+    awareness, federation, groupcomm, locks, replication, telemetry, trader, transport,
 };
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
@@ -337,6 +337,62 @@ fn explorer_finds_the_leaked_span() {
         .replay(
             |s| telemetry::telemetry_sim(s, false),
             telemetry_invs,
+            &cx.choices,
+        )
+        .expect("counterexample must reproduce");
+    assert_eq!(replayed.violation, cx.violation);
+    let (seed, choices) =
+        odp_check::explore::Counterexample::parse_trace(&cx.trace()).expect("trace parses");
+    assert_eq!(seed, SEED);
+    assert_eq!(choices, cx.choices);
+}
+
+fn transport_invs() -> Vec<Box<dyn Invariant<transport::TransportMsg>>> {
+    vec![Box::new(transport::TransportFidelity::for_transport_sim())]
+}
+
+/// The live transport's session layer keeps its fidelity promises in
+/// every explored schedule of the crash/replay scenario: no sequence
+/// gaps after reconnect replay, the dead origin's forwarded broadcast
+/// delivered exactly once, and the forwarding/dedup paths actually ran.
+#[test]
+fn transport_fidelity_holds_in_every_schedule() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let report =
+        Explorer::new(SEED, budget).explore(|s| transport::transport_sim(s, true), transport_invs);
+    assert!(
+        report.violation.is_none(),
+        "transport infidelity: {}",
+        report.violation.unwrap()
+    );
+    assert!(
+        report.runs > 1,
+        "transport scenario explored only one schedule"
+    );
+}
+
+/// Seeded known-bad fixture: `(origin, bseq)` dedup disarmed for
+/// forwarded frames. Overlapping survivors then double-deliver the
+/// crashed origin's broadcast, the detector must flag it, and the
+/// counterexample must replay.
+#[test]
+fn explorer_finds_the_disarmed_forward_dedup() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let ex = Explorer::new(SEED, budget);
+    let report = ex.explore(|s| transport::transport_sim(s, false), transport_invs);
+    let cx = report
+        .violation
+        .expect("the disarmed forward dedup must be detected");
+    assert_eq!(cx.invariant, "transport-fidelity");
+    assert!(
+        cx.violation.contains("duplicates or omissions"),
+        "unexpected violation: {}",
+        cx.violation
+    );
+    let replayed = ex
+        .replay(
+            |s| transport::transport_sim(s, false),
+            transport_invs,
             &cx.choices,
         )
         .expect("counterexample must reproduce");

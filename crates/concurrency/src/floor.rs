@@ -176,20 +176,15 @@ impl FloorControl {
         client: ClientId,
         now: SimTime,
     ) -> Vec<BusDelivery> {
-        let events = self.request_inner(client, now);
+        let events = self.request_direct(client, now);
         publish_events(bus, &events, client, now)
     }
 
-    /// Requests the floor. Grants immediately if free, else queues.
-    #[deprecated(
-        since = "0.1.0",
-        note = "floor events now flow through the cooperation-event bus; use `request_via`"
-    )]
-    pub fn request(&mut self, client: ClientId, now: SimTime) -> Vec<FloorEvent> {
-        self.request_inner(client, now)
-    }
-
-    fn request_inner(&mut self, client: ClientId, now: SimTime) -> Vec<FloorEvent> {
+    /// Requests the floor, returning raw [`FloorEvent`]s without bus
+    /// publication (the direct-notice engine path used by consumers
+    /// that drive their own event distribution, e.g. the scheme rig).
+    /// Grants immediately if free, else queues.
+    pub fn request_direct(&mut self, client: ClientId, now: SimTime) -> Vec<FloorEvent> {
         if self.holder.map(|(c, _)| c) == Some(client) {
             return Vec::new(); // already holding
         }
@@ -216,29 +211,17 @@ impl FloorControl {
         client: ClientId,
         now: SimTime,
     ) -> Result<Vec<BusDelivery>, FloorError> {
-        let events = self.release_inner(client, now)?;
+        let events = self.release_direct(client, now)?;
         Ok(publish_events(bus, &events, client, now))
     }
 
-    /// Releases the floor, promoting the next waiter (if the policy
-    /// queues) or leaving the floor idle.
+    /// Releases the floor without bus publication (direct-notice engine
+    /// path), promoting the next waiter or leaving the floor idle.
     ///
     /// # Errors
     ///
     /// [`FloorError::NotHolder`] if `client` does not hold the floor.
-    #[deprecated(
-        since = "0.1.0",
-        note = "floor events now flow through the cooperation-event bus; use `release_via`"
-    )]
-    pub fn release(
-        &mut self,
-        client: ClientId,
-        now: SimTime,
-    ) -> Result<Vec<FloorEvent>, FloorError> {
-        self.release_inner(client, now)
-    }
-
-    fn release_inner(
+    pub fn release_direct(
         &mut self,
         client: ClientId,
         now: SimTime,
@@ -265,30 +248,18 @@ impl FloorControl {
         target: ClientId,
         now: SimTime,
     ) -> Result<Vec<BusDelivery>, FloorError> {
-        let events = self.pass_inner(client, target, now)?;
+        let events = self.pass_direct(client, target, now)?;
         Ok(publish_events(bus, &events, client, now))
     }
 
-    /// Explicitly passes the floor to `target` (who must be waiting) —
-    /// required under [`FloorPolicy::ExplicitPass`], allowed under all.
+    /// Explicitly passes the floor to `target` (who must be waiting)
+    /// without bus publication (direct-notice engine path) — required
+    /// under [`FloorPolicy::ExplicitPass`], allowed under all.
     ///
     /// # Errors
     ///
     /// Fails if `client` is not the holder or `target` is not waiting.
-    #[deprecated(
-        since = "0.1.0",
-        note = "floor events now flow through the cooperation-event bus; use `pass_via`"
-    )]
-    pub fn pass(
-        &mut self,
-        client: ClientId,
-        target: ClientId,
-        now: SimTime,
-    ) -> Result<Vec<FloorEvent>, FloorError> {
-        self.pass_inner(client, target, now)
-    }
-
-    fn pass_inner(
+    pub fn pass_direct(
         &mut self,
         client: ClientId,
         target: ClientId,
@@ -315,21 +286,14 @@ impl FloorControl {
         // fallback actor (only used for Idle, which tick never emits) is
         // moot; the pre-tick holder keeps it well-defined regardless.
         let fallback = self.holder().unwrap_or(ClientId(0));
-        let events = self.tick_inner(now);
+        let events = self.tick_direct(now);
         publish_events(bus, &events, fallback, now)
     }
 
-    /// Time-based maintenance: under [`FloorPolicy::PreemptAfter`],
-    /// preempts over-long holders.
-    #[deprecated(
-        since = "0.1.0",
-        note = "floor events now flow through the cooperation-event bus; use `tick_via`"
-    )]
-    pub fn tick(&mut self, now: SimTime) -> Vec<FloorEvent> {
-        self.tick_inner(now)
-    }
-
-    fn tick_inner(&mut self, now: SimTime) -> Vec<FloorEvent> {
+    /// Time-based maintenance without bus publication (direct-notice
+    /// engine path): under [`FloorPolicy::PreemptAfter`], preempts
+    /// over-long holders.
+    pub fn tick_direct(&mut self, now: SimTime) -> Vec<FloorEvent> {
         let FloorPolicy::PreemptAfter(limit) = self.policy else {
             return Vec::new();
         };
@@ -380,8 +344,6 @@ impl FloorControl {
 }
 
 #[cfg(test)]
-// the legacy Vec<FloorEvent> shims stay covered until removal
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use odp_sim::net::NodeId;
@@ -443,7 +405,7 @@ mod tests {
     #[test]
     fn free_floor_grants_immediately() {
         let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
-        let ev = fc.request(ClientId(0), t(0));
+        let ev = fc.request_direct(ClientId(0), t(0));
         assert_eq!(
             ev,
             vec![FloorEvent::Granted {
@@ -457,10 +419,10 @@ mod tests {
     #[test]
     fn queue_policy_transfers_on_release_in_fifo_order() {
         let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
-        fc.request(ClientId(0), t(0));
-        fc.request(ClientId(1), t(1));
-        fc.request(ClientId(2), t(2));
-        let ev = fc.release(ClientId(0), t(10)).unwrap();
+        fc.request_direct(ClientId(0), t(0));
+        fc.request_direct(ClientId(1), t(1));
+        fc.request_direct(ClientId(2), t(2));
+        let ev = fc.release_direct(ClientId(0), t(10)).unwrap();
         assert_eq!(
             ev,
             vec![FloorEvent::Granted {
@@ -475,16 +437,16 @@ mod tests {
     #[test]
     fn explicit_pass_policy_requires_a_pass() {
         let mut fc = FloorControl::new(FloorPolicy::ExplicitPass);
-        fc.request(ClientId(0), t(0));
-        fc.request(ClientId(1), t(1));
+        fc.request_direct(ClientId(0), t(0));
+        fc.request_direct(ClientId(1), t(1));
         // Release does not auto-promote.
-        let ev = fc.release(ClientId(0), t(2)).unwrap();
+        let ev = fc.release_direct(ClientId(0), t(2)).unwrap();
         assert!(ev.is_empty());
         assert_eq!(fc.holder(), None);
         assert_eq!(fc.waiting(), vec![ClientId(1)]);
         // Re-request and pass.
-        fc.request(ClientId(0), t(3));
-        let ev = fc.pass(ClientId(0), ClientId(1), t(4)).unwrap();
+        fc.request_direct(ClientId(0), t(3));
+        let ev = fc.pass_direct(ClientId(0), ClientId(1), t(4)).unwrap();
         assert_eq!(
             ev,
             vec![FloorEvent::Granted {
@@ -497,9 +459,9 @@ mod tests {
     #[test]
     fn pass_to_non_waiter_fails() {
         let mut fc = FloorControl::new(FloorPolicy::ExplicitPass);
-        fc.request(ClientId(0), t(0));
+        fc.request_direct(ClientId(0), t(0));
         assert_eq!(
-            fc.pass(ClientId(0), ClientId(5), t(1)).unwrap_err(),
+            fc.pass_direct(ClientId(0), ClientId(5), t(1)).unwrap_err(),
             FloorError::TargetNotWaiting(ClientId(5))
         );
     }
@@ -507,9 +469,9 @@ mod tests {
     #[test]
     fn non_holder_release_fails() {
         let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
-        fc.request(ClientId(0), t(0));
+        fc.request_direct(ClientId(0), t(0));
         assert_eq!(
-            fc.release(ClientId(1), t(1)).unwrap_err(),
+            fc.release_direct(ClientId(1), t(1)).unwrap_err(),
             FloorError::NotHolder(ClientId(1))
         );
     }
@@ -517,10 +479,10 @@ mod tests {
     #[test]
     fn preemption_after_holding_limit() {
         let mut fc = FloorControl::new(FloorPolicy::PreemptAfter(SimDuration::from_millis(100)));
-        fc.request(ClientId(0), t(0));
-        fc.request(ClientId(1), t(5));
-        assert!(fc.tick(t(50)).is_empty(), "not yet over the limit");
-        let ev = fc.tick(t(100));
+        fc.request_direct(ClientId(0), t(0));
+        fc.request_direct(ClientId(1), t(5));
+        assert!(fc.tick_direct(t(50)).is_empty(), "not yet over the limit");
+        let ev = fc.tick_direct(t(100));
         assert_eq!(
             ev,
             vec![
@@ -537,9 +499,9 @@ mod tests {
     #[test]
     fn no_preemption_when_nobody_waits() {
         let mut fc = FloorControl::new(FloorPolicy::PreemptAfter(SimDuration::from_millis(100)));
-        fc.request(ClientId(0), t(0));
+        fc.request_direct(ClientId(0), t(0));
         assert!(
-            fc.tick(t(500)).is_empty(),
+            fc.tick_direct(t(500)).is_empty(),
             "holder keeps an uncontested floor"
         );
     }
@@ -547,18 +509,18 @@ mod tests {
     #[test]
     fn duplicate_requests_are_idempotent() {
         let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
-        fc.request(ClientId(0), t(0));
-        assert!(fc.request(ClientId(0), t(1)).is_empty());
-        fc.request(ClientId(1), t(2));
-        assert!(fc.request(ClientId(1), t(3)).is_empty());
+        fc.request_direct(ClientId(0), t(0));
+        assert!(fc.request_direct(ClientId(0), t(1)).is_empty());
+        fc.request_direct(ClientId(1), t(2));
+        assert!(fc.request_direct(ClientId(1), t(3)).is_empty());
         assert_eq!(fc.waiting(), vec![ClientId(1)]);
     }
 
     #[test]
     fn release_with_empty_queue_reports_idle() {
         let mut fc = FloorControl::new(FloorPolicy::RequestQueue);
-        fc.request(ClientId(0), t(0));
-        let ev = fc.release(ClientId(0), t(1)).unwrap();
+        fc.request_direct(ClientId(0), t(0));
+        let ev = fc.release_direct(ClientId(0), t(1)).unwrap();
         assert_eq!(ev, vec![FloorEvent::Idle]);
     }
 }

@@ -271,27 +271,15 @@ impl LockTable {
         mode: LockMode,
         now: SimTime,
     ) -> (LockReply, Vec<BusDelivery>) {
-        let (reply, notices) = self.request_inner(client, resource, mode, now);
+        let (reply, notices) = self.request_direct(client, resource, mode, now);
         (reply, publish_notices(bus, &notices, now))
     }
 
-    /// Requests a lock. Returns the immediate reply plus any notices to
-    /// forward.
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `request_via`"
-    )]
-    pub fn request(
-        &mut self,
-        client: ClientId,
-        resource: ResourceId,
-        mode: LockMode,
-        now: SimTime,
-    ) -> (LockReply, Vec<Notice>) {
-        self.request_inner(client, resource, mode, now)
-    }
-
-    fn request_inner(
+    /// Requests a lock, returning raw [`Notice`]s without bus
+    /// publication (the direct-notice engine path used by consumers
+    /// that drive their own notice distribution, e.g. the 2PL
+    /// scheduler and the scheme rig).
+    pub fn request_direct(
         &mut self,
         client: ClientId,
         resource: ResourceId,
@@ -400,29 +388,17 @@ impl LockTable {
         resource: ResourceId,
         now: SimTime,
     ) -> Result<Vec<BusDelivery>, LockError> {
-        let notices = self.release_inner(client, resource, now)?;
+        let notices = self.release_direct(client, resource, now)?;
         Ok(publish_notices(bus, &notices, now))
     }
 
-    /// Releases a lock and promotes waiters.
+    /// Releases a lock and promotes waiters, returning raw notices
+    /// without bus publication (direct-notice engine path).
     ///
     /// # Errors
     ///
     /// [`LockError::NotHeld`] if the client holds no lock on `resource`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `release_via`"
-    )]
-    pub fn release(
-        &mut self,
-        client: ClientId,
-        resource: ResourceId,
-        now: SimTime,
-    ) -> Result<Vec<Notice>, LockError> {
-        self.release_inner(client, resource, now)
-    }
-
-    fn release_inner(
+    pub fn release_direct(
         &mut self,
         client: ClientId,
         resource: ResourceId,
@@ -447,20 +423,14 @@ impl LockTable {
         client: ClientId,
         now: SimTime,
     ) -> Vec<BusDelivery> {
-        let notices = self.release_all_inner(client, now);
+        let notices = self.release_all_direct(client, now);
         publish_notices(bus, &notices, now)
     }
 
-    /// Releases everything `client` holds or waits for (client departure).
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `release_all_via`"
-    )]
-    pub fn release_all(&mut self, client: ClientId, now: SimTime) -> Vec<Notice> {
-        self.release_all_inner(client, now)
-    }
-
-    fn release_all_inner(&mut self, client: ClientId, now: SimTime) -> Vec<Notice> {
+    /// Releases everything `client` holds or waits for (client
+    /// departure), returning raw notices without bus publication
+    /// (direct-notice engine path).
+    pub fn release_all_direct(&mut self, client: ClientId, now: SimTime) -> Vec<Notice> {
         let mut notices = Vec::new();
         for (&r, state) in self.locks.iter_mut() {
             state.queue.retain(|w| w.client != client);
@@ -478,21 +448,14 @@ impl LockTable {
     /// locks whose holders have been idle past the timeout, publishing
     /// revocations and grants. Call periodically.
     pub fn tick_via(&mut self, bus: &mut EventBus, now: SimTime) -> Vec<BusDelivery> {
-        let notices = self.tick_inner(now);
+        let notices = self.tick_direct(now);
         publish_notices(bus, &notices, now)
     }
 
-    /// Tickle maintenance: transfers locks whose holders have been idle
-    /// past the timeout to the (oldest) tickler. Call periodically.
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `tick_via`"
-    )]
-    pub fn tick(&mut self, now: SimTime) -> Vec<Notice> {
-        self.tick_inner(now)
-    }
-
-    fn tick_inner(&mut self, now: SimTime) -> Vec<Notice> {
+    /// Tickle maintenance returning raw notices without bus publication
+    /// (direct-notice engine path): transfers locks whose holders have
+    /// been idle past the timeout to the (oldest) tickler.
+    pub fn tick_direct(&mut self, now: SimTime) -> Vec<Notice> {
         let LockScheme::Tickle { idle_timeout } = self.scheme else {
             return Vec::new();
         };
@@ -591,7 +554,6 @@ impl LockTable {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy Vec<Notice> shims stay covered until removal
 mod tests {
     use super::*;
 
@@ -691,11 +653,11 @@ mod tests {
     fn hard_shared_locks_coexist() {
         let mut lt = LockTable::new(LockScheme::Hard);
         assert_eq!(
-            lt.request(ClientId(0), R, LockMode::Shared, t(0)).0,
+            lt.request_direct(ClientId(0), R, LockMode::Shared, t(0)).0,
             LockReply::Granted
         );
         assert_eq!(
-            lt.request(ClientId(1), R, LockMode::Shared, t(0)).0,
+            lt.request_direct(ClientId(1), R, LockMode::Shared, t(0)).0,
             LockReply::Granted
         );
         assert_eq!(lt.holders(R).len(), 2);
@@ -704,16 +666,18 @@ mod tests {
     #[test]
     fn hard_exclusive_blocks_and_promotes_in_fifo_order() {
         let mut lt = LockTable::new(LockScheme::Hard);
-        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(0));
         assert_eq!(
-            lt.request(ClientId(1), R, LockMode::Exclusive, t(1)).0,
+            lt.request_direct(ClientId(1), R, LockMode::Exclusive, t(1))
+                .0,
             LockReply::Queued
         );
         assert_eq!(
-            lt.request(ClientId(2), R, LockMode::Exclusive, t(2)).0,
+            lt.request_direct(ClientId(2), R, LockMode::Exclusive, t(2))
+                .0,
             LockReply::Queued
         );
-        let notices = lt.release(ClientId(0), R, t(3)).unwrap();
+        let notices = lt.release_direct(ClientId(0), R, t(3)).unwrap();
         assert_eq!(notices.len(), 1);
         assert_eq!(notices[0].to, ClientId(1));
         assert!(matches!(notices[0].kind, NoticeKind::Granted { .. }));
@@ -723,23 +687,24 @@ mod tests {
     #[test]
     fn shared_waiters_promote_together() {
         let mut lt = LockTable::new(LockScheme::Hard);
-        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
-        lt.request(ClientId(1), R, LockMode::Shared, t(1));
-        lt.request(ClientId(2), R, LockMode::Shared, t(1));
-        let notices = lt.release(ClientId(0), R, t(2)).unwrap();
+        lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request_direct(ClientId(1), R, LockMode::Shared, t(1));
+        lt.request_direct(ClientId(2), R, LockMode::Shared, t(1));
+        let notices = lt.release_direct(ClientId(0), R, t(2)).unwrap();
         assert_eq!(notices.len(), 2, "both readers promoted at once");
     }
 
     #[test]
     fn reentrant_request_is_granted() {
         let mut lt = LockTable::new(LockScheme::Hard);
-        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(0));
         assert_eq!(
-            lt.request(ClientId(0), R, LockMode::Shared, t(1)).0,
+            lt.request_direct(ClientId(0), R, LockMode::Shared, t(1)).0,
             LockReply::Granted
         );
         assert_eq!(
-            lt.request(ClientId(0), R, LockMode::Exclusive, t(1)).0,
+            lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(1))
+                .0,
             LockReply::Granted
         );
     }
@@ -747,10 +712,10 @@ mod tests {
     #[test]
     fn release_without_hold_is_an_error() {
         let mut lt = LockTable::new(LockScheme::Hard);
-        assert!(lt.release(ClientId(0), R, t(0)).is_err());
-        lt.request(ClientId(1), R, LockMode::Shared, t(0));
+        assert!(lt.release_direct(ClientId(0), R, t(0)).is_err());
+        lt.request_direct(ClientId(1), R, LockMode::Shared, t(0));
         assert_eq!(
-            lt.release(ClientId(0), R, t(0)).unwrap_err(),
+            lt.release_direct(ClientId(0), R, t(0)).unwrap_err(),
             LockError::NotHeld(ClientId(0), R)
         );
     }
@@ -759,10 +724,11 @@ mod tests {
     fn soft_locks_grant_immediately_with_warnings_to_both_sides() {
         let mut lt = LockTable::new(LockScheme::Soft);
         assert_eq!(
-            lt.request(ClientId(0), R, LockMode::Exclusive, t(0)).0,
+            lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(0))
+                .0,
             LockReply::Granted
         );
-        let (reply, notices) = lt.request(ClientId(1), R, LockMode::Exclusive, t(1));
+        let (reply, notices) = lt.request_direct(ClientId(1), R, LockMode::Exclusive, t(1));
         assert_eq!(reply, LockReply::GrantedConflict(vec![ClientId(0)]));
         assert_eq!(notices.len(), 1);
         assert_eq!(notices[0].to, ClientId(0));
@@ -777,8 +743,8 @@ mod tests {
     #[test]
     fn notification_locks_emit_awareness_on_every_access() {
         let mut lt = LockTable::new(LockScheme::Notification);
-        lt.request(ClientId(0), R, LockMode::Shared, t(0));
-        let (reply, notices) = lt.request(ClientId(1), R, LockMode::Shared, t(1));
+        lt.request_direct(ClientId(0), R, LockMode::Shared, t(0));
+        let (reply, notices) = lt.request_direct(ClientId(1), R, LockMode::Shared, t(1));
         assert_eq!(reply, LockReply::Granted);
         assert_eq!(notices.len(), 1);
         assert!(matches!(
@@ -786,7 +752,7 @@ mod tests {
             NoticeKind::AccessNotification { by, mode: LockMode::Shared } if by == ClientId(1)
         ));
         // Exclusive still queues (it is a *lock*, not advisory)...
-        let (reply2, notices2) = lt.request(ClientId(2), R, LockMode::Exclusive, t(2));
+        let (reply2, notices2) = lt.request_direct(ClientId(2), R, LockMode::Exclusive, t(2));
         assert_eq!(reply2, LockReply::Queued);
         // ...but both holders heard about the attempt.
         assert_eq!(notices2.len(), 2);
@@ -797,15 +763,15 @@ mod tests {
         let mut lt = LockTable::new(LockScheme::Tickle {
             idle_timeout: SimDuration::from_millis(100),
         });
-        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
-        let (reply, notices) = lt.request(ClientId(1), R, LockMode::Exclusive, t(50));
+        lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(0));
+        let (reply, notices) = lt.request_direct(ClientId(1), R, LockMode::Exclusive, t(50));
         assert_eq!(reply, LockReply::Queued);
         assert!(matches!(notices[0].kind, NoticeKind::TickleRequest { by } if by == ClientId(1)));
         // Holder still active at t=60: no transfer at t=120 (idle only 60ms).
         lt.touch(ClientId(0), R, t(60));
-        assert!(lt.tick(t(120)).is_empty());
+        assert!(lt.tick_direct(t(120)).is_empty());
         // At t=160 the holder has been idle 100ms: transfer.
-        let notices = lt.tick(t(160));
+        let notices = lt.tick_direct(t(160));
         assert_eq!(notices.len(), 2);
         assert!(matches!(notices[0].kind, NoticeKind::Revoked { to } if to == ClientId(1)));
         assert!(matches!(notices[1].kind, NoticeKind::Granted { .. }));
@@ -817,11 +783,11 @@ mod tests {
         let mut lt = LockTable::new(LockScheme::Tickle {
             idle_timeout: SimDuration::from_millis(100),
         });
-        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
-        lt.request(ClientId(1), R, LockMode::Exclusive, t(10));
+        lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request_direct(ClientId(1), R, LockMode::Exclusive, t(10));
         for ms in (20..500).step_by(50) {
             lt.touch(ClientId(0), R, t(ms));
-            assert!(lt.tick(t(ms + 10)).is_empty(), "at {ms}");
+            assert!(lt.tick_direct(t(ms + 10)).is_empty(), "at {ms}");
         }
         assert_eq!(lt.holders(R), vec![(ClientId(0), LockMode::Exclusive)]);
     }
@@ -830,11 +796,11 @@ mod tests {
     fn release_all_frees_everything_and_promotes() {
         let mut lt = LockTable::new(LockScheme::Hard);
         let r2 = ResourceId(2);
-        lt.request(ClientId(0), R, LockMode::Exclusive, t(0));
-        lt.request(ClientId(0), r2, LockMode::Exclusive, t(0));
-        lt.request(ClientId(1), R, LockMode::Exclusive, t(1));
-        lt.request(ClientId(1), r2, LockMode::Shared, t(1));
-        let notices = lt.release_all(ClientId(0), t(2));
+        lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(0));
+        lt.request_direct(ClientId(0), r2, LockMode::Exclusive, t(0));
+        lt.request_direct(ClientId(1), R, LockMode::Exclusive, t(1));
+        lt.request_direct(ClientId(1), r2, LockMode::Shared, t(1));
+        let notices = lt.release_all_direct(ClientId(0), t(2));
         assert_eq!(notices.len(), 2);
         assert_eq!(lt.holders(R), vec![(ClientId(1), LockMode::Exclusive)]);
         assert_eq!(lt.holders(r2), vec![(ClientId(1), LockMode::Shared)]);
@@ -843,12 +809,12 @@ mod tests {
     #[test]
     fn upgrade_from_shared_to_exclusive_waits_for_other_readers() {
         let mut lt = LockTable::new(LockScheme::Hard);
-        lt.request(ClientId(0), R, LockMode::Shared, t(0));
-        lt.request(ClientId(1), R, LockMode::Shared, t(0));
+        lt.request_direct(ClientId(0), R, LockMode::Shared, t(0));
+        lt.request_direct(ClientId(1), R, LockMode::Shared, t(0));
         // Client 0 upgrades: must wait for client 1.
-        let (reply, _) = lt.request(ClientId(0), R, LockMode::Exclusive, t(1));
+        let (reply, _) = lt.request_direct(ClientId(0), R, LockMode::Exclusive, t(1));
         assert_eq!(reply, LockReply::Queued);
-        let notices = lt.release(ClientId(1), R, t(2)).unwrap();
+        let notices = lt.release_direct(ClientId(1), R, t(2)).unwrap();
         assert_eq!(notices.len(), 1);
         assert_eq!(notices[0].to, ClientId(0));
         assert_eq!(lt.holders(R), vec![(ClientId(0), LockMode::Exclusive)]);

@@ -193,24 +193,24 @@ impl GroupTree {
             .read_via(bus, member, object, at)?)
     }
 
-    /// Reads inside a group (dirty within the group, per its rule).
+    /// Reads inside a group (dirty within the group, per its rule),
+    /// returning raw notices without bus publication (direct-notice
+    /// engine path).
     ///
     /// # Errors
     ///
     /// Propagates rule denials and unknown groups/objects.
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `read_via`"
-    )]
-    pub fn read(
+    pub fn read_direct(
         &mut self,
         group: GroupNodeId,
         member: ClientId,
         object: ObjectId,
         at: SimTime,
     ) -> Result<(String, Vec<GroupNotice>), TreeError> {
-        #[allow(deprecated)]
-        Ok(self.node_mut(group)?.group.read(member, object, at)?)
+        Ok(self
+            .node_mut(group)?
+            .group
+            .read_direct(member, object, at)?)
     }
 
     /// Writes inside a group, publishing any access notices on the
@@ -234,16 +234,13 @@ impl GroupTree {
             .write_via(bus, member, object, value, at)?)
     }
 
-    /// Writes inside a group.
+    /// Writes inside a group, returning raw notices without bus
+    /// publication (direct-notice engine path).
     ///
     /// # Errors
     ///
     /// Propagates rule denials and unknown groups/objects.
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `write_via`"
-    )]
-    pub fn write(
+    pub fn write_direct(
         &mut self,
         group: GroupNodeId,
         member: ClientId,
@@ -251,11 +248,10 @@ impl GroupTree {
         value: impl Into<String>,
         at: SimTime,
     ) -> Result<(u64, Vec<GroupNotice>), TreeError> {
-        #[allow(deprecated)]
         Ok(self
             .node_mut(group)?
             .group
-            .write(member, object, value, at)?)
+            .write_direct(member, object, value, at)?)
     }
 
     /// Commits a group: a subgroup publishes its working state into its
@@ -309,7 +305,6 @@ impl GroupTree {
 
 #[cfg(test)]
 // the legacy Vec<GroupNotice> shims stay covered until removal
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::txgroup::{CooperativeRule, ExclusiveWriterRule};
@@ -330,12 +325,16 @@ mod tests {
         let sub = t
             .create_subgroup(t.root(), [ClientId(2)], Box::new(CooperativeRule))
             .unwrap();
-        t.write(sub, ClientId(2), DOC, "sub work", NOW).unwrap();
-        assert_eq!(t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0, "v0");
+        t.write_direct(sub, ClientId(2), DOC, "sub work", NOW)
+            .unwrap();
+        assert_eq!(
+            t.read_direct(t.root(), ClientId(0), DOC, NOW).unwrap().0,
+            "v0"
+        );
         assert_eq!(t.external_read(DOC).unwrap(), "v0");
         t.commit(sub).unwrap();
         assert_eq!(
-            t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0,
+            t.read_direct(t.root(), ClientId(0), DOC, NOW).unwrap().0,
             "sub work"
         );
         assert_eq!(
@@ -351,13 +350,13 @@ mod tests {
     #[test]
     fn subgroups_start_from_the_parents_working_state() {
         let mut t = tree();
-        t.write(t.root(), ClientId(0), DOC, "team draft", NOW)
+        t.write_direct(t.root(), ClientId(0), DOC, "team draft", NOW)
             .unwrap();
         let sub = t
             .create_subgroup(t.root(), [ClientId(2)], Box::new(CooperativeRule))
             .unwrap();
         assert_eq!(
-            t.read(sub, ClientId(2), DOC, NOW).unwrap().0,
+            t.read_direct(sub, ClientId(2), DOC, NOW).unwrap().0,
             "team draft",
             "the sub-team sees the in-progress work"
         );
@@ -366,18 +365,23 @@ mod tests {
     #[test]
     fn aborting_a_subgroup_leaves_the_parent_untouched() {
         let mut t = tree();
-        t.write(t.root(), ClientId(0), DOC, "keep me", NOW).unwrap();
+        t.write_direct(t.root(), ClientId(0), DOC, "keep me", NOW)
+            .unwrap();
         let sub = t
             .create_subgroup(t.root(), [ClientId(2)], Box::new(CooperativeRule))
             .unwrap();
-        t.write(sub, ClientId(2), DOC, "scrap me", NOW).unwrap();
+        t.write_direct(sub, ClientId(2), DOC, "scrap me", NOW)
+            .unwrap();
         t.abort(sub).unwrap();
         assert_eq!(
-            t.read(t.root(), ClientId(0), DOC, NOW).unwrap().0,
+            t.read_direct(t.root(), ClientId(0), DOC, NOW).unwrap().0,
             "keep me"
         );
         // The aborted subgroup rolled back to its seed.
-        assert_eq!(t.read(sub, ClientId(2), DOC, NOW).unwrap().0, "keep me");
+        assert_eq!(
+            t.read_direct(sub, ClientId(2), DOC, NOW).unwrap().0,
+            "keep me"
+        );
     }
 
     #[test]
@@ -390,15 +394,18 @@ mod tests {
                 Box::new(ExclusiveWriterRule),
             )
             .unwrap();
-        t.write(strict, ClientId(2), DOC, "claimed", NOW).unwrap();
+        t.write_direct(strict, ClientId(2), DOC, "claimed", NOW)
+            .unwrap();
         // The strict subgroup's rule denies a second writer...
         assert!(matches!(
-            t.write(strict, ClientId(3), DOC, "denied", NOW),
+            t.write_direct(strict, ClientId(3), DOC, "denied", NOW),
             Err(TreeError::Group(GroupError::Denied { .. }))
         ));
         // ...while the cooperative root lets both members write.
-        t.write(t.root(), ClientId(0), DOC, "a", NOW).unwrap();
-        t.write(t.root(), ClientId(1), DOC, "b", NOW).unwrap();
+        t.write_direct(t.root(), ClientId(0), DOC, "a", NOW)
+            .unwrap();
+        t.write_direct(t.root(), ClientId(1), DOC, "b", NOW)
+            .unwrap();
     }
 
     #[test]
@@ -408,7 +415,7 @@ mod tests {
         assert!(matches!(t.commit(ghost), Err(TreeError::UnknownGroup(_))));
         assert!(matches!(t.abort(ghost), Err(TreeError::UnknownGroup(_))));
         assert!(matches!(
-            t.read(ghost, ClientId(0), DOC, NOW),
+            t.read_direct(ghost, ClientId(0), DOC, NOW),
             Err(TreeError::UnknownGroup(_))
         ));
         assert!(matches!(

@@ -277,10 +277,9 @@ impl TxnManager {
         };
         // The 2PL scheduler consumes raw notices to drive TxnEvents; its
         // cooperative surface is the TxnEvent layer, not the bus.
-        #[allow(deprecated)]
-        let (reply, _notices) = self
-            .table
-            .request(Self::lock_client(txn), resource, mode, now);
+        let (reply, _notices) =
+            self.table
+                .request_direct(Self::lock_client(txn), resource, mode, now);
         match reply {
             LockReply::Granted => {
                 let result = self.perform(txn, &op)?;
@@ -344,8 +343,7 @@ impl TxnManager {
 
     fn finish(&mut self, txn: TxnId, now: SimTime) -> Result<Vec<TxnEvent>, TxnError> {
         self.txns.remove(&txn).ok_or(TxnError::UnknownTxn(txn))?;
-        #[allow(deprecated)]
-        let notices = self.table.release_all(Self::lock_client(txn), now);
+        let notices = self.table.release_all_direct(Self::lock_client(txn), now);
         let mut events = Vec::new();
         for notice in notices {
             if let NoticeKind::Granted { .. } = notice.kind {

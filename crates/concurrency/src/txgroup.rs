@@ -374,30 +374,19 @@ impl<R: AccessRule> TransactionGroup<R> {
         object: ObjectId,
         at: SimTime,
     ) -> Result<(String, Vec<BusDelivery>), GroupError> {
-        let (value, notices) = self.read_inner(member, object, at)?;
+        let (value, notices) = self.read_direct(member, object, at)?;
         Ok((value, publish_notices(bus, &notices)))
     }
 
-    /// Reads the group-internal value of `object` — including dirty writes
-    /// by other members ("reading over their shoulder").
+    /// Reads the group-internal value of `object` — including dirty
+    /// writes by other members ("reading over their shoulder") —
+    /// returning raw [`GroupNotice`]s without bus publication (the
+    /// direct-notice engine path, e.g. for the scheme rig).
     ///
     /// # Errors
     ///
     /// Denied accesses, non-members and unknown objects fail.
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `read_via`"
-    )]
-    pub fn read(
-        &mut self,
-        member: ClientId,
-        object: ObjectId,
-        at: SimTime,
-    ) -> Result<(String, Vec<GroupNotice>), GroupError> {
-        self.read_inner(member, object, at)
-    }
-
-    fn read_inner(
+    pub fn read_direct(
         &mut self,
         member: ClientId,
         object: ObjectId,
@@ -427,31 +416,18 @@ impl<R: AccessRule> TransactionGroup<R> {
         value: impl Into<String>,
         at: SimTime,
     ) -> Result<(u64, Vec<BusDelivery>), GroupError> {
-        let (version, notices) = self.write_inner(member, object, value, at)?;
+        let (version, notices) = self.write_direct(member, object, value, at)?;
         Ok((version, publish_notices(bus, &notices)))
     }
 
-    /// Writes `object` inside the group. The new value is immediately
-    /// visible to other members but not outside the group.
+    /// Writes `object` inside the group, returning raw notices without
+    /// bus publication (direct-notice engine path). The new value is
+    /// immediately visible to other members but not outside the group.
     ///
     /// # Errors
     ///
     /// Denied accesses, non-members and unknown objects fail.
-    #[deprecated(
-        since = "0.1.0",
-        note = "notices now flow through the cooperation-event bus; use `write_via`"
-    )]
-    pub fn write(
-        &mut self,
-        member: ClientId,
-        object: ObjectId,
-        value: impl Into<String>,
-        at: SimTime,
-    ) -> Result<(u64, Vec<GroupNotice>), GroupError> {
-        self.write_inner(member, object, value, at)
-    }
-
-    fn write_inner(
+    pub fn write_direct(
         &mut self,
         member: ClientId,
         object: ObjectId,
@@ -502,7 +478,6 @@ impl<R: AccessRule> TransactionGroup<R> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy Vec<GroupNotice> shims stay covered until removal
 mod tests {
     use super::*;
 
@@ -556,8 +531,9 @@ mod tests {
     #[test]
     fn dirty_reads_inside_the_group_are_visible() {
         let mut g = setup(CooperativeRule);
-        g.write(ClientId(0), ObjectId(1), "dirty", NOW).unwrap();
-        let (val, _) = g.read(ClientId(1), ObjectId(1), NOW).unwrap();
+        g.write_direct(ClientId(0), ObjectId(1), "dirty", NOW)
+            .unwrap();
+        let (val, _) = g.read_direct(ClientId(1), ObjectId(1), NOW).unwrap();
         assert_eq!(val, "dirty", "member sees uncommitted write");
         assert_eq!(
             g.external_read(ObjectId(1)).unwrap(),
@@ -569,7 +545,8 @@ mod tests {
     #[test]
     fn group_commit_publishes_externally() {
         let mut g = setup(CooperativeRule);
-        g.write(ClientId(0), ObjectId(1), "done", NOW).unwrap();
+        g.write_direct(ClientId(0), ObjectId(1), "done", NOW)
+            .unwrap();
         g.commit_group();
         assert_eq!(g.external_read(ObjectId(1)).unwrap(), "done");
     }
@@ -577,18 +554,19 @@ mod tests {
     #[test]
     fn group_abort_rolls_back_working_state() {
         let mut g = setup(CooperativeRule);
-        g.write(ClientId(0), ObjectId(1), "scrap", NOW).unwrap();
+        g.write_direct(ClientId(0), ObjectId(1), "scrap", NOW)
+            .unwrap();
         g.abort_group();
-        let (val, _) = g.read(ClientId(1), ObjectId(1), NOW).unwrap();
+        let (val, _) = g.read_direct(ClientId(1), ObjectId(1), NOW).unwrap();
         assert_eq!(val, "v0");
     }
 
     #[test]
     fn cooperative_rule_notifies_all_active_members() {
         let mut g = setup(CooperativeRule);
-        g.read(ClientId(0), ObjectId(1), NOW).unwrap();
-        g.read(ClientId(1), ObjectId(1), NOW).unwrap();
-        let (_, notices) = g.write(ClientId(2), ObjectId(1), "x", NOW).unwrap();
+        g.read_direct(ClientId(0), ObjectId(1), NOW).unwrap();
+        g.read_direct(ClientId(1), ObjectId(1), NOW).unwrap();
+        let (_, notices) = g.write_direct(ClientId(2), ObjectId(1), "x", NOW).unwrap();
         let to: Vec<ClientId> = notices.iter().map(|n| n.to).collect();
         assert_eq!(to, vec![ClientId(0), ClientId(1)]);
         assert_eq!(
@@ -601,13 +579,15 @@ mod tests {
     #[test]
     fn exclusive_writer_rule_claims_and_denies() {
         let mut g = setup(ExclusiveWriterRule);
-        g.write(ClientId(0), ObjectId(1), "a", NOW).unwrap();
-        let err = g.write(ClientId(1), ObjectId(1), "b", NOW).unwrap_err();
+        g.write_direct(ClientId(0), ObjectId(1), "a", NOW).unwrap();
+        let err = g
+            .write_direct(ClientId(1), ObjectId(1), "b", NOW)
+            .unwrap_err();
         assert!(matches!(err, GroupError::Denied { member, .. } if member == ClientId(1)));
         // Claim holder may keep writing.
-        g.write(ClientId(0), ObjectId(1), "a2", NOW).unwrap();
+        g.write_direct(ClientId(0), ObjectId(1), "a2", NOW).unwrap();
         // Readers are allowed, and the writer is told.
-        let (_, notices) = g.read(ClientId(2), ObjectId(1), NOW).unwrap();
+        let (_, notices) = g.read_direct(ClientId(2), ObjectId(1), NOW).unwrap();
         assert_eq!(notices[0].to, ClientId(0));
         assert_eq!(g.denials(), 1);
     }
@@ -615,27 +595,27 @@ mod tests {
     #[test]
     fn exclusive_claim_resets_on_group_commit() {
         let mut g = setup(ExclusiveWriterRule);
-        g.write(ClientId(0), ObjectId(1), "a", NOW).unwrap();
+        g.write_direct(ClientId(0), ObjectId(1), "a", NOW).unwrap();
         g.commit_group();
-        assert!(g.write(ClientId(1), ObjectId(1), "b", NOW).is_ok());
+        assert!(g.write_direct(ClientId(1), ObjectId(1), "b", NOW).is_ok());
     }
 
     #[test]
     fn reviewer_rule_requires_read_before_write() {
         let mut g = setup(ReviewerRule);
         assert!(matches!(
-            g.write(ClientId(0), ObjectId(1), "x", NOW),
+            g.write_direct(ClientId(0), ObjectId(1), "x", NOW),
             Err(GroupError::Denied { .. })
         ));
-        g.read(ClientId(0), ObjectId(1), NOW).unwrap();
-        assert!(g.write(ClientId(0), ObjectId(1), "x", NOW).is_ok());
+        g.read_direct(ClientId(0), ObjectId(1), NOW).unwrap();
+        assert!(g.write_direct(ClientId(0), ObjectId(1), "x", NOW).is_ok());
     }
 
     #[test]
     fn non_members_are_rejected() {
         let mut g = setup(CooperativeRule);
         assert_eq!(
-            g.read(ClientId(9), ObjectId(1), NOW).unwrap_err(),
+            g.read_direct(ClientId(9), ObjectId(1), NOW).unwrap_err(),
             GroupError::NotMember(ClientId(9))
         );
     }
@@ -644,7 +624,7 @@ mod tests {
     fn unknown_objects_error_through() {
         let mut g = setup(CooperativeRule);
         assert!(matches!(
-            g.read(ClientId(0), ObjectId(42), NOW),
+            g.read_direct(ClientId(0), ObjectId(42), NOW),
             Err(GroupError::Store(StoreError::UnknownObject(_)))
         ));
     }

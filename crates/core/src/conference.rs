@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use odp_awareness::bus::{BusDelivery, EventBus};
-use odp_concurrency::floor::{FloorControl, FloorEvent, FloorPolicy};
+use odp_concurrency::floor::{FloorControl, FloorPolicy};
 use odp_concurrency::locks::ClientId;
 use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
@@ -107,16 +107,6 @@ impl TransparentConference {
         self.floor.request_via(bus, ClientId(who.0), now)
     }
 
-    /// Requests the floor.
-    #[deprecated(
-        since = "0.1.0",
-        note = "floor events now flow through the cooperation-event bus; use `request_floor_via`"
-    )]
-    pub fn request_floor(&mut self, who: NodeId, now: SimTime) -> Vec<FloorEvent> {
-        #[allow(deprecated)]
-        self.floor.request(ClientId(who.0), now)
-    }
-
     /// Releases the floor, announcing the hand-over on the
     /// cooperation-event bus.
     pub fn release_floor_via(
@@ -128,16 +118,6 @@ impl TransparentConference {
         self.floor
             .release_via(bus, ClientId(who.0), now)
             .unwrap_or_default()
-    }
-
-    /// Releases the floor.
-    #[deprecated(
-        since = "0.1.0",
-        note = "floor events now flow through the cooperation-event bus; use `release_floor_via`"
-    )]
-    pub fn release_floor(&mut self, who: NodeId, now: SimTime) -> Vec<FloorEvent> {
-        #[allow(deprecated)]
-        self.floor.release(ClientId(who.0), now).unwrap_or_default()
     }
 
     /// Current floor holder.
@@ -273,7 +253,6 @@ impl AwareConference {
 
 #[cfg(test)]
 // the legacy Vec<FloorEvent> shims stay covered until removal
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -301,15 +280,15 @@ mod tests {
         let mut conf = TransparentConference::new(FloorPolicy::RequestQueue);
         conf.join(NodeId(0));
         conf.join(NodeId(1));
-        conf.request_floor(NodeId(0), NOW);
+        conf.request_floor_via(&mut EventBus::new(), NodeId(0), NOW);
         conf.input(NodeId(0), "a", NOW).unwrap();
         assert_eq!(
             conf.input(NodeId(1), "b", NOW).unwrap_err(),
             ConferenceError::NoFloor(NodeId(1))
         );
         // Floor passes on release.
-        conf.request_floor(NodeId(1), NOW);
-        conf.release_floor(NodeId(0), NOW);
+        conf.request_floor_via(&mut EventBus::new(), NodeId(1), NOW);
+        conf.release_floor_via(&mut EventBus::new(), NodeId(0), NOW);
         conf.input(NodeId(1), "b", NOW).unwrap();
         assert_eq!(conf.app_log().len(), 2);
     }
@@ -320,7 +299,7 @@ mod tests {
         for n in 0..3 {
             conf.join(NodeId(n));
         }
-        conf.request_floor(NodeId(2), NOW);
+        conf.request_floor_via(&mut EventBus::new(), NodeId(2), NOW);
         let out = conf.input(NodeId(2), "draw", NOW).unwrap();
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|(_, e)| e.payload == "draw"));
@@ -330,7 +309,7 @@ mod tests {
     fn non_participants_are_rejected() {
         let mut conf = TransparentConference::new(FloorPolicy::RequestQueue);
         conf.join(NodeId(0));
-        conf.request_floor(NodeId(9), NOW); // floor even grants to strangers...
+        conf.request_floor_via(&mut EventBus::new(), NodeId(9), NOW); // floor even grants to strangers...
         assert_eq!(
             conf.input(NodeId(9), "x", NOW).unwrap_err(),
             ConferenceError::UnknownParticipant(NodeId(9))

@@ -5,6 +5,7 @@ use odp_groupcomm::actors::{GroupActor, GroupApp, RpcConfig};
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
 use odp_groupcomm::rpc::{CallOutcome, CallStatus, Quorum};
+use odp_net::ctx::NetCtx;
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::{LinkSpec, Network, NodeId};
 use odp_sim::prelude::Sim;
@@ -16,7 +17,7 @@ use super::Table;
 struct Tracer;
 
 impl GroupApp<String> for Tracer {
-    fn on_deliver(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, d: Delivery<String>) {
+    fn on_deliver(&mut self, ctx: &mut dyn NetCtx<GcMsg<String>>, d: Delivery<String>) {
         ctx.trace("gc.delivered", d.payload);
     }
 }
@@ -194,21 +195,22 @@ struct Outcomes {
 }
 
 impl GroupApp<String> for Outcomes {
-    fn on_deliver(&mut self, _: &mut Ctx<'_, GcMsg<String>>, _: Delivery<String>) {}
+    fn on_deliver(&mut self, _: &mut dyn NetCtx<GcMsg<String>>, _: Delivery<String>) {}
     fn on_rpc(
         &mut self,
-        _ctx: &mut Ctx<'_, GcMsg<String>>,
+        _ctx: &mut dyn NetCtx<GcMsg<String>>,
         _from: NodeId,
         _call: u64,
         payload: &String,
     ) -> Option<String> {
         Some(format!("ok:{payload}"))
     }
-    fn on_execute(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, _call: u64, _payload: String) {
+    fn on_execute(&mut self, ctx: &mut dyn NetCtx<GcMsg<String>>, _call: u64, _payload: String) {
         self.executed_at.push(ctx.now());
-        ctx.trace("camera.started", ctx.now().as_micros().to_string());
+        let at = ctx.now().as_micros().to_string();
+        ctx.trace("camera.started", at);
     }
-    fn on_rpc_outcome(&mut self, _ctx: &mut Ctx<'_, GcMsg<String>>, o: CallOutcome<String>) {
+    fn on_rpc_outcome(&mut self, _ctx: &mut dyn NetCtx<GcMsg<String>>, o: CallOutcome<String>) {
         match o.status {
             CallStatus::Completed => self.completed += 1,
             CallStatus::TimedOut => self.timed_out += 1,
@@ -218,11 +220,11 @@ impl GroupApp<String> for Outcomes {
 
 impl Actor<GcMsg<String>> for RpcDriver {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
-        self.inner.on_start(ctx);
+        Actor::on_start(&mut self.inner, ctx);
         ctx.set_timer(SimDuration::from_millis(100), 77);
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, from: NodeId, msg: GcMsg<String>) {
-        self.inner.on_message(ctx, from, msg);
+        Actor::on_message(&mut self.inner, ctx, from, msg);
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {
         if tag == 77 {
@@ -240,7 +242,7 @@ impl Actor<GcMsg<String>> for RpcDriver {
                 ctx.set_timer(SimDuration::from_millis(300), 77);
             }
         } else {
-            self.inner.on_timer(ctx, t, tag);
+            Actor::on_timer(&mut self.inner, ctx, t, tag);
         }
     }
 }
@@ -295,7 +297,7 @@ fn invocation_skew(seed: u64) -> u64 {
     }
     impl Actor<GcMsg<String>> for Invoker {
         fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
-            self.inner.on_start(ctx);
+            Actor::on_start(&mut self.inner, ctx);
             self.inner.invoke_rpc_now(
                 ctx,
                 "camera-on".to_owned(),
@@ -307,10 +309,10 @@ fn invocation_skew(seed: u64) -> u64 {
             );
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, from: NodeId, m: GcMsg<String>) {
-            self.inner.on_message(ctx, from, m);
+            Actor::on_message(&mut self.inner, ctx, from, m);
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {
-            self.inner.on_timer(ctx, t, tag);
+            Actor::on_timer(&mut self.inner, ctx, t, tag);
         }
     }
     sim.add_actor(

@@ -13,7 +13,7 @@
 use odp_groupcomm::actors::{GroupActor, GroupApp};
 use odp_groupcomm::membership::View;
 use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
-use odp_sim::actor::Ctx;
+use odp_net::ctx::NetCtx;
 use odp_sim::net::NodeId;
 
 use crate::workspace::{ObjectId, SharedWorkspace};
@@ -85,7 +85,7 @@ impl WorkspaceReplica {
 }
 
 impl GroupApp<WsOp> for WorkspaceReplica {
-    fn on_command(&mut self, ctx: &mut Ctx<'_, GcMsg<WsOp>>, cmd: WsOp) -> Option<WsOp> {
+    fn on_command(&mut self, ctx: &mut dyn NetCtx<GcMsg<WsOp>>, cmd: WsOp) -> Option<WsOp> {
         // Policy gate at the submitting replica: a denied write is
         // rejected before it ever reaches the wire.
         let probe = self.workspace.policy().check(
@@ -105,7 +105,7 @@ impl GroupApp<WsOp> for WorkspaceReplica {
         }
     }
 
-    fn on_deliver(&mut self, ctx: &mut Ctx<'_, GcMsg<WsOp>>, d: Delivery<WsOp>) {
+    fn on_deliver(&mut self, ctx: &mut dyn NetCtx<GcMsg<WsOp>>, d: Delivery<WsOp>) {
         let op = d.payload;
         match self
             .workspace

@@ -312,7 +312,10 @@ impl Session {
         self.artefacts.insert(artefact.into());
     }
 
-    /// Switches mode like [`Session::switch_mode`], additionally
+    /// Switches mode **seamlessly** (participants and artefacts are
+    /// untouched; the transition and its modelled rebind cost are
+    /// logged — 200 ms to re-bind interaction machinery across the time
+    /// dimension, 50 ms to re-bind transport across place, compounding),
     /// announcing the transition on the cooperation-event bus as a
     /// [`CoopKind::SessionSwitched`] broadcast from `by` on
     /// `session/{id}` — a seam the *other* participants need to notice,
@@ -337,19 +340,6 @@ impl Session {
             },
         ));
         (t, deliveries)
-    }
-
-    /// Switches mode **seamlessly**: participants and artefacts are
-    /// untouched; the transition and its (modelled) rebind cost are
-    /// logged. The cost model: switching the time dimension re-binds the
-    /// interaction machinery (200 ms); switching place re-binds transport
-    /// (50 ms); both switches compound.
-    #[deprecated(
-        since = "0.1.0",
-        note = "transitions now flow through the cooperation-event bus; use `switch_mode_via`"
-    )]
-    pub fn switch_mode(&mut self, to: SessionMode, at: SimTime) -> Transition {
-        self.switch_mode_inner(to, at)
     }
 
     fn switch_mode_inner(&mut self, to: SessionMode, at: SimTime) -> Transition {
@@ -383,8 +373,6 @@ impl Session {
 }
 
 #[cfg(test)]
-// the legacy bus-less shims stay covered until removal
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -424,7 +412,14 @@ mod tests {
         s.join(NodeId(0), SimTime::ZERO).unwrap();
         s.join(NodeId(1), SimTime::ZERO).unwrap();
         s.share("report.tex");
-        let t = s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(60));
+        let t = s
+            .switch_mode_via(
+                &mut EventBus::new(),
+                NodeId(0),
+                SessionMode::ASYNC_DISTRIBUTED,
+                SimTime::from_secs(60),
+            )
+            .0;
         assert_eq!(t.cost, SimDuration::from_millis(200), "time switch only");
         assert_eq!(s.participants().len(), 2, "participants preserved");
         assert_eq!(s.artefacts(), vec!["report.tex"], "artefacts preserved");
@@ -440,7 +435,12 @@ mod tests {
         s.enable_telemetry(42, SimTime::ZERO);
         s.join(NodeId(0), SimTime::from_millis(10)).unwrap();
         s.join(NodeId(1), SimTime::from_millis(20)).unwrap();
-        s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::from_secs(60));
+        let _ = s.switch_mode_via(
+            &mut EventBus::new(),
+            NodeId(0),
+            SessionMode::ASYNC_DISTRIBUTED,
+            SimTime::from_secs(60),
+        );
         s.leave(NodeId(1), SimTime::from_secs(90)).unwrap();
         s.close_telemetry(SimTime::from_secs(100));
 
@@ -514,9 +514,23 @@ mod tests {
     #[test]
     fn transition_cost_compounds_across_dimensions() {
         let mut s = Session::new(SessionId(1), SessionMode::FACE_TO_FACE);
-        let t = s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::ZERO);
+        let t = s
+            .switch_mode_via(
+                &mut EventBus::new(),
+                NodeId(0),
+                SessionMode::ASYNC_DISTRIBUTED,
+                SimTime::ZERO,
+            )
+            .0;
         assert_eq!(t.cost, SimDuration::from_millis(250));
-        let t2 = s.switch_mode(SessionMode::ASYNC_DISTRIBUTED, SimTime::ZERO);
+        let t2 = s
+            .switch_mode_via(
+                &mut EventBus::new(),
+                NodeId(0),
+                SessionMode::ASYNC_DISTRIBUTED,
+                SimTime::ZERO,
+            )
+            .0;
         assert_eq!(t2.cost, SimDuration::ZERO, "no-op switch is free");
         assert_eq!(s.transitions().len(), 2);
     }

@@ -23,7 +23,7 @@ pub use odp_concurrency::store::ObjectId;
 
 /// An awareness weighting function: maps `(observer, event)` to a weight
 /// in `[0, 1]` (see [`odp_awareness::events::WeightFn`]).
-pub type WorkspaceWeightFn = Box<dyn Fn(NodeId, &AwarenessEvent) -> f64>;
+pub type WorkspaceWeightFn = Box<dyn Fn(NodeId, &AwarenessEvent) -> f64 + Send>;
 
 /// One entry of the public history.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

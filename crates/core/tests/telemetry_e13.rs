@@ -7,6 +7,7 @@
 use odp_groupcomm::actors::{GroupActor, GroupApp, RpcConfig};
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
+use odp_net::ctx::NetCtx;
 use odp_sim::prelude::*;
 use odp_telemetry::collector::Collector;
 
@@ -14,11 +15,11 @@ use odp_telemetry::collector::Collector;
 struct Ack;
 
 impl GroupApp<String> for Ack {
-    fn on_deliver(&mut self, _ctx: &mut Ctx<'_, GcMsg<String>>, _delivery: Delivery<String>) {}
+    fn on_deliver(&mut self, _ctx: &mut dyn NetCtx<GcMsg<String>>, _delivery: Delivery<String>) {}
 
     fn on_rpc(
         &mut self,
-        _ctx: &mut Ctx<'_, GcMsg<String>>,
+        _ctx: &mut dyn NetCtx<GcMsg<String>>,
         _from: NodeId,
         _call: u64,
         payload: &String,
@@ -34,13 +35,13 @@ struct CallAtStart {
 
 impl Actor<GcMsg<String>> for CallAtStart {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
-        self.inner.on_start(ctx);
+        Actor::on_start(&mut self.inner, ctx);
         self.inner
             .invoke_rpc_now(ctx, "sync-workspace".to_owned(), RpcConfig::default());
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, from: NodeId, msg: GcMsg<String>) {
-        self.inner.on_message(ctx, from, msg);
+        Actor::on_message(&mut self.inner, ctx, from, msg);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, timer: TimerId, tag: u64) {

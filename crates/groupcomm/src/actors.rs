@@ -1,9 +1,19 @@
-//! Simulator adapters: host a [`GroupEngine`] and an [`RpcEngine`] on an
-//! [`odp_sim`] actor, delegating application behaviour to a [`GroupApp`].
+//! Transport adapters: host a [`GroupEngine`] and an [`RpcEngine`] on
+//! any `odp_net` backend, delegating application behaviour to a
+//! [`GroupApp`].
+//!
+//! The actors are written once against the backend-neutral
+//! [`NetCtx`] capability trait. A [`GroupActor`] is both an
+//! `odp_sim::actor::Actor` (the sim backend hands its `Ctx` straight
+//! through, so seeded runs are byte-for-byte identical to the
+//! pre-`odp-net` adapters) and an `odp_net::TransportActor` (the TCP
+//! backend drives the same handlers over real sockets).
 
 use std::any::Any;
 use std::collections::BTreeMap;
 
+use odp_net::actor::TransportActor;
+use odp_net::ctx::NetCtx;
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
@@ -19,28 +29,30 @@ const EXEC_BASE: u64 = 1_000;
 /// Application behaviour plugged into a [`GroupActor`].
 ///
 /// All methods have defaults so simple applications implement only what
-/// they need.
+/// they need. Callbacks receive the backend-neutral
+/// [`NetCtx`] handle, so one app implementation runs on the
+/// deterministic simulator and on the TCP transport unchanged.
 pub trait GroupApp<P>: 'static {
     /// Called once at simulation start.
-    fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>) {
+    fn on_start(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>) {
         let _ = ctx;
     }
 
     /// A locally injected command ([`GcMsg::AppCmd`]) arrived. Return
     /// `Some(payload)` to multicast it to the group.
-    fn on_command(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, cmd: P) -> Option<P> {
+    fn on_command(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, cmd: P) -> Option<P> {
         let _ = ctx;
         Some(cmd)
     }
 
     /// A group message was delivered in order.
-    fn on_deliver(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, delivery: Delivery<P>);
+    fn on_deliver(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, delivery: Delivery<P>);
 
     /// An RPC request arrived. Return `Some(reply)` to answer it. If the
     /// request carries `execute_at`, [`GroupApp::on_execute`] fires then.
     fn on_rpc(
         &mut self,
-        ctx: &mut Ctx<'_, GcMsg<P>>,
+        ctx: &mut dyn NetCtx<GcMsg<P>>,
         from: NodeId,
         call: u64,
         payload: &P,
@@ -50,12 +62,12 @@ pub trait GroupApp<P>: 'static {
     }
 
     /// A group-invocation action reached its agreed execution instant.
-    fn on_execute(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, call: u64, payload: P) {
+    fn on_execute(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, call: u64, payload: P) {
         let _ = (ctx, call, payload);
     }
 
     /// One of this node's outgoing RPC calls finished.
-    fn on_rpc_outcome(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, outcome: CallOutcome<P>) {
+    fn on_rpc_outcome(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, outcome: CallOutcome<P>) {
         let _ = (ctx, outcome);
     }
 }
@@ -68,11 +80,12 @@ pub trait GroupApp<P>: 'static {
 /// use odp_groupcomm::actors::{GroupActor, GroupApp};
 /// use odp_groupcomm::membership::{GroupId, View};
 /// use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
+/// use odp_net::ctx::NetCtx;
 /// use odp_sim::prelude::*;
 ///
 /// struct Counter { seen: u32 }
 /// impl GroupApp<String> for Counter {
-///     fn on_deliver(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, d: Delivery<String>) {
+///     fn on_deliver(&mut self, ctx: &mut dyn NetCtx<GcMsg<String>>, d: Delivery<String>) {
 ///         self.seen += 1;
 ///         ctx.trace("delivered", d.payload);
 ///     }
@@ -155,6 +168,13 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
         &self.engine
     }
 
+    /// Mutably borrows the multicast engine (e.g. to
+    /// [`GroupEngine::resume_seq_from`] when re-hosting a member that
+    /// crashed in a previous process incarnation).
+    pub fn engine_mut(&mut self) -> &mut GroupEngine<P> {
+        &mut self.engine
+    }
+
     /// Starts a group RPC to all current peers.
     ///
     /// Intended for use from [`GroupApp`] callbacks via
@@ -165,7 +185,7 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
         &mut self.rpc
     }
 
-    fn apply_step(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, step: Step<P>) {
+    fn apply_step(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, step: Step<P>) {
         for (to, msg) in step.outbound {
             ctx.send(to, msg);
         }
@@ -214,7 +234,7 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
     /// callbacks executed inside this actor's dispatch).
     pub fn invoke_rpc_now(
         &mut self,
-        ctx: &mut Ctx<'_, GcMsg<P>>,
+        ctx: &mut dyn NetCtx<GcMsg<P>>,
         payload: P,
         config: RpcConfig,
     ) -> u64 {
@@ -246,20 +266,20 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
 
     /// Closes the `rpc.call` root span of a finished call, if telemetry
     /// opened one.
-    fn close_call_span(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, call: u64) {
+    fn close_call_span(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, call: u64) {
         if let Some(root) = self.open_calls.remove(&call) {
             ctx.trace(CLOSE, root.close_data());
         }
     }
 }
 
-impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>) {
+impl<P: Clone + Any, A: GroupApp<P>> GroupActor<P, A> {
+    fn handle_start(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>) {
         ctx.set_timer(self.tick_every, TICK);
         self.app.on_start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, from: NodeId, msg: GcMsg<P>) {
+    fn handle_message(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, from: NodeId, msg: GcMsg<P>) {
         match msg {
             GcMsg::AppCmd(cmd) => {
                 if let Some(payload) = self.app.on_command(ctx, cmd) {
@@ -337,7 +357,7 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, _timer: TimerId, tag: u64) {
+    fn handle_timer(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, tag: u64) {
         if tag == TICK {
             let step = self.engine.on_tick(ctx.now());
             if !step.outbound.is_empty() {
@@ -357,6 +377,40 @@ impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
     }
 }
 
+/// Sim backend: a `&mut Ctx` unsize-coerces to `&mut dyn NetCtx`, whose
+/// impl forwards every method 1:1, so hosting through this adapter is
+/// byte-for-byte identical to the pre-`odp-net` direct impl.
+impl<P: Clone + Any, A: GroupApp<P>> Actor<GcMsg<P>> for GroupActor<P, A> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>) {
+        self.handle_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, from: NodeId, msg: GcMsg<P>) {
+        self.handle_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<P>>, _timer: TimerId, tag: u64) {
+        self.handle_timer(ctx, tag);
+    }
+}
+
+/// Real-transport backends (e.g. `odp_net::tcp::TcpNode`) drive the same
+/// handlers; peer up/down events are left to the application layer's
+/// view-change protocol ([`GcMsg::InstallView`]).
+impl<P: Clone + Any, A: GroupApp<P>> TransportActor<GcMsg<P>> for GroupActor<P, A> {
+    fn on_start(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>) {
+        self.handle_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, from: NodeId, msg: GcMsg<P>) {
+        self.handle_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, _timer: TimerId, tag: u64) {
+        self.handle_timer(ctx, tag);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,23 +426,28 @@ mod tests {
     }
 
     impl GroupApp<String> for Recorder {
-        fn on_deliver(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, d: Delivery<String>) {
+        fn on_deliver(&mut self, ctx: &mut dyn NetCtx<GcMsg<String>>, d: Delivery<String>) {
             self.delivered.push(d.payload.clone());
             ctx.trace("app.deliver", d.payload);
         }
         fn on_rpc(
             &mut self,
-            _ctx: &mut Ctx<'_, GcMsg<String>>,
+            _ctx: &mut dyn NetCtx<GcMsg<String>>,
             _from: NodeId,
             _call: u64,
             payload: &String,
         ) -> Option<String> {
             Some(format!("re:{payload}"))
         }
-        fn on_execute(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, _call: u64, _payload: String) {
+        fn on_execute(
+            &mut self,
+            ctx: &mut dyn NetCtx<GcMsg<String>>,
+            _call: u64,
+            _payload: String,
+        ) {
             self.executed_at.push(ctx.now());
         }
-        fn on_rpc_outcome(&mut self, _ctx: &mut Ctx<'_, GcMsg<String>>, o: CallOutcome<String>) {
+        fn on_rpc_outcome(&mut self, _ctx: &mut dyn NetCtx<GcMsg<String>>, o: CallOutcome<String>) {
             self.outcomes.push((o.call, o.replies.len()));
         }
     }
@@ -478,19 +537,23 @@ mod tests {
     fn rpc_round_trip_with_outcome() {
         struct Caller(Recorder);
         impl GroupApp<String> for Caller {
-            fn on_deliver(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, d: Delivery<String>) {
+            fn on_deliver(&mut self, ctx: &mut dyn NetCtx<GcMsg<String>>, d: Delivery<String>) {
                 self.0.on_deliver(ctx, d);
             }
             fn on_rpc(
                 &mut self,
-                ctx: &mut Ctx<'_, GcMsg<String>>,
+                ctx: &mut dyn NetCtx<GcMsg<String>>,
                 from: NodeId,
                 call: u64,
                 payload: &String,
             ) -> Option<String> {
                 self.0.on_rpc(ctx, from, call, payload)
             }
-            fn on_rpc_outcome(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, o: CallOutcome<String>) {
+            fn on_rpc_outcome(
+                &mut self,
+                ctx: &mut dyn NetCtx<GcMsg<String>>,
+                o: CallOutcome<String>,
+            ) {
                 ctx.trace("rpc.done", o.replies.len().to_string());
                 self.0.on_rpc_outcome(ctx, o);
             }
@@ -504,7 +567,7 @@ mod tests {
         }
         impl Actor<GcMsg<String>> for CallOnStart {
             fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
-                self.inner.on_start(ctx);
+                Actor::on_start(&mut self.inner, ctx);
                 self.inner
                     .invoke_rpc_now(ctx, "ping".to_owned(), RpcConfig::default());
             }
@@ -514,10 +577,10 @@ mod tests {
                 from: NodeId,
                 m: GcMsg<String>,
             ) {
-                self.inner.on_message(ctx, from, m);
+                Actor::on_message(&mut self.inner, ctx, from, m);
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {
-                self.inner.on_timer(ctx, t, tag);
+                Actor::on_timer(&mut self.inner, ctx, t, tag);
             }
         }
         sim.add_actor(
@@ -559,7 +622,7 @@ mod tests {
         }
         impl Actor<GcMsg<String>> for CallOnStart {
             fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
-                self.inner.on_start(ctx);
+                Actor::on_start(&mut self.inner, ctx);
                 self.inner
                     .invoke_rpc_now(ctx, "ping".to_owned(), RpcConfig::default());
             }
@@ -569,10 +632,10 @@ mod tests {
                 from: NodeId,
                 m: GcMsg<String>,
             ) {
-                self.inner.on_message(ctx, from, m);
+                Actor::on_message(&mut self.inner, ctx, from, m);
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {
-                self.inner.on_timer(ctx, t, tag);
+                Actor::on_timer(&mut self.inner, ctx, t, tag);
             }
         }
         let view = View::initial(GroupId(0), [NodeId(0), NodeId(1), NodeId(2)]);
@@ -670,7 +733,7 @@ mod tests {
         }
         impl Actor<GcMsg<String>> for StartCameras {
             fn on_start(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>) {
-                self.inner.on_start(ctx);
+                Actor::on_start(&mut self.inner, ctx);
                 self.inner.invoke_rpc_now(
                     ctx,
                     "camera-on".to_owned(),
@@ -686,10 +749,10 @@ mod tests {
                 from: NodeId,
                 m: GcMsg<String>,
             ) {
-                self.inner.on_message(ctx, from, m);
+                Actor::on_message(&mut self.inner, ctx, from, m);
             }
             fn on_timer(&mut self, ctx: &mut Ctx<'_, GcMsg<String>>, t: TimerId, tag: u64) {
-                self.inner.on_timer(ctx, t, tag);
+                Actor::on_timer(&mut self.inner, ctx, t, tag);
             }
         }
         sim.add_actor(

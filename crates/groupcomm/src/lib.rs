@@ -26,6 +26,7 @@ pub mod membership;
 pub mod multicast;
 pub mod rpc;
 pub mod vclock;
+pub mod wire;
 
 pub use actors::{GroupActor, GroupApp, RpcConfig};
 pub use membership::{GroupId, Membership, MembershipError, View, ViewId};

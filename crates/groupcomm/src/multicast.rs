@@ -329,6 +329,18 @@ impl<P: Clone> GroupEngine<P> {
         self.view = view;
     }
 
+    /// Fast-forwards this member's own multicast sequence to at least
+    /// `seq`. A member rejoining after a crash must resume *above*
+    /// anything it multicast in a previous incarnation — message ids
+    /// are `(origin, seq)` pairs, and a reused id is silently dropped
+    /// by every peer's duplicate filter. The resume point comes from
+    /// whoever readmits the member (in these tests, the scripted
+    /// membership service; in a full system, persisted state or the
+    /// view-change protocol).
+    pub fn resume_seq_from(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
+
     /// Multicasts `payload` to the group. Returns wire messages and any
     /// immediately deliverable payloads (self-delivery is immediate except
     /// under total ordering, where even the sender waits for the

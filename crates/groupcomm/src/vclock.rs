@@ -114,6 +114,15 @@ impl VectorClock {
         self.entries.iter().map(|(&n, &c)| (n, c))
     }
 
+    /// Rebuilds a clock from explicit `(node, count)` entries (wire
+    /// decoding); zero counts are dropped so the representation stays
+    /// canonical.
+    pub fn from_entries(entries: impl IntoIterator<Item = (NodeId, u64)>) -> Self {
+        VectorClock {
+            entries: entries.into_iter().filter(|&(_, c)| c != 0).collect(),
+        }
+    }
+
     /// Number of non-zero entries.
     pub fn len(&self) -> usize {
         self.entries.len()

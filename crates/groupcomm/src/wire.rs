@@ -1,0 +1,277 @@
+//! Wire codecs for the group-communication envelope: every [`GcMsg`]
+//! variant (and the types it carries) round-trips through `odp-net`'s
+//! length-prefixed framing, so group actors run over real transports.
+//!
+//! All decoders are total: corrupt input yields a typed
+//! [`NetError`], never a panic. Impls live here (not in `odp-net`)
+//! per the orphan rule.
+
+use odp_net::error::NetError;
+use odp_net::wire::{WireCodec, WireReader};
+use odp_sim::net::NodeId;
+use odp_sim::time::SimTime;
+use odp_telemetry::span::SpanContext;
+
+use crate::membership::{GroupId, View, ViewId};
+use crate::multicast::{DataMsg, GcMsg, MsgId};
+use crate::vclock::VectorClock;
+
+impl WireCodec for GroupId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(GroupId(u32::decode(r)?))
+    }
+}
+
+impl WireCodec for ViewId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(ViewId(u64::decode(r)?))
+    }
+}
+
+impl WireCodec for View {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.group.encode(out);
+        self.id.encode(out);
+        self.members.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(View {
+            group: GroupId::decode(r)?,
+            id: ViewId::decode(r)?,
+            members: WireCodec::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for MsgId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.origin.encode(out);
+        self.seq.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(MsgId {
+            origin: NodeId::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for VectorClock {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let entries: Vec<(NodeId, u64)> = self.iter().collect();
+        entries.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        let entries: Vec<(NodeId, u64)> = WireCodec::decode(r)?;
+        Ok(VectorClock::from_entries(entries))
+    }
+}
+
+impl<P: WireCodec> WireCodec for DataMsg<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.group.encode(out);
+        self.vclock.encode(out);
+        self.span.encode(out);
+        self.payload.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(DataMsg {
+            id: MsgId::decode(r)?,
+            group: GroupId::decode(r)?,
+            vclock: Option::<VectorClock>::decode(r)?,
+            span: Option::<SpanContext>::decode(r)?,
+            payload: P::decode(r)?,
+        })
+    }
+}
+
+impl<P: WireCodec> WireCodec for GcMsg<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GcMsg::Data(d) => {
+                0u8.encode(out);
+                d.encode(out);
+            }
+            GcMsg::Ack { id } => {
+                1u8.encode(out);
+                id.encode(out);
+            }
+            GcMsg::SeqRequest { id } => {
+                2u8.encode(out);
+                id.encode(out);
+            }
+            GcMsg::SeqAssign {
+                assign_id,
+                id,
+                total,
+            } => {
+                3u8.encode(out);
+                assign_id.encode(out);
+                id.encode(out);
+                total.encode(out);
+            }
+            GcMsg::RpcRequest {
+                call,
+                execute_at,
+                span,
+                payload,
+            } => {
+                4u8.encode(out);
+                call.encode(out);
+                execute_at.encode(out);
+                span.encode(out);
+                payload.encode(out);
+            }
+            GcMsg::RpcReply {
+                call,
+                span,
+                payload,
+            } => {
+                5u8.encode(out);
+                call.encode(out);
+                span.encode(out);
+                payload.encode(out);
+            }
+            GcMsg::AppCmd(p) => {
+                6u8.encode(out);
+                p.encode(out);
+            }
+            GcMsg::InstallView(v) => {
+                7u8.encode(out);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        match u8::decode(r)? {
+            0 => Ok(GcMsg::Data(DataMsg::decode(r)?)),
+            1 => Ok(GcMsg::Ack {
+                id: MsgId::decode(r)?,
+            }),
+            2 => Ok(GcMsg::SeqRequest {
+                id: MsgId::decode(r)?,
+            }),
+            3 => Ok(GcMsg::SeqAssign {
+                assign_id: MsgId::decode(r)?,
+                id: MsgId::decode(r)?,
+                total: u64::decode(r)?,
+            }),
+            4 => Ok(GcMsg::RpcRequest {
+                call: u64::decode(r)?,
+                execute_at: Option::<SimTime>::decode(r)?,
+                span: Option::<SpanContext>::decode(r)?,
+                payload: P::decode(r)?,
+            }),
+            5 => Ok(GcMsg::RpcReply {
+                call: u64::decode(r)?,
+                span: Option::<SpanContext>::decode(r)?,
+                payload: P::decode(r)?,
+            }),
+            6 => Ok(GcMsg::AppCmd(P::decode(r)?)),
+            7 => Ok(GcMsg::InstallView(View::decode(r)?)),
+            tag => Err(NetError::BadTag {
+                what: "GcMsg",
+                tag: tag as u32,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(value: &T) {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let back: T = WireReader::new(&buf).finish().expect("decodes");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn vector_clock_roundtrips_and_stays_canonical() {
+        let mut vc = VectorClock::new();
+        vc.tick(NodeId(3));
+        vc.tick(NodeId(3));
+        vc.tick(NodeId(7));
+        roundtrip(&vc);
+        // Zero entries are dropped on decode, keeping equality exact.
+        let rebuilt = VectorClock::from_entries([(NodeId(1), 0), (NodeId(2), 5)]);
+        assert_eq!(rebuilt.get(NodeId(1)), 0);
+        assert_eq!(rebuilt.len(), 1);
+    }
+
+    #[test]
+    fn every_gcmsg_variant_roundtrips() {
+        let id = MsgId {
+            origin: NodeId(2),
+            seq: 9,
+        };
+        let mut vc = VectorClock::new();
+        vc.tick(NodeId(0));
+        let span = SpanContext::root_with(0xaa, 0xbb);
+        let msgs: Vec<GcMsg<String>> = vec![
+            GcMsg::Data(DataMsg {
+                id,
+                group: GroupId(1),
+                vclock: Some(vc),
+                span: Some(span),
+                payload: "hello".to_owned(),
+            }),
+            GcMsg::Ack { id },
+            GcMsg::SeqRequest { id },
+            GcMsg::SeqAssign {
+                assign_id: MsgId {
+                    origin: NodeId(0),
+                    seq: 1,
+                },
+                id,
+                total: 17,
+            },
+            GcMsg::RpcRequest {
+                call: 4,
+                execute_at: Some(SimTime::from_millis(250)),
+                span: None,
+                payload: "req".to_owned(),
+            },
+            GcMsg::RpcReply {
+                call: 4,
+                span: Some(span.child_with(0xcc)),
+                payload: "rep".to_owned(),
+            },
+            GcMsg::AppCmd("cmd".to_owned()),
+            GcMsg::InstallView(View::initial(GroupId(3), [NodeId(0), NodeId(4)])),
+        ];
+        for msg in &msgs {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_a_typed_error() {
+        let mut buf = Vec::new();
+        99u8.encode(&mut buf);
+        let got: Result<GcMsg<String>, NetError> = WireReader::new(&buf).finish();
+        assert_eq!(
+            got,
+            Err(NetError::BadTag {
+                what: "GcMsg",
+                tag: 99
+            })
+        );
+    }
+}

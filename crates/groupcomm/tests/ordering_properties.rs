@@ -5,6 +5,7 @@ use odp_groupcomm::actors::{GroupActor, GroupApp};
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
 use odp_groupcomm::vclock::{Causality, VectorClock};
+use odp_net::ctx::NetCtx;
 use odp_sim::prelude::*;
 use proptest::prelude::*;
 
@@ -14,7 +15,7 @@ struct Collector {
 }
 
 impl GroupApp<(u32, u32)> for Collector {
-    fn on_deliver(&mut self, _ctx: &mut Ctx<'_, GcMsg<(u32, u32)>>, d: Delivery<(u32, u32)>) {
+    fn on_deliver(&mut self, _ctx: &mut dyn NetCtx<GcMsg<(u32, u32)>>, d: Delivery<(u32, u32)>) {
         self.delivered.push(d.payload);
     }
 }

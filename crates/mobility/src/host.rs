@@ -239,25 +239,6 @@ impl MobileHost {
         Ok((self.finish_reconnect(server, replay), deliveries))
     }
 
-    /// Restores full connectivity: reintegrates the disconnected log,
-    /// then bulk-refreshes every hoarded and cached object.
-    ///
-    /// # Errors
-    ///
-    /// Propagates reintegration store failures.
-    #[deprecated(
-        since = "0.1.0",
-        note = "conflicts now flow through the cooperation-event bus; use `reconnect_via`"
-    )]
-    pub fn reconnect(&mut self, server: &mut ObjectStore) -> Result<ReconnectReport, MobileError> {
-        self.connectivity = Connectivity::Full;
-        let replay = crate::reintegration::reintegrate_inner(&self.log, server, self.policy)
-            .map_err(|e| match e {
-                crate::reintegration::ReintegrationError::Store(s) => MobileError::Store(s),
-            })?;
-        Ok(self.finish_reconnect(server, replay))
-    }
-
     fn finish_reconnect(
         &mut self,
         server: &mut ObjectStore,
@@ -290,8 +271,6 @@ impl MobileHost {
 }
 
 #[cfg(test)]
-// the legacy ReconnectReport-only shims stay covered until removal
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -349,7 +328,10 @@ mod tests {
             "plan",
             "server untouched while offline"
         );
-        let report = host.reconnect(&mut srv).unwrap();
+        let report = host
+            .reconnect_via(&mut EventBus::new(), NodeId(0), &mut srv, NOW)
+            .unwrap()
+            .0;
         assert_eq!(report.conflicts(), 0);
         assert_eq!(srv.read(ObjectId(1)).unwrap().value, "field edit");
         assert!(host.log().is_empty());
@@ -365,7 +347,10 @@ mod tests {
             .unwrap();
         // Someone edits at the office meanwhile.
         srv.write(ObjectId(1), "office edit").unwrap();
-        let report = host.reconnect(&mut srv).unwrap();
+        let report = host
+            .reconnect_via(&mut EventBus::new(), NodeId(0), &mut srv, NOW)
+            .unwrap()
+            .0;
         assert_eq!(report.conflicts(), 1);
         assert_eq!(
             srv.read(ObjectId(1)).unwrap().value,
@@ -409,7 +394,10 @@ mod tests {
         );
         srv.write(ObjectId(1), "office edit").unwrap();
         host.set_connectivity(Connectivity::Full);
-        let report = host.reconnect(&mut srv).unwrap();
+        let report = host
+            .reconnect_via(&mut EventBus::new(), NodeId(0), &mut srv, NOW)
+            .unwrap()
+            .0;
         assert_eq!(report.conflicts(), 1, "the race must surface as a conflict");
         assert_eq!(
             srv.read(ObjectId(1)).unwrap().value,
@@ -433,7 +421,10 @@ mod tests {
         host.write(ObjectId(1), "radio edit", &mut srv, NOW)
             .unwrap();
         srv.write(ObjectId(1), "office edit").unwrap();
-        let report = host.reconnect(&mut srv).unwrap();
+        let report = host
+            .reconnect_via(&mut EventBus::new(), NodeId(0), &mut srv, NOW)
+            .unwrap()
+            .0;
         assert_eq!(report.conflicts(), 1, "still counted as a conflict");
         assert_eq!(
             srv.read(ObjectId(1)).unwrap().value,
@@ -454,7 +445,10 @@ mod tests {
         host.write(ObjectId(1), "radio edit", &mut srv, NOW)
             .unwrap();
         srv.write(ObjectId(2), "office map edit").unwrap(); // different object
-        let report = host.reconnect(&mut srv).unwrap();
+        let report = host
+            .reconnect_via(&mut EventBus::new(), NodeId(0), &mut srv, NOW)
+            .unwrap()
+            .0;
         assert_eq!(report.conflicts(), 0, "no overlap, no conflict");
         assert_eq!(srv.read(ObjectId(1)).unwrap().value, "radio edit");
         assert_eq!(srv.read(ObjectId(2)).unwrap().value, "office map edit");
@@ -500,7 +494,10 @@ mod tests {
         host.cache_mut().hoard(ObjectId(1));
         host.cache_mut().hoard(ObjectId(2));
         host.set_connectivity(Connectivity::Disconnected);
-        let report = host.reconnect(&mut srv).unwrap();
+        let report = host
+            .reconnect_via(&mut EventBus::new(), NodeId(0), &mut srv, NOW)
+            .unwrap()
+            .0;
         assert_eq!(report.refreshed, 2);
         assert!(report.bulk_bytes >= "plan".len() + "map".len());
         // Now a later disconnection can still read both.

@@ -45,6 +45,3 @@ pub use host::{MobileError, MobileHost, ReconnectReport, Served};
 pub use reintegration::{
     reintegrate_via, ChangeLog, ConflictPolicy, LogEntry, ReintegrationError, ReplayOutcome,
 };
-// the deprecated shim stays re-exported until removal
-#[allow(deprecated)]
-pub use reintegration::reintegrate;

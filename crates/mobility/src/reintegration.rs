@@ -203,25 +203,6 @@ pub fn reintegrate_via(
     Ok((outcomes, deliveries))
 }
 
-/// Replays an optimised log against the authoritative `server` store.
-/// Returns one outcome per entry, in log order. The log is not cleared —
-/// callers clear it after inspecting the outcomes.
-///
-/// # Errors
-///
-/// Fails only if an object vanished from the server entirely.
-#[deprecated(
-    since = "0.1.0",
-    note = "conflicts now flow through the cooperation-event bus; use `reintegrate_via`"
-)]
-pub fn reintegrate(
-    log: &ChangeLog,
-    server: &mut ObjectStore,
-    policy: ConflictPolicy,
-) -> Result<Vec<ReplayOutcome>, ReintegrationError> {
-    reintegrate_inner(log, server, policy)
-}
-
 pub(crate) fn reintegrate_inner(
     log: &ChangeLog,
     server: &mut ObjectStore,
@@ -253,8 +234,6 @@ pub(crate) fn reintegrate_inner(
 }
 
 #[cfg(test)]
-// the legacy Vec<ReplayOutcome> shims stay covered until removal
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -271,7 +250,16 @@ mod tests {
         let mut log = ChangeLog::new();
         log.record(ObjectId(1), 0, "mobile1", SimTime::ZERO);
         log.record(ObjectId(2), 0, "mobile2", SimTime::ZERO);
-        let out = reintegrate(&log, &mut srv, ConflictPolicy::ServerWins).unwrap();
+        let out = reintegrate_via(
+            &mut EventBus::new(),
+            NodeId(0),
+            &log,
+            &mut srv,
+            ConflictPolicy::ServerWins,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .0;
         assert_eq!(out.len(), 2);
         assert!(matches!(out[0], ReplayOutcome::Applied { .. }));
         assert_eq!(srv.read(ObjectId(1)).unwrap().value, "mobile1");
@@ -283,7 +271,16 @@ mod tests {
         srv.write(ObjectId(1), "someone else's edit").unwrap(); // version 1
         let mut log = ChangeLog::new();
         log.record(ObjectId(1), 0, "mobile edit", SimTime::ZERO);
-        let out = reintegrate(&log, &mut srv, ConflictPolicy::ServerWins).unwrap();
+        let out = reintegrate_via(
+            &mut EventBus::new(),
+            NodeId(0),
+            &log,
+            &mut srv,
+            ConflictPolicy::ServerWins,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .0;
         match &out[0] {
             ReplayOutcome::Conflict {
                 applied,
@@ -304,7 +301,16 @@ mod tests {
         srv.write(ObjectId(1), "server edit").unwrap();
         let mut log = ChangeLog::new();
         log.record(ObjectId(1), 0, "mobile edit", SimTime::ZERO);
-        let out = reintegrate(&log, &mut srv, ConflictPolicy::ClientWins).unwrap();
+        let out = reintegrate_via(
+            &mut EventBus::new(),
+            NodeId(0),
+            &log,
+            &mut srv,
+            ConflictPolicy::ClientWins,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .0;
         assert!(matches!(
             &out[0],
             ReplayOutcome::Conflict { applied: true, .. }
@@ -330,7 +336,14 @@ mod tests {
         let mut log = ChangeLog::new();
         log.record(ObjectId(9), 0, "x", SimTime::ZERO);
         assert!(matches!(
-            reintegrate(&log, &mut srv, ConflictPolicy::ServerWins),
+            reintegrate_via(
+                &mut EventBus::new(),
+                NodeId(0),
+                &log,
+                &mut srv,
+                ConflictPolicy::ServerWins,
+                SimTime::ZERO,
+            ),
             Err(ReintegrationError::Store(_))
         ));
     }

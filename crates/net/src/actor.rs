@@ -1,0 +1,41 @@
+//! The backend-neutral actor callback surface.
+
+use odp_sim::actor::TimerId;
+use odp_sim::net::NodeId;
+
+use crate::ctx::NetCtx;
+
+/// A protocol participant that can be hosted on any transport backend.
+///
+/// The callbacks mirror `odp_sim::actor::Actor` but take the
+/// dyn-compatible [`NetCtx`] capability handle, plus two membership
+/// callbacks only live transports can raise: the sim backend models
+/// connectivity inside its network (actors observe failures through
+/// their protocol engines), while the TCP backend detects peers by
+/// heartbeat and reports transitions here.
+pub trait TransportActor<M> {
+    /// Called once when the host starts, before any message.
+    fn on_start(&mut self, ctx: &mut dyn NetCtx<M>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered to this actor.
+    fn on_message(&mut self, ctx: &mut dyn NetCtx<M>, from: NodeId, msg: M);
+
+    /// Called when a timer set through [`NetCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut dyn NetCtx<M>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+
+    /// A live transport established (or re-established) a session with
+    /// `peer`. Never raised by the sim backend.
+    fn on_peer_up(&mut self, ctx: &mut dyn NetCtx<M>, peer: NodeId) {
+        let _ = (ctx, peer);
+    }
+
+    /// A live transport declared `peer` failed (heartbeat timeout).
+    /// Never raised by the sim backend.
+    fn on_peer_down(&mut self, ctx: &mut dyn NetCtx<M>, peer: NodeId) {
+        let _ = (ctx, peer);
+    }
+}

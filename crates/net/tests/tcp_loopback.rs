@@ -1,0 +1,183 @@
+//! Acceptance tests for the threaded TCP backend on real loopback
+//! sockets.
+//!
+//! The TCP driver is not deterministic, so these tests assert the
+//! *protocol invariants* the transport promises instead of byte
+//! equality: every replica converges to the same delivered set, nothing
+//! is delivered twice, no sequence gaps appear, and a crashed sender's
+//! broadcasts are forwarded by survivors exactly once.
+//!
+//! Wall-clock sleeps are fine here — integration tests are exempt from
+//! the wallclock lint, and loopback convergence is bounded by the
+//! session heartbeat (25 ms) rather than the sleeps' generosity.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use odp_awareness::bus::{CoopEvent, CoopKind, EventBus};
+use odp_awareness::dist::{BusActor, BusWire};
+use odp_awareness::events::ActivityKind;
+use odp_groupcomm::membership::{GroupId, View};
+use odp_groupcomm::multicast::GcMsg;
+use odp_net::actor::TransportActor;
+use odp_net::ctx::NetCtx;
+use odp_net::tcp::{TcpConfig, TcpHandle, TcpNode};
+use odp_sim::net::NodeId;
+use odp_sim::time::SimTime;
+
+const NODES: u32 = 3;
+const WRITES_EACH: u32 = 2;
+const ARTEFACT: &str = "doc/plan";
+
+/// Binds `NODES` nodes, exchanges addresses, and returns them ready to
+/// spawn.
+fn bound_fleet(seed: u64) -> Vec<TcpNode> {
+    let mut nodes: Vec<TcpNode> = (0..NODES)
+        .map(|i| {
+            let cfg = TcpConfig {
+                seed,
+                ..TcpConfig::default()
+            };
+            TcpNode::bind(NodeId(i), cfg).expect("bind loopback")
+        })
+        .collect();
+    let addrs: BTreeMap<NodeId, SocketAddr> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (NodeId(i as u32), n.local_addr().expect("local addr")))
+        .collect();
+    for node in &mut nodes {
+        node.set_peers(addrs.clone());
+    }
+    nodes
+}
+
+fn open_bus() -> EventBus {
+    let mut bus = EventBus::new();
+    for i in 0..NODES {
+        bus.register(NodeId(i), 0.0);
+    }
+    bus
+}
+
+fn edit(publisher: u32, write: u32) -> BusWire {
+    BusWire::new(CoopEvent::broadcast(
+        NodeId(publisher),
+        ARTEFACT,
+        SimTime::from_millis(u64::from(write)),
+        CoopKind::Activity(ActivityKind::Edit),
+    ))
+}
+
+#[test]
+fn bus_replicas_converge_over_loopback() {
+    let view = View::initial(GroupId(0), (0..NODES).map(NodeId));
+    let handles: Vec<TcpHandle<BusActor, GcMsg<BusWire>>> = bound_fleet(7)
+        .into_iter()
+        .enumerate()
+        .map(|(i, node)| node.spawn(BusActor::new(NodeId(i as u32), view.clone(), open_bus())))
+        .collect();
+
+    // Let the mesh connect, then publish from every node.
+    std::thread::sleep(Duration::from_millis(200));
+    for (i, handle) in handles.iter().enumerate() {
+        for w in 0..WRITES_EACH {
+            handle.inject(NodeId(i as u32), GcMsg::AppCmd(edit(i as u32, w)));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(1500));
+
+    for (i, handle) in handles.into_iter().enumerate() {
+        let me = NodeId(i as u32);
+        let (actor, report) = handle.stop().expect("node stops cleanly");
+
+        // Convergence: every replica surfaces exactly the publications
+        // of the *other* nodes (a broadcast never reaches its actor),
+        // each exactly once.
+        let mut got: Vec<(NodeId, u64)> = actor
+            .delivered()
+            .iter()
+            .map(|d| {
+                assert_eq!(d.observer, me, "grants surface at their own node");
+                (d.event.actor, d.event.at.as_micros())
+            })
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(NodeId, u64)> = (0..NODES)
+            .filter(|&p| p != me.0)
+            .flat_map(|p| {
+                (0..WRITES_EACH)
+                    .map(move |w| (NodeId(p), SimTime::from_millis(u64::from(w)).as_micros()))
+            })
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want, "node {i} delivered set");
+
+        // Transport fidelity: no sequence gaps, and frames really moved
+        // through the socket layer.
+        let stats = report.stats;
+        assert_eq!(stats.gaps, 0, "node {i} saw a sequence gap");
+        assert_eq!(stats.evicted, 0, "node {i} evicted undelivered frames");
+        assert!(
+            report.metrics.counter("net.tcp.rx_frames") > 0,
+            "node {i} never received a frame"
+        );
+        assert!(
+            report.metrics.counter("aware.deliver") >= u64::from((NODES - 1) * WRITES_EACH),
+            "node {i} under-delivered"
+        );
+    }
+}
+
+/// Records every delivered payload; the crash-forwarding test asserts
+/// exactly-once delivery of a dead origin's broadcasts.
+struct Recorder {
+    seen: Vec<(NodeId, String)>,
+}
+
+impl TransportActor<String> for Recorder {
+    fn on_message(&mut self, _ctx: &mut dyn NetCtx<String>, from: NodeId, msg: String) {
+        self.seen.push((from, msg));
+    }
+}
+
+#[test]
+fn survivors_forward_a_crashed_senders_broadcast_exactly_once() {
+    let handles: Vec<TcpHandle<Recorder, String>> = bound_fleet(11)
+        .into_iter()
+        .map(|node| node.spawn(Recorder { seen: Vec::new() }))
+        .collect();
+    let mut handles = handles.into_iter();
+    let origin = handles.next().expect("origin handle");
+    let survivors: Vec<_> = handles.collect();
+
+    // Connect, broadcast from node 0, let it land everywhere.
+    std::thread::sleep(Duration::from_millis(200));
+    origin.broadcast("last words".to_owned());
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Crash the origin. Survivors see the connection drop, declare the
+    // peer dead after the failure deadline, and re-forward its retained
+    // broadcasts to each other; `(origin, bseq)` dedup must keep the
+    // delivery count at one.
+    drop(origin.stop().expect("origin stops"));
+    std::thread::sleep(Duration::from_millis(600));
+
+    let mut forwarded_total = 0;
+    for (i, handle) in survivors.into_iter().enumerate() {
+        let (actor, report) = handle.stop().expect("survivor stops");
+        let copies = actor
+            .seen
+            .iter()
+            .filter(|(from, msg)| *from == NodeId(0) && msg == "last words")
+            .count();
+        assert_eq!(copies, 1, "survivor {} delivered {copies} copies", i + 1);
+        assert_eq!(report.stats.gaps, 0, "survivor {} saw a gap", i + 1);
+        forwarded_total += report.stats.forwarded;
+    }
+    assert!(
+        forwarded_total > 0,
+        "no survivor forwarded the dead origin's broadcast"
+    );
+}

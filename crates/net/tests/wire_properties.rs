@@ -1,0 +1,164 @@
+//! Property tests for the wire codec and framing layer: every
+//! primitive round-trips bit-exactly, every link-layer [`Frame`]
+//! variant round-trips, and the decoders are *total* — arbitrary or
+//! truncated bytes always yield a typed [`NetError`], never a panic
+//! and never an unbounded allocation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use odp_net::error::NetError;
+use odp_net::session::Frame;
+use odp_net::wire::{decode_frame, encode_frame, WireCodec, WireReader, MAX_FRAME};
+use odp_sim::net::NodeId;
+use odp_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(value: &T) -> Result<(), String> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    match WireReader::new(&buf).finish::<T>() {
+        Ok(back) if &back == value => Ok(()),
+        Ok(back) => Err(format!("decoded {back:?} != {value:?}")),
+        Err(e) => Err(format!("failed to decode own encoding: {e}")),
+    }
+}
+
+/// An arbitrary link-layer frame over `String` payloads, covering all
+/// five variants.
+fn arb_frame() -> impl Strategy<Value = Frame<String>> {
+    (
+        0u8..5,
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        "[a-zA-Z0-9 .!?\n]{0,40}",
+    )
+        .prop_map(|(tag, node, seq, bseq, msg)| match tag {
+            0 => Frame::Hello {
+                from: NodeId(node),
+                expected: seq,
+            },
+            1 => Frame::Heartbeat,
+            2 => Frame::Data { seq, msg },
+            3 => Frame::Bcast {
+                seq,
+                origin: NodeId(node),
+                bseq,
+                msg,
+            },
+            _ => Frame::Fwd {
+                seq,
+                origin: NodeId(node),
+                bseq,
+                msg,
+            },
+        })
+}
+
+proptest! {
+    /// Unsigned/signed integers, bools, strings, times and ids all
+    /// round-trip exactly, alone and inside nested containers.
+    #[test]
+    fn primitives_and_containers_roundtrip(
+        a in any::<u64>(),
+        b in any::<u32>(),
+        s in "[a-zA-Z0-9 .!?\n]{0,60}",
+        flag in any::<bool>(),
+        pairs in prop::collection::vec((any::<u32>(), any::<u64>()), 0..12),
+        set in prop::collection::btree_set(any::<u32>(), 0..12),
+    ) {
+        prop_assert!(roundtrip(&a).is_ok());
+        prop_assert!(roundtrip(&b).is_ok());
+        prop_assert!(roundtrip(&(a as i64)).is_ok());
+        prop_assert!(roundtrip(&s).is_ok());
+        prop_assert!(roundtrip(&flag).is_ok());
+        prop_assert!(roundtrip(&NodeId(b)).is_ok());
+        prop_assert!(roundtrip(&SimTime::from_micros(a)).is_ok());
+        prop_assert!(roundtrip(&SimDuration::from_micros(a)).is_ok());
+        prop_assert!(roundtrip(&Some(s.clone())).is_ok());
+        prop_assert!(roundtrip(&Option::<String>::None).is_ok());
+        let map: BTreeMap<NodeId, u64> =
+            pairs.iter().map(|&(k, v)| (NodeId(k), v)).collect();
+        prop_assert!(roundtrip(&map).is_ok());
+        let ids: BTreeSet<NodeId> = set.iter().map(|&n| NodeId(n)).collect();
+        prop_assert!(roundtrip(&ids).is_ok());
+        let nested: Vec<(NodeId, Vec<String>)> =
+            vec![(NodeId(b), vec![s.clone(), String::new()])];
+        prop_assert!(roundtrip(&nested).is_ok());
+    }
+
+    /// Floats round-trip by bit pattern — NaN payloads and signed
+    /// zeroes included.
+    #[test]
+    fn floats_roundtrip_by_bits(bits in any::<u64>()) {
+        let value = f64::from_bits(bits);
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let back = WireReader::new(&buf).finish::<f64>().expect("f64 decodes");
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    /// Every `Frame` variant survives the full encode → frame →
+    /// decode_frame pipeline, consuming exactly the bytes produced.
+    #[test]
+    fn frames_roundtrip_through_framing(frame in arb_frame()) {
+        let bytes = encode_frame(&frame, MAX_FRAME).expect("frame encodes");
+        let (back, used): (Frame<String>, usize) =
+            decode_frame(&bytes, MAX_FRAME).expect("frame decodes");
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Every strict prefix of a valid encoding is an error — the
+    /// decoder never silently accepts a cut-off value.
+    #[test]
+    fn truncated_frames_error_at_every_prefix(frame in arb_frame()) {
+        let mut body = Vec::new();
+        frame.encode(&mut body);
+        for cut in 0..body.len() {
+            let got = WireReader::new(&body[..cut]).finish::<Frame<String>>();
+            prop_assert!(got.is_err(), "prefix of {} bytes decoded", cut);
+        }
+    }
+
+    /// Arbitrary hostile bytes never panic the frame decoder: the
+    /// outcome is a value or a typed error, and a header announcing
+    /// more than the cap is rejected before any allocation.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+        cap in 8usize..64,
+    ) {
+        match decode_frame::<Frame<String>>(&bytes, cap) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(NetError::FrameTooLarge { len, max }) => {
+                prop_assert!(len > max);
+            }
+            Err(_) => {}
+        }
+        // The raw value decoder is total too.
+        let _ = WireReader::new(&bytes).finish::<Frame<String>>();
+        let _ = WireReader::new(&bytes).finish::<Vec<(NodeId, f64)>>();
+        let _ = WireReader::new(&bytes).finish::<BTreeMap<NodeId, String>>();
+    }
+
+    /// The encoder refuses to produce frames above the cap, with the
+    /// true body length in the error.
+    #[test]
+    fn oversized_bodies_are_refused(len in 0usize..128, cap in 0usize..64) {
+        let s = "x".repeat(len);
+        let body_len = 4 + len; // u32 length prefix + bytes
+        match encode_frame(&s, cap) {
+            Ok(frame) => {
+                prop_assert!(body_len <= cap);
+                prop_assert_eq!(frame.len(), 4 + body_len);
+            }
+            Err(NetError::FrameTooLarge { len: got, max }) => {
+                prop_assert_eq!(got, body_len);
+                prop_assert_eq!(max, cap);
+                prop_assert!(body_len > cap);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+        }
+    }
+}

@@ -13,6 +13,21 @@ use crate::trace::Trace;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
 
+impl TimerId {
+    /// Reconstructs a timer id from its raw counter value. Intended for
+    /// alternative transport backends (e.g. `odp-net`'s TCP driver)
+    /// that run their own timer wheel but hand actors the same handle
+    /// type; sim code never needs this.
+    pub fn from_raw(raw: u64) -> Self {
+        TimerId(raw)
+    }
+
+    /// The raw counter value behind this id.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
 impl fmt::Display for TimerId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "timer#{}", self.0)

@@ -53,6 +53,7 @@
 pub mod collector;
 pub mod report;
 pub mod span;
+pub mod wire;
 
 pub use collector::{Collector, SpanRecord, TraceDag};
 pub use report::{SubsystemReport, TelemetryReport};

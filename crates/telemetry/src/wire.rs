@@ -1,0 +1,43 @@
+//! Wire-codec impl for [`SpanContext`], so spans piggybacked on
+//! protocol messages survive a trip through a real transport.
+//!
+//! Lives here (not in `odp-net`) because the orphan rule requires the
+//! impl in the crate owning either the trait or the type.
+
+use odp_net::error::NetError;
+use odp_net::wire::{WireCodec, WireReader};
+
+use crate::span::SpanContext;
+
+impl WireCodec for SpanContext {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.trace_id.encode(out);
+        self.span_id.encode(out);
+        self.parent.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(SpanContext {
+            trace_id: u64::decode(r)?,
+            span_id: u64::decode(r)?,
+            parent: Option::<u64>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_context_roundtrips() {
+        for ctx in [
+            SpanContext::root_with(0xfeed, 0xbeef),
+            SpanContext::root_with(1, 2).child_with(3),
+        ] {
+            let mut buf = Vec::new();
+            ctx.encode(&mut buf);
+            assert_eq!(WireReader::new(&buf).finish::<SpanContext>(), Ok(ctx));
+        }
+    }
+}

@@ -66,10 +66,6 @@ pub struct TraderLink {
     pub qos: LinkQos,
 }
 
-/// Deprecated name for the unified [`TraderError`].
-#[deprecated(since = "0.1.0", note = "use odp_trader::TraderError")]
-pub type ImportError = TraderError;
-
 /// A federation of trading domains joined by scoped links.
 #[derive(Debug, Default)]
 pub struct Federation {

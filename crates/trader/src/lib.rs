@@ -60,6 +60,7 @@ pub mod offer;
 pub mod plan;
 pub mod select;
 pub mod store;
+pub mod wire;
 
 pub use actors::{
     ImporterActor, ImporterStats, Invalidation, InvalidationReason, LookupJob, TraderActor,

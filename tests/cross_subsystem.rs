@@ -24,8 +24,7 @@ use cscw::trader::select::SelectionPolicy;
 use cscw::trader::store::ShardedStore;
 use odp_sim::net::{Connectivity, NodeId};
 use odp_sim::time::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A cross-organisation co-authoring session: a contractor must
 /// negotiate write rights, edits flow as spatially weighted awareness,
@@ -86,22 +85,22 @@ fn cross_organisation_co_authoring() {
         .assign(Subject(contractor.0), negotiated_role);
 
     // --- Spatially weighted awareness ------------------------------------
-    let space = Rc::new(RefCell::new(SpatialModel::new()));
-    space.borrow_mut().place(
+    let space = Arc::new(Mutex::new(SpatialModel::new()));
+    space.lock().unwrap().place(
         author,
         SpatialBody::symmetric(Position::new(0.0, 0.0), 1000.0, 50.0),
     );
-    space.borrow_mut().place(
+    space.lock().unwrap().place(
         contractor,
         SpatialBody::symmetric(Position::new(10.0, 0.0), 1000.0, 50.0),
     );
-    space.borrow_mut().place(
+    space.lock().unwrap().place(
         mobile,
         SpatialBody::symmetric(Position::new(2000.0, 0.0), 1000.0, 50.0),
     );
-    let space_for_ws = Rc::clone(&space);
+    let space_for_ws = Arc::clone(&space);
     ws.set_weight_fn(Box::new(move |observer, event| {
-        space_for_ws.borrow().weight(observer, event.actor)
+        space_for_ws.lock().unwrap().weight(observer, event.actor)
     }));
 
     // The contractor's (now permitted) edit reaches the nearby author but
