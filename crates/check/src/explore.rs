@@ -1,4 +1,5 @@
-//! Bounded exploration of message-delivery interleavings.
+//! Bounded exploration of message-delivery interleavings with dynamic
+//! partial-order reduction and state hashing.
 //!
 //! The default simulator schedule processes events in `(time, seq)`
 //! order, which exercises exactly one interleaving per seed. Protocol
@@ -13,7 +14,37 @@
 //! rebuilding the simulation from its seed and stepping through the
 //! same choices. That makes every counterexample a `(seed, choices)`
 //! pair that reproduces exactly, on any machine.
+//!
+//! Naive enumeration visits `branch^depth` schedules. Two reductions
+//! keep deeper spaces tractable without losing violations:
+//!
+//! * **Dynamic partial-order reduction** ([`Reduction::Dpor`], the
+//!   default). Deliveries to *different* receivers commute — running
+//!   them in either order reaches the same state — so reversing them
+//!   is wasted work. Each run records a happens-before relation over
+//!   its executed deliveries (vector clocks grown along the
+//!   [`Sim::last_executed`] cause chain); after the run, every pair of
+//!   same-receiver deliveries where the later one was *not* already
+//!   caused by the earlier one is a race, and only schedules reversing
+//!   such races are enqueued. Sleep sets carry "already explored from
+//!   here" knowledge into sibling subtrees so the same reversal is
+//!   never explored twice.
+//! * **State hashing** (via [`StateFingerprint`]). Different
+//!   interleavings often converge to the same protocol state. When a
+//!   fingerprint is supplied, a branch point whose `(actor-state,
+//!   pending-set)` digest was already expanded with at least as much
+//!   remaining depth budget is pruned.
+//!
+//! Both reductions are audited by a differential test suite proving
+//! they find exactly the violations plain enumeration finds (see
+//! `tests/dpor_differential.rs`), and their effect is reported in
+//! [`ExploreStats`].
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use odp_sim::net::NodeId;
 use odp_sim::sim::{PendingEvent, Sim};
 use odp_sim::time::{SimDuration, SimTime};
 
@@ -37,8 +68,57 @@ pub trait Invariant<M> {
     }
 }
 
-/// Exploration limits. Schedules grow as `branch^depth`, so both knobs
-/// are small by design; `max_runs` caps the total regardless.
+/// A canonical digest of the protocol state relevant to a scenario.
+///
+/// Used by [`Explorer::explore_hashed`] to prune schedules that
+/// converge to an already-expanded `(state, pending-set)` pair. The
+/// digest must cover *all* state the scenario's invariants read —
+/// missing state makes distinct states collide and can hide
+/// violations, which is exactly what the differential suite checks.
+///
+/// Implemented for any `Fn(&Sim<M>) -> u64`, so invariant modules
+/// expose plain `fn fingerprint(sim: &Sim<M>) -> u64` functions.
+pub trait StateFingerprint<M> {
+    /// Digest of the current actor state.
+    fn fingerprint(&self, sim: &Sim<M>) -> u64;
+}
+
+impl<M, F> StateFingerprint<M> for F
+where
+    F: Fn(&Sim<M>) -> u64,
+{
+    fn fingerprint(&self, sim: &Sim<M>) -> u64 {
+        self(sim)
+    }
+}
+
+/// Hashes any `Hash` value with the deterministic std SipHash (fixed
+/// keys), the convention for [`StateFingerprint`] impls.
+pub fn hash_of<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Which schedule-space reduction the explorer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Dynamic partial-order reduction with sleep sets (sound: finds
+    /// every violation plain enumeration finds, in fewer runs).
+    #[default]
+    Dpor,
+    /// Plain enumeration of every sibling at every branch point — the
+    /// ground truth the differential suite compares against.
+    Full,
+    /// **Intentionally unsound**: treats every delivery pair as
+    /// independent, so no reversals are ever enqueued. Exists so tests
+    /// can prove a broken dependence relation is *detected* (it misses
+    /// seeded violations that [`Reduction::Full`] finds).
+    DisarmedDependence,
+}
+
+/// Exploration limits. Naive schedule spaces grow as `branch^depth`;
+/// DPOR and hashing tame that, but `max_runs` still caps the total.
 #[derive(Debug, Clone, Copy)]
 pub struct Budget {
     /// Branch points permuted per schedule; beyond this the run follows
@@ -85,6 +165,20 @@ impl Budget {
             max_branch: 3,
             max_runs: 60,
             max_events: 100_000,
+            horizon: None,
+            window: SimDuration::from_millis(10),
+        }
+    }
+
+    /// A deep-search budget: depths naive enumeration cannot reach
+    /// (`4^10` ≈ a million schedules naively), made tractable by DPOR
+    /// and state hashing.
+    pub fn deep() -> Self {
+        Budget {
+            max_depth: 10,
+            max_branch: 4,
+            max_runs: 20_000,
+            max_events: 1_000_000,
             horizon: None,
             window: SimDuration::from_millis(10),
         }
@@ -145,6 +239,62 @@ impl std::fmt::Display for Counterexample {
     }
 }
 
+/// A stale or corrupted trace handed to [`Explorer::replay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A prescribed choice exceeded the candidate count at its branch
+    /// point — the trace was recorded against a different scenario
+    /// build, so replaying any *other* schedule would be misleading.
+    ChoiceOutOfRange {
+        /// Which branch point (index into the choice list).
+        position: usize,
+        /// The out-of-range choice.
+        choice: usize,
+        /// How many candidates the branch point actually had.
+        candidates: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::ChoiceOutOfRange {
+                position,
+                choice,
+                candidates,
+            } => write!(
+                f,
+                "stale trace: choice {choice} at branch point {position} is out of range \
+                 ({candidates} candidates) — the trace does not match this scenario"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// How much work a reduction saved, reported alongside the run counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExploreStats {
+    /// Naive size of the bounded schedule space, estimated by
+    /// multiplying the branch widths seen along the default schedule.
+    pub naive_bound: u64,
+    /// Runs cut short because every branch candidate was in the sleep
+    /// set (their subtrees were proven covered by sibling schedules).
+    pub sleep_pruned: usize,
+    /// Runs cut short at a branch point whose `(state, pending)`
+    /// fingerprint was already expanded with at least as much remaining
+    /// depth budget.
+    pub hash_pruned: usize,
+    /// Same-receiver delivery pairs found racing (neither causally
+    /// ordered before the other) across all runs.
+    pub racing_pairs: u64,
+    /// `naive_bound / runs` — how much smaller the explored space was
+    /// than the naive bound. 1.0 means no reduction (e.g. every pair
+    /// of deliveries shared a receiver).
+    pub reduction_factor: f64,
+}
+
 /// What an exploration did.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -157,25 +307,114 @@ pub struct Report {
     /// True when the whole bounded schedule space was covered before
     /// `max_runs` tripped.
     pub complete: bool,
+    /// Reduction accounting.
+    pub stats: ExploreStats,
 }
 
 /// The bounded-DFS schedule explorer.
 pub struct Explorer {
     seed: u64,
     budget: Budget,
+    reduction: Reduction,
+}
+
+/// A pending delivery eligible at a branch point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Candidate {
+    /// Index into the sim's pending order (what `step_nth` takes).
+    idx: usize,
+    /// Stable event identity across interleavings.
+    seq: u64,
+    /// The sender.
+    #[allow(dead_code)]
+    from: NodeId,
+    /// The receiver — the dependence relation keys on this.
+    to: NodeId,
+}
+
+/// A delivery whose subtree is already covered by a sibling schedule.
+/// It stays asleep until an event at its receiver executes (a
+/// dependent transition invalidates the coverage argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SleepEntry {
+    seq: u64,
+    to: NodeId,
+}
+
+/// One branch point as a run saw it.
+struct BranchPoint {
+    /// Position of the chosen event in the run's execution order.
+    pos: usize,
+    /// Index into the run's choice vector.
+    depth: usize,
+    candidates: Vec<Candidate>,
+    /// Index into `candidates` actually taken.
+    choice: usize,
+    /// Sleep entries active when the branch point was reached.
+    asleep: Vec<SleepEntry>,
+}
+
+/// One executed event with its happens-before bookkeeping.
+struct ExecRec {
+    seq: u64,
+    /// `(from, to)` when the event was a delivery.
+    deliver: Option<(NodeId, NodeId)>,
+    /// `seq` of the event during whose processing this was enqueued.
+    caused_by: Option<u64>,
+    /// 1-based execution ordinal at this event's node.
+    ordinal: usize,
+    /// Vector clock after executing the event: for each node, the
+    /// ordinal of the latest event there in this event's causal past.
+    clock: BTreeMap<NodeId, usize>,
+}
+
+/// Everything a finished (non-violating) run learned.
+struct RunData {
+    taken: Vec<usize>,
+    branch_points: Vec<BranchPoint>,
+    execs: Vec<ExecRec>,
+    seq_to_pos: BTreeMap<u64, usize>,
+    /// Run ended at a fingerprint hit.
+    hash_pruned: bool,
+    /// Run ended because every continuation was asleep.
+    sleep_pruned: bool,
+}
+
+/// A schedule prefix queued for execution.
+struct Job {
+    choices: Vec<usize>,
+    /// Sleep set in force at the deviation point (the state reached by
+    /// the last prescribed choice's branch point).
+    sleep: Vec<SleepEntry>,
 }
 
 enum RunOutcome {
     Violation(Counterexample),
-    /// Sibling prefixes discovered at branch points past this run's
-    /// prescribed prefix.
-    Extensions(Vec<Vec<usize>>),
+    Finished(RunData),
+    /// A prescribed choice was out of range (possible only for
+    /// user-supplied replay traces; internal jobs replay exactly).
+    BadChoice {
+        position: usize,
+        choice: usize,
+        candidates: usize,
+    },
 }
 
 impl Explorer {
-    /// An explorer over schedules of `factory(seed)`.
+    /// An explorer over schedules of `factory(seed)`, using
+    /// [`Reduction::Dpor`].
     pub fn new(seed: u64, budget: Budget) -> Self {
-        Explorer { seed, budget }
+        Explorer {
+            seed,
+            budget,
+            reduction: Reduction::default(),
+        }
+    }
+
+    /// The same explorer with an explicit reduction mode.
+    pub fn with_reduction(mut self, reduction: Reduction) -> Self {
+        self.reduction = reduction;
+        self
     }
 
     /// The seed in force.
@@ -192,64 +431,304 @@ impl Explorer {
         F: Fn(u64) -> Sim<M>,
         G: Fn() -> Vec<Box<dyn Invariant<M>>>,
     {
+        self.drive(&factory, &invariants, None)
+    }
+
+    /// Like [`Explorer::explore`], additionally pruning branch points
+    /// whose `(state, pending)` fingerprint was already expanded.
+    pub fn explore_hashed<M, F, G, H>(&self, factory: F, invariants: G, fingerprint: H) -> Report
+    where
+        M: 'static,
+        F: Fn(u64) -> Sim<M>,
+        G: Fn() -> Vec<Box<dyn Invariant<M>>>,
+        H: StateFingerprint<M>,
+    {
+        self.drive(&factory, &invariants, Some(&fingerprint))
+    }
+
+    fn drive<M, F, G>(
+        &self,
+        factory: &F,
+        invariants: &G,
+        fingerprint: Option<&dyn StateFingerprint<M>>,
+    ) -> Report
+    where
+        M: 'static,
+        F: Fn(u64) -> Sim<M>,
+        G: Fn() -> Vec<Box<dyn Invariant<M>>>,
+    {
         let mut report = Report {
             runs: 0,
             events: 0,
             violation: None,
             complete: false,
+            stats: ExploreStats::default(),
         };
-        // Lazy DFS over the schedule tree: run a prefix following
-        // choice 0 past its end, and enqueue the sibling prefixes seen
-        // along the way. Every bounded schedule is visited exactly once.
-        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
-        while let Some(prefix) = stack.pop() {
+        // Fingerprint → largest remaining depth budget it was expanded
+        // with. Shared across the whole exploration.
+        let mut visited: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        // Branch-point path → candidates already dispatched or queued
+        // from that state. Sibling jobs sleep on these.
+        let mut dispatched: BTreeMap<Vec<usize>, Vec<SleepEntry>> = BTreeMap::new();
+        // Lazy DFS over the schedule tree: run a prefix past its end
+        // following default choices, and enqueue reversal prefixes
+        // discovered along the way.
+        let mut stack: Vec<Job> = vec![Job {
+            choices: Vec::new(),
+            sleep: Vec::new(),
+        }];
+        while let Some(job) = stack.pop() {
             if report.runs >= self.budget.max_runs {
+                self.finalize(&mut report);
                 return report;
             }
             report.runs += 1;
-            match self.run_schedule(&factory, &invariants, &prefix, &mut report.events) {
+            match self.run_schedule(
+                factory,
+                invariants,
+                &job,
+                fingerprint,
+                &mut visited,
+                &mut report.events,
+            ) {
                 RunOutcome::Violation(cx) => {
                     report.violation = Some(cx);
+                    self.finalize(&mut report);
                     return report;
                 }
-                RunOutcome::Extensions(exts) => {
+                RunOutcome::BadChoice { .. } => {
+                    // Internally queued prefixes always replay within
+                    // range; treat an impossible mismatch as a pruned
+                    // run rather than exploring a wrong schedule.
+                    debug_assert!(false, "internal prefix out of range");
+                    continue;
+                }
+                RunOutcome::Finished(data) => {
+                    if report.runs == 1 {
+                        report.stats.naive_bound =
+                            data.branch_points.iter().fold(1u64, |acc, bp| {
+                                acc.saturating_mul(bp.candidates.len() as u64)
+                            });
+                    }
+                    if data.hash_pruned {
+                        report.stats.hash_pruned += 1;
+                    }
+                    if data.sleep_pruned {
+                        report.stats.sleep_pruned += 1;
+                    }
+                    let exts = match self.reduction {
+                        Reduction::Full => self.full_extensions(&job, &data),
+                        Reduction::Dpor | Reduction::DisarmedDependence => {
+                            self.dpor_extensions(&data, &mut dispatched, &mut report.stats)
+                        }
+                    };
                     // Reverse keeps exploration order depth-first in
-                    // ascending choice order.
+                    // discovery order.
                     stack.extend(exts.into_iter().rev());
                 }
             }
         }
         report.complete = true;
+        self.finalize(&mut report);
         report
+    }
+
+    fn finalize(&self, report: &mut Report) {
+        let runs = report.runs.max(1) as f64;
+        let bound = report.stats.naive_bound.max(1) as f64;
+        report.stats.reduction_factor = bound / runs;
+    }
+
+    /// Plain enumeration: every sibling of every branch point past the
+    /// prescribed prefix becomes a new prefix. Visits each bounded
+    /// schedule exactly once.
+    fn full_extensions(&self, job: &Job, data: &RunData) -> Vec<Job> {
+        let mut exts = Vec::new();
+        for bp in &data.branch_points {
+            if bp.depth < job.choices.len() {
+                continue;
+            }
+            for c in 0..bp.candidates.len() {
+                if c == bp.choice {
+                    continue;
+                }
+                let mut choices = data.taken[..bp.depth].to_vec();
+                choices.push(c);
+                exts.push(Job {
+                    choices,
+                    sleep: Vec::new(),
+                });
+            }
+        }
+        exts
+    }
+
+    /// DPOR: enqueue only prefixes that reverse a racing pair of
+    /// same-receiver deliveries, with sleep sets preventing the same
+    /// reversal from being queued twice from one state.
+    fn dpor_extensions(
+        &self,
+        data: &RunData,
+        dispatched: &mut BTreeMap<Vec<usize>, Vec<SleepEntry>>,
+        stats: &mut ExploreStats,
+    ) -> Vec<Job> {
+        // The choice this run took at each branch point is now covered:
+        // siblings queued later from the same state sleep on it.
+        for bp in &data.branch_points {
+            let key = data.taken[..bp.depth].to_vec();
+            let chosen = bp.candidates[bp.choice];
+            let entry = dispatched.entry(key).or_default();
+            let se = SleepEntry {
+                seq: chosen.seq,
+                to: chosen.to,
+            };
+            if !entry.contains(&se) {
+                entry.push(se);
+            }
+        }
+        let mut exts = Vec::new();
+        if self.reduction == Reduction::DisarmedDependence {
+            // Every pair deemed independent: no races, no reversals.
+            return exts;
+        }
+        let pos_to_bp: BTreeMap<usize, usize> = data
+            .branch_points
+            .iter()
+            .enumerate()
+            .map(|(k, bp)| (bp.pos, k))
+            .collect();
+        for (j, q) in data.execs.iter().enumerate() {
+            let Some((_, q_to)) = q.deliver else { continue };
+            for (&i, &bpk) in pos_to_bp.range(..j) {
+                let bp = &data.branch_points[bpk];
+                let p = &data.execs[i];
+                let Some((_, p_to)) = p.deliver else { continue };
+                if p_to != q_to {
+                    // Disjoint receivers commute.
+                    continue;
+                }
+                // p happened-before q's *send* ⇒ the order is forced,
+                // not a race. The send's causal past is the cause
+                // event's clock; an injected q (no cause) races any
+                // earlier same-receiver delivery.
+                let forced = q
+                    .caused_by
+                    .and_then(|cb| data.seq_to_pos.get(&cb))
+                    .map(|&cp| data.execs[cp].clock.get(&p_to).copied().unwrap_or(0) >= p.ordinal)
+                    .unwrap_or(false);
+                if forced {
+                    continue;
+                }
+                stats.racing_pairs += 1;
+                // Reverse the race at p's branch point: prefer running
+                // q (or its earliest pending ancestor) instead of p.
+                // If neither is a candidate there, conservatively queue
+                // every alternative (Flanagan–Godefroid fallback).
+                let mut promote: Option<usize> = None;
+                let mut cur = Some(j);
+                while let Some(cj) = cur {
+                    if cj <= i {
+                        break;
+                    }
+                    let seq = data.execs[cj].seq;
+                    if let Some(k) = bp.candidates.iter().position(|c| c.seq == seq) {
+                        promote = Some(k);
+                        break;
+                    }
+                    cur = data.execs[cj]
+                        .caused_by
+                        .and_then(|cb| data.seq_to_pos.get(&cb).copied());
+                }
+                let targets: Vec<usize> = match promote {
+                    Some(k) => vec![k],
+                    None => (0..bp.candidates.len()).collect(),
+                };
+                for k in targets {
+                    if k == bp.choice {
+                        continue;
+                    }
+                    let cand = bp.candidates[k];
+                    let se = SleepEntry {
+                        seq: cand.seq,
+                        to: cand.to,
+                    };
+                    if bp.asleep.contains(&se) {
+                        // Covered by a sibling subtree already.
+                        continue;
+                    }
+                    let key = data.taken[..bp.depth].to_vec();
+                    let entry = dispatched.entry(key.clone()).or_default();
+                    if entry.contains(&se) {
+                        // Already run or queued from this state.
+                        continue;
+                    }
+                    // The new job sleeps on everything already covered
+                    // from this state: siblings dispatched/queued plus
+                    // entries that were asleep here in this run.
+                    let mut sleep = entry.clone();
+                    for inherited in &bp.asleep {
+                        if !sleep.contains(inherited) {
+                            sleep.push(*inherited);
+                        }
+                    }
+                    entry.push(se);
+                    let mut choices = key;
+                    choices.push(k);
+                    exts.push(Job { choices, sleep });
+                }
+            }
+        }
+        exts
     }
 
     /// Replays one exact schedule (e.g. a counterexample's `choices`)
     /// and returns its violation, if it still fails.
+    ///
+    /// A trace recorded against a different scenario build is rejected
+    /// with [`ReplayError::ChoiceOutOfRange`] instead of silently
+    /// replaying some other schedule.
     pub fn replay<M, F, G>(
         &self,
         factory: F,
         invariants: G,
         choices: &[usize],
-    ) -> Option<Counterexample>
+    ) -> Result<Option<Counterexample>, ReplayError>
     where
         M: 'static,
         F: Fn(u64) -> Sim<M>,
         G: Fn() -> Vec<Box<dyn Invariant<M>>>,
     {
         let mut events = 0;
-        match self.run_schedule(&factory, &invariants, choices, &mut events) {
-            RunOutcome::Violation(cx) => Some(cx),
-            RunOutcome::Extensions(_) => None,
+        let mut visited = BTreeMap::new();
+        let job = Job {
+            choices: choices.to_vec(),
+            sleep: Vec::new(),
+        };
+        match self.run_schedule(&factory, &invariants, &job, None, &mut visited, &mut events) {
+            RunOutcome::Violation(cx) => Ok(Some(cx)),
+            RunOutcome::Finished(_) => Ok(None),
+            RunOutcome::BadChoice {
+                position,
+                choice,
+                candidates,
+            } => Err(ReplayError::ChoiceOutOfRange {
+                position,
+                choice,
+                candidates,
+            }),
         }
     }
 
-    /// Runs one schedule: follow `prefix` at branch points, then
-    /// default to choice 0, recording sibling prefixes along the way.
+    /// Runs one schedule: follow the job's choices at branch points,
+    /// then default to the first non-sleeping candidate, recording
+    /// branch structure and happens-before for the reducer.
     fn run_schedule<M, F, G>(
         &self,
         factory: &F,
         invariants: &G,
-        prefix: &[usize],
+        job: &Job,
+        fingerprint: Option<&dyn StateFingerprint<M>>,
+        visited: &mut BTreeMap<(u64, u64), usize>,
         total_events: &mut u64,
     ) -> RunOutcome
     where
@@ -257,11 +736,30 @@ impl Explorer {
         F: Fn(u64) -> Sim<M>,
         G: Fn() -> Vec<Box<dyn Invariant<M>>>,
     {
+        let prefix = &job.choices;
         let mut sim = factory(self.seed);
         sim.set_max_events(self.budget.max_events);
         let mut invs = invariants();
-        let mut taken: Vec<usize> = Vec::new();
-        let mut extensions: Vec<Vec<usize>> = Vec::new();
+        let dpor = self.reduction != Reduction::Full;
+        let mut data = RunData {
+            taken: Vec::new(),
+            branch_points: Vec::new(),
+            execs: Vec::new(),
+            seq_to_pos: BTreeMap::new(),
+            hash_pruned: false,
+            sleep_pruned: false,
+        };
+        // Per-node happens-before bookkeeping.
+        let mut node_clock: BTreeMap<NodeId, BTreeMap<NodeId, usize>> = BTreeMap::new();
+        let mut node_count: BTreeMap<NodeId, usize> = BTreeMap::new();
+        // The job's sleep set describes the deviation state; it arms
+        // when the run reaches that state and is woken (entries
+        // removed) by dependent executions thereafter.
+        let mut sleep: Vec<SleepEntry> = if prefix.is_empty() {
+            job.sleep.clone()
+        } else {
+            Vec::new()
+        };
         let mut events_this_run = 0u64;
 
         loop {
@@ -281,21 +779,74 @@ impl Explorer {
                     }
                 }
             }
-            let stepped = if candidates.len() >= 2 && taken.len() < self.budget.max_depth {
-                let choice = prefix.get(taken.len()).copied().unwrap_or(0);
-                if taken.len() >= prefix.len() {
-                    // A branch point past the prescribed prefix: its
-                    // siblings become new prefixes to explore.
-                    for c in 1..candidates.len() {
-                        let mut ext = taken.clone();
-                        ext.push(c);
-                        extensions.push(ext);
-                    }
+            let at_branch = candidates.len() >= 2 && data.taken.len() < self.budget.max_depth;
+            let stepped = if at_branch {
+                let depth = data.taken.len();
+                if !prefix.is_empty() && depth == prefix.len() - 1 {
+                    // Reached the deviation state the sleep set
+                    // describes.
+                    sleep = job.sleep.clone();
                 }
-                let idx = candidates.get(choice).copied().unwrap_or(0);
-                taken.push(choice);
+                let choice = if depth < prefix.len() {
+                    let c = prefix[depth];
+                    if c >= candidates.len() {
+                        return RunOutcome::BadChoice {
+                            position: depth,
+                            choice: c,
+                            candidates: candidates.len(),
+                        };
+                    }
+                    c
+                } else {
+                    if let Some(fp) = fingerprint {
+                        let key = (fp.fingerprint(&sim), pending_signature(&sim));
+                        let remaining = self.budget.max_depth - depth;
+                        match visited.get(&key) {
+                            Some(&r) if r >= remaining => {
+                                data.hash_pruned = true;
+                                break;
+                            }
+                            _ => {
+                                visited.insert(key, remaining);
+                            }
+                        }
+                    }
+                    let free = candidates
+                        .iter()
+                        .position(|c| !dpor || !sleep.iter().any(|e| e.seq == c.seq));
+                    match free {
+                        Some(c) => c,
+                        None => {
+                            // Every continuation is covered by a
+                            // sibling subtree.
+                            data.sleep_pruned = true;
+                            break;
+                        }
+                    }
+                };
+                data.branch_points.push(BranchPoint {
+                    pos: data.execs.len(),
+                    depth,
+                    candidates: candidates.clone(),
+                    choice,
+                    asleep: sleep.clone(),
+                });
+                let idx = candidates[choice].idx;
+                data.taken.push(choice);
                 sim.step_nth(idx)
             } else {
+                // A forced head that is asleep means the whole
+                // remaining schedule is covered by a sibling subtree.
+                if dpor && !sleep.is_empty() {
+                    if let Some(head) = sim.pending_events().first() {
+                        if matches!(head, PendingEvent::Deliver { .. })
+                            && sleep.iter().any(|e| e.seq == head.seq())
+                        {
+                            data.sleep_pruned = true;
+                            break;
+                        }
+                    }
+                }
                 sim.step()
             };
             if !stepped {
@@ -303,34 +854,97 @@ impl Explorer {
             }
             events_this_run += 1;
             *total_events += 1;
+            if let Some(done) = sim.last_executed() {
+                let node = done.desc.node();
+                let mut clock = node
+                    .and_then(|n| node_clock.get(&n).cloned())
+                    .unwrap_or_default();
+                if let Some(cp) = done
+                    .caused_by
+                    .and_then(|cb| data.seq_to_pos.get(&cb).copied())
+                {
+                    for (n, &o) in &data.execs[cp].clock {
+                        let slot = clock.entry(*n).or_insert(0);
+                        *slot = (*slot).max(o);
+                    }
+                }
+                let ordinal = match node {
+                    Some(n) => {
+                        let c = node_count.entry(n).or_insert(0);
+                        *c += 1;
+                        clock.insert(n, *c);
+                        node_clock.insert(n, clock.clone());
+                        *c
+                    }
+                    None => 0,
+                };
+                let deliver = match done.desc {
+                    PendingEvent::Deliver { from, to, .. } => Some((from, to)),
+                    _ => None,
+                };
+                data.seq_to_pos.insert(done.desc.seq(), data.execs.len());
+                data.execs.push(ExecRec {
+                    seq: done.desc.seq(),
+                    deliver,
+                    caused_by: done.caused_by,
+                    ordinal,
+                    clock,
+                });
+                // An execution at a sleeping delivery's receiver is a
+                // dependent transition: the coverage argument for that
+                // entry no longer holds, so it wakes.
+                if let Some(n) = node {
+                    sleep.retain(|e| e.to != n);
+                }
+            }
             for inv in &mut invs {
                 if let Err(violation) = inv.check_step(&sim) {
                     return RunOutcome::Violation(Counterexample {
                         seed: self.seed,
-                        choices: taken,
+                        choices: data.taken,
                         invariant: inv.name().to_string(),
                         violation,
                     });
                 }
             }
         }
-        for inv in &mut invs {
-            if let Err(violation) = inv.check_quiescent(&sim) {
-                return RunOutcome::Violation(Counterexample {
-                    seed: self.seed,
-                    choices: taken,
-                    invariant: inv.name().to_string(),
-                    violation,
-                });
+        if !data.hash_pruned && !data.sleep_pruned {
+            for inv in &mut invs {
+                if let Err(violation) = inv.check_quiescent(&sim) {
+                    return RunOutcome::Violation(Counterexample {
+                        seed: self.seed,
+                        choices: data.taken,
+                        invariant: inv.name().to_string(),
+                        violation,
+                    });
+                }
             }
         }
-        RunOutcome::Extensions(extensions)
+        RunOutcome::Finished(data)
     }
 }
 
-/// The indices (in pending `(time, seq)` order) of the first
-/// `max_branch` in-flight deliveries that genuinely race the head
-/// event. Branching happens only when the next-due event *is* a
+/// Digest of the pending event set (kinds, times, endpoints — *not*
+/// seqs, which differ across interleavings that converge to the same
+/// state). Combined with a [`StateFingerprint`] this identifies a
+/// point in the bounded schedule space.
+fn pending_signature<M: 'static>(sim: &Sim<M>) -> u64 {
+    let mut h = DefaultHasher::new();
+    for ev in sim.pending_events() {
+        match ev {
+            PendingEvent::Start { node, time, .. } => (0u8, node, time.as_micros()).hash(&mut h),
+            PendingEvent::Deliver { from, to, time, .. } => {
+                (1u8, from, to, time.as_micros()).hash(&mut h)
+            }
+            PendingEvent::Timer { node, time, .. } => (2u8, node, time.as_micros()).hash(&mut h),
+            PendingEvent::NetChange { time, .. } => (3u8, NodeId(0), time.as_micros()).hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+/// The first `max_branch` in-flight deliveries that genuinely race the
+/// head event. Branching happens only when the next-due event *is* a
 /// delivery — timers and scheduled mutations fire exactly when the sim
 /// says they do; reordering a delivery ahead of a pending timer would
 /// fabricate schedules the deterministic runtime can never produce
@@ -342,7 +956,7 @@ fn branch_candidates<M: 'static>(
     sim: &Sim<M>,
     max_branch: usize,
     window: SimDuration,
-) -> Vec<usize> {
+) -> Vec<Candidate> {
     let pending = sim.pending_events();
     let Some(PendingEvent::Deliver { time: head, .. }) = pending.first() else {
         return Vec::new();
@@ -357,8 +971,20 @@ fn branch_candidates<M: 'static>(
     pending
         .iter()
         .enumerate()
-        .filter(|(_, ev)| matches!(ev, PendingEvent::Deliver { time, .. } if *time <= cutoff))
-        .map(|(i, _)| i)
+        .filter_map(|(i, ev)| match ev {
+            PendingEvent::Deliver {
+                from,
+                to,
+                time,
+                seq,
+            } if *time <= cutoff => Some(Candidate {
+                idx: i,
+                seq: *seq,
+                from: *from,
+                to: *to,
+            }),
+            _ => None,
+        })
         .take(max_branch)
         .collect()
 }
@@ -416,6 +1042,7 @@ mod tests {
         // The counterexample replays.
         let again = ex
             .replay(build, || vec![Box::new(NoThreeFirst)], &cx.choices)
+            .expect("trace in range")
             .expect("replay reproduces");
         assert_eq!(again.violation, cx.violation);
     }
@@ -424,11 +1051,21 @@ mod tests {
     fn exploration_covers_all_permutations_of_three_messages() {
         // With no invariant, a full exploration of 3 pending deliveries
         // needs 3! = 6 schedules (branch points shrink as messages
-        // drain).
+        // drain). All three share a receiver, so every pair is
+        // dependent and DPOR must keep all six.
         let ex = Explorer::new(7, Budget::default());
         let report = ex.explore(build, Vec::new);
         assert!(report.complete);
         assert_eq!(report.runs, 6, "3! interleavings");
+        assert_eq!(report.stats.naive_bound, 6);
+    }
+
+    #[test]
+    fn full_enumeration_matches_dpor_on_dependent_space() {
+        let ex = Explorer::new(7, Budget::default()).with_reduction(Reduction::Full);
+        let report = ex.explore(build, Vec::new);
+        assert!(report.complete);
+        assert_eq!(report.runs, 6);
     }
 
     #[test]
@@ -481,5 +1118,46 @@ mod tests {
         let report = ex.explore(build, Vec::new);
         assert_eq!(report.runs, 2);
         assert!(!report.complete);
+    }
+
+    #[test]
+    fn replay_rejects_out_of_range_choice() {
+        let ex = Explorer::new(7, Budget::default());
+        // The first branch point has 3 candidates; choice 9 is stale.
+        let err = ex
+            .replay(build, Vec::new, &[9])
+            .expect_err("stale trace must be rejected");
+        assert_eq!(
+            err,
+            ReplayError::ChoiceOutOfRange {
+                position: 0,
+                choice: 9,
+                candidates: 3,
+            }
+        );
+    }
+
+    /// Two disjoint receivers: the two deliveries commute, so DPOR
+    /// needs a single run where full enumeration needs two.
+    fn build_disjoint(seed: u64) -> Sim<u32> {
+        let mut sim = Sim::new(seed);
+        sim.add_actor(NodeId(0), Recorder { got: Vec::new() });
+        sim.add_actor(NodeId(1), Recorder { got: Vec::new() });
+        sim.inject(SimTime::from_millis(1), NodeId(9), NodeId(0), 1);
+        sim.inject(SimTime::from_millis(2), NodeId(9), NodeId(1), 2);
+        sim
+    }
+
+    #[test]
+    fn dpor_skips_commuting_reversals() {
+        let dpor = Explorer::new(7, Budget::default()).explore(build_disjoint, Vec::new);
+        assert!(dpor.complete);
+        assert_eq!(dpor.runs, 1, "disjoint receivers commute");
+        let full = Explorer::new(7, Budget::default())
+            .with_reduction(Reduction::Full)
+            .explore(build_disjoint, Vec::new);
+        assert!(full.complete);
+        assert_eq!(full.runs, 2);
+        assert!(dpor.stats.racing_pairs == 0);
     }
 }

@@ -93,6 +93,46 @@ pub fn gating_sim(seed: u64, gated: bool) -> Sim<GcMsg<BusWire>> {
     sim
 }
 
+/// A deeper gating scenario: four publications (two per entitled
+/// publisher, alternating) race over causal multicast to three
+/// replicas, so the bounded schedule space reaches the depth-10 branch
+/// budget. Gated, the rights invariant must *pass* on every schedule;
+/// `gated: false` is the deep known-bad variant.
+pub fn gating_deep_sim(seed: u64, gated: bool) -> Sim<GcMsg<BusWire>> {
+    let mut sim = gating_sim(seed, gated);
+    sim.inject(
+        SimTime::from_millis(3),
+        NodeId(0),
+        NodeId(0),
+        edit(NodeId(0)),
+    );
+    sim.inject(
+        SimTime::from_millis(4),
+        NodeId(1),
+        NodeId(1),
+        edit(NodeId(1)),
+    );
+    sim
+}
+
+/// Canonical [`crate::explore::StateFingerprint`] for the gating
+/// scenarios: every replica's surfaced deliveries in order (observer,
+/// artefact, kind) — the state the rights invariant audits.
+pub fn fingerprint(sim: &Sim<GcMsg<BusWire>>) -> u64 {
+    let mut parts = Vec::new();
+    for member in bus_members() {
+        if let Some(actor) = sim.actor::<BusActor>(member) {
+            let deliveries: Vec<(u32, String, &'static str)> = actor
+                .delivered()
+                .iter()
+                .map(|d| (d.observer.0, d.event.artefact.clone(), d.event.kind.label()))
+                .collect();
+            parts.push((member.0, deliveries));
+        }
+    }
+    crate::explore::hash_of(&parts)
+}
+
 /// Quiescence invariant: every delivery surfaced at any replica passes
 /// an independent recomputation of the rights check, and the workload
 /// actually delivered something (an empty run would pass vacuously while

@@ -223,6 +223,33 @@ pub fn federation_sim(seed: u64, accounted: bool) -> Sim<FedMsg> {
     sim
 }
 
+/// Canonical [`crate::explore::StateFingerprint`] for the diamond
+/// scenario: the host's import log plus every domain store's offers —
+/// churn that has landed but not yet been imported against is part of
+/// the state, so reordered-but-converged schedules hash equal only
+/// when they truly are.
+pub fn fingerprint(sim: &Sim<FedMsg>) -> u64 {
+    let Some(host) = sim.actor::<FedHost>(HOST) else {
+        return 0;
+    };
+    let mut parts: Vec<String> = vec![format!("{:?}", host.log())];
+    let scenario_types = [
+        ServiceType::new("video/conference"),
+        ServiceType::new("video/hd/tour"),
+    ];
+    for d in 0..4u32 {
+        if let Some(store) = host.federation().domain(DomainId(d)) {
+            let present: Vec<bool> = scenario_types.iter().map(|t| store.has_type(t)).collect();
+            parts.push(format!(
+                "d{d}:{}:{:?}:{present:?}",
+                store.len(),
+                store.loads()
+            ));
+        }
+    }
+    crate::explore::hash_of(&parts)
+}
+
 /// Quiescence invariant: every logged resolution withstands
 /// recomputation from the federation's links (scope soundness, penalty
 /// accounting, negotiated agreement, hop-wise monotonicity).

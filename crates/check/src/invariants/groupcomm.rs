@@ -116,6 +116,22 @@ pub fn group_members() -> Vec<NodeId> {
     vec![NodeId(0), NodeId(1), NodeId(2)]
 }
 
+/// Canonical [`crate::explore::StateFingerprint`] for group scenarios:
+/// each member's delivery log and vector clock (the clock advances on
+/// every receive, so held-back traffic is reflected even before it
+/// surfaces as a delivery).
+pub fn fingerprint(sim: &Sim<GcMsg<u64>>) -> u64 {
+    let mut parts = Vec::new();
+    for m in group_members() {
+        if let Some(member) = sim.actor::<Member>(m) {
+            let delivered: Vec<(u32, u64)> =
+                member.delivered.iter().map(|&(o, p)| (o.0, p)).collect();
+            parts.push((m.0, delivered, format!("{:?}", member.engine().clock())));
+        }
+    }
+    crate::explore::hash_of(&parts)
+}
+
 /// Step invariant: each member's vector clock only ever grows
 /// (pointwise) — time never runs backwards inside the causality layer.
 pub struct VClockMonotone {

@@ -89,6 +89,16 @@ impl TxnHost {
         &self.ids
     }
 
+    /// Canonical digest of the host's scheduling-relevant state: queued
+    /// ops, progress counters, liveness flags and outcomes. Two hosts
+    /// digesting equal behave identically on any future schedule.
+    pub fn state_digest(&self) -> u64 {
+        crate::explore::hash_of(&format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.queued, self.outstanding, self.blocked, self.alive, self.committed, self.aborted
+        ))
+    }
+
     fn ix_of(&self, txn: TxnId) -> Option<usize> {
         self.ids.iter().position(|&t| t == txn)
     }
@@ -207,6 +217,21 @@ pub fn cycle_sim(seed: u64, n: usize) -> Sim<TxnHarnessMsg> {
         );
     }
     sim
+}
+
+/// Canonical [`crate::explore::StateFingerprint`] for lock scenarios:
+/// the host digest plus the lock table's full grant map.
+pub fn fingerprint(sim: &Sim<TxnHarnessMsg>) -> u64 {
+    let Some(host) = sim.actor::<TxnHost>(HOST) else {
+        return 0;
+    };
+    let table = host.manager().lock_table();
+    let grants: Vec<String> = table
+        .resources()
+        .into_iter()
+        .map(|r| format!("{r:?}:{:?}", table.holders(r)))
+        .collect();
+    crate::explore::hash_of(&(host.state_digest(), grants))
 }
 
 /// Step invariant: the lock table never holds incompatible grants —

@@ -3,7 +3,10 @@
 //! Each submodule pairs a small simulation harness (actors wrapping the
 //! protocol engine under test, with injectable workloads) with the
 //! [`crate::explore::Invariant`]s that must hold across *every*
-//! explored schedule:
+//! explored schedule, and a canonical
+//! [`crate::explore::StateFingerprint`] function digesting the state
+//! its invariants read (so the explorer can prune schedules that
+//! converge to an already-expanded state):
 //!
 //! - [`locks`] — strict-2PL lock-table consistency and deadlock-victim
 //!   liveness ([`odp_concurrency::twophase`]).

@@ -103,6 +103,54 @@ pub fn dopt_sites(n: usize) -> Vec<NodeId> {
     (0..n).map(|i| NodeId(i as u32)).collect()
 }
 
+/// A deep two-site scenario: both replicas of `"abcd"` apply three
+/// position-0 inserts each at the same instant (six mutually concurrent
+/// broadcasts simultaneously in flight), so the bounded schedule space
+/// reaches the depth-10 branch budget. Two sites are provably convergent under
+/// dOPT, so the convergence check must *pass* at every depth — the
+/// scenario exists to exercise deep DPOR search, not to fail.
+pub fn dopt_deep_sim(seed: u64) -> Sim<RemoteOp> {
+    let nodes = dopt_sites(2);
+    let mut sim = Sim::new(seed);
+    for (i, &me) in nodes.iter().enumerate() {
+        let peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != me).collect();
+        let script: Vec<(SimDuration, CharOp)> = (0..3u64)
+            .map(|k| {
+                (
+                    SimDuration::from_millis(1),
+                    CharOp::Insert {
+                        pos: 0,
+                        ch: (b'A' + (i as u8) * 3 + k as u8) as char,
+                    },
+                )
+            })
+            .collect();
+        sim.add_actor(me, DoptActor::new(me, "abcd", peers, script));
+    }
+    sim
+}
+
+/// Canonical [`crate::explore::StateFingerprint`] for dOPT scenarios
+/// over `sites`: each replica's text, deferred-op count, and remote-op
+/// receive order (the receive order determines all future transforms,
+/// so two states hashing equal genuinely behave identically).
+pub fn fingerprint_for(sites: Vec<NodeId>) -> impl Fn(&Sim<RemoteOp>) -> u64 {
+    move |sim| {
+        let mut parts: Vec<(u32, String, usize, Vec<u32>)> = Vec::new();
+        for &s in &sites {
+            if let Some(actor) = sim.actor::<DoptActor>(s) {
+                parts.push((
+                    s.0,
+                    actor.site().text(),
+                    actor.site().pending(),
+                    actor.received.iter().map(|n| n.0).collect(),
+                ));
+            }
+        }
+        crate::explore::hash_of(&parts)
+    }
+}
+
 /// Quiescence invariant: every replica drained its pending queue and
 /// all texts are identical.
 pub struct Converged {

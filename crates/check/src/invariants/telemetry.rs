@@ -103,6 +103,23 @@ pub fn telemetry_sim(seed: u64, well_formed: bool) -> Sim<GcMsg<String>> {
     sim
 }
 
+/// Canonical [`crate::explore::StateFingerprint`] for the telemetry
+/// scenario: the full span log (time, node, label, payload) plus the
+/// eviction count — exactly what the well-formedness audit reads.
+pub fn fingerprint(sim: &Sim<GcMsg<String>>) -> u64 {
+    let trace = sim.trace();
+    let mut parts: Vec<(u64, u32, &str, &str)> = Vec::new();
+    for ev in trace.events() {
+        parts.push((
+            ev.time.as_micros(),
+            ev.node.0,
+            ev.label.as_str(),
+            ev.data.as_str(),
+        ));
+    }
+    crate::explore::hash_of(&(parts, trace.dropped()))
+}
+
 /// Quiescence invariant: the run's span log assembles into well-formed
 /// causal DAGs, and the instrumented workload actually emitted spans
 /// (an empty log would pass the audit vacuously while proving nothing).

@@ -105,6 +105,30 @@ pub fn rebalance_sim(seed: u64, announce: bool) -> Sim<TraderMsg> {
     sim
 }
 
+/// Canonical [`crate::explore::StateFingerprint`] for the churn
+/// scenario: each shard's ring and stored offers plus the importer's
+/// cache contents — the state the coherence invariant audits.
+pub fn fingerprint(sim: &Sim<TraderMsg>) -> u64 {
+    let mut parts: Vec<String> = Vec::new();
+    for t in [T1, T2] {
+        if let Some(trader) = sim.actor::<TraderActor>(t) {
+            let offers: Vec<String> = trader
+                .store()
+                .iter()
+                .map(|o| format!("{:?}/{:?}", o.id, o.service_type))
+                .collect();
+            parts.push(format!("{t}:{:?}:{offers:?}", trader.ring()));
+        }
+    }
+    if let Some(importer) = sim.actor::<ImporterActor>(IMP) {
+        for (service_type, scope, cached) in importer.cache().entries() {
+            let ids: Vec<OfferId> = cached.iter().map(|o| o.id).collect();
+            parts.push(format!("imp:{service_type:?}:{scope:?}:{ids:?}"));
+        }
+    }
+    crate::explore::hash_of(&parts)
+}
+
 /// Quiescence invariant: importer caches agree with the owning shards,
 /// and every stored offer lives on the shard the ring assigns it to.
 pub struct CacheCoherent {

@@ -193,6 +193,18 @@ fn expected_deliveries(member: NodeId) -> Vec<(NodeId, String)> {
     }
 }
 
+/// Canonical [`crate::explore::StateFingerprint`] for the crash/replay
+/// scenario: each host's delivery log and session counters.
+pub fn fingerprint(sim: &Sim<TransportMsg>) -> u64 {
+    let mut parts: Vec<String> = Vec::new();
+    for member in session_members() {
+        if let Some(host) = sim.actor::<SessionHost>(member) {
+            parts.push(format!("{member}:{:?}:{:?}", host.delivered, host.stats()));
+        }
+    }
+    crate::explore::hash_of(&parts)
+}
+
 /// Quiescence invariant: per node, no sequence gaps and no retransmit
 /// evictions; the delivered multiset equals the recomputed expectation
 /// (which subsumes exactly-once); and the run actually exercised the

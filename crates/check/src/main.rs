@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! odp-check lint [ROOT]          run the determinism lint pass
-//! odp-check explore [--smoke]    run every invariant suite
-//! odp-check explore <CHECK> [--smoke]
+//! odp-check explore [--smoke|--deep]    run every invariant suite
+//! odp-check explore <CHECK> [--smoke|--deep] [--json PATH] [--min-reduction X]
 //! odp-check replay <CHECK> <TRACE>   re-run one schedule (seed:c0.c1...)
 //! odp-check list                 list the invariant suites
 //! ```
 //!
-//! Exits non-zero on any lint finding or invariant violation.
+//! Exits non-zero on any lint finding, invariant violation, or
+//! `--min-reduction` regression. `--json` writes the per-check
+//! exploration statistics (runs, prunes, reduction factor) as a
+//! machine-readable artifact (`BENCH_check.json` in CI).
 
 use std::process::ExitCode;
 
-use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, Report};
+use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, ReplayError, Report};
 use odp_check::invariants::{
     awareness, federation, groupcomm, locks, replication, telemetry, trader, transport,
 };
@@ -20,26 +23,47 @@ use odp_check::lint;
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::time::SimTime;
 
+/// Which of the three stock budgets a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BudgetKind {
+    Smoke,
+    Default,
+    Deep,
+}
+
+impl BudgetKind {
+    fn label(self) -> &'static str {
+        match self {
+            BudgetKind::Smoke => "smoke",
+            BudgetKind::Default => "default",
+            BudgetKind::Deep => "deep",
+        }
+    }
+}
+
+/// The replay entry point of a registered check.
+type ReplayFn = fn(u64, Budget, &[usize]) -> Result<Option<Counterexample>, ReplayError>;
+
 /// One named invariant suite: a harness factory plus its invariants,
 /// with a budget tuned to its schedule space.
 struct Check {
     name: &'static str,
     about: &'static str,
     run: fn(u64, Budget) -> Report,
-    replay: fn(u64, Budget, &[usize]) -> Option<Counterexample>,
-    budget: fn(bool) -> Budget,
+    replay: ReplayFn,
+    budget: fn(BudgetKind) -> Budget,
 }
 
-fn plain_budget(smoke: bool) -> Budget {
-    if smoke {
-        Budget::smoke()
-    } else {
-        Budget::default()
+fn plain_budget(kind: BudgetKind) -> Budget {
+    match kind {
+        BudgetKind::Smoke => Budget::smoke(),
+        BudgetKind::Default => Budget::default(),
+        BudgetKind::Deep => Budget::deep(),
     }
 }
 
-fn horizon_budget(smoke: bool) -> Budget {
-    plain_budget(smoke).with_horizon(SimTime::from_secs(2))
+fn horizon_budget(kind: BudgetKind) -> Budget {
+    plain_budget(kind).with_horizon(SimTime::from_secs(2))
 }
 
 fn locks_invs(n: usize) -> Vec<Box<dyn Invariant<locks::TxnHarnessMsg>>> {
@@ -50,10 +74,19 @@ fn locks_invs(n: usize) -> Vec<Box<dyn Invariant<locks::TxnHarnessMsg>>> {
 }
 
 fn run_locks(n: usize, seed: u64, budget: Budget) -> Report {
-    Explorer::new(seed, budget).explore(|s| locks::cycle_sim(s, n), || locks_invs(n))
+    Explorer::new(seed, budget).explore_hashed(
+        |s| locks::cycle_sim(s, n),
+        || locks_invs(n),
+        locks::fingerprint,
+    )
 }
 
-fn replay_locks(n: usize, seed: u64, budget: Budget, choices: &[usize]) -> Option<Counterexample> {
+fn replay_locks(
+    n: usize,
+    seed: u64,
+    budget: Budget,
+    choices: &[usize],
+) -> Result<Option<Counterexample>, ReplayError> {
     Explorer::new(seed, budget).replay(|s| locks::cycle_sim(s, n), || locks_invs(n), choices)
 }
 
@@ -70,9 +103,10 @@ fn group_invs(ordering: Ordering) -> Vec<Box<dyn Invariant<odp_groupcomm::multic
 }
 
 fn run_group(ordering: Ordering, seed: u64, budget: Budget) -> Report {
-    Explorer::new(seed, budget).explore(
+    Explorer::new(seed, budget).explore_hashed(
         |s| groupcomm::group_sim(s, ordering, 2),
         || group_invs(ordering),
+        groupcomm::fingerprint,
     )
 }
 
@@ -81,7 +115,7 @@ fn replay_group(
     seed: u64,
     budget: Budget,
     choices: &[usize],
-) -> Option<Counterexample> {
+) -> Result<Option<Counterexample>, ReplayError> {
     Explorer::new(seed, budget).replay(
         |s| groupcomm::group_sim(s, ordering, 2),
         || group_invs(ordering),
@@ -149,7 +183,11 @@ const CHECKS: &[Check] = &[
         name: "dopt-pair",
         about: "dOPT: two concurrent replicas converge at quiescence",
         run: |seed, b| {
-            Explorer::new(seed, b).explore(|s| replication::dopt_sim(s, 2), || dopt_invs(2))
+            Explorer::new(seed, b).explore_hashed(
+                |s| replication::dopt_sim(s, 2),
+                || dopt_invs(2),
+                replication::fingerprint_for(replication::dopt_sites(2)),
+            )
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| replication::dopt_sim(s, 2), || dopt_invs(2), c)
@@ -157,10 +195,29 @@ const CHECKS: &[Check] = &[
         budget: plain_budget,
     },
     Check {
+        name: "dopt",
+        about: "dOPT: six concurrent edits across two replicas converge (deep DPOR space)",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore_hashed(
+                replication::dopt_deep_sim,
+                || dopt_invs(2),
+                replication::fingerprint_for(replication::dopt_sites(2)),
+            )
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(replication::dopt_deep_sim, || dopt_invs(2), c)
+        },
+        budget: plain_budget,
+    },
+    Check {
         name: "trader-rebalance",
         about: "trader: importer caches stay coherent across a ring change",
         run: |seed, b| {
-            Explorer::new(seed, b).explore(|s| trader::rebalance_sim(s, true), trader_invs)
+            Explorer::new(seed, b).explore_hashed(
+                |s| trader::rebalance_sim(s, true),
+                trader_invs,
+                trader::fingerprint,
+            )
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| trader::rebalance_sim(s, true), trader_invs, c)
@@ -171,7 +228,11 @@ const CHECKS: &[Check] = &[
         name: "trader-federation",
         about: "trader: federated imports are scope-sound and penalty-accounted",
         run: |seed, b| {
-            Explorer::new(seed, b).explore(|s| federation::federation_sim(s, true), federation_invs)
+            Explorer::new(seed, b).explore_hashed(
+                |s| federation::federation_sim(s, true),
+                federation_invs,
+                federation::fingerprint,
+            )
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(
@@ -186,7 +247,11 @@ const CHECKS: &[Check] = &[
         name: "telemetry-spans",
         about: "telemetry: every span closes, parents precede children, DAGs acyclic",
         run: |seed, b| {
-            Explorer::new(seed, b).explore(|s| telemetry::telemetry_sim(s, true), telemetry_invs)
+            Explorer::new(seed, b).explore_hashed(
+                |s| telemetry::telemetry_sim(s, true),
+                telemetry_invs,
+                telemetry::fingerprint,
+            )
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| telemetry::telemetry_sim(s, true), telemetry_invs, c)
@@ -197,7 +262,11 @@ const CHECKS: &[Check] = &[
         name: "awareness-gating",
         about: "awareness: no event reaches an observer without rights on its artefact",
         run: |seed, b| {
-            Explorer::new(seed, b).explore(|s| awareness::gating_sim(s, true), awareness_invs)
+            Explorer::new(seed, b).explore_hashed(
+                |s| awareness::gating_sim(s, true),
+                awareness_invs,
+                awareness::fingerprint,
+            )
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| awareness::gating_sim(s, true), awareness_invs, c)
@@ -205,10 +274,33 @@ const CHECKS: &[Check] = &[
         budget: horizon_budget,
     },
     Check {
+        name: "awareness-deep",
+        about: "awareness: four racing publications stay rights-gated (deep DPOR space)",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore_hashed(
+                |s| awareness::gating_deep_sim(s, true),
+                awareness_invs,
+                awareness::fingerprint,
+            )
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(
+                |s| awareness::gating_deep_sim(s, true),
+                awareness_invs,
+                c,
+            )
+        },
+        budget: horizon_budget,
+    },
+    Check {
         name: "transport-fidelity",
         about: "net: no seq gaps after reconnect, forwarded broadcasts exactly-once",
         run: |seed, b| {
-            Explorer::new(seed, b).explore(|s| transport::transport_sim(s, true), transport_invs)
+            Explorer::new(seed, b).explore_hashed(
+                |s| transport::transport_sim(s, true),
+                transport_invs,
+                transport::fingerprint,
+            )
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| transport::transport_sim(s, true), transport_invs, c)
@@ -221,7 +313,8 @@ const DEFAULT_SEED: u64 = 42;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  odp-check lint [ROOT]\n  odp-check explore [CHECK] [--smoke] [--seed N]\n  \
+        "usage:\n  odp-check lint [ROOT]\n  odp-check explore [CHECK] [--smoke|--deep] [--seed N] \
+         [--json PATH] [--min-reduction X]\n  \
          odp-check replay <CHECK> <TRACE>\n  odp-check list"
     );
     ExitCode::from(2)
@@ -263,7 +356,50 @@ fn find_check(name: &str) -> Option<&'static Check> {
     CHECKS.iter().find(|c| c.name == name)
 }
 
-fn cmd_explore(which: Option<&str>, smoke: bool, seed: u64) -> ExitCode {
+/// Minimal JSON string escaping for the stats artifact.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn stats_json(seed: u64, kind: BudgetKind, rows: &[(&'static str, Report)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"odp-check/explore-stats/v1\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"budget\": \"{}\",\n", kind.label()));
+    out.push_str("  \"checks\": [\n");
+    for (i, (name, report)) in rows.iter().enumerate() {
+        let violation = match &report.violation {
+            Some(cx) => format!("\"{}\"", json_escape(&cx.trace())),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"runs\": {}, \"events\": {}, \
+             \"naive_bound\": {}, \"sleep_pruned\": {}, \"hash_pruned\": {}, \
+             \"racing_pairs\": {}, \"reduction_factor\": {:.2}, \
+             \"complete\": {}, \"violation\": {violation}}}{}\n",
+            report.runs,
+            report.events,
+            report.stats.naive_bound,
+            report.stats.sleep_pruned,
+            report.stats.hash_pruned,
+            report.stats.racing_pairs,
+            report.stats.reduction_factor,
+            report.complete,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn cmd_explore(
+    which: Option<&str>,
+    kind: BudgetKind,
+    seed: u64,
+    json: Option<&str>,
+    min_reduction: Option<f64>,
+) -> ExitCode {
     let selected: Vec<&Check> = match which {
         Some(name) => match find_check(name) {
             Some(c) => vec![c],
@@ -275,13 +411,15 @@ fn cmd_explore(which: Option<&str>, smoke: bool, seed: u64) -> ExitCode {
         None => CHECKS.iter().collect(),
     };
     let mut failed = false;
+    let mut rows: Vec<(&'static str, Report)> = Vec::new();
     for check in selected {
-        let report = (check.run)(seed, (check.budget)(smoke));
+        let report = (check.run)(seed, (check.budget)(kind));
         let coverage = if report.complete {
             "complete"
         } else {
             "bounded"
         };
+        let s = &report.stats;
         match &report.violation {
             Some(cx) => {
                 failed = true;
@@ -297,11 +435,38 @@ fn cmd_explore(which: Option<&str>, smoke: bool, seed: u64) -> ExitCode {
             }
             None => {
                 println!(
-                    "ok   {} — {} ({} runs, {} events, {coverage})",
-                    check.name, check.about, report.runs, report.events
+                    "ok   {} — {} ({} runs of ~{} naive, {} sleep- / {} hash-pruned, \
+                     {} races, {:.1}x reduction, {} events, {coverage})",
+                    check.name,
+                    check.about,
+                    report.runs,
+                    s.naive_bound,
+                    s.sleep_pruned,
+                    s.hash_pruned,
+                    s.racing_pairs,
+                    s.reduction_factor,
+                    report.events
                 );
             }
         }
+        if let Some(floor) = min_reduction {
+            if report.stats.reduction_factor < floor {
+                failed = true;
+                println!(
+                    "FAIL {} — reduction factor {:.2} regressed below the floor {floor:.2}",
+                    check.name, report.stats.reduction_factor
+                );
+            }
+        }
+        rows.push((check.name, report));
+    }
+    if let Some(path) = json {
+        let body = stats_json(seed, kind, &rows);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("odp-check: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("stats written to {path}");
     }
     if failed {
         ExitCode::FAILURE
@@ -319,14 +484,18 @@ fn cmd_replay(name: &str, trace: &str) -> ExitCode {
         eprintln!("odp-check: malformed trace `{trace}` (expected seed:c0.c1...)");
         return ExitCode::from(2);
     };
-    match (check.replay)(seed, (check.budget)(false), &choices) {
-        Some(cx) => {
+    match (check.replay)(seed, (check.budget)(BudgetKind::Default), &choices) {
+        Ok(Some(cx)) => {
             println!("reproduced: {cx}");
             ExitCode::FAILURE
         }
-        None => {
+        Ok(None) => {
             println!("schedule {trace} runs clean for {name}");
             ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("odp-check: {e}");
+            ExitCode::from(2)
         }
     }
 }
@@ -334,14 +503,25 @@ fn cmd_replay(name: &str, trace: &str) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
-    let mut smoke = false;
+    let mut kind = BudgetKind::Default;
     let mut seed = DEFAULT_SEED;
+    let mut json: Option<&str> = None;
+    let mut min_reduction: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--smoke" => smoke = true,
+            "--smoke" => kind = BudgetKind::Smoke,
+            "--deep" => kind = BudgetKind::Deep,
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--json" => match it.next() {
+                Some(v) => json = Some(v.as_str()),
+                None => return usage(),
+            },
+            "--min-reduction" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_reduction = Some(v),
                 None => return usage(),
             },
             "-h" | "--help" => {
@@ -355,8 +535,8 @@ fn main() -> ExitCode {
     match positional.as_slice() {
         ["lint"] => cmd_lint(None),
         ["lint", root] => cmd_lint(Some(root)),
-        ["explore"] => cmd_explore(None, smoke, seed),
-        ["explore", name] => cmd_explore(Some(name), smoke, seed),
+        ["explore"] => cmd_explore(None, kind, seed, json, min_reduction),
+        ["explore", name] => cmd_explore(Some(name), kind, seed, json, min_reduction),
         ["replay", name, trace] => cmd_replay(name, trace),
         ["list"] => {
             for c in CHECKS {

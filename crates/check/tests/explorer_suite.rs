@@ -98,6 +98,7 @@ fn explorer_finds_the_silent_transfer_coherence_bug() {
     assert_eq!(cx.invariant, "trader-cache-coherent");
     let replayed = ex
         .replay(|s| trader::rebalance_sim(s, false), invs, &cx.choices)
+        .expect("trace stays in range")
         .expect("counterexample must reproduce");
     assert_eq!(replayed.violation, cx.violation);
     // The trace is the user-facing replay handle; it must round-trip.
@@ -153,6 +154,7 @@ fn explorer_finds_the_unaccounted_penalty_bug() {
             federation_invs,
             &cx.choices,
         )
+        .expect("trace stays in range")
         .expect("counterexample must reproduce");
     assert_eq!(replayed.violation, cx.violation);
     let (seed, choices) =
@@ -310,6 +312,7 @@ fn explorer_finds_the_disarmed_rights_gate() {
             awareness_invs,
             &cx.choices,
         )
+        .expect("trace stays in range")
         .expect("counterexample must reproduce");
     assert_eq!(replayed.violation, cx.violation);
     let (seed, choices) =
@@ -339,6 +342,7 @@ fn explorer_finds_the_leaked_span() {
             telemetry_invs,
             &cx.choices,
         )
+        .expect("trace stays in range")
         .expect("counterexample must reproduce");
     assert_eq!(replayed.violation, cx.violation);
     let (seed, choices) =
@@ -395,6 +399,7 @@ fn explorer_finds_the_disarmed_forward_dedup() {
             transport_invs,
             &cx.choices,
         )
+        .expect("trace stays in range")
         .expect("counterexample must reproduce");
     assert_eq!(replayed.violation, cx.violation);
     let (seed, choices) =

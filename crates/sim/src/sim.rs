@@ -6,8 +6,7 @@
 //! configuration and seed produce identical traces.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use crate::actor::{Actor, Ctx, Effect, TimerId};
 use crate::metrics::MetricsRegistry;
@@ -39,26 +38,11 @@ enum EventKind<M> {
 }
 
 struct Event<M> {
-    time: SimTime,
-    seq: u64,
     kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
+    /// The `seq` of the event during whose processing this one was
+    /// enqueued, or `None` for events scheduled from outside a dispatch
+    /// (injections, actor registration, scripted net changes).
+    caused_by: Option<u64>,
 }
 
 struct ActorSlot<M> {
@@ -77,6 +61,8 @@ pub enum PendingEvent {
         node: NodeId,
         /// When it runs.
         time: SimTime,
+        /// The event's queue identity (unique within a run).
+        seq: u64,
     },
     /// A message is in flight.
     Deliver {
@@ -86,6 +72,8 @@ pub enum PendingEvent {
         to: NodeId,
         /// The scheduled delivery time.
         time: SimTime,
+        /// The event's queue identity (unique within a run).
+        seq: u64,
     },
     /// A timer is armed on `node` (possibly already cancelled).
     Timer {
@@ -93,11 +81,15 @@ pub enum PendingEvent {
         node: NodeId,
         /// When it fires.
         time: SimTime,
+        /// The event's queue identity (unique within a run).
+        seq: u64,
     },
     /// A scheduled network mutation.
     NetChange {
         /// When it applies.
         time: SimTime,
+        /// The event's queue identity (unique within a run).
+        seq: u64,
     },
 }
 
@@ -108,9 +100,47 @@ impl PendingEvent {
             PendingEvent::Start { time, .. }
             | PendingEvent::Deliver { time, .. }
             | PendingEvent::Timer { time, .. }
-            | PendingEvent::NetChange { time } => *time,
+            | PendingEvent::NetChange { time, .. } => *time,
         }
     }
+
+    /// The event's queue identity. Sequence numbers are assigned in
+    /// scheduling order, so an event keeps its `seq` across
+    /// [`Sim::step_nth`] reorderings — schedule explorers use it to
+    /// track one in-flight message across interleavings.
+    pub fn seq(&self) -> u64 {
+        match self {
+            PendingEvent::Start { seq, .. }
+            | PendingEvent::Deliver { seq, .. }
+            | PendingEvent::Timer { seq, .. }
+            | PendingEvent::NetChange { seq, .. } => *seq,
+        }
+    }
+
+    /// The node whose state the event touches when processed — the
+    /// receiver for a delivery, the owner for a timer or start, `None`
+    /// for a global network mutation.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            PendingEvent::Start { node, .. } | PendingEvent::Timer { node, .. } => Some(*node),
+            PendingEvent::Deliver { to, .. } => Some(*to),
+            PendingEvent::NetChange { .. } => None,
+        }
+    }
+}
+
+/// A record of the most recently processed event, with the causal
+/// metadata schedule explorers need to reconstruct a happens-before
+/// relation: which queued event ran, and which earlier event's
+/// processing enqueued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutedEvent {
+    /// The event, as it appeared in the pending queue.
+    pub desc: PendingEvent,
+    /// The `seq` of the event during whose processing this one was
+    /// enqueued, or `None` for externally scheduled events (injections,
+    /// actor registration, scripted net changes).
+    pub caused_by: Option<u64>,
 }
 
 /// A deterministic discrete-event simulation.
@@ -146,7 +176,11 @@ impl PendingEvent {
 pub struct Sim<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    /// The event queue, keyed in `(time, seq)` order — the map itself is
+    /// the one sorted view that [`Sim::step`], [`Sim::step_nth`] and
+    /// [`Sim::pending_events`] all read, so removal of an arbitrary
+    /// event is an `O(log n)` map operation instead of a heap rebuild.
+    queue: BTreeMap<(SimTime, u64), Event<M>>,
     actors: BTreeMap<NodeId, ActorSlot<M>>,
     net: Network,
     rng: DetRng,
@@ -157,6 +191,10 @@ pub struct Sim<M> {
     default_msg_bytes: usize,
     events_processed: u64,
     max_events: u64,
+    /// `seq` of the event currently being processed; pushes made while
+    /// it is set record it as their cause.
+    processing: Option<u64>,
+    last_executed: Option<ExecutedEvent>,
 }
 
 impl<M: 'static> Sim<M> {
@@ -171,7 +209,7 @@ impl<M: 'static> Sim<M> {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: BTreeMap::new(),
             actors: BTreeMap::new(),
             net,
             rng: DetRng::seed_from(seed),
@@ -182,6 +220,8 @@ impl<M: 'static> Sim<M> {
             default_msg_bytes: 256,
             events_processed: 0,
             max_events: 50_000_000,
+            processing: None,
+            last_executed: None,
         }
     }
 
@@ -300,19 +340,25 @@ impl<M: 'static> Sim<M> {
     fn push(&mut self, time: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { time, seq, kind }));
+        self.queue.insert(
+            (time, seq),
+            Event {
+                kind,
+                caused_by: self.processing,
+            },
+        );
     }
 
     /// Processes the next event. Returns false when the queue is empty or
     /// the event cap is reached.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
-            return false;
-        };
         if self.events_processed >= self.max_events {
             return false;
         }
-        self.process(ev);
+        let Some(((time, seq), ev)) = self.queue.pop_first() else {
+            return false;
+        };
+        self.process(time, seq, ev);
         true
     }
 
@@ -323,38 +369,41 @@ impl<M: 'static> Sim<M> {
 
     /// When the next queued event is due, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(ev)| ev.time)
+        self.queue.keys().next().map(|(time, _)| *time)
+    }
+
+    fn describe(key: (SimTime, u64), kind: &EventKind<M>) -> PendingEvent {
+        let (time, seq) = key;
+        match kind {
+            EventKind::Start(node) => PendingEvent::Start {
+                node: *node,
+                time,
+                seq,
+            },
+            EventKind::Deliver { from, to, .. } => PendingEvent::Deliver {
+                from: *from,
+                to: *to,
+                time,
+                seq,
+            },
+            EventKind::Timer { node, .. } => PendingEvent::Timer {
+                node: *node,
+                time,
+                seq,
+            },
+            EventKind::NetChange(_) => PendingEvent::NetChange { time, seq },
+        }
     }
 
     /// Descriptions of every queued event in `(time, seq)` order — the
     /// order [`Sim::step`] would process them. Index `n` here is the `n`
-    /// accepted by [`Sim::step_nth`].
+    /// accepted by [`Sim::step_nth`]. The queue itself is kept in this
+    /// order, so this is a plain traversal, not a sort.
     pub fn pending_events(&self) -> Vec<PendingEvent> {
-        let mut evs: Vec<(&SimTime, &u64, PendingEvent)> = self
-            .queue
+        self.queue
             .iter()
-            .map(|Reverse(ev)| {
-                let desc = match &ev.kind {
-                    EventKind::Start(node) => PendingEvent::Start {
-                        node: *node,
-                        time: ev.time,
-                    },
-                    EventKind::Deliver { from, to, .. } => PendingEvent::Deliver {
-                        from: *from,
-                        to: *to,
-                        time: ev.time,
-                    },
-                    EventKind::Timer { node, .. } => PendingEvent::Timer {
-                        node: *node,
-                        time: ev.time,
-                    },
-                    EventKind::NetChange(_) => PendingEvent::NetChange { time: ev.time },
-                };
-                (&ev.time, &ev.seq, desc)
-            })
-            .collect();
-        evs.sort_by_key(|(t, s, _)| (**t, **s));
-        evs.into_iter().map(|(_, _, desc)| desc).collect()
+            .map(|(key, ev)| Self::describe(*key, &ev.kind))
+            .collect()
     }
 
     /// Processes the `n`-th queued event in `(time, seq)` order instead
@@ -364,25 +413,36 @@ impl<M: 'static> Sim<M> {
     /// at the current time. Returns false when `n` is out of range or
     /// the event cap is reached.
     pub fn step_nth(&mut self, n: usize) -> bool {
-        if n >= self.queue.len() || self.events_processed >= self.max_events {
+        if self.events_processed >= self.max_events {
             return false;
         }
-        let mut evs: Vec<Event<M>> = std::mem::take(&mut self.queue)
-            .into_iter()
-            .map(|Reverse(ev)| ev)
-            .collect();
-        evs.sort_by_key(|ev| (ev.time, ev.seq));
-        let chosen = evs.remove(n);
-        self.queue = evs.into_iter().map(Reverse).collect();
-        self.process(chosen);
+        let Some(key) = self.queue.keys().nth(n).copied() else {
+            return false;
+        };
+        // The key was just read from the map.
+        // odp-check: allow(unwrap)
+        let ev = self.queue.remove(&key).expect("key exists");
+        self.process(key.0, key.1, ev);
         true
     }
 
-    fn process(&mut self, ev: Event<M>) {
+    /// The most recently processed event, with its causal parent — the
+    /// metadata schedule explorers use to build a happens-before
+    /// relation over deliveries. `None` before the first step.
+    pub fn last_executed(&self) -> Option<ExecutedEvent> {
+        self.last_executed
+    }
+
+    fn process(&mut self, time: SimTime, seq: u64, ev: Event<M>) {
         self.events_processed += 1;
         // Under step_nth the chosen event may carry an earlier timestamp
         // than an already-processed one; the clock only moves forward.
-        self.now = self.now.max(ev.time);
+        self.now = self.now.max(time);
+        self.last_executed = Some(ExecutedEvent {
+            desc: Self::describe((time, seq), &ev.kind),
+            caused_by: ev.caused_by,
+        });
+        self.processing = Some(seq);
         match ev.kind {
             EventKind::Start(node) => self.dispatch(node, Dispatch::Start),
             EventKind::Deliver { from, to, msg } => {
@@ -396,6 +456,7 @@ impl<M: 'static> Sim<M> {
             }
             EventKind::NetChange(f) => f(&mut self.net),
         }
+        self.processing = None;
     }
 
     fn dispatch(&mut self, node: NodeId, what: Dispatch<M>) {
@@ -475,8 +536,8 @@ impl<M: 'static> Sim<M> {
     /// the clock reads `deadline` if it would otherwise lag behind.
     pub fn run_until(&mut self, deadline: SimTime) {
         loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.time <= deadline => {
+            match self.queue.keys().next() {
+                Some((time, _)) if *time <= deadline => {
                     if !self.step() {
                         break;
                     }
@@ -710,6 +771,40 @@ mod tests {
         assert!(!sim.step_nth(0), "queue exhausted");
         let c: &Collector = sim.actor(NodeId(0)).unwrap();
         assert_eq!(c.got, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn executed_events_carry_seq_identity_and_cause() {
+        let mut sim = build(4);
+        // Start events were scheduled externally.
+        assert!(sim.step());
+        let start = sim.last_executed().expect("an event ran");
+        assert!(matches!(start.desc, PendingEvent::Start { .. }));
+        assert_eq!(start.caused_by, None);
+        let start_seq = start.desc.seq();
+        // The client's on_start sent Ping(1); that delivery was caused
+        // by the start event and keeps its queue seq when surfaced.
+        let ping = sim
+            .pending_events()
+            .into_iter()
+            .find(|ev| matches!(ev, PendingEvent::Deliver { .. }))
+            .expect("ping in flight");
+        sim.run();
+        let deliveries: Vec<ExecutedEvent> = {
+            // Replaying the same seed, collect every executed event.
+            let mut sim = build(4);
+            let mut seen = Vec::new();
+            while sim.step() {
+                seen.extend(sim.last_executed());
+            }
+            seen
+        };
+        let ping_exec = deliveries
+            .iter()
+            .find(|ev| ev.desc.seq() == ping.seq())
+            .expect("ping executed");
+        assert_eq!(ping_exec.caused_by, Some(start_seq));
+        assert_eq!(ping_exec.desc.node(), Some(NodeId(1)));
     }
 
     #[test]
