@@ -273,7 +273,7 @@ mod tests {
 
     fn build(n: u32, readers: &[u32], seed: u64, telemetry: bool) -> Sim<GcMsg<BusWire>> {
         let view = View::initial(GroupId(0), (0..n).map(NodeId));
-        let mut sim = Sim::new(seed);
+        let mut sim = SimBuilder::new(seed).build();
         for i in 0..n {
             let mut actor = BusActor::new(NodeId(i), view.clone(), gated_bus(n, readers, "doc"));
             actor.set_telemetry(telemetry);
@@ -283,7 +283,8 @@ mod tests {
     }
 
     fn actor(sim: &Sim<GcMsg<BusWire>>, i: u32) -> &BusActor {
-        sim.actor(NodeId(i)).expect("bus actor exists")
+        sim.get(ActorHandle::of(NodeId(i)))
+            .expect("bus actor exists")
     }
 
     fn edit(actor: u32) -> BusWire {
@@ -301,7 +302,7 @@ mod tests {
         sim.inject(SimTime::from_millis(1), NodeId(0), NodeId(0), {
             GcMsg::AppCmd(edit(0))
         });
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
         // Broadcast from 0: observers 1 and 2 each see it exactly once,
         // at their own node; node 0 (the actor) surfaces nothing.
         assert!(actor(&sim, 0).delivered().is_empty());
@@ -323,7 +324,7 @@ mod tests {
             NodeId(0),
             GcMsg::AppCmd(edit(0)),
         );
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
         assert_eq!(actor(&sim, 1).delivered().len(), 1);
         assert!(actor(&sim, 2).delivered().is_empty(), "gated out");
         // The suppression is counted at the publishing replica.
@@ -347,7 +348,7 @@ mod tests {
                 },
             ))),
         );
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
         assert!(actor(&sim, 1).delivered().is_empty());
         let got = actor(&sim, 2).delivered();
         assert_eq!(got.len(), 1);
@@ -365,7 +366,7 @@ mod tests {
             NodeId(0),
             GcMsg::AppCmd(edit(0)),
         );
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
         let collector = Collector::from_trace(sim.trace());
         collector.well_formed().expect("aware spans well-formed");
         assert_eq!(collector.len(), 1, "one publication, one causal trace");
@@ -381,7 +382,7 @@ mod tests {
         // Node 0 hosts an extra (non-member) observer 9 with read
         // rights: its grants surface at node 0.
         let view = View::initial(GroupId(0), (0..2).map(NodeId));
-        let mut sim: Sim<GcMsg<BusWire>> = Sim::new(3);
+        let mut sim: Sim<GcMsg<BusWire>> = SimBuilder::new(3).build();
         for i in 0..2u32 {
             let mut bus = gated_bus(2, &[0, 1], "doc");
             bus.policy_mut().assign(Subject(9), RoleId(1));
@@ -398,7 +399,7 @@ mod tests {
             NodeId(1),
             GcMsg::AppCmd(edit(1)),
         );
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
         let at0: Vec<NodeId> = actor(&sim, 0)
             .delivered()
             .iter()

@@ -155,7 +155,7 @@ fn bench_sim_event_loop(c: &mut Criterion) {
         b.iter(|| {
             let mut net = Network::new(LinkSpec::ideal());
             net.set_default_link(LinkSpec::ideal());
-            let mut sim = Sim::with_network(1, net);
+            let mut sim = SimBuilder::new(1).network(net).build();
             sim.add_actor(
                 NodeId(0),
                 Echo {
@@ -170,7 +170,7 @@ fn bench_sim_event_loop(c: &mut Criterion) {
                     left: 10_000,
                 },
             );
-            sim.run();
+            sim.run(Until::Idle);
             black_box(sim.events_processed())
         })
     });

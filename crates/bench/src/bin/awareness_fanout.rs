@@ -31,7 +31,7 @@ use odp_awareness::events::ActivityKind;
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::GcMsg;
 use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::Sim;
+use odp_sim::prelude::{ActorHandle, Sim, SimBuilder, Until};
 use odp_sim::time::{SimDuration, SimTime};
 use odp_telemetry::collector::Collector;
 use odp_telemetry::report::json_string;
@@ -75,7 +75,7 @@ fn fanout_sim(seed: u64, gated: bool, telemetry: bool) -> Sim<GcMsg<BusWire>> {
     let link = LinkSpec::wan(SimDuration::from_millis(15));
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim: Sim<GcMsg<BusWire>> = Sim::with_network(seed, net);
+    let mut sim: Sim<GcMsg<BusWire>> = SimBuilder::new(seed).network(net).build();
     for i in 0..REPLICAS {
         let mut actor = BusActor::new(NodeId(i), view.clone(), replica_bus(gated));
         actor.set_telemetry(telemetry);
@@ -105,7 +105,7 @@ fn fanout_sim(seed: u64, gated: bool, telemetry: bool) -> Sim<GcMsg<BusWire>> {
 fn run_once(seed: u64, gated: bool, telemetry: bool) -> (u128, Sim<GcMsg<BusWire>>) {
     let mut sim = fanout_sim(seed, gated, telemetry);
     let start = std::time::Instant::now(); // odp-check: allow(wallclock)
-    sim.run_for(SimDuration::from_secs(30));
+    sim.run(Until::For(SimDuration::from_secs(30)));
     (start.elapsed().as_nanos(), sim)
 }
 
@@ -115,7 +115,9 @@ fn fanout_counts(sim: &Sim<GcMsg<BusWire>>) -> (u64, u64) {
     let mut delivered = 0u64;
     let mut suppressed = 0u64;
     for i in 0..REPLICAS {
-        let actor: &BusActor = sim.actor(NodeId(i)).expect("bus replica exists");
+        let actor: &BusActor = sim
+            .get(ActorHandle::of(NodeId(i)))
+            .expect("bus replica exists");
         delivered += actor.delivered().len() as u64;
         suppressed += actor.bus().suppressed_by_rights();
     }

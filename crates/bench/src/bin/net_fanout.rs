@@ -32,7 +32,7 @@ use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::GcMsg;
 use odp_net::tcp::{TcpConfig, TcpHandle, TcpNode};
 use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::Sim;
+use odp_sim::prelude::{ActorHandle, Sim, SimBuilder, Until};
 use odp_sim::time::{SimDuration, SimTime};
 use odp_telemetry::span::OPEN;
 
@@ -81,7 +81,7 @@ fn run_sim_once(seed: u64) -> (u128, u64) {
     let link = LinkSpec::wan(SimDuration::from_millis(15));
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim: Sim<GcMsg<BusWire>> = Sim::with_network(seed, net);
+    let mut sim: Sim<GcMsg<BusWire>> = SimBuilder::new(seed).network(net).build();
     for i in 0..NODES {
         sim.add_actor(NodeId(i), BusActor::new(NodeId(i), view(), open_bus()));
     }
@@ -96,11 +96,11 @@ fn run_sim_once(seed: u64) -> (u128, u64) {
         }
     }
     let start = std::time::Instant::now(); // odp-check: allow(wallclock)
-    sim.run_for(SimDuration::from_secs(30));
+    sim.run(Until::For(SimDuration::from_secs(30)));
     let ns = start.elapsed().as_nanos();
     let delivered: u64 = (0..NODES)
         .map(|i| {
-            let actor: &BusActor = sim.actor(NodeId(i)).expect("replica exists");
+            let actor: &BusActor = sim.get(ActorHandle::of(NodeId(i))).expect("replica exists");
             actor.delivered().len() as u64
         })
         .sum();

@@ -25,7 +25,7 @@ use cscw_core::workspace::{ObjectId, SharedWorkspace};
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::GcMsg;
 use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::Sim;
+use odp_sim::prelude::{Sim, SimBuilder, Until};
 use odp_sim::time::{SimDuration, SimTime};
 use odp_telemetry::collector::Collector;
 use odp_telemetry::report::{json_string, TelemetryReport};
@@ -59,7 +59,7 @@ fn e13_sim(seed: u64, telemetry: bool) -> Sim<GcMsg<WsOp>> {
     let link = LinkSpec::wan(SimDuration::from_millis(15));
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim: Sim<GcMsg<WsOp>> = Sim::with_network(seed, net);
+    let mut sim: Sim<GcMsg<WsOp>> = SimBuilder::new(seed).network(net).build();
     for i in 0..REPLICAS {
         let mut replica = replica_actor(NodeId(i), view.clone(), configured_workspace(REPLICAS));
         replica.set_telemetry(telemetry);
@@ -87,7 +87,7 @@ fn e13_sim(seed: u64, telemetry: bool) -> Sim<GcMsg<WsOp>> {
 fn run_once(seed: u64, telemetry: bool) -> (u128, Sim<GcMsg<WsOp>>) {
     let mut sim = e13_sim(seed, telemetry);
     let start = std::time::Instant::now(); // odp-check: allow(wallclock)
-    sim.run_for(SimDuration::from_secs(30));
+    sim.run(Until::For(SimDuration::from_secs(30)));
     (start.elapsed().as_nanos(), sim)
 }
 

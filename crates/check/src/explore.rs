@@ -738,7 +738,6 @@ impl Explorer {
     {
         let prefix = &job.choices;
         let mut sim = factory(self.seed);
-        sim.set_max_events(self.budget.max_events);
         let mut invs = invariants();
         let dpor = self.reduction != Reduction::Full;
         let mut data = RunData {
@@ -1006,7 +1005,7 @@ mod tests {
     }
 
     fn build(seed: u64) -> Sim<u32> {
-        let mut sim = Sim::new(seed);
+        let mut sim = SimBuilder::new(seed).build();
         sim.add_actor(NodeId(0), Recorder { got: Vec::new() });
         for (i, at) in [1u64, 2, 3].iter().enumerate() {
             sim.inject(
@@ -1026,7 +1025,7 @@ mod tests {
             "no-three-first"
         }
         fn check_quiescent(&mut self, sim: &Sim<u32>) -> Result<(), String> {
-            let r: &Recorder = sim.actor(NodeId(0)).ok_or("no recorder")?;
+            let r: &Recorder = sim.get(ActorHandle::of(NodeId(0))).ok_or("no recorder")?;
             if r.got == vec![3, 1, 2] {
                 return Err(format!("forbidden order {:?}", r.got));
             }
@@ -1076,7 +1075,7 @@ mod tests {
                 "all-three-arrive"
             }
             fn check_quiescent(&mut self, sim: &Sim<u32>) -> Result<(), String> {
-                let r: &Recorder = sim.actor(NodeId(0)).ok_or("no recorder")?;
+                let r: &Recorder = sim.get(ActorHandle::of(NodeId(0))).ok_or("no recorder")?;
                 if r.got.len() != 3 {
                     return Err(format!("only {:?}", r.got));
                 }
@@ -1140,7 +1139,7 @@ mod tests {
     /// Two disjoint receivers: the two deliveries commute, so DPOR
     /// needs a single run where full enumeration needs two.
     fn build_disjoint(seed: u64) -> Sim<u32> {
-        let mut sim = Sim::new(seed);
+        let mut sim = SimBuilder::new(seed).build();
         sim.add_actor(NodeId(0), Recorder { got: Vec::new() });
         sim.add_actor(NodeId(1), Recorder { got: Vec::new() });
         sim.inject(SimTime::from_millis(1), NodeId(9), NodeId(0), 1);

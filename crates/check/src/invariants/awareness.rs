@@ -70,7 +70,7 @@ fn edit(actor: NodeId) -> GcMsg<BusWire> {
 pub fn gating_sim(seed: u64, gated: bool) -> Sim<GcMsg<BusWire>> {
     let members = bus_members();
     let view = View::initial(GroupId(2), members.iter().copied());
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).build();
     for &member in &members {
         let mut bus = scenario_bus();
         if !gated {
@@ -121,7 +121,7 @@ pub fn gating_deep_sim(seed: u64, gated: bool) -> Sim<GcMsg<BusWire>> {
 pub fn fingerprint(sim: &Sim<GcMsg<BusWire>>) -> u64 {
     let mut parts = Vec::new();
     for member in bus_members() {
-        if let Some(actor) = sim.actor::<BusActor>(member) {
+        if let Some(actor) = sim.get::<BusActor>(ActorHandle::of(member)) {
             let deliveries: Vec<(u32, String, &'static str)> = actor
                 .delivered()
                 .iter()
@@ -161,7 +161,7 @@ impl Invariant<GcMsg<BusWire>> for RightsGated {
         let mut surfaced = 0usize;
         for &member in &self.members {
             let actor: &BusActor = sim
-                .actor(member)
+                .get(ActorHandle::of(member))
                 .ok_or_else(|| format!("bus replica {member} missing"))?;
             for delivery in actor.delivered() {
                 surfaced += 1;

@@ -177,7 +177,7 @@ pub fn federation_sim(seed: u64, accounted: bool) -> Sim<FedMsg> {
         // odp-check: allow(unwrap)
         .expect("D3 has a shard");
 
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).build();
     sim.add_actor(HOST, FedHost::new(fed));
     let import = |name: &str, required: QosSpec| {
         FedMsg::Import(
@@ -229,7 +229,7 @@ pub fn federation_sim(seed: u64, accounted: bool) -> Sim<FedMsg> {
 /// the state, so reordered-but-converged schedules hash equal only
 /// when they truly are.
 pub fn fingerprint(sim: &Sim<FedMsg>) -> u64 {
-    let Some(host) = sim.actor::<FedHost>(HOST) else {
+    let Some(host) = sim.get::<FedHost>(ActorHandle::of(HOST)) else {
         return 0;
     };
     let mut parts: Vec<String> = vec![format!("{:?}", host.log())];
@@ -339,7 +339,9 @@ impl Invariant<FedMsg> for FederationSound {
     }
 
     fn check_quiescent(&mut self, sim: &Sim<FedMsg>) -> Result<(), String> {
-        let host: &FedHost = sim.actor(HOST).ok_or("federation host missing")?;
+        let host: &FedHost = sim
+            .get(ActorHandle::of(HOST))
+            .ok_or("federation host missing")?;
         for (request, outcome) in host.log() {
             // Failed imports carry no path to audit; the planner's
             // NoMatch/AccessDenied split is covered by unit tests.

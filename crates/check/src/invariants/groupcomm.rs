@@ -96,7 +96,7 @@ impl Actor<GcMsg<u64>> for Member {
 pub fn group_sim(seed: u64, ordering: Ordering, per_member: u64) -> Sim<GcMsg<u64>> {
     let members = [NodeId(0), NodeId(1), NodeId(2)];
     let view = View::initial(GroupId(1), members);
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).build();
     for (m_ix, m) in members.iter().enumerate() {
         let script: Vec<(SimDuration, u64)> = (0..per_member)
             .map(|k| {
@@ -123,7 +123,7 @@ pub fn group_members() -> Vec<NodeId> {
 pub fn fingerprint(sim: &Sim<GcMsg<u64>>) -> u64 {
     let mut parts = Vec::new();
     for m in group_members() {
-        if let Some(member) = sim.actor::<Member>(m) {
+        if let Some(member) = sim.get::<Member>(ActorHandle::of(m)) {
             let delivered: Vec<(u32, u64)> =
                 member.delivered.iter().map(|&(o, p)| (o.0, p)).collect();
             parts.push((m.0, delivered, format!("{:?}", member.engine().clock())));
@@ -156,7 +156,7 @@ impl Invariant<GcMsg<u64>> for VClockMonotone {
 
     fn check_step(&mut self, sim: &Sim<GcMsg<u64>>) -> Result<(), String> {
         for &m in &self.members {
-            let member: &Member = sim.actor(m).ok_or("member missing")?;
+            let member: &Member = sim.get(ActorHandle::of(m)).ok_or("member missing")?;
             let clock = member.engine().clock().clone();
             if let Some(prev) = self.last.get(&m) {
                 match prev.compare(&clock) {
@@ -201,7 +201,7 @@ impl Invariant<GcMsg<u64>> for FifoDelivery {
 
     fn check_step(&mut self, sim: &Sim<GcMsg<u64>>) -> Result<(), String> {
         for &m in &self.members {
-            let member: &Member = sim.actor(m).ok_or("member missing")?;
+            let member: &Member = sim.get(ActorHandle::of(m)).ok_or("member missing")?;
             let mut last: BTreeMap<NodeId, u64> = BTreeMap::new();
             for &(origin, payload) in &member.delivered {
                 if let Some(&prev) = last.get(&origin) {
@@ -220,7 +220,7 @@ impl Invariant<GcMsg<u64>> for FifoDelivery {
     fn check_quiescent(&mut self, sim: &Sim<GcMsg<u64>>) -> Result<(), String> {
         self.check_step(sim)?;
         for &m in &self.members {
-            let member: &Member = sim.actor(m).ok_or("member missing")?;
+            let member: &Member = sim.get(ActorHandle::of(m)).ok_or("member missing")?;
             if member.delivered.len() != self.expected_total {
                 return Err(format!(
                     "member {m}: delivered {} of {} messages",
@@ -253,7 +253,7 @@ impl DeliveryAgreement {
         self.members
             .iter()
             .map(|&m| {
-                let member: &Member = sim.actor(m).ok_or("member missing")?;
+                let member: &Member = sim.get(ActorHandle::of(m)).ok_or("member missing")?;
                 Ok((m, member.delivered.as_slice()))
             })
             .collect()

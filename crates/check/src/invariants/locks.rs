@@ -193,7 +193,7 @@ pub fn cycle_sim(seed: u64, n: usize) -> Sim<TxnHarnessMsg> {
         .map(|i| (ObjectId(i as u64), "seed".into()))
         .collect();
     let refs: Vec<(ObjectId, &str)> = objects.iter().map(|(o, t)| (*o, t.as_str())).collect();
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).build();
     sim.add_actor(HOST, TxnHost::new(n, &refs, 2));
     for i in 0..n {
         let client = NodeId(10 + i as u32);
@@ -222,7 +222,7 @@ pub fn cycle_sim(seed: u64, n: usize) -> Sim<TxnHarnessMsg> {
 /// Canonical [`crate::explore::StateFingerprint`] for lock scenarios:
 /// the host digest plus the lock table's full grant map.
 pub fn fingerprint(sim: &Sim<TxnHarnessMsg>) -> u64 {
-    let Some(host) = sim.actor::<TxnHost>(HOST) else {
+    let Some(host) = sim.get::<TxnHost>(ActorHandle::of(HOST)) else {
         return 0;
     };
     let table = host.manager().lock_table();
@@ -244,7 +244,7 @@ impl Invariant<TxnHarnessMsg> for LockTableConsistent {
     }
 
     fn check_step(&mut self, sim: &Sim<TxnHarnessMsg>) -> Result<(), String> {
-        let host: &TxnHost = sim.actor(HOST).ok_or("no host actor")?;
+        let host: &TxnHost = sim.get(ActorHandle::of(HOST)).ok_or("no host actor")?;
         let table = host.manager().lock_table();
         for resource in table.resources() {
             let holders = table.holders(resource);
@@ -283,7 +283,7 @@ impl Invariant<TxnHarnessMsg> for DeadlockResolved {
     }
 
     fn check_quiescent(&mut self, sim: &Sim<TxnHarnessMsg>) -> Result<(), String> {
-        let host: &TxnHost = sim.actor(HOST).ok_or("no host actor")?;
+        let host: &TxnHost = sim.get(ActorHandle::of(HOST)).ok_or("no host actor")?;
         if host.manager().active() != 0 {
             return Err(format!(
                 "liveness: {} transaction(s) never finished (committed {:?}, aborted {:?})",

@@ -80,8 +80,15 @@ impl Actor<RemoteOp> for DoptActor {
 /// site (when present) deletes, the insert/insert/delete mix that
 /// violates transformation property TP2 and exhibits the dOPT puzzle.
 pub fn dopt_sim(seed: u64, n: usize) -> Sim<RemoteOp> {
+    dopt_sim_on(seed, n, QueueKind::Calendar)
+}
+
+/// [`dopt_sim`] on an explicit event-queue implementation — the
+/// calendar/legacy differential smoke tests build the *same* scenario
+/// on both queues and assert the explorer sees identical schedules.
+pub fn dopt_sim_on(seed: u64, n: usize, queue: QueueKind) -> Sim<RemoteOp> {
     let nodes: Vec<NodeId> = (0..n).map(|i| NodeId(i as u32)).collect();
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).queue(queue).build();
     for (i, &me) in nodes.iter().enumerate() {
         let peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != me).collect();
         let op = if i == 2 {
@@ -110,8 +117,14 @@ pub fn dopt_sites(n: usize) -> Vec<NodeId> {
 /// dOPT, so the convergence check must *pass* at every depth — the
 /// scenario exists to exercise deep DPOR search, not to fail.
 pub fn dopt_deep_sim(seed: u64) -> Sim<RemoteOp> {
+    dopt_deep_sim_on(seed, QueueKind::Calendar)
+}
+
+/// [`dopt_deep_sim`] on an explicit event-queue implementation (see
+/// [`dopt_sim_on`]).
+pub fn dopt_deep_sim_on(seed: u64, queue: QueueKind) -> Sim<RemoteOp> {
     let nodes = dopt_sites(2);
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).queue(queue).build();
     for (i, &me) in nodes.iter().enumerate() {
         let peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != me).collect();
         let script: Vec<(SimDuration, CharOp)> = (0..3u64)
@@ -138,7 +151,7 @@ pub fn fingerprint_for(sites: Vec<NodeId>) -> impl Fn(&Sim<RemoteOp>) -> u64 {
     move |sim| {
         let mut parts: Vec<(u32, String, usize, Vec<u32>)> = Vec::new();
         for &s in &sites {
-            if let Some(actor) = sim.actor::<DoptActor>(s) {
+            if let Some(actor) = sim.get::<DoptActor>(ActorHandle::of(s)) {
                 parts.push((
                     s.0,
                     actor.site().text(),
@@ -172,7 +185,7 @@ impl Invariant<RemoteOp> for Converged {
     fn check_quiescent(&mut self, sim: &Sim<RemoteOp>) -> Result<(), String> {
         let mut texts = Vec::new();
         for &s in &self.sites {
-            let actor: &DoptActor = sim.actor(s).ok_or("replica missing")?;
+            let actor: &DoptActor = sim.get(ActorHandle::of(s)).ok_or("replica missing")?;
             if actor.site().pending() != 0 {
                 return Err(format!(
                     "site {s}: {} op(s) still deferred at quiescence",

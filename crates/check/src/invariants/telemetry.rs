@@ -73,7 +73,7 @@ impl Actor<GcMsg<String>> for CallerHost {
 pub fn telemetry_sim(seed: u64, well_formed: bool) -> Sim<GcMsg<String>> {
     let members = [NodeId(0), NodeId(1), NodeId(2)];
     let view = View::initial(GroupId(1), members);
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).build();
     let mut caller = GroupActor::new(
         NodeId(0),
         view.clone(),

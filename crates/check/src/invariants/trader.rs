@@ -60,7 +60,7 @@ fn offer() -> ServiceOffer {
 pub fn rebalance_sim(seed: u64, announce: bool) -> Sim<TraderMsg> {
     let ring = HashRing::new([T1, T2]);
     let owner = ring.node_for(&hot_type()).unwrap_or(T1); // ring is non-empty; fallback never taken
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).build();
     for t in [T1, T2] {
         let mut trader =
             TraderActor::with_ring(t, coherence_view(), SelectionPolicy::FirstFit, ring.clone());
@@ -111,7 +111,7 @@ pub fn rebalance_sim(seed: u64, announce: bool) -> Sim<TraderMsg> {
 pub fn fingerprint(sim: &Sim<TraderMsg>) -> u64 {
     let mut parts: Vec<String> = Vec::new();
     for t in [T1, T2] {
-        if let Some(trader) = sim.actor::<TraderActor>(t) {
+        if let Some(trader) = sim.get::<TraderActor>(ActorHandle::of(t)) {
             let offers: Vec<String> = trader
                 .store()
                 .iter()
@@ -120,7 +120,7 @@ pub fn fingerprint(sim: &Sim<TraderMsg>) -> u64 {
             parts.push(format!("{t}:{:?}:{offers:?}", trader.ring()));
         }
     }
-    if let Some(importer) = sim.actor::<ImporterActor>(IMP) {
+    if let Some(importer) = sim.get::<ImporterActor>(ActorHandle::of(IMP)) {
         for (service_type, scope, cached) in importer.cache().entries() {
             let ids: Vec<OfferId> = cached.iter().map(|o| o.id).collect();
             parts.push(format!("imp:{service_type:?}:{scope:?}:{ids:?}"));
@@ -160,7 +160,7 @@ impl CacheCoherent {
         service_type: &ServiceType,
     ) -> Result<BTreeSet<OfferId>, String> {
         let trader: &TraderActor = sim
-            .actor(owner)
+            .get(ActorHandle::of(owner))
             .ok_or_else(|| format!("owning trader {owner} missing"))?;
         let of_type: Vec<ServiceOffer> = trader
             .store()
@@ -182,12 +182,14 @@ impl Invariant<TraderMsg> for CacheCoherent {
 
     fn check_quiescent(&mut self, sim: &Sim<TraderMsg>) -> Result<(), String> {
         let first = *self.traders.first().ok_or("no traders to check")?;
-        let reference: &TraderActor = sim.actor(first).ok_or("reference trader missing")?;
+        let reference: &TraderActor = sim
+            .get(ActorHandle::of(first))
+            .ok_or("reference trader missing")?;
         let ring = reference.ring().clone();
 
         // Placement: every stored offer is on the shard the ring names.
         for &t in &self.traders {
-            let trader: &TraderActor = sim.actor(t).ok_or("trader missing")?;
+            let trader: &TraderActor = sim.get(ActorHandle::of(t)).ok_or("trader missing")?;
             for o in trader.store().iter() {
                 let owner = ring.node_for(&o.service_type);
                 if owner != Some(t) {
@@ -202,7 +204,8 @@ impl Invariant<TraderMsg> for CacheCoherent {
         // Coherence: every cached resolution equals what the owning
         // shard would resolve right now.
         for &imp in &self.importers {
-            let importer: &ImporterActor = sim.actor(imp).ok_or("importer missing")?;
+            let importer: &ImporterActor =
+                sim.get(ActorHandle::of(imp)).ok_or("importer missing")?;
             for (service_type, _scope, cached) in importer.cache().entries() {
                 let cached_ids: BTreeSet<OfferId> = cached.iter().map(|o| o.id).collect();
                 let Some(owner) = ring.node_for(service_type) else {

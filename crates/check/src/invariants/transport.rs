@@ -134,7 +134,7 @@ pub fn transport_sim(seed: u64, forward_dedup: bool) -> Sim<TransportMsg> {
     let members = session_members();
     let mut net = Network::new(LinkSpec::lan());
     net.set_default_link(LinkSpec::lan());
-    let mut sim = Sim::with_network(seed, net);
+    let mut sim = SimBuilder::new(seed).network(net).build();
     for &member in &members {
         sim.add_actor(member, SessionHost::new(member, &members, forward_dedup));
     }
@@ -198,7 +198,7 @@ fn expected_deliveries(member: NodeId) -> Vec<(NodeId, String)> {
 pub fn fingerprint(sim: &Sim<TransportMsg>) -> u64 {
     let mut parts: Vec<String> = Vec::new();
     for member in session_members() {
-        if let Some(host) = sim.actor::<SessionHost>(member) {
+        if let Some(host) = sim.get::<SessionHost>(ActorHandle::of(member)) {
             parts.push(format!("{member}:{:?}:{:?}", host.delivered, host.stats()));
         }
     }
@@ -232,7 +232,7 @@ impl Invariant<TransportMsg> for TransportFidelity {
         let mut deduped = 0u64;
         for &member in &self.members {
             let host: &SessionHost = sim
-                .actor(member)
+                .get(ActorHandle::of(member))
                 .ok_or_else(|| format!("session host {member} missing"))?;
             let stats = host.stats();
             if stats.gaps != 0 {

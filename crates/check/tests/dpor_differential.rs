@@ -37,7 +37,7 @@ const DRIVER: NodeId = NodeId(9);
 /// `payloads[i]` is delivered to `receivers[i]`, all injected at the
 /// same instant so every delivery is mutually concurrent.
 fn fan_sim(seed: u64, receivers: &[NodeId], payloads: &[(NodeId, u64)]) -> Sim<u64> {
-    let mut sim = Sim::new(seed);
+    let mut sim = SimBuilder::new(seed).build();
     for &r in receivers {
         sim.add_actor(r, OrderLog { order: Vec::new() });
     }
@@ -63,7 +63,7 @@ impl Invariant<u64> for RecordFinal {
     fn check_quiescent(&mut self, sim: &Sim<u64>) -> Result<(), String> {
         let mut key = Vec::new();
         for &r in &self.receivers {
-            let log: &OrderLog = sim.actor(r).ok_or("receiver missing")?;
+            let log: &OrderLog = sim.get(ActorHandle::of(r)).ok_or("receiver missing")?;
             key.extend(log.order.iter().copied());
             key.push(SEP);
         }
@@ -85,7 +85,9 @@ impl Invariant<u64> for BadOrder {
     }
 
     fn check_quiescent(&mut self, sim: &Sim<u64>) -> Result<(), String> {
-        let log: &OrderLog = sim.actor(self.receiver).ok_or("receiver missing")?;
+        let log: &OrderLog = sim
+            .get(ActorHandle::of(self.receiver))
+            .ok_or("receiver missing")?;
         if log.order == self.forbidden {
             return Err(format!("forbidden delivery order {:?} reached", log.order));
         }
@@ -99,7 +101,7 @@ fn order_fingerprint(receivers: Vec<NodeId>) -> impl Fn(&Sim<u64>) -> u64 {
     move |sim| {
         let mut key: Vec<u64> = Vec::new();
         for &r in &receivers {
-            if let Some(log) = sim.actor::<OrderLog>(r) {
+            if let Some(log) = sim.get::<OrderLog>(ActorHandle::of(r)) {
                 key.extend(log.order.iter().copied());
                 key.push(SEP);
             }

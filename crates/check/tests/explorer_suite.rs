@@ -7,6 +7,7 @@ use odp_check::invariants::{
     awareness, federation, groupcomm, locks, replication, telemetry, trader, transport,
 };
 use odp_groupcomm::multicast::Ordering;
+use odp_sim::prelude::{ActorHandle, Until};
 use odp_sim::time::SimTime;
 
 const SEED: u64 = 42;
@@ -45,8 +46,8 @@ fn txn_cycles_abort_exactly_the_youngest_in_every_schedule() {
 fn default_schedule_deadlocks_and_aborts_the_youngest() {
     for n in 2..=4 {
         let mut sim = locks::cycle_sim(SEED, n);
-        sim.run_until(SimTime::from_secs(1));
-        let host: &locks::TxnHost = sim.actor(locks::HOST).expect("host");
+        sim.run(Until::At(SimTime::from_secs(1)));
+        let host: &locks::TxnHost = sim.get(ActorHandle::of(locks::HOST)).expect("host");
         let youngest = *host.txn_ids().last().expect("txns");
         assert_eq!(
             host.aborted,

@@ -8,7 +8,7 @@ use odp_groupcomm::rpc::{CallOutcome, CallStatus, Quorum};
 use odp_net::ctx::NetCtx;
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::Sim;
+use odp_sim::prelude::{ActorHandle, Sim, SimBuilder, Until};
 use odp_sim::time::{SimDuration, SimTime};
 
 use super::Table;
@@ -51,7 +51,7 @@ fn mcast_run(
     let view = View::initial(GroupId(0), (0..n).map(NodeId));
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim: Sim<GcMsg<String>> = Sim::with_network(seed, net);
+    let mut sim: Sim<GcMsg<String>> = SimBuilder::new(seed).network(net).build();
     for i in 0..n {
         sim.add_actor(NodeId(i), {
             let mut a = GroupActor::new(NodeId(i), view.clone(), ordering, reliability, Tracer);
@@ -71,7 +71,7 @@ fn mcast_run(
             );
         }
     }
-    sim.run_for(SimDuration::from_secs(30));
+    sim.run(Until::For(SimDuration::from_secs(30)));
     // Mean delivery latency from issue to each delivery, and coverage
     // (fraction of messages delivered at every member).
     let mut counts: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
@@ -253,7 +253,7 @@ fn rpc_run(deadline_ms: u64, seed: u64) -> (u32, u32) {
     let link = LinkSpec::wan(SimDuration::from_millis(20));
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim: Sim<GcMsg<String>> = Sim::with_network(seed, net);
+    let mut sim: Sim<GcMsg<String>> = SimBuilder::new(seed).network(net).build();
     sim.add_actor(
         NodeId(0),
         RpcDriver {
@@ -280,8 +280,8 @@ fn rpc_run(deadline_ms: u64, seed: u64) -> (u32, u32) {
             ),
         );
     }
-    sim.run_for(SimDuration::from_secs(20));
-    let driver: &RpcDriver = sim.actor(NodeId(0)).expect("driver");
+    sim.run(Until::For(SimDuration::from_secs(20)));
+    let driver: &RpcDriver = sim.get(ActorHandle::of(NodeId(0))).expect("driver");
     (driver.inner.app().completed, driver.inner.app().timed_out)
 }
 
@@ -291,7 +291,7 @@ fn invocation_skew(seed: u64) -> u64 {
     let link = LinkSpec::wan(SimDuration::from_millis(20));
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim: Sim<GcMsg<String>> = Sim::with_network(seed, net);
+    let mut sim: Sim<GcMsg<String>> = SimBuilder::new(seed).network(net).build();
     struct Invoker {
         inner: GroupActor<String, Outcomes>,
     }
@@ -339,7 +339,7 @@ fn invocation_skew(seed: u64) -> u64 {
             ),
         );
     }
-    sim.run_for(SimDuration::from_secs(2));
+    sim.run(Until::For(SimDuration::from_secs(2)));
     let starts: Vec<u64> = sim
         .trace()
         .with_label("camera.started")

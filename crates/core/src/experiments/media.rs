@@ -2,7 +2,7 @@
 //! synchronisation.
 
 use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::Sim;
+use odp_sim::prelude::{ActorHandle, Sim, SimBuilder, Until};
 use odp_sim::rng::DetRng;
 use odp_sim::time::{SimDuration, SimTime};
 use odp_streams::actors::{SinkActor, SourceActor, StreamMsg};
@@ -44,7 +44,7 @@ pub fn e6_qos_streams(seed: u64) -> Vec<Table> {
         let mut sim: Sim<StreamMsg> = {
             let mut net = Network::new(LinkSpec::lan());
             net.set_default_link(LinkSpec::lan());
-            Sim::with_network(seed, net)
+            SimBuilder::new(seed).network(net).build()
         };
         let contract = QosSpec::video();
         let source = MediaSource::new(StreamId(0), MediaKind::Video, 25, 4_000);
@@ -59,10 +59,10 @@ pub fn e6_qos_streams(seed: u64) -> Vec<Table> {
         sim.schedule_net_change(SimTime::from_secs(5), |net| {
             net.set_link(NodeId(0), NodeId(1), degrading_link());
         });
-        sim.run_for(SimDuration::from_secs(40));
+        sim.run(Until::For(SimDuration::from_secs(40)));
 
-        let sink: &SinkActor = sim.actor(NodeId(1)).expect("sink present");
-        let source: &SourceActor = sim.actor(NodeId(0)).expect("source present");
+        let sink: &SinkActor = sim.get(ActorHandle::of(NodeId(1))).expect("sink present");
+        let source: &SourceActor = sim.get(ActorHandle::of(NodeId(0))).expect("source present");
         let mean_delay = sim
             .metrics()
             .histogram("stream.frame_delay")
@@ -99,7 +99,7 @@ pub fn e6_qos_streams(seed: u64) -> Vec<Table> {
         let mut sim: Sim<StreamMsg> = {
             let mut net = Network::new(LinkSpec::lan());
             net.set_default_link(LinkSpec::lan());
-            Sim::with_network(seed, net)
+            SimBuilder::new(seed).network(net).build()
         };
         let contract = QosSpec::video();
         let source = MediaSource::new(StreamId(0), MediaKind::Video, 25, 4_000);
@@ -116,8 +116,8 @@ pub fn e6_qos_streams(seed: u64) -> Vec<Table> {
         sim.schedule_net_change(SimTime::from_secs(30), |net| {
             net.set_link(NodeId(0), NodeId(1), LinkSpec::lan());
         });
-        sim.run_for(SimDuration::from_secs(120));
-        let source: &SourceActor = sim.actor(NodeId(0)).expect("source present");
+        sim.run(Until::For(SimDuration::from_secs(120)));
+        let source: &SourceActor = sim.get(ActorHandle::of(NodeId(0))).expect("source present");
         recovery.push_row([
             "outage-then-recovery".to_owned(),
             source.renegotiations().to_string(),

@@ -9,7 +9,7 @@ use odp_groupcomm::actors::GroupActor;
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::GcMsg;
 use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::Sim;
+use odp_sim::prelude::{ActorHandle, Sim, SimBuilder, Until};
 use odp_sim::time::{SimDuration, SimTime};
 
 use crate::replicated::{replica_actor, WorkspaceReplica, WsOp};
@@ -54,7 +54,7 @@ pub fn e13_replicated_workspace(seed: u64) -> Vec<Table> {
         let link = LinkSpec::wan(SimDuration::from_millis(15));
         let mut net = Network::new(link);
         net.set_default_link(link);
-        let mut sim: Sim<GcMsg<WsOp>> = Sim::with_network(seed, net);
+        let mut sim: Sim<GcMsg<WsOp>> = SimBuilder::new(seed).network(net).build();
         for i in 0..n {
             sim.add_actor(
                 NodeId(i),
@@ -75,11 +75,12 @@ pub fn e13_replicated_workspace(seed: u64) -> Vec<Table> {
                 );
             }
         }
-        sim.run_for(SimDuration::from_secs(30));
+        sim.run(Until::For(SimDuration::from_secs(30)));
         let total = (n * writes_each) as u64;
         let histories: Vec<Vec<(u32, SimTime)>> = (0..n)
             .map(|i| {
-                let a: &GroupActor<WsOp, WorkspaceReplica> = sim.actor(NodeId(i)).expect("replica");
+                let a: &GroupActor<WsOp, WorkspaceReplica> =
+                    sim.get(ActorHandle::of(NodeId(i))).expect("replica");
                 a.app()
                     .workspace()
                     .history()
@@ -100,7 +101,8 @@ pub fn e13_replicated_workspace(seed: u64) -> Vec<Table> {
             .map(|e| e.time.as_micros() as f64 / 1_000.0)
             .unwrap_or(f64::NAN);
         let awareness: u64 = {
-            let a: &GroupActor<WsOp, WorkspaceReplica> = sim.actor(NodeId(0)).expect("replica");
+            let a: &GroupActor<WsOp, WorkspaceReplica> =
+                sim.get(ActorHandle::of(NodeId(0))).expect("replica");
             a.app().awareness_delivered()
         };
         table.push_row([

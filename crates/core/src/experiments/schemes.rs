@@ -836,7 +836,7 @@ pub fn run_scheme(scheme: Scheme, n: u32, latency_ms: u64, seed: u64) -> odp_sim
     };
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim = Sim::with_network(seed, net);
+    let mut sim = SimBuilder::new(seed).network(net).build();
     let server_node = NodeId(0);
     let clients: Vec<NodeId> = (1..=n).map(NodeId).collect();
     sim.add_actor(server_node, SchemeServer::new(scheme, clients.clone()));
@@ -845,7 +845,7 @@ pub fn run_scheme(scheme: Scheme, n: u32, latency_ms: u64, seed: u64) -> odp_sim
         cfg.start_delay = SimDuration::from_millis(20 * i as u64);
         sim.add_actor(c, SchemeClient::new(cfg));
     }
-    sim.run_for(SimDuration::from_secs(60));
+    sim.run(Until::For(SimDuration::from_secs(60)));
     sim
 }
 

@@ -172,7 +172,7 @@ mod tests {
         let view = View::initial(GroupId(0), (0..n).map(NodeId));
         let mut net = Network::new(LinkSpec::wan(SimDuration::from_millis(15)));
         net.set_default_link(LinkSpec::wan(SimDuration::from_millis(15)));
-        let mut sim = Sim::with_network(seed, net);
+        let mut sim = SimBuilder::new(seed).network(net).build();
         for i in 0..n {
             sim.add_actor(
                 NodeId(i),
@@ -183,7 +183,7 @@ mod tests {
     }
 
     fn replica(sim: &Sim<GcMsg<WsOp>>, i: u32) -> &GroupActor<WsOp, WorkspaceReplica> {
-        sim.actor(NodeId(i)).expect("replica exists")
+        sim.get(ActorHandle::of(NodeId(i))).expect("replica exists")
     }
 
     #[test]
@@ -202,7 +202,7 @@ mod tests {
                 }),
             );
         }
-        sim.run_for(SimDuration::from_secs(10));
+        sim.run(Until::For(SimDuration::from_secs(10)));
         let histories: Vec<Vec<String>> = (0..3)
             .map(|i| {
                 replica(&sim, i)
@@ -236,7 +236,7 @@ mod tests {
                 value: "sneaky".into(),
             }),
         );
-        sim.run_for(SimDuration::from_secs(5));
+        sim.run(Until::For(SimDuration::from_secs(5)));
         assert_eq!(sim.trace().with_label("ws.rejected").count(), 1);
         for i in 0..3 {
             assert_eq!(replica(&sim, i).app().applied(), 0, "nothing hit the wire");
@@ -256,7 +256,7 @@ mod tests {
                 value: "hello".into(),
             }),
         );
-        sim.run_for(SimDuration::from_secs(5));
+        sim.run(Until::For(SimDuration::from_secs(5)));
         for i in 0..3u32 {
             // Each replica's awareness engine notified the 2 non-actors.
             assert_eq!(

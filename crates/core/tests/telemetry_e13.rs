@@ -76,7 +76,7 @@ fn group_rpc_critical_path_runs_through_the_slowest_member() {
     net.set_default_link(fast);
     net.set_link(caller, laggard, slow);
 
-    let mut sim: Sim<GcMsg<String>> = Sim::with_network(1913, net);
+    let mut sim: Sim<GcMsg<String>> = SimBuilder::new(1913).network(net).build();
     let members: Vec<NodeId> = (0..4).map(NodeId).collect();
     let view = View::initial(GroupId(13), members.clone());
     sim.add_actor(
@@ -88,7 +88,7 @@ fn group_rpc_critical_path_runs_through_the_slowest_member() {
     for &m in &members[1..] {
         sim.add_actor(m, telemetric(m, view.clone()));
     }
-    sim.run_for(SimDuration::from_secs(2));
+    sim.run(Until::For(SimDuration::from_secs(2)));
 
     let collector = Collector::from_trace(sim.trace());
     assert_eq!(collector.well_formed(), Ok(()), "span audit must pass");

@@ -92,14 +92,14 @@ pub trait GroupApp<P>: 'static {
 /// }
 ///
 /// let view = View::initial(GroupId(0), [NodeId(0), NodeId(1)]);
-/// let mut sim = Sim::new(1);
+/// let mut sim = SimBuilder::new(1).build();
 /// for id in [NodeId(0), NodeId(1)] {
 ///     sim.add_actor(id, GroupActor::new(
 ///         id, view.clone(), Ordering::Causal, Reliability::BestEffort, Counter { seen: 0 },
 ///     ));
 /// }
 /// sim.inject(SimTime::ZERO, NodeId(0), NodeId(0), GcMsg::AppCmd("hi".into()));
-/// sim.run();
+/// sim.run(Until::Idle);
 /// assert_eq!(sim.trace().with_label("delivered").count(), 2);
 /// ```
 pub struct GroupActor<P, A> {
@@ -454,7 +454,7 @@ mod tests {
 
     fn build(n: u32, ordering: Ordering) -> Sim<GcMsg<String>> {
         let view = View::initial(GroupId(0), (0..n).map(NodeId));
-        let mut sim = Sim::new(11);
+        let mut sim = SimBuilder::new(11).build();
         for i in 0..n {
             sim.add_actor(
                 NodeId(i),
@@ -484,14 +484,14 @@ mod tests {
                 );
             }
         }
-        sim.run_for(SimDuration::from_secs(5));
+        sim.run(Until::For(SimDuration::from_secs(5)));
         let reference: Vec<String> = {
-            let a: &GroupActor<String, Recorder> = sim.actor(NodeId(0)).unwrap();
+            let a: &GroupActor<String, Recorder> = sim.get(ActorHandle::of(NodeId(0))).unwrap();
             a.app().delivered.clone()
         };
         assert_eq!(reference.len(), 20, "all 20 messages delivered");
         for i in 1..4u32 {
-            let a: &GroupActor<String, Recorder> = sim.actor(NodeId(i)).unwrap();
+            let a: &GroupActor<String, Recorder> = sim.get(ActorHandle::of(NodeId(i))).unwrap();
             assert_eq!(a.app().delivered, reference, "member {i} order differs");
         }
     }
@@ -507,7 +507,7 @@ mod tests {
             loss: 0.3,
             ..LinkSpec::lan()
         });
-        let mut sim = Sim::with_network(5, net);
+        let mut sim = SimBuilder::new(5).network(net).build();
         for id in [NodeId(0), NodeId(1)] {
             let mut actor = GroupActor::new(
                 id,
@@ -527,8 +527,8 @@ mod tests {
                 GcMsg::AppCmd(format!("m{k}")),
             );
         }
-        sim.run_for(SimDuration::from_secs(30));
-        let b: &GroupActor<String, Recorder> = sim.actor(NodeId(1)).unwrap();
+        sim.run(Until::For(SimDuration::from_secs(30)));
+        let b: &GroupActor<String, Recorder> = sim.get(ActorHandle::of(NodeId(1))).unwrap();
         let expect: Vec<String> = (0..20).map(|k| format!("m{k}")).collect();
         assert_eq!(b.app().delivered, expect, "in order despite 30% loss");
     }
@@ -560,7 +560,7 @@ mod tests {
         }
         // Build sim manually so we can drive the RPC from inside a command.
         let view = View::initial(GroupId(0), [NodeId(0), NodeId(1), NodeId(2)]);
-        let mut sim: Sim<GcMsg<String>> = Sim::new(2);
+        let mut sim: Sim<GcMsg<String>> = SimBuilder::new(2).build();
         // Node 0 issues the call at start via a custom actor.
         struct CallOnStart {
             inner: GroupActor<String, Caller>,
@@ -607,9 +607,9 @@ mod tests {
                 ),
             );
         }
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
         assert_eq!(sim.trace().with_label("rpc.done").count(), 1);
-        let caller: &CallOnStart = sim.actor(NodeId(0)).unwrap();
+        let caller: &CallOnStart = sim.get(ActorHandle::of(NodeId(0))).unwrap();
         assert_eq!(caller.inner.app().0.outcomes, vec![(0, 2)]);
     }
 
@@ -639,7 +639,7 @@ mod tests {
             }
         }
         let view = View::initial(GroupId(0), [NodeId(0), NodeId(1), NodeId(2)]);
-        let mut sim: Sim<GcMsg<String>> = Sim::new(17);
+        let mut sim: Sim<GcMsg<String>> = SimBuilder::new(17).build();
         let mut caller = GroupActor::new(
             NodeId(0),
             view.clone(),
@@ -660,7 +660,7 @@ mod tests {
             member.set_telemetry(true);
             sim.add_actor(NodeId(i), member);
         }
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
 
         let collector = Collector::from_trace(sim.trace());
         collector
@@ -679,7 +679,7 @@ mod tests {
         use odp_telemetry::collector::Collector;
 
         let view = View::initial(GroupId(0), (0..3).map(NodeId));
-        let mut sim: Sim<GcMsg<String>> = Sim::new(23);
+        let mut sim: Sim<GcMsg<String>> = SimBuilder::new(23).build();
         for i in 0..3u32 {
             let mut member = GroupActor::new(
                 NodeId(i),
@@ -697,7 +697,7 @@ mod tests {
             NodeId(1),
             GcMsg::AppCmd("note".to_owned()),
         );
-        sim.run_for(SimDuration::from_secs(2));
+        sim.run(Until::For(SimDuration::from_secs(2)));
 
         let collector = Collector::from_trace(sim.trace());
         collector.well_formed().expect("mcast spans well-formed");
@@ -719,7 +719,7 @@ mod tests {
             NodeId(0),
             GcMsg::AppCmd("quiet".to_owned()),
         );
-        sim.run_for(SimDuration::from_secs(1));
+        sim.run(Until::For(SimDuration::from_secs(1)));
         assert_eq!(sim.trace().with_label(OPEN).count(), 0);
         assert_eq!(sim.trace().with_label(CLOSE).count(), 0);
     }
@@ -727,7 +727,7 @@ mod tests {
     #[test]
     fn group_invocation_executes_simultaneously() {
         let view = View::initial(GroupId(0), [NodeId(0), NodeId(1), NodeId(2)]);
-        let mut sim: Sim<GcMsg<String>> = Sim::new(3);
+        let mut sim: Sim<GcMsg<String>> = SimBuilder::new(3).build();
         struct StartCameras {
             inner: GroupActor<String, Recorder>,
         }
@@ -779,10 +779,10 @@ mod tests {
                 ),
             );
         }
-        sim.run_for(SimDuration::from_secs(1));
+        sim.run(Until::For(SimDuration::from_secs(1)));
         // Both responders executed exactly at the agreed instant.
         for i in 1..3u32 {
-            let a: &GroupActor<String, Recorder> = sim.actor(NodeId(i)).unwrap();
+            let a: &GroupActor<String, Recorder> = sim.get(ActorHandle::of(NodeId(i))).unwrap();
             assert_eq!(a.app().executed_at, vec![SimTime::from_millis(100)]);
         }
     }

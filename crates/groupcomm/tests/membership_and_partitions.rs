@@ -24,7 +24,7 @@ fn build(n: u32, seed: u64, reliability: Reliability) -> (Sim<GcMsg<String>>, Vi
     let view = View::initial(GroupId(0), (0..n).map(NodeId));
     let mut net = Network::new(LinkSpec::lan());
     net.set_default_link(LinkSpec::lan());
-    let mut sim = Sim::with_network(seed, net);
+    let mut sim = SimBuilder::new(seed).network(net).build();
     for i in 0..n {
         let mut a = GroupActor::new(
             NodeId(i),
@@ -65,22 +65,22 @@ fn reliable_multicast_survives_a_partition() {
         );
     }
     // Run until just before healing: the far side has nothing.
-    sim.run_until(SimTime::from_millis(5_900));
-    let far: &GroupActor<String, Collector> = sim.actor(NodeId(2)).expect("actor");
+    sim.run(Until::At(SimTime::from_millis(5_900)));
+    let far: &GroupActor<String, Collector> = sim.get(ActorHandle::of(NodeId(2))).expect("actor");
     assert!(
         far.app().got.is_empty(),
         "partitioned node must not have the messages yet"
     );
-    let near: &GroupActor<String, Collector> = sim.actor(NodeId(1)).expect("actor");
+    let near: &GroupActor<String, Collector> = sim.get(ActorHandle::of(NodeId(1))).expect("actor");
     assert_eq!(
         near.app().got.len(),
         5,
         "same-side node received everything"
     );
     // After healing, retransmission delivers everything, in FIFO order.
-    sim.run_for(SimDuration::from_secs(60));
+    sim.run(Until::For(SimDuration::from_secs(60)));
     for i in [2u32, 3] {
-        let a: &GroupActor<String, Collector> = sim.actor(NodeId(i)).expect("actor");
+        let a: &GroupActor<String, Collector> = sim.get(ActorHandle::of(NodeId(i))).expect("actor");
         let expect: Vec<String> = (0..5).map(|k| format!("during-partition-{k}")).collect();
         assert_eq!(a.app().got, expect, "node {i} caught up in order");
     }
@@ -105,8 +105,8 @@ fn best_effort_multicast_loses_partition_messages() {
             GcMsg::AppCmd(format!("m{k}")),
         );
     }
-    sim.run_for(SimDuration::from_secs(60));
-    let far: &GroupActor<String, Collector> = sim.actor(NodeId(2)).expect("actor");
+    sim.run(Until::For(SimDuration::from_secs(60)));
+    let far: &GroupActor<String, Collector> = sim.get(ActorHandle::of(NodeId(2))).expect("actor");
     assert!(
         far.app().got.is_empty(),
         "best effort never recovers the loss"
@@ -127,7 +127,7 @@ fn live_view_change_reconfigures_the_group() {
         NodeId(0),
         GcMsg::AppCmd("before".into()),
     );
-    sim.run_until(SimTime::from_millis(500));
+    sim.run(Until::At(SimTime::from_millis(500)));
     // Node 2 leaves: install the new view on the remaining members.
     let view1 = membership.leave(GroupId(0), NodeId(2)).expect("member");
     for i in [0u32, 1] {
@@ -144,13 +144,15 @@ fn live_view_change_reconfigures_the_group() {
         NodeId(0),
         GcMsg::AppCmd("after".into()),
     );
-    sim.run_for(SimDuration::from_secs(5));
-    let stayer: &GroupActor<String, Collector> = sim.actor(NodeId(1)).expect("actor");
+    sim.run(Until::For(SimDuration::from_secs(5)));
+    let stayer: &GroupActor<String, Collector> =
+        sim.get(ActorHandle::of(NodeId(1))).expect("actor");
     assert_eq!(
         stayer.app().got,
         vec!["before".to_owned(), "after".to_owned()]
     );
-    let leaver: &GroupActor<String, Collector> = sim.actor(NodeId(2)).expect("actor");
+    let leaver: &GroupActor<String, Collector> =
+        sim.get(ActorHandle::of(NodeId(2))).expect("actor");
     assert_eq!(
         leaver.app().got,
         vec!["before".to_owned()],

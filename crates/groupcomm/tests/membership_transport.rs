@@ -146,7 +146,7 @@ fn crash_and_rejoin_on_the_sim_backend() {
     for seed in [7u64, 99, 0xBEEF] {
         let mut net = Network::new(LinkSpec::lan());
         net.set_default_link(LinkSpec::lan());
-        let mut sim = Sim::with_network(seed, net);
+        let mut sim = SimBuilder::new(seed).network(net).build();
         for id in MEMBERS {
             sim.add_actor(id, member(id));
         }
@@ -177,17 +177,17 @@ fn crash_and_rejoin_on_the_sim_backend() {
         for (i, id) in MEMBERS.iter().enumerate() {
             sim.inject(ms(900), *id, *id, cmd(&format!("c{i}")));
         }
-        sim.run_for(SimDuration::from_secs(5));
+        sim.run(Until::For(SimDuration::from_secs(5)));
 
         let mut survivors = BTreeMap::new();
         for id in SURVIVORS {
             let actor = sim
-                .actor::<GroupActor<String, Recorder>>(id)
+                .get::<GroupActor<String, Recorder>>(ActorHandle::of(id))
                 .expect("survivor actor");
             survivors.insert(id, actor.app().delivered.clone());
         }
         let crasher = sim
-            .actor::<GroupActor<String, Recorder>>(CRASHER)
+            .get::<GroupActor<String, Recorder>>(ActorHandle::of(CRASHER))
             .expect("crasher actor");
         verify(&survivors, &[crasher.app().delivered.clone()]);
     }

@@ -40,7 +40,7 @@ fn run(
         loss,
         ..LinkSpec::lan()
     });
-    let mut sim = Sim::with_network(seed, net);
+    let mut sim = SimBuilder::new(seed).network(net).build();
     sim.trace_mut().disable();
     for i in 0..n {
         let mut actor = GroupActor::new(
@@ -63,10 +63,11 @@ fn run(
             );
         }
     }
-    sim.run_for(SimDuration::from_secs(60));
+    sim.run(Until::For(SimDuration::from_secs(60)));
     (0..n)
         .map(|i| {
-            let a: &GroupActor<(u32, u32), Collector> = sim.actor(NodeId(i)).unwrap();
+            let a: &GroupActor<(u32, u32), Collector> =
+                sim.get(ActorHandle::of(NodeId(i))).unwrap();
             a.app().delivered.clone()
         })
         .collect()

@@ -29,7 +29,7 @@ use crate::actor::TransportActor;
 ///     }
 /// }
 ///
-/// let mut sim = Sim::new(1);
+/// let mut sim = SimBuilder::new(1).build();
 /// sim.add_actor(NodeId(0), SimHost::new(Echo));
 /// ```
 pub struct SimHost<A> {

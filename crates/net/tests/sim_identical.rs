@@ -22,7 +22,7 @@ use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::GcMsg;
 use odp_net::sim_host::SimHost;
 use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::Sim;
+use odp_sim::prelude::{ActorHandle, Sim, SimBuilder, Until};
 use odp_sim::time::{SimDuration, SimTime};
 
 const REPLICAS: u32 = 8;
@@ -61,7 +61,7 @@ fn fanout_sim(seed: u64, wrapped: bool) -> Sim<GcMsg<BusWire>> {
     let link = LinkSpec::wan(SimDuration::from_millis(15));
     let mut net = Network::new(link);
     net.set_default_link(link);
-    let mut sim: Sim<GcMsg<BusWire>> = Sim::with_network(seed, net);
+    let mut sim: Sim<GcMsg<BusWire>> = SimBuilder::new(seed).network(net).build();
     for i in 0..REPLICAS {
         if wrapped {
             sim.add_actor(NodeId(i), SimHost::new(replica(i)));
@@ -109,8 +109,8 @@ fn sim_host_is_bit_identical_on_the_e13_fanout() {
     for seed in [1u64, 42, 0xC5C3] {
         let mut bare = fanout_sim(seed, false);
         let mut wrapped = fanout_sim(seed, true);
-        bare.run_for(SimDuration::from_secs(30));
-        wrapped.run_for(SimDuration::from_secs(30));
+        bare.run(Until::For(SimDuration::from_secs(30)));
+        wrapped.run(Until::For(SimDuration::from_secs(30)));
 
         // The trace is the strongest witness: event order, timestamps,
         // and RNG-derived span ids must agree entry for entry.
@@ -128,8 +128,10 @@ fn sim_host_is_bit_identical_on_the_e13_fanout() {
         // And the application-level outcome matches replica by replica.
         let mut surfaced = 0usize;
         for i in 0..REPLICAS {
-            let b: &BusActor = bare.actor(NodeId(i)).expect("bare replica");
-            let w: &SimHost<BusActor> = wrapped.actor(NodeId(i)).expect("wrapped replica");
+            let b: &BusActor = bare.get(ActorHandle::of(NodeId(i))).expect("bare replica");
+            let w: &SimHost<BusActor> = wrapped
+                .get(ActorHandle::of(NodeId(i)))
+                .expect("wrapped replica");
             assert_eq!(
                 deliveries(b),
                 deliveries(w.inner()),

@@ -28,16 +28,17 @@
 //!     }
 //! }
 //!
-//! let mut sim = Sim::new(7);
+//! let mut sim = SimBuilder::new(7).build();
 //! sim.add_actor(NodeId(0), Greeter { peer: NodeId(1) });
 //! sim.add_actor(NodeId(1), Greeter { peer: NodeId(0) });
-//! sim.run();
+//! assert_eq!(sim.run(Until::Idle), RunOutcome::Quiesced);
 //! assert_eq!(sim.trace().with_label("received").count(), 2);
 //! ```
 
 pub mod actor;
 pub mod metrics;
 pub mod net;
+mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -50,7 +51,9 @@ pub mod prelude {
     pub use crate::metrics::{Histogram, MetricsRegistry, Summary};
     pub use crate::net::{Connectivity, DropReason, LinkSpec, Network, NodeId, Verdict};
     pub use crate::rng::DetRng;
-    pub use crate::sim::{PendingEvent, Sim};
+    pub use crate::sim::{
+        ActorHandle, ExecutedEvent, PendingEvent, QueueKind, RunOutcome, Sim, SimBuilder, Until,
+    };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceEvent};
 }

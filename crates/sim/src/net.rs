@@ -383,7 +383,61 @@ impl Network {
     }
 
     /// Decides the fate of a message submitted at `now`.
+    ///
+    /// Hot-path note: every skip below is behaviour-preserving. Empty
+    /// connectivity/partition/override tables answer every query with
+    /// their default, and the `link_free` bookkeeping is skipped only
+    /// when `transmit == 0` — in that regime `*free = max(free, now)`,
+    /// so by induction `free <= now` and the recorded value can never
+    /// push a later `start` past `now`, exactly as if the entry were
+    /// absent. The RNG draw order (one `chance`, then at most one
+    /// `jittered`) is identical on every path, so runs are bit-equal to
+    /// [`Network::submit_unoptimized`].
     pub fn submit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        rng: &mut DetRng,
+    ) -> Verdict {
+        if !self.connectivity.is_empty()
+            && (self.connectivity_of(from) == Connectivity::Disconnected
+                || self.connectivity_of(to) == Connectivity::Disconnected)
+        {
+            return Verdict::Dropped(DropReason::Disconnected);
+        }
+        if !self.partitions.is_empty() && self.is_partitioned(from, to) {
+            return Verdict::Dropped(DropReason::Partitioned);
+        }
+        let spec = if self.overrides.is_empty() && self.connectivity.is_empty() {
+            self.default_link
+        } else {
+            self.link(from, to)
+        };
+        if rng.chance(spec.loss) {
+            return Verdict::Dropped(DropReason::Loss);
+        }
+        // Local delivery bypasses the network entirely.
+        if from == to {
+            return Verdict::DeliverAt(now);
+        }
+        let transmit = spec.transmit_time(bytes);
+        let delay = rng.jittered(spec.latency, spec.jitter);
+        if transmit == SimDuration::ZERO && self.link_free.is_empty() {
+            return Verdict::DeliverAt(now + delay);
+        }
+        let free = self.link_free.entry((from, to)).or_insert(SimTime::ZERO);
+        let start = (*free).max(now);
+        *free = start + transmit;
+        Verdict::DeliverAt(start + transmit + delay)
+    }
+
+    /// The pre-refactor [`Network::submit`], kept verbatim as the
+    /// baseline the legacy engine path runs (and differential tests
+    /// compare against). Produces bit-identical verdicts and RNG draws
+    /// to the optimized path.
+    pub(crate) fn submit_unoptimized(
         &mut self,
         now: SimTime,
         from: NodeId,

@@ -63,13 +63,13 @@ proptest! {
             }
             let mut net = Network::new(LinkSpec::wan(SimDuration::from_millis(20)));
             net.set_default_link(LinkSpec::wan(SimDuration::from_millis(20)));
-            let mut sim = Sim::with_network(seed, net);
+            let mut sim = SimBuilder::new(seed).network(net).build();
             sim.add_actor(NodeId(0), Echo);
             sim.add_actor(NodeId(1), Echo);
             for i in 0..n {
                 sim.inject(SimTime::from_millis(i as u64), NodeId(1), NodeId(0), 3);
             }
-            sim.run();
+            sim.run(Until::Idle);
             sim.trace().events().to_vec()
         }
         prop_assert_eq!(run(seed, n_msgs), run(seed, n_msgs));

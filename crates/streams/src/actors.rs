@@ -325,7 +325,7 @@ mod tests {
     fn stream_sim(link: LinkSpec, adaptive: bool) -> Sim<StreamMsg> {
         let mut net = Network::new(link);
         net.set_default_link(link);
-        let mut sim = Sim::with_network(42, net);
+        let mut sim = SimBuilder::new(42).network(net).build();
         let contract = QosSpec::video();
         let src = MediaSource::new(StreamId(0), MediaKind::Video, 25, 4_000);
         let mut source = SourceActor::new(src, vec![NodeId(1)], contract);
@@ -343,7 +343,7 @@ mod tests {
     fn telemetry_spans_link_frames_to_arrivals() {
         let mut net = Network::new(LinkSpec::lan());
         net.set_default_link(LinkSpec::lan());
-        let mut sim: Sim<StreamMsg> = Sim::with_network(42, net);
+        let mut sim: Sim<StreamMsg> = SimBuilder::new(42).network(net).build();
         let contract = QosSpec::video();
         let src = MediaSource::new(StreamId(0), MediaKind::Video, 25, 4_000);
         let mut source = SourceActor::new(src, vec![NodeId(1)], contract);
@@ -354,7 +354,7 @@ mod tests {
         let mut sink_actor = SinkActor::new(sink, monitor, NodeId(0));
         sink_actor.set_telemetry(true);
         sim.add_actor(NodeId(1), sink_actor);
-        sim.run_for(SimDuration::from_secs(1));
+        sim.run(Until::For(SimDuration::from_secs(1)));
 
         let collector = odp_telemetry::collector::Collector::from_trace(sim.trace());
         assert_eq!(collector.well_formed(), Ok(()), "span audit must pass");
@@ -381,7 +381,7 @@ mod tests {
     #[test]
     fn telemetry_off_emits_no_stream_span_events() {
         let mut sim = stream_sim(LinkSpec::lan(), true);
-        sim.run_for(SimDuration::from_secs(1));
+        sim.run(Until::For(SimDuration::from_secs(1)));
         assert_eq!(sim.trace().with_label(OPEN).count(), 0);
         assert_eq!(sim.trace().with_label(CLOSE).count(), 0);
     }
@@ -389,8 +389,8 @@ mod tests {
     #[test]
     fn healthy_link_streams_without_violations() {
         let mut sim = stream_sim(LinkSpec::lan(), true);
-        sim.run_for(SimDuration::from_secs(10));
-        let sink: &SinkActor = sim.actor(NodeId(1)).unwrap();
+        sim.run(Until::For(SimDuration::from_secs(10)));
+        let sink: &SinkActor = sim.get(ActorHandle::of(NodeId(1))).unwrap();
         assert!(
             sink.sink().integrity() > 0.99,
             "integrity {}",
@@ -409,9 +409,9 @@ mod tests {
             loss: 0.05,
         };
         let mut sim = stream_sim(bad, true);
-        sim.run_for(SimDuration::from_secs(20));
+        sim.run(Until::For(SimDuration::from_secs(20)));
         assert!(sim.metrics().counter("stream.violation_reports") >= 1);
-        let source: &SourceActor = sim.actor(NodeId(0)).unwrap();
+        let source: &SourceActor = sim.get(ActorHandle::of(NodeId(0))).unwrap();
         assert!(source.renegotiations() >= 1, "source adapted");
         assert!(source.contract().throughput_fps < 25, "rate reduced");
     }
@@ -425,10 +425,10 @@ mod tests {
             loss: 0.05,
         };
         let mut sim = stream_sim(bad, false);
-        sim.run_for(SimDuration::from_secs(20));
-        let source: &SourceActor = sim.actor(NodeId(0)).unwrap();
+        sim.run(Until::For(SimDuration::from_secs(20)));
+        let source: &SourceActor = sim.get(ActorHandle::of(NodeId(0))).unwrap();
         assert_eq!(source.renegotiations(), 0);
-        let sink: &SinkActor = sim.actor(NodeId(1)).unwrap();
+        let sink: &SinkActor = sim.get(ActorHandle::of(NodeId(1))).unwrap();
         assert!(sink.sink().integrity() < 0.9, "integrity stays damaged");
     }
 
@@ -447,8 +447,8 @@ mod tests {
         sim.schedule_net_change(SimTime::from_secs(30), |net| {
             net.set_link(NodeId(0), NodeId(1), LinkSpec::lan());
         });
-        sim.run_for(SimDuration::from_secs(120));
-        let source: &SourceActor = sim.actor(NodeId(0)).unwrap();
+        sim.run(Until::For(SimDuration::from_secs(120)));
+        let source: &SourceActor = sim.get(ActorHandle::of(NodeId(0))).unwrap();
         assert!(source.renegotiations() >= 1, "degraded during the outage");
         assert!(source.upgrades() >= 1, "climbed back after recovery");
         assert_eq!(
@@ -465,7 +465,7 @@ mod tests {
         // Partial and the (physically degraded) stream is *not* reported.
         let mut net = Network::new(LinkSpec::lan());
         net.set_default_link(LinkSpec::lan());
-        let mut sim: Sim<StreamMsg> = Sim::with_network(9, net);
+        let mut sim: Sim<StreamMsg> = SimBuilder::new(9).network(net).build();
         let contract = QosSpec::mobile_video(); // min_connectivity: Partial
         let src = MediaSource::new(StreamId(0), MediaKind::Video, 5, 500);
         sim.add_actor(NodeId(0), SourceActor::new(src, vec![NodeId(1)], contract));
@@ -482,7 +482,7 @@ mod tests {
             NodeId(1),
             StreamMsg::ConnectivityChanged(Connectivity::Disconnected),
         );
-        sim.run_for(SimDuration::from_secs(15));
+        sim.run(Until::For(SimDuration::from_secs(15)));
         // The stream physically stalls (total disconnection), but the
         // contract accepts levels down to Partial only — Disconnected is
         // below it, so judgement is suspended: no violations reported.
@@ -509,7 +509,7 @@ mod tests {
                 },
             );
         });
-        sim.run_for(SimDuration::from_secs(25));
+        sim.run(Until::For(SimDuration::from_secs(25)));
         assert!(sim.trace().with_label("qos.violation").count() >= 1);
         assert!(sim.trace().with_label("qos.renegotiated").count() >= 1);
         // The violation was detected only after the change.

@@ -769,6 +769,7 @@ mod tests {
     use crate::offer::SessionKind;
     use crate::store::HashRing;
     use odp_groupcomm::membership::GroupId;
+    use odp_sim::prelude::{ActorHandle, SimBuilder, Until};
     use odp_sim::sim::Sim;
 
     const T1: NodeId = NodeId(0);
@@ -804,7 +805,7 @@ mod tests {
     }
 
     fn build(jobs_ms: &[u64], ttl_ms: u64) -> Sim<TraderMsg> {
-        let mut sim = Sim::new(42);
+        let mut sim = SimBuilder::new(42).build();
         sim.add_actor(T1, TraderActor::new(T1, view(), SelectionPolicy::FirstFit));
         sim.add_actor(T2, TraderActor::new(T2, view(), SelectionPolicy::FirstFit));
         sim.add_actor(
@@ -828,7 +829,7 @@ mod tests {
         // mints the trader.import root, the owning shard parents a
         // trader.serve under it, and the reply closes the chain with a
         // trader.reply leaf.
-        let mut sim = Sim::new(42);
+        let mut sim = SimBuilder::new(42).build();
         let mut t1 = TraderActor::new(T1, view(), SelectionPolicy::FirstFit);
         t1.set_telemetry(true);
         let mut t2 = TraderActor::new(T2, view(), SelectionPolicy::FirstFit);
@@ -846,7 +847,7 @@ mod tests {
         sim.add_actor(IMP, imp);
         let shard = HashRing::new([T1, T2]).node_for(&st()).unwrap();
         sim.inject(SimTime::ZERO, EXP, shard, TraderMsg::Export(offer()));
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(2)));
 
         let collector = odp_telemetry::collector::Collector::from_trace(sim.trace());
         assert_eq!(collector.well_formed(), Ok(()), "span audit must pass");
@@ -864,7 +865,7 @@ mod tests {
     #[test]
     fn telemetry_off_emits_no_trader_span_events() {
         let mut sim = build(&[10], 10_000);
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(2)));
         assert_eq!(sim.trace().with_label(OPEN).count(), 0);
         assert_eq!(sim.trace().with_label(CLOSE).count(), 0);
     }
@@ -872,8 +873,8 @@ mod tests {
     #[test]
     fn cold_then_cached_lookup_hit_rates_and_latencies() {
         let mut sim = build(&[10, 20, 30], 10_000);
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
-        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(2)));
+        let imp: &ImporterActor = sim.get(ActorHandle::of(IMP)).unwrap();
         let stats = imp.stats();
         assert_eq!(stats.cold_lookups, 1, "first lookup misses");
         assert_eq!(stats.cache_hits, 2, "subsequent lookups hit");
@@ -902,8 +903,8 @@ mod tests {
     fn ttl_expiry_forces_a_fresh_round_trip() {
         // Lookups at 10ms and 900ms with a 200ms TTL: both go cold.
         let mut sim = build(&[10, 900], 200);
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
-        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(2)));
+        let imp: &ImporterActor = sim.get(ActorHandle::of(IMP)).unwrap();
         assert_eq!(imp.stats().cold_lookups, 2);
         assert_eq!(imp.stats().cache_hits, 0);
         assert_eq!(imp.cache().stats().expiries, 1);
@@ -922,8 +923,8 @@ mod tests {
             shard,
             TraderMsg::Withdraw(OfferId(1)),
         );
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
-        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(3)));
+        let imp: &ImporterActor = sim.get(ActorHandle::of(IMP)).unwrap();
         assert_eq!(
             sim.metrics().counter("importer.cache.invalidated"),
             1,
@@ -940,7 +941,7 @@ mod tests {
 
     #[test]
     fn withdraw_republishes_on_an_attached_coop_bus() {
-        let mut sim = Sim::new(42);
+        let mut sim = SimBuilder::new(42).build();
         sim.add_actor(T1, TraderActor::new(T1, view(), SelectionPolicy::FirstFit));
         sim.add_actor(T2, TraderActor::new(T2, view(), SelectionPolicy::FirstFit));
         let mut imp = ImporterActor::new(
@@ -963,13 +964,13 @@ mod tests {
             shard,
             TraderMsg::Withdraw(OfferId(1)),
         );
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(2)));
         assert_eq!(
             sim.metrics().counter("importer.coop.invalidations"),
             1,
             "the withdrawal reaches the local observer as a coop event"
         );
-        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        let imp: &ImporterActor = sim.get(ActorHandle::of(IMP)).unwrap();
         let bus = imp.bus().unwrap();
         assert_eq!(bus.published(), 1);
         assert_eq!(bus.stats(NodeId(99)).unwrap().received, 1);
@@ -985,7 +986,7 @@ mod tests {
             shard,
             TraderMsg::Modify(OfferId(1), QosSpec::mobile_video()),
         );
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(2)));
         assert_eq!(sim.metrics().counter("importer.cache.invalidated"), 1);
         assert_eq!(sim.metrics().counter("trader.modifications"), 1);
     }
@@ -998,7 +999,7 @@ mod tests {
         let ring = || HashRing::new([T1, T2]);
         let owner = ring().node_for(&st()).unwrap();
         let survivor = if owner == T1 { T2 } else { T1 };
-        let mut sim = Sim::new(42);
+        let mut sim = SimBuilder::new(42).build();
         for t in [T1, T2] {
             sim.add_actor(
                 t,
@@ -1028,14 +1029,14 @@ mod tests {
                 change(),
             );
         }
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(4));
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(4)));
         assert_eq!(sim.metrics().counter("trader.transfers.out"), 1);
         assert_eq!(sim.metrics().counter("trader.transfers.in"), 1);
-        let surv: &TraderActor = sim.actor(survivor).unwrap();
+        let surv: &TraderActor = sim.get(ActorHandle::of(survivor)).unwrap();
         assert_eq!(surv.store().load().offers, 1, "offer migrated");
-        let old: &TraderActor = sim.actor(owner).unwrap();
+        let old: &TraderActor = sim.get(ActorHandle::of(owner)).unwrap();
         assert_eq!(old.store().load().offers, 0, "old owner drained");
-        let imp: &ImporterActor = sim.actor(IMP).unwrap();
+        let imp: &ImporterActor = sim.get(ActorHandle::of(IMP)).unwrap();
         assert_eq!(
             imp.stats().cold_lookups,
             2,
@@ -1067,7 +1068,7 @@ mod tests {
             ring.node_for(&other).unwrap(),
             TraderMsg::Export(audio),
         );
-        sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+        sim.run(Until::At(SimTime::ZERO + SimDuration::from_secs(1)));
         assert_eq!(sim.metrics().counter("trader.exports"), 2);
         let total: u64 = [T1, T2]
             .iter()

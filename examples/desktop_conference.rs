@@ -75,7 +75,7 @@ fn main() {
     println!("Conference video (25 fps contract, link degrades at t=5s):");
     let mut net = Network::new(LinkSpec::lan());
     net.set_default_link(LinkSpec::lan());
-    let mut sim: Sim<StreamMsg> = Sim::with_network(7, net);
+    let mut sim: Sim<StreamMsg> = SimBuilder::new(7).network(net).build();
     let contract = QosSpec::video();
     sim.add_actor(
         NodeId(0),
@@ -105,9 +105,9 @@ fn main() {
             },
         );
     });
-    sim.run_for(SimDuration::from_secs(30));
-    let source: &SourceActor = sim.actor(NodeId(0)).expect("source");
-    let sink: &SinkActor = sim.actor(NodeId(1)).expect("sink");
+    sim.run(Until::For(SimDuration::from_secs(30)));
+    let source: &SourceActor = sim.get(ActorHandle::of(NodeId(0))).expect("source");
+    let sink: &SinkActor = sim.get(ActorHandle::of(NodeId(1))).expect("sink");
     println!(
         "  violations reported : {}",
         sim.metrics().counter("stream.violation_reports")

@@ -84,7 +84,7 @@ fn main() {
     let view = View::initial(GroupId(0), (0..3).map(NodeId));
     let mut net = Network::new(LinkSpec::wan(SimDuration::from_millis(15)));
     net.set_default_link(LinkSpec::wan(SimDuration::from_millis(15)));
-    let mut sim: Sim<GcMsg<WsOp>> = Sim::with_network(5, net);
+    let mut sim: Sim<GcMsg<WsOp>> = SimBuilder::new(5).network(net).build();
     for i in 0..3u32 {
         sim.add_actor(
             NodeId(i),
@@ -108,10 +108,11 @@ fn main() {
             }),
         );
     }
-    sim.run_for(SimDuration::from_secs(10));
+    sim.run(Until::For(SimDuration::from_secs(10)));
     let mut finals = Vec::new();
     for i in 0..3u32 {
-        let actor: &GroupActor<WsOp, WorkspaceReplica> = sim.actor(NodeId(i)).expect("replica");
+        let actor: &GroupActor<WsOp, WorkspaceReplica> =
+            sim.get(ActorHandle::of(NodeId(i))).expect("replica");
         let history: Vec<String> = actor
             .app()
             .workspace()

@@ -22,7 +22,7 @@
 //! ```
 //! use cscw::sim::prelude::*;
 //!
-//! let sim: Sim<()> = Sim::new(42);
+//! let sim: Sim<()> = SimBuilder::new(42).build();
 //! assert_eq!(sim.now(), SimTime::ZERO);
 //! ```
 
