@@ -147,6 +147,14 @@ pub enum CoopKind {
         /// Invalidation reason label.
         reason: String,
     },
+    /// The placement controller moved a cluster to a new home (the
+    /// artefact names the cluster's offer, e.g. `raster/tile/3`).
+    ClusterMigrated {
+        /// The old home node.
+        from: NodeId,
+        /// The new home node.
+        to: NodeId,
+    },
 }
 
 impl CoopKind {
@@ -168,6 +176,7 @@ impl CoopKind {
             CoopKind::ReintegrationConflict { .. } => "mobility.conflict",
             CoopKind::SessionSwitched { .. } => "session.switched",
             CoopKind::ServiceInvalidated { .. } => "trader.invalidated",
+            CoopKind::ClusterMigrated { .. } => "place.migrated",
         }
     }
 
@@ -185,7 +194,9 @@ impl CoopKind {
             | CoopKind::GroupAccess { .. }
             | CoopKind::RemoteOp { .. }
             | CoopKind::ReintegrationConflict { .. } => ActivityKind::Edit,
-            CoopKind::SessionSwitched { .. } => ActivityKind::Move,
+            CoopKind::SessionSwitched { .. } | CoopKind::ClusterMigrated { .. } => {
+                ActivityKind::Move
+            }
             CoopKind::FloorGranted
             | CoopKind::FloorPreempted
             | CoopKind::FloorIdle
@@ -713,6 +724,14 @@ mod tests {
         assert_eq!(
             CoopKind::ServiceInvalidated { reason: "x".into() }.label(),
             "trader.invalidated"
+        );
+        assert_eq!(
+            CoopKind::ClusterMigrated {
+                from: NodeId(0),
+                to: NodeId(3)
+            }
+            .label(),
+            "place.migrated"
         );
     }
 }

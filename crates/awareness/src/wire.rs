@@ -145,6 +145,11 @@ impl WireCodec for CoopKind {
                 14u8.encode(out);
                 reason.encode(out);
             }
+            CoopKind::ClusterMigrated { from, to } => {
+                15u8.encode(out);
+                from.encode(out);
+                to.encode(out);
+            }
         }
     }
 
@@ -190,6 +195,10 @@ impl WireCodec for CoopKind {
             }),
             14 => Ok(CoopKind::ServiceInvalidated {
                 reason: String::decode(r)?,
+            }),
+            15 => Ok(CoopKind::ClusterMigrated {
+                from: NodeId::decode(r)?,
+                to: NodeId::decode(r)?,
             }),
             tag => Err(NetError::BadTag {
                 what: "CoopKind",
@@ -279,6 +288,10 @@ mod tests {
             },
             CoopKind::ServiceInvalidated {
                 reason: "withdrawn".to_owned(),
+            },
+            CoopKind::ClusterMigrated {
+                from: NodeId(0),
+                to: NodeId(9),
             },
         ];
         for kind in kinds {

@@ -1,4 +1,4 @@
-//! Property tests: every [`BusWire`] envelope — all fifteen
+//! Property tests: every [`BusWire`] envelope — all sixteen
 //! [`CoopKind`] variants, both audiences, arbitrary grant lists —
 //! survives the `odp-net` framing bit-exactly, and corrupt bytes
 //! always yield a typed error instead of a panic.
@@ -13,7 +13,7 @@ use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = CoopKind> {
     (
-        0u8..15,
+        0u8..16,
         any::<u32>(),
         any::<bool>(),
         any::<u64>(),
@@ -61,7 +61,11 @@ fn arb_kind() -> impl Strategy<Value = CoopKind> {
                     from: text,
                     to: text2,
                 },
-                _ => CoopKind::ServiceInvalidated { reason: text },
+                14 => CoopKind::ServiceInvalidated { reason: text },
+                _ => CoopKind::ClusterMigrated {
+                    from: NodeId(node),
+                    to: NodeId(node ^ 1),
+                },
             }
         })
 }

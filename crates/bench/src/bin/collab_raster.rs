@@ -1,0 +1,224 @@
+//! Runs the `collab_raster` placement workload with the controller's
+//! policy loop off and on, and writes `BENCH_placement.json`.
+//!
+//! Both arms execute the identical two-phase schedule on the report
+//! seed: island-A editors pan the canvas over the LAN, then the view
+//! changes and island-B editors repeat the panning across the WAN.
+//! The measured quantity is the virtual-time critical-path latency of
+//! every phase-2 tile access (root spans of kind
+//! `tile.access.c*` opened at or after the phase boundary). With the
+//! controller off, every phase-2 access pays a WAN round trip forever;
+//! with it on, the telemetry loop should notice the access locus
+//! moved, migrate the hot tiles to island B, and cut the tail of
+//! phase 2 down to LAN round trips.
+//!
+//! The process exits non-zero — failing the CI gate — if the
+//! controller-on arm migrated nothing, if its mean critical path is
+//! not at least [`MIN_IMPROVEMENT`]× shorter than the baseline's, or
+//! if either arm's span log fails the telemetry audit.
+//!
+//! ```text
+//! cargo run -p cscw-bench --bin collab_raster --release [OUT.json]
+//! ```
+
+use odp_net::sim_host::SimHost;
+use odp_place::controller::{PlacementActor, ACCESS_KIND_PREFIX};
+use odp_place::scenario::{collab_raster, RasterConfig, RasterScenario};
+use odp_sim::sim::{ActorHandle, Until};
+use odp_telemetry::collector::Collector;
+use odp_telemetry::report::json_string;
+
+/// The controller-on arm must shorten the mean phase-2 critical path
+/// by at least this factor. The workload's WAN round trip is ~40× the
+/// LAN one and a healthy controller converts most of phase 2 to LAN
+/// trips (~2.8× on the report seed, pre-migration WAN accesses
+/// included); a controller that migrates late, thrashes, or freezes
+/// writers for too long falls under the bound.
+const MIN_IMPROVEMENT: f64 = 1.5;
+
+/// One arm's measured outcome.
+struct Arm {
+    /// Phase-2 critical-path latencies, microseconds, sorted.
+    lat_us: Vec<u64>,
+    /// Committed migrations.
+    migrations: usize,
+    /// Migration decisions taken (committed or aborted).
+    decisions: usize,
+    /// Writes refused (and retried) during freeze windows.
+    refused: u64,
+    /// Editor ops skipped by the one-outstanding-per-tile rule.
+    skipped: u64,
+}
+
+impl Arm {
+    fn mean_us(&self) -> f64 {
+        if self.lat_us.is_empty() {
+            return f64::NAN;
+        }
+        self.lat_us.iter().sum::<u64>() as f64 / self.lat_us.len() as f64
+    }
+
+    fn p95_us(&self) -> u64 {
+        if self.lat_us.is_empty() {
+            return 0;
+        }
+        let idx = (self.lat_us.len() * 95).div_ceil(100).saturating_sub(1);
+        self.lat_us[idx.min(self.lat_us.len() - 1)]
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"samples\":{},\"mean_us\":{:.1},\"p95_us\":{},\"migrations\":{},\
+             \"decisions\":{},\"writes_refused\":{},\"ops_skipped\":{}}}",
+            self.lat_us.len(),
+            self.mean_us(),
+            self.p95_us(),
+            self.migrations,
+            self.decisions,
+            self.refused,
+            self.skipped,
+        )
+    }
+}
+
+fn bench_config(controller_on: bool) -> RasterConfig {
+    RasterConfig {
+        seed: cscw_bench::REPORT_SEED,
+        controller_on,
+        // Longer phases than the scenario default: the controller
+        // needs a few telemetry rounds plus the transfers themselves
+        // before phase 2 goes local, and the benchmark should measure
+        // the steady state it buys, not just the switchover.
+        phase_ops: 160,
+        ..RasterConfig::default()
+    }
+}
+
+/// Runs one arm to quiescence and extracts its metrics.
+fn run_arm(controller_on: bool) -> Arm {
+    let cfg = bench_config(controller_on);
+    let (mut sim, sc) = collab_raster(&cfg);
+    sim.run(Until::Idle);
+    if sim.trace().dropped() > 0 {
+        eprintln!("collab_raster: trace ring overflowed; metrics would lie");
+        std::process::exit(1);
+    }
+
+    let collector = Collector::from_trace(sim.trace());
+    if let Err(e) = collector.well_formed() {
+        eprintln!("collab_raster: span audit failed (controller_on={controller_on}): {e}");
+        std::process::exit(1);
+    }
+
+    let mut lat_us = Vec::new();
+    for (_, dag) in collector.traces() {
+        let path = dag.critical_path();
+        let (Some(root), Some(tail)) = (path.first(), path.last()) else {
+            continue;
+        };
+        if !root.kind.starts_with(ACCESS_KIND_PREFIX) || root.opened < sc.phase2_start {
+            continue;
+        }
+        let closed = tail.closed.unwrap_or(root.opened);
+        lat_us.push(closed.saturating_since(root.opened).as_micros());
+    }
+    lat_us.sort_unstable();
+
+    let ctl = sim
+        .get::<SimHost<PlacementActor>>(ActorHandle::of(sc.controller))
+        .expect("controller actor")
+        .inner();
+    let (refused, skipped) = editor_totals(&sim, &sc);
+    Arm {
+        lat_us,
+        migrations: ctl.migrations().len(),
+        decisions: ctl.decisions().len(),
+        refused,
+        skipped,
+    }
+}
+
+fn editor_totals(
+    sim: &odp_sim::sim::Sim<odp_place::wire::PlaceWire>,
+    sc: &RasterScenario,
+) -> (u64, u64) {
+    let mut refused = 0;
+    let mut skipped = 0;
+    for &e in sc.editors_a.iter().chain(&sc.editors_b) {
+        let ed = sim
+            .get::<SimHost<odp_place::scenario::EditorActor>>(ActorHandle::of(e))
+            .expect("editor actor")
+            .inner();
+        refused += ed.refusals();
+        skipped += ed.skipped();
+    }
+    (refused, skipped)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_placement.json".to_owned());
+    let cfg = bench_config(true);
+
+    let off = run_arm(false);
+    let on = run_arm(true);
+
+    if off.migrations != 0 {
+        eprintln!("collab_raster: baseline arm migrated — arms are not comparable");
+        std::process::exit(1);
+    }
+    if on.migrations == 0 {
+        eprintln!("collab_raster: controller-on arm committed no migrations");
+        std::process::exit(1);
+    }
+    if off.lat_us.is_empty() || on.lat_us.is_empty() {
+        eprintln!("collab_raster: an arm produced no phase-2 access spans");
+        std::process::exit(1);
+    }
+
+    let improvement = off.mean_us() / on.mean_us();
+    let json = format!(
+        "{{\"workload\":{},\"seed\":{},\"tiles\":{},\"editors_per_island\":{},\
+         \"phase_ops\":{},\"wan_ms\":{},\"off\":{},\"on\":{},\
+         \"improvement_ratio\":{improvement:.3},\"min_improvement_ratio\":{MIN_IMPROVEMENT}}}",
+        json_string("collab-raster"),
+        cfg.seed,
+        cfg.tiles,
+        cfg.editors_per_island,
+        cfg.phase_ops,
+        cfg.wan.as_millis(),
+        off.to_json(),
+        on.to_json(),
+    );
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("collab_raster: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "phase-2 critical paths on collab-raster (seed {}):",
+        cfg.seed
+    );
+    println!(
+        "  controller off  mean {:>10.1} us  p95 {:>8} us  ({} accesses)",
+        off.mean_us(),
+        off.p95_us(),
+        off.lat_us.len()
+    );
+    println!(
+        "  controller on   mean {:>10.1} us  p95 {:>8} us  ({} accesses, {} migrations, {} refused writes)",
+        on.mean_us(),
+        on.p95_us(),
+        on.lat_us.len(),
+        on.migrations,
+        on.refused
+    );
+    println!("  improvement     {improvement:>10.2} x  (gate: >= {MIN_IMPROVEMENT})");
+    println!("  wrote {out_path}");
+
+    if improvement.is_nan() || improvement < MIN_IMPROVEMENT {
+        eprintln!("collab_raster: improvement {improvement:.3}x below the {MIN_IMPROVEMENT}x gate");
+        std::process::exit(1);
+    }
+}

@@ -29,11 +29,17 @@
 //!   layer shows no sequence gaps after reconnect replay and delivers a
 //!   crashed origin's forwarded broadcasts exactly once
 //!   ([`odp_net::session`]).
+//! - [`placement`] — placement soundness: every migration decision the
+//!   closed-loop controller takes withstands recomputation from its
+//!   recorded inputs, epochs never overlap, state transfers exactly
+//!   once, and no write lands inside a freeze window
+//!   ([`odp_place`]).
 
 pub mod awareness;
 pub mod federation;
 pub mod groupcomm;
 pub mod locks;
+pub mod placement;
 pub mod replication;
 pub mod telemetry;
 pub mod trader;

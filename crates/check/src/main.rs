@@ -17,7 +17,7 @@ use std::process::ExitCode;
 
 use odp_check::explore::{Budget, Counterexample, Explorer, Invariant, ReplayError, Report};
 use odp_check::invariants::{
-    awareness, federation, groupcomm, locks, replication, telemetry, trader, transport,
+    awareness, federation, groupcomm, locks, placement, replication, telemetry, trader, transport,
 };
 use odp_check::lint;
 use odp_groupcomm::multicast::Ordering;
@@ -148,6 +148,10 @@ fn awareness_invs(
 
 fn transport_invs() -> Vec<Box<dyn Invariant<transport::TransportMsg>>> {
     vec![Box::new(transport::TransportFidelity::for_transport_sim())]
+}
+
+fn placement_invs() -> Vec<Box<dyn Invariant<odp_place::wire::PlaceWire>>> {
+    vec![Box::new(placement::PlacementSound::for_placement_sim())]
 }
 
 const CHECKS: &[Check] = &[
@@ -304,6 +308,21 @@ const CHECKS: &[Check] = &[
         },
         replay: |seed, b, c| {
             Explorer::new(seed, b).replay(|s| transport::transport_sim(s, true), transport_invs, c)
+        },
+        budget: horizon_budget,
+    },
+    Check {
+        name: "placement-soundness",
+        about: "place: migration decisions replay from recorded inputs, transfers exactly-once",
+        run: |seed, b| {
+            Explorer::new(seed, b).explore_hashed(
+                |s| placement::placement_sim(s, true),
+                placement_invs,
+                placement::fingerprint,
+            )
+        },
+        replay: |seed, b, c| {
+            Explorer::new(seed, b).replay(|s| placement::placement_sim(s, true), placement_invs, c)
         },
         budget: horizon_budget,
     },

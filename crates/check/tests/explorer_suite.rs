@@ -4,7 +4,7 @@
 
 use odp_check::explore::{Budget, Explorer, Invariant};
 use odp_check::invariants::{
-    awareness, federation, groupcomm, locks, replication, telemetry, trader, transport,
+    awareness, federation, groupcomm, locks, placement, replication, telemetry, trader, transport,
 };
 use odp_groupcomm::multicast::Ordering;
 use odp_sim::prelude::{ActorHandle, Until};
@@ -398,6 +398,64 @@ fn explorer_finds_the_disarmed_forward_dedup() {
         .replay(
             |s| transport::transport_sim(s, false),
             transport_invs,
+            &cx.choices,
+        )
+        .expect("trace stays in range")
+        .expect("counterexample must reproduce");
+    assert_eq!(replayed.violation, cx.violation);
+    let (seed, choices) =
+        odp_check::explore::Counterexample::parse_trace(&cx.trace()).expect("trace parses");
+    assert_eq!(seed, SEED);
+    assert_eq!(choices, cx.choices);
+}
+
+fn placement_invs() -> Vec<Box<dyn Invariant<odp_place::wire::PlaceWire>>> {
+    vec![Box::new(placement::PlacementSound::for_placement_sim())]
+}
+
+/// The closed-loop placement controller is sound in every explored
+/// schedule of the raster workload: each migration decision replays
+/// bit-for-bit from its recorded inputs, epochs are serialised, state
+/// transfers exactly once, and no write slips inside a freeze window —
+/// non-vacuously (a migration commits, writes do hit freezes).
+#[test]
+fn placement_soundness_holds_in_every_schedule() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let report =
+        Explorer::new(SEED, budget).explore(|s| placement::placement_sim(s, true), placement_invs);
+    assert!(
+        report.violation.is_none(),
+        "unsound placement: {}",
+        report.violation.unwrap()
+    );
+    assert!(
+        report.runs > 1,
+        "placement scenario explored only one schedule"
+    );
+}
+
+/// Seeded known-bad fixture: the write freeze disarmed
+/// (`set_quiesce(false)`). Writes then land inside freeze windows and
+/// are lost to the in-flight snapshot; the detector must flag it and
+/// the counterexample must replay.
+#[test]
+fn explorer_finds_the_disarmed_write_freeze() {
+    let budget = Budget::smoke().with_horizon(SimTime::from_secs(2));
+    let ex = Explorer::new(SEED, budget);
+    let report = ex.explore(|s| placement::placement_sim(s, false), placement_invs);
+    let cx = report
+        .violation
+        .expect("the disarmed write freeze must be detected");
+    assert_eq!(cx.invariant, "placement-soundness");
+    assert!(
+        cx.violation.contains("freeze window"),
+        "unexpected violation: {}",
+        cx.violation
+    );
+    let replayed = ex
+        .replay(
+            |s| placement::placement_sim(s, false),
+            placement_invs,
             &cx.choices,
         )
         .expect("trace stays in range")

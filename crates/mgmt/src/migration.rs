@@ -15,6 +15,28 @@ use odp_sim::time::{SimDuration, SimTime};
 use crate::model::{ClusterId, EngRegistry, MgmtError};
 use crate::placement::{place, Placement, PlacementPolicy, UsagePattern};
 
+/// A migration the policy recommends but that has not yet happened.
+///
+/// Produced by [`MigrationManager::plan`]; a live controller streams the
+/// cluster's state to `to` and only then calls
+/// [`MigrationManager::commit`], so a failed transfer leaves the
+/// registry untouched (the cluster simply stays at `from`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationPlan {
+    /// The cluster to move.
+    pub cluster: ClusterId,
+    /// Its current node.
+    pub from: NodeId,
+    /// The recommended new home.
+    pub to: NodeId,
+    /// Bytes that must travel (cluster size at planning time).
+    pub bytes: usize,
+    /// Predicted cost at `from` under the scoring policy (us).
+    pub cost_before_us: f64,
+    /// Predicted cost at `to` under the scoring policy (us).
+    pub cost_after_us: f64,
+}
+
 /// One completed migration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MigrationEvent {
@@ -82,8 +104,22 @@ impl MigrationManager {
     }
 
     /// Records accesses to a cluster from a site.
+    ///
+    /// `n` need not be a raw count: a latency-aware controller records
+    /// the *observed microseconds the site spent waiting* so the mean
+    /// policy minimises observed (not modelled) group latency.
     pub fn record_access(&mut self, cluster: ClusterId, site: NodeId, n: u64) {
         self.usage.entry(cluster).or_default().record(site, n);
+    }
+
+    /// Forgets every count recorded from `site`, across all clusters.
+    /// Called on session-membership churn so a departed editor stops
+    /// anchoring placement.
+    pub fn forget_site(&mut self, site: NodeId) {
+        for pattern in self.usage.values_mut() {
+            pattern.forget(site);
+        }
+        self.usage.retain(|_, p| p.total() > 0);
     }
 
     /// The observed pattern for a cluster.
@@ -103,20 +139,29 @@ impl MigrationManager {
         &self.events
     }
 
-    /// Re-evaluates one cluster; migrates it in `registry` if the policy
-    /// finds a sufficiently better node. Returns the event if it moved.
+    /// Re-evaluates one cluster without touching the registry: returns
+    /// the recommended move, or `None` if the cluster should stay put.
+    ///
+    /// The decision is fully deterministic. Candidates are scored by
+    /// [`place`], whose tie-break prefers the home node and then the
+    /// lowest node id; the hysteresis gate itself breaks the remaining
+    /// tie *against* moving — a candidate whose predicted cost equals
+    /// the hysteresis-discounted current cost exactly
+    /// (`cost_after == current * (1 - hysteresis)`) does **not**
+    /// trigger a migration. Equal evidence therefore always yields the
+    /// status quo, so replays and DPOR re-executions cannot diverge on
+    /// boundary workloads.
     ///
     /// # Errors
     ///
     /// Propagates registry errors (unknown cluster, no capsule on the
     /// target node).
-    pub fn evaluate(
+    pub fn plan(
         &mut self,
         cluster: ClusterId,
-        registry: &mut EngRegistry,
+        registry: &EngRegistry,
         latency: &dyn Fn(NodeId, NodeId) -> SimDuration,
-        now: SimTime,
-    ) -> Result<Option<MigrationEvent>, MgmtError> {
+    ) -> Result<Option<MigrationPlan>, MgmtError> {
         let objects = registry.cluster_objects(cluster);
         let current = match objects.first() {
             Some(&obj) => registry.node_of(obj)?,
@@ -134,25 +179,74 @@ impl MigrationManager {
         }
         // Cost at the current node under the same scoring.
         let current_cost = place(self.policy, usage, &[current], home, latency).cost_us;
-        if current_cost <= 0.0 || cost_after > current_cost * (1.0 - self.hysteresis) {
-            return Ok(None); // not worth the move
+        if current_cost <= 0.0 || cost_after >= current_cost * (1.0 - self.hysteresis) {
+            return Ok(None); // not worth the move (ties keep the status quo)
         }
-        registry.migrate_cluster(cluster, target)?;
-        let bytes = registry.cluster_bytes(cluster);
-        let transfer = SimDuration::from_micros(
-            (bytes as u128 * 1_000_000 / self.bytes_per_sec as u128).min(u64::MAX as u128) as u64,
-        );
-        let event = MigrationEvent {
+        Ok(Some(MigrationPlan {
             cluster,
             from: current,
             to: target,
-            at: now,
-            transfer,
+            bytes: registry.cluster_bytes(cluster),
             cost_before_us: current_cost,
             cost_after_us: cost_after,
+        }))
+    }
+
+    /// Executes a previously returned [`MigrationPlan`]: moves the
+    /// cluster in `registry`, records the [`MigrationEvent`] and
+    /// returns it. Call only after the state transfer has actually
+    /// succeeded; an aborted transfer simply drops the plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry errors (unknown cluster, no capsule on the
+    /// target node).
+    pub fn commit(
+        &mut self,
+        plan: &MigrationPlan,
+        registry: &mut EngRegistry,
+        now: SimTime,
+    ) -> Result<MigrationEvent, MgmtError> {
+        registry.migrate_cluster(plan.cluster, plan.to)?;
+        let transfer = SimDuration::from_micros(
+            (plan.bytes as u128 * 1_000_000 / self.bytes_per_sec as u128).min(u64::MAX as u128)
+                as u64,
+        );
+        let event = MigrationEvent {
+            cluster: plan.cluster,
+            from: plan.from,
+            to: plan.to,
+            at: now,
+            transfer,
+            cost_before_us: plan.cost_before_us,
+            cost_after_us: plan.cost_after_us,
         };
         self.events.push(event.clone());
-        Ok(Some(event))
+        Ok(event)
+    }
+
+    /// Re-evaluates one cluster; migrates it in `registry` if the policy
+    /// finds a sufficiently better node. Returns the event if it moved.
+    ///
+    /// Equivalent to [`plan`](Self::plan) immediately followed by
+    /// [`commit`](Self::commit) — the offline path, where the transfer
+    /// is assumed instantaneous and infallible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry errors (unknown cluster, no capsule on the
+    /// target node).
+    pub fn evaluate(
+        &mut self,
+        cluster: ClusterId,
+        registry: &mut EngRegistry,
+        latency: &dyn Fn(NodeId, NodeId) -> SimDuration,
+        now: SimTime,
+    ) -> Result<Option<MigrationEvent>, MgmtError> {
+        match self.plan(cluster, registry, latency)? {
+            Some(plan) => self.commit(&plan, registry, now).map(Some),
+            None => Ok(None),
+        }
     }
 }
 
@@ -236,6 +330,72 @@ mod tests {
             .evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn plan_does_not_touch_the_registry() {
+        let (mut reg, cluster) = setup();
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
+        mgr.set_home(cluster, NodeId(0));
+        mgr.record_access(cluster, NodeId(2), 100);
+        let plan = mgr
+            .plan(cluster, &reg, &line_latency)
+            .unwrap()
+            .expect("recommends a move");
+        assert_eq!((plan.from, plan.to), (NodeId(0), NodeId(2)));
+        assert_eq!(plan.bytes, 1_000_000);
+        // Nothing moved and no event recorded until commit.
+        assert_eq!(reg.node_of(ManagedObjectId(1)).unwrap(), NodeId(0));
+        assert!(mgr.events().is_empty());
+        let event = mgr.commit(&plan, &mut reg, SimTime::from_secs(2)).unwrap();
+        assert_eq!(reg.node_of(ManagedObjectId(1)).unwrap(), NodeId(2));
+        assert_eq!(event.transfer, SimDuration::from_secs(1), "1MB at 1MB/s");
+        assert_eq!(mgr.events().len(), 1);
+    }
+
+    #[test]
+    fn equal_cost_tie_keeps_the_status_quo() {
+        // Zero hysteresis and a usage pattern that scores nodes 0 and 2
+        // identically: the boundary condition (cost_after == current)
+        // must deterministically not migrate.
+        let (mut reg, cluster) = setup();
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.0, 1_000_000);
+        // Home is node 1 but the cluster currently sits at node 0, so
+        // place's own tie-break (prefer home) recommends a *different*
+        // node at *exactly equal* cost: symmetric accesses make every
+        // node score (0+20)/2 = (10+10)/2 = 10 ms.
+        mgr.set_home(cluster, NodeId(1));
+        mgr.record_access(cluster, NodeId(0), 1);
+        mgr.record_access(cluster, NodeId(2), 1);
+        // cost_after == current_cost: the >= hysteresis gate must keep
+        // the status quo (the old strict > let equal evidence thrash).
+        for _ in 0..3 {
+            assert!(mgr
+                .evaluate(cluster, &mut reg, &line_latency, SimTime::ZERO)
+                .unwrap()
+                .is_none());
+        }
+        assert!(mgr.events().is_empty());
+    }
+
+    #[test]
+    fn forget_site_unanchors_a_departed_editor() {
+        let (mut reg, cluster) = setup();
+        let mut mgr = MigrationManager::new(PlacementPolicy::GroupMean, 0.2, 1_000_000);
+        mgr.set_home(cluster, NodeId(0));
+        mgr.record_access(cluster, NodeId(0), 100);
+        mgr.record_access(cluster, NodeId(2), 60);
+        // With site 0 dominant the cluster stays at 0 …
+        assert!(mgr.plan(cluster, &reg, &line_latency).unwrap().is_none());
+        // … but once site 0 leaves the session, the remaining usage is
+        // all at site 2 and the plan follows it.
+        mgr.forget_site(NodeId(0));
+        let plan = mgr
+            .plan(cluster, &reg, &line_latency)
+            .unwrap()
+            .expect("follows the surviving site");
+        assert_eq!(plan.to, NodeId(2));
+        let _ = &mut reg;
     }
 
     #[test]

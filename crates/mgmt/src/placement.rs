@@ -62,7 +62,17 @@ impl UsagePattern {
         self.counts.clear();
     }
 
+    /// Forgets one site's accesses (e.g. an editor leaving the session).
+    pub fn forget(&mut self, site: NodeId) {
+        self.counts.remove(&site);
+    }
+
     /// Halves every count (exponential aging for shifting workloads).
+    ///
+    /// Integer halving floors, so a count of 1 decays to 0 and the site
+    /// is dropped from the pattern — any finite count reaches zero
+    /// within `⌈log2(n)⌉ + 1` agings and a silent workload eventually
+    /// yields an empty pattern. The regression tests pin this curve.
     pub fn age(&mut self) {
         for c in self.counts.values_mut() {
             *c /= 2;
@@ -260,6 +270,33 @@ mod tests {
         assert_eq!(usage.count(NodeId(0)), 2);
         assert_eq!(usage.count(NodeId(1)), 0);
         assert_eq!(usage.sites(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn usage_decay_curve_reaches_zero() {
+        // Pin the whole decay curve: floor-halving takes 100 through
+        // 50, 25, 12, 6, 3, 1 and then to 0 — a count of 1 must not
+        // stick forever.
+        let mut usage = UsagePattern::new();
+        usage.record(NodeId(7), 100);
+        let mut curve = Vec::new();
+        while usage.total() > 0 {
+            usage.age();
+            curve.push(usage.count(NodeId(7)));
+        }
+        assert_eq!(curve, vec![50, 25, 12, 6, 3, 1, 0]);
+        assert!(usage.sites().is_empty(), "silent site fully forgotten");
+    }
+
+    #[test]
+    fn usage_forget_drops_one_site_only() {
+        let mut usage = UsagePattern::new();
+        usage.record(NodeId(0), 3);
+        usage.record(NodeId(1), 4);
+        usage.forget(NodeId(0));
+        assert_eq!(usage.count(NodeId(0)), 0);
+        assert_eq!(usage.count(NodeId(1)), 4);
+        assert_eq!(usage.sites(), vec![NodeId(1)]);
     }
 
     #[test]

@@ -94,4 +94,24 @@ proptest! {
         prop_assert_eq!(usage.total(), 0);
         prop_assert!(usage.sites().is_empty());
     }
+
+    /// The decay curve is exact floor-halving: any count reaches zero in
+    /// precisely `floor(log2(n)) + 1` agings — in particular a count of
+    /// 1 decays to 0 in one step rather than sticking forever.
+    #[test]
+    fn decay_curve_is_floor_halving(count in 1u64..1_000_000) {
+        let mut usage = UsagePattern::new();
+        usage.record(NodeId(0), count);
+        let mut expected = count;
+        let mut steps = 0u32;
+        while usage.count(NodeId(0)) > 0 {
+            usage.age();
+            expected /= 2;
+            steps += 1;
+            prop_assert_eq!(usage.count(NodeId(0)), expected);
+            prop_assert!(steps <= 64, "decay must terminate");
+        }
+        prop_assert_eq!(steps, 64 - count.leading_zeros());
+        prop_assert!(usage.sites().is_empty(), "site dropped at zero");
+    }
 }

@@ -1,0 +1,535 @@
+//! The placement subsystem's wire envelope.
+//!
+//! One message type carries both planes so the whole protocol is
+//! hostable on any backend with a single codec:
+//!
+//! - the **workload plane** — tile reads/writes with piggybacked
+//!   [`SpanContext`]s, stale-home redirects, and the periodic
+//!   [`PlaceWire::Stats`] reports (shipped span observations plus
+//!   per-cluster access counts) the controller feeds on;
+//! - the **migration plane** — the freeze → chunk → install → release
+//!   handshake between the controller and the two tile hosts.
+//!
+//! All decoders are total: truncated or hostile bytes yield a typed
+//! [`NetError`], never a panic (property-tested in
+//! `tests/wire_properties.rs`).
+
+use odp_mgmt::model::ClusterId;
+use odp_net::error::NetError;
+use odp_net::wire::{WireCodec, WireReader};
+use odp_sim::net::NodeId;
+use odp_sim::time::SimTime;
+use odp_telemetry::span::{Carrier, SpanContext};
+
+use odp_awareness::bus::CoopEvent;
+
+impl WireCodec for SpanObs {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ctx.encode(out);
+        self.kind.encode(out);
+        self.node.encode(out);
+        self.opened.encode(out);
+        self.closed.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(SpanObs {
+            ctx: SpanContext::decode(r)?,
+            kind: String::decode(r)?,
+            node: NodeId::decode(r)?,
+            opened: SimTime::decode(r)?,
+            closed: SimTime::decode(r)?,
+        })
+    }
+}
+
+/// One closed span observed at a site, shipped to the controller so it
+/// can rebuild the causal DAG in its own
+/// [`odp_telemetry::collector::Collector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanObs {
+    /// The span's identity and parent link.
+    pub ctx: SpanContext,
+    /// Span kind (`tile.access.c<id>` roots, `tile.serve` children).
+    pub kind: String,
+    /// The node the span ran on.
+    pub node: NodeId,
+    /// When it opened.
+    pub opened: SimTime,
+    /// When it closed.
+    pub closed: SimTime,
+}
+
+/// A `ClusterId` newtype codec (odp-mgmt does not depend on odp-net, so
+/// the impl cannot live there; encode through the raw u32 instead).
+fn encode_cluster(c: ClusterId, out: &mut Vec<u8>) {
+    c.0.encode(out);
+}
+
+fn decode_cluster(r: &mut WireReader<'_>) -> Result<ClusterId, NetError> {
+    Ok(ClusterId(u32::decode(r)?))
+}
+
+/// The placement protocol envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceWire {
+    // ---- workload plane -------------------------------------------------
+    /// Editor → home: read the cluster.
+    Read {
+        /// Target cluster.
+        cluster: ClusterId,
+        /// The editor's root `tile.access.c<id>` span.
+        span: Option<SpanContext>,
+    },
+    /// Home → editor: read served.
+    ReadOk {
+        /// The cluster read.
+        cluster: ClusterId,
+    },
+    /// Editor → home: write `byte` into the cluster.
+    Write {
+        /// Target cluster.
+        cluster: ClusterId,
+        /// Payload byte (the scenario paints single bytes; real tiles
+        /// would carry patches).
+        byte: u8,
+        /// The editor's root span.
+        span: Option<SpanContext>,
+    },
+    /// Home → editor: write applied.
+    WriteOk {
+        /// The cluster written.
+        cluster: ClusterId,
+    },
+    /// Home → editor: the cluster is write-frozen mid-migration; retry
+    /// after a short backoff.
+    WriteRefused {
+        /// The frozen cluster.
+        cluster: ClusterId,
+    },
+    /// Old home → editor: the cluster moved; re-send to `to`.
+    Moved {
+        /// The moved cluster.
+        cluster: ClusterId,
+        /// Its new home.
+        to: NodeId,
+    },
+    /// Site → controller: buffered span observations plus per-cluster
+    /// access counts since the last report.
+    Stats {
+        /// Closed spans observed at the reporting site.
+        spans: Vec<SpanObs>,
+        /// Per-cluster accesses completed since the last report.
+        accesses: Vec<(u32, u64)>,
+    },
+    /// Controller → everyone: authoritative home for a cluster.
+    HomeUpdate {
+        /// The cluster.
+        cluster: ClusterId,
+        /// Its (new) home.
+        node: NodeId,
+    },
+    /// Session manager → controller: the session view changed (editors
+    /// joined/departed); usage from departed members is forgotten.
+    ViewChange {
+        /// Monotonically increasing view number.
+        view_id: u64,
+        /// The new membership.
+        members: Vec<NodeId>,
+    },
+    /// Controller → observer: a cooperation event surfaced by the
+    /// controller's awareness bus (placement notices).
+    Notice(CoopEvent),
+
+    // ---- migration plane ------------------------------------------------
+    /// Controller → source host: freeze writes on `cluster` and stream
+    /// its state to `to` under `epoch`.
+    Freeze {
+        /// The cluster to move.
+        cluster: ClusterId,
+        /// The migration epoch (unique per attempt).
+        epoch: u64,
+        /// The destination host.
+        to: NodeId,
+    },
+    /// Source → destination: one bounded chunk of cluster state.
+    Chunk {
+        /// The cluster in transfer.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+        /// Chunk index (0-based, stop-and-wait).
+        index: u32,
+        /// Total chunks in this transfer.
+        total: u32,
+        /// The chunk's bytes.
+        data: Vec<u8>,
+    },
+    /// Destination → source: chunk received (possibly a re-ack of a
+    /// retransmitted duplicate).
+    ChunkAck {
+        /// The cluster in transfer.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+        /// The acknowledged chunk.
+        index: u32,
+    },
+    /// Source → controller: all chunks acknowledged; `hash` is the
+    /// freeze-time snapshot hash the install must reproduce.
+    TransferDone {
+        /// The cluster transferred.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+        /// FNV-1a of the snapshot.
+        hash: u64,
+    },
+    /// Source → controller: the transfer failed (retry budget exhausted
+    /// or destination declared down); the source keeps the state.
+    TransferFailed {
+        /// The cluster whose transfer failed.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Controller → destination: install the staged state if complete
+    /// and its hash matches.
+    Commit {
+        /// The cluster to install.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+        /// Expected snapshot hash.
+        hash: u64,
+    },
+    /// Destination → controller: staged state installed exactly once.
+    Installed {
+        /// The installed cluster.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+    },
+    /// Destination → controller: install refused (incomplete staging or
+    /// hash mismatch).
+    InstallFailed {
+        /// The cluster that failed to install.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Controller → source: the destination installed; drop the state,
+    /// unfreeze, and redirect future requests to `to`.
+    Release {
+        /// The migrated cluster.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+        /// The new home.
+        to: NodeId,
+    },
+    /// Controller → source and destination: the migration is abandoned;
+    /// the source unfreezes and keeps the state, the destination drops
+    /// its staging.
+    Abort {
+        /// The cluster whose migration aborted.
+        cluster: ClusterId,
+        /// The migration epoch.
+        epoch: u64,
+    },
+}
+
+impl Carrier for PlaceWire {
+    fn span(&self) -> Option<SpanContext> {
+        match self {
+            PlaceWire::Read { span, .. } | PlaceWire::Write { span, .. } => *span,
+            _ => None,
+        }
+    }
+
+    fn set_span(&mut self, ctx: Option<SpanContext>) {
+        match self {
+            PlaceWire::Read { span, .. } | PlaceWire::Write { span, .. } => *span = ctx,
+            _ => {}
+        }
+    }
+}
+
+impl WireCodec for PlaceWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PlaceWire::Read { cluster, span } => {
+                0u8.encode(out);
+                encode_cluster(*cluster, out);
+                span.encode(out);
+            }
+            PlaceWire::ReadOk { cluster } => {
+                1u8.encode(out);
+                encode_cluster(*cluster, out);
+            }
+            PlaceWire::Write {
+                cluster,
+                byte,
+                span,
+            } => {
+                2u8.encode(out);
+                encode_cluster(*cluster, out);
+                byte.encode(out);
+                span.encode(out);
+            }
+            PlaceWire::WriteOk { cluster } => {
+                3u8.encode(out);
+                encode_cluster(*cluster, out);
+            }
+            PlaceWire::WriteRefused { cluster } => {
+                4u8.encode(out);
+                encode_cluster(*cluster, out);
+            }
+            PlaceWire::Moved { cluster, to } => {
+                5u8.encode(out);
+                encode_cluster(*cluster, out);
+                to.encode(out);
+            }
+            PlaceWire::Stats { spans, accesses } => {
+                6u8.encode(out);
+                spans.encode(out);
+                accesses.encode(out);
+            }
+            PlaceWire::HomeUpdate { cluster, node } => {
+                7u8.encode(out);
+                encode_cluster(*cluster, out);
+                node.encode(out);
+            }
+            PlaceWire::ViewChange { view_id, members } => {
+                8u8.encode(out);
+                view_id.encode(out);
+                members.encode(out);
+            }
+            PlaceWire::Notice(event) => {
+                9u8.encode(out);
+                event.encode(out);
+            }
+            PlaceWire::Freeze { cluster, epoch, to } => {
+                10u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                to.encode(out);
+            }
+            PlaceWire::Chunk {
+                cluster,
+                epoch,
+                index,
+                total,
+                data,
+            } => {
+                11u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                index.encode(out);
+                total.encode(out);
+                data.encode(out);
+            }
+            PlaceWire::ChunkAck {
+                cluster,
+                epoch,
+                index,
+            } => {
+                12u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                index.encode(out);
+            }
+            PlaceWire::TransferDone {
+                cluster,
+                epoch,
+                hash,
+            } => {
+                13u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                hash.encode(out);
+            }
+            PlaceWire::TransferFailed {
+                cluster,
+                epoch,
+                reason,
+            } => {
+                14u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                reason.encode(out);
+            }
+            PlaceWire::Commit {
+                cluster,
+                epoch,
+                hash,
+            } => {
+                15u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                hash.encode(out);
+            }
+            PlaceWire::Installed { cluster, epoch } => {
+                16u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+            }
+            PlaceWire::InstallFailed {
+                cluster,
+                epoch,
+                reason,
+            } => {
+                17u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                reason.encode(out);
+            }
+            PlaceWire::Release { cluster, epoch, to } => {
+                18u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+                to.encode(out);
+            }
+            PlaceWire::Abort { cluster, epoch } => {
+                19u8.encode(out);
+                encode_cluster(*cluster, out);
+                epoch.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        match u8::decode(r)? {
+            0 => Ok(PlaceWire::Read {
+                cluster: decode_cluster(r)?,
+                span: Option::<SpanContext>::decode(r)?,
+            }),
+            1 => Ok(PlaceWire::ReadOk {
+                cluster: decode_cluster(r)?,
+            }),
+            2 => Ok(PlaceWire::Write {
+                cluster: decode_cluster(r)?,
+                byte: u8::decode(r)?,
+                span: Option::<SpanContext>::decode(r)?,
+            }),
+            3 => Ok(PlaceWire::WriteOk {
+                cluster: decode_cluster(r)?,
+            }),
+            4 => Ok(PlaceWire::WriteRefused {
+                cluster: decode_cluster(r)?,
+            }),
+            5 => Ok(PlaceWire::Moved {
+                cluster: decode_cluster(r)?,
+                to: NodeId::decode(r)?,
+            }),
+            6 => Ok(PlaceWire::Stats {
+                spans: Vec::<SpanObs>::decode(r)?,
+                accesses: Vec::<(u32, u64)>::decode(r)?,
+            }),
+            7 => Ok(PlaceWire::HomeUpdate {
+                cluster: decode_cluster(r)?,
+                node: NodeId::decode(r)?,
+            }),
+            8 => Ok(PlaceWire::ViewChange {
+                view_id: u64::decode(r)?,
+                members: Vec::<NodeId>::decode(r)?,
+            }),
+            9 => Ok(PlaceWire::Notice(CoopEvent::decode(r)?)),
+            10 => Ok(PlaceWire::Freeze {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                to: NodeId::decode(r)?,
+            }),
+            11 => Ok(PlaceWire::Chunk {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                index: u32::decode(r)?,
+                total: u32::decode(r)?,
+                data: Vec::<u8>::decode(r)?,
+            }),
+            12 => Ok(PlaceWire::ChunkAck {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                index: u32::decode(r)?,
+            }),
+            13 => Ok(PlaceWire::TransferDone {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                hash: u64::decode(r)?,
+            }),
+            14 => Ok(PlaceWire::TransferFailed {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                reason: String::decode(r)?,
+            }),
+            15 => Ok(PlaceWire::Commit {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                hash: u64::decode(r)?,
+            }),
+            16 => Ok(PlaceWire::Installed {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+            }),
+            17 => Ok(PlaceWire::InstallFailed {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                reason: String::decode(r)?,
+            }),
+            18 => Ok(PlaceWire::Release {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+                to: NodeId::decode(r)?,
+            }),
+            19 => Ok(PlaceWire::Abort {
+                cluster: decode_cluster(r)?,
+                epoch: u64::decode(r)?,
+            }),
+            tag => Err(NetError::BadTag {
+                what: "PlaceWire",
+                tag: tag as u32,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carrier_rides_read_and_write_only() {
+        let ctx = SpanContext::root_with(7, 9);
+        let mut read = PlaceWire::Read {
+            cluster: ClusterId(1),
+            span: None,
+        };
+        assert_eq!(read.span(), None);
+        read.set_span(Some(ctx));
+        assert_eq!(read.span(), Some(ctx));
+
+        let mut ok = PlaceWire::ReadOk {
+            cluster: ClusterId(1),
+        };
+        ok.set_span(Some(ctx));
+        assert_eq!(ok.span(), None, "replies carry no span");
+    }
+
+    #[test]
+    fn unknown_tag_is_a_typed_error() {
+        let mut buf = Vec::new();
+        77u8.encode(&mut buf);
+        let got: Result<PlaceWire, NetError> = WireReader::new(&buf).finish();
+        assert_eq!(
+            got,
+            Err(NetError::BadTag {
+                what: "PlaceWire",
+                tag: 77
+            })
+        );
+    }
+}

@@ -27,6 +27,7 @@ pub mod media;
 pub mod monitor;
 pub mod qos;
 pub mod sync;
+pub mod transfer;
 
 pub use actors::{SinkActor, SourceActor, StreamMsg};
 pub use binding::{
@@ -37,3 +38,4 @@ pub use media::{Frame, FrameFate, MediaKind, MediaSink, MediaSource, PlayoutReco
 pub use monitor::{QosMonitor, Violation};
 pub use qos::{negotiate, NegotiationOutcome, QosSpec, ViolationKind};
 pub use sync::{EventSync, LipSync, ScheduledEvent};
+pub use transfer::ChunkPlan;

@@ -143,6 +143,20 @@ impl OfferStore {
         Some(offer)
     }
 
+    /// Re-homes an offer to a new node, keeping its id, type, interface
+    /// and properties (a migrated cluster keeps its service identity —
+    /// importers re-resolve to the new home instead of re-binding by a
+    /// fresh id). Returns `false` if the offer is unknown.
+    pub fn rehome(&mut self, id: OfferId, node: NodeId) -> bool {
+        match self.offers.get_mut(&id) {
+            Some(offer) => {
+                offer.node = node;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Replaces the QoS of an offer in place.
     pub fn modify_qos(&mut self, id: OfferId, qos: QosSpec) -> bool {
         match self.offers.get_mut(&id) {
@@ -407,6 +421,20 @@ mod tests {
 
     fn traders(n: u32) -> Vec<NodeId> {
         (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn rehome_moves_the_node_and_keeps_identity() {
+        let mut store = OfferStore::new();
+        let o = offer("raster/tile/0");
+        let id = o.id;
+        store.insert(o);
+        assert!(store.rehome(id, NodeId(3)));
+        let found = store.offers_of_type(&ServiceType::new("raster/tile/0"));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, id, "same offer id after the move");
+        assert_eq!(found[0].node, NodeId(3));
+        assert!(!store.rehome(OfferId(999_999), NodeId(1)));
     }
 
     #[test]

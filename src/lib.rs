@@ -15,6 +15,7 @@
 //! - [`streams`] — continuous-media streams with QoS management
 //! - [`mobility`] — mobile hosts, disconnection, reintegration
 //! - [`mgmt`] — group-aware placement and migration
+//! - [`place`] — closed-loop telemetry-driven placement controller
 //! - [`trader`] — federated, QoS-aware service trading
 //! - [`workflow`] — speech-act and office-procedure workflows
 //! - [`core`] — the groupware toolkit tying the substrates together
@@ -33,6 +34,7 @@ pub use odp_concurrency as concurrency;
 pub use odp_groupcomm as groupcomm;
 pub use odp_mgmt as mgmt;
 pub use odp_mobility as mobility;
+pub use odp_place as place;
 pub use odp_sim as sim;
 pub use odp_streams as streams;
 pub use odp_trader as trader;
