@@ -24,12 +24,12 @@
 //! Network distribution of bus deliveries over causal multicast lives in
 //! [`crate::dist`].
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use odp_access::matrix::Subject;
 use odp_access::rbac::{ObjectPath, RbacPolicy};
 use odp_access::rights::Rights;
+use odp_fabric::SortedVecMap;
 use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -350,7 +350,10 @@ pub struct BusStats {
 /// ```
 pub struct EventBus {
     weight: CoopWeightFn,
-    observers: BTreeMap<NodeId, BusObserver>,
+    // Sorted vec, not a BTreeMap: the grant loop in `publish` walks
+    // every observer per event, and contiguous entries keep that scan
+    // cache-friendly while preserving NodeId iteration order.
+    observers: SortedVecMap<NodeId, BusObserver>,
     policy: RbacPolicy,
     gate: bool,
     published: u64,
@@ -362,7 +365,7 @@ impl EventBus {
     pub fn new() -> Self {
         EventBus {
             weight: Box::new(|_, _| 1.0),
-            observers: BTreeMap::new(),
+            observers: SortedVecMap::new(),
             policy: RbacPolicy::new(),
             gate: false,
             published: 0,
@@ -500,6 +503,9 @@ impl EventBus {
                 state.received += 1;
                 out.push(BusDelivery {
                     observer,
+                    // Each observer gets an owned event by API contract;
+                    // the deep part is one short artefact string.
+                    // odp-check: allow(hot-path-alloc)
                     event: event.clone(),
                     weight,
                 });

@@ -23,7 +23,7 @@ use odp_net::ctx::NetCtx;
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::NodeId;
 use odp_sim::time::SimDuration;
-use odp_telemetry::span::{SpanContext, CLOSE, OPEN};
+use odp_telemetry::span::SpanContext;
 use serde::{Deserialize, Serialize};
 
 use crate::bus::{BusDelivery, CoopEvent, EventBus};
@@ -141,8 +141,8 @@ impl BusActor {
             if self.telemetry {
                 if let Some(parent) = delivery.span {
                     let child = parent.child(ctx.rng());
-                    ctx.trace(OPEN, child.open_data("aware.deliver"));
-                    ctx.trace(CLOSE, child.close_data());
+                    ctx.span_open(child.carrier(), "aware.deliver");
+                    ctx.span_close(child.carrier());
                 }
             }
             self.delivered.push(BusDelivery {
@@ -179,8 +179,8 @@ impl BusActor {
                     // The publish root closes at issue time; deliveries
                     // hang aware.deliver children off it as they land.
                     let root = SpanContext::root(ctx.rng());
-                    ctx.trace(OPEN, root.open_data("aware.publish"));
-                    ctx.trace(CLOSE, root.close_data());
+                    ctx.span_open(root.carrier(), "aware.publish");
+                    ctx.span_close(root.carrier());
                     Some(root)
                 } else {
                     None

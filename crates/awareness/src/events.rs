@@ -164,6 +164,9 @@ impl AwarenessEngine {
                 state.received += 1;
                 out.push(WeightedDelivery {
                     observer,
+                    // Each observer gets an owned event by API contract;
+                    // the deep part is one short artefact string.
+                    // odp-check: allow(hot-path-alloc)
                     event: event.clone(),
                     weight: w,
                 });

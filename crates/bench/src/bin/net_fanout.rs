@@ -28,13 +28,13 @@ use std::net::SocketAddr;
 use odp_awareness::bus::{CoopEvent, CoopKind, EventBus};
 use odp_awareness::dist::{BusActor, BusWire};
 use odp_awareness::events::ActivityKind;
+use odp_fabric::SpanOp;
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::GcMsg;
 use odp_net::tcp::{TcpConfig, TcpHandle, TcpNode};
 use odp_sim::net::{LinkSpec, Network, NodeId};
 use odp_sim::prelude::{ActorHandle, Sim, SimBuilder, Until};
 use odp_sim::time::{SimDuration, SimTime};
-use odp_telemetry::span::OPEN;
 
 /// Fleet size (kept below E13's 8 so the TCP mesh — one socket pair
 /// per node pair — stays cheap on CI runners).
@@ -170,15 +170,15 @@ fn run_tcp_once(seed: u64) -> (u128, u64, u64) {
         };
         delivered += actor.delivered().len() as u64;
         gaps += report.stats.gaps;
-        for event in report.trace.events() {
-            if event.label != OPEN {
+        let log = report.trace.spans();
+        for event in log.events() {
+            let SpanOp::Open { kind, .. } = event.op else {
                 continue;
-            }
-            let at = event.time.as_micros();
-            if event.data.ends_with(":aware.publish") {
-                first_publish = first_publish.min(at);
-            } else if event.data.ends_with(":aware.deliver") {
-                last_deliver = last_deliver.max(at);
+            };
+            match log.kind(kind) {
+                "aware.publish" => first_publish = first_publish.min(event.time_us),
+                "aware.deliver" => last_deliver = last_deliver.max(event.time_us),
+                _ => {}
             }
         }
     }

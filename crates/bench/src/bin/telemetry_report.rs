@@ -11,85 +11,22 @@
 //! [`Collector`], audited, and aggregated into the machine-readable
 //! [`TelemetryReport`] embedded in the JSON.
 //!
+//! The workload itself lives in [`cscw_bench::e13`], shared with the
+//! `fabric_deliver` bench that gates the overhead in CI.
+//!
 //! ```text
 //! cargo run -p cscw-bench --bin telemetry_report --release [OUT.json]
 //! ```
 
-use odp_access::matrix::Subject;
-use odp_access::rbac::{Effect, RoleId};
-use odp_access::rights::Rights;
-
-use cscw_core::replicated::{replica_actor, WsOp};
-use cscw_core::workspace::{ObjectId, SharedWorkspace};
-
-use odp_groupcomm::membership::{GroupId, View};
-use odp_groupcomm::multicast::GcMsg;
-use odp_sim::net::{LinkSpec, Network, NodeId};
-use odp_sim::prelude::{Sim, SimBuilder, Until};
-use odp_sim::time::{SimDuration, SimTime};
+use cscw_bench::e13::{self, REPLICAS, WRITES_EACH};
 use odp_telemetry::collector::Collector;
 use odp_telemetry::report::{json_string, TelemetryReport};
 
-/// E13's largest group size.
-const REPLICAS: u32 = 8;
-/// Concurrent edits submitted per replica.
-const WRITES_EACH: u32 = 4;
 /// Timed iterations per variant; the fastest is reported. The
 /// workload simulates in ~2 ms, so a generous iteration count (plus
 /// interleaving the two variants) is what keeps scheduler noise out
 /// of the overhead figure.
 const ITERS: u32 = 30;
-
-fn configured_workspace(n: u32) -> SharedWorkspace {
-    let mut ws = SharedWorkspace::new();
-    ws.policy_mut()
-        .add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
-    for i in 0..n {
-        ws.policy_mut().assign(Subject(i), RoleId(1));
-        ws.register_observer(NodeId(i), 0.0);
-    }
-    ws.create_artefact(ObjectId(1), "shared/1", "v0");
-    ws
-}
-
-/// The E13 replicated-workspace sim, with span telemetry toggled on
-/// every replica's group actor.
-fn e13_sim(seed: u64, telemetry: bool) -> Sim<GcMsg<WsOp>> {
-    let view = View::initial(GroupId(0), (0..REPLICAS).map(NodeId));
-    let link = LinkSpec::wan(SimDuration::from_millis(15));
-    let mut net = Network::new(link);
-    net.set_default_link(link);
-    let mut sim: Sim<GcMsg<WsOp>> = SimBuilder::new(seed).network(net).build();
-    for i in 0..REPLICAS {
-        let mut replica = replica_actor(NodeId(i), view.clone(), configured_workspace(REPLICAS));
-        replica.set_telemetry(telemetry);
-        sim.add_actor(NodeId(i), replica);
-    }
-    for i in 0..REPLICAS {
-        for w in 0..WRITES_EACH {
-            sim.inject(
-                SimTime::from_millis(10 + w as u64 * 50),
-                NodeId(i),
-                NodeId(i),
-                GcMsg::AppCmd(WsOp {
-                    actor: i,
-                    object: 1,
-                    value: format!("edit-{i}-{w}"),
-                }),
-            );
-        }
-    }
-    sim
-}
-
-/// Runs one variant once; returns the wall-clock nanoseconds of
-/// `run_for` and the finished sim.
-fn run_once(seed: u64, telemetry: bool) -> (u128, Sim<GcMsg<WsOp>>) {
-    let mut sim = e13_sim(seed, telemetry);
-    let start = std::time::Instant::now(); // odp-check: allow(wallclock)
-    sim.run(Until::For(SimDuration::from_secs(30)));
-    (start.elapsed().as_nanos(), sim)
-}
 
 fn main() {
     let out_path = std::env::args()
@@ -97,22 +34,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_telemetry.json".to_owned());
     let seed = cscw_bench::REPORT_SEED;
 
-    // Warm-up round (page in code and allocator arenas), then
-    // interleave the variants so frequency drift hits both equally;
-    // keep each variant's fastest run.
-    let (_, _) = run_once(seed, false);
-    let (_, mut sim) = run_once(seed, true);
-    let mut baseline_ns = u128::MAX;
-    let mut instrumented_ns = u128::MAX;
-    for _ in 0..ITERS {
-        let (off_ns, _) = run_once(seed, false);
-        baseline_ns = baseline_ns.min(off_ns);
-        let (on_ns, on_sim) = run_once(seed, true);
-        if on_ns < instrumented_ns {
-            instrumented_ns = on_ns;
-            sim = on_sim;
-        }
-    }
+    let (baseline_ns, instrumented_ns, sim) = e13::measure_overhead(seed, ITERS);
 
     let collector = Collector::from_trace(sim.trace());
     if let Err(e) = collector.well_formed() {
@@ -121,11 +43,7 @@ fn main() {
     }
     let report = TelemetryReport::from_collector(seed, &collector, sim.trace().dropped());
 
-    let overhead_pct = if baseline_ns > 0 {
-        (instrumented_ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
-    } else {
-        f64::NAN
-    };
+    let overhead_pct = e13::overhead_pct(baseline_ns, instrumented_ns);
 
     let json = format!(
         "{{\"workload\":{},\"replicas\":{REPLICAS},\"writes_each\":{WRITES_EACH},\

@@ -1,0 +1,114 @@
+//! The E13 replicated-workspace workload, shared by the
+//! `telemetry_report` and `fabric_deliver` binaries.
+//!
+//! E13's largest configuration: 8 replicas of a shared workspace over
+//! the 15 ms WAN, each submitting 4 totally-ordered edits. The same
+//! seeded sim is built with span telemetry either off (the baseline)
+//! or on at every replica, so the two variants differ *only* in the
+//! instrumentation — timing them against each other isolates the
+//! telemetry overhead.
+
+use odp_access::matrix::Subject;
+use odp_access::rbac::{Effect, RoleId};
+use odp_access::rights::Rights;
+
+use cscw_core::replicated::{replica_actor, WsOp};
+use cscw_core::workspace::{ObjectId, SharedWorkspace};
+
+use odp_groupcomm::membership::{GroupId, View};
+use odp_groupcomm::multicast::GcMsg;
+use odp_sim::net::{LinkSpec, Network, NodeId};
+use odp_sim::prelude::{Sim, SimBuilder, Until};
+use odp_sim::time::{SimDuration, SimTime};
+
+/// E13's largest group size.
+pub const REPLICAS: u32 = 8;
+
+/// Concurrent edits submitted per replica.
+pub const WRITES_EACH: u32 = 4;
+
+fn configured_workspace(n: u32) -> SharedWorkspace {
+    let mut ws = SharedWorkspace::new();
+    ws.policy_mut()
+        .add_rule(RoleId(1), "shared".into(), Rights::ALL, Effect::Allow);
+    for i in 0..n {
+        ws.policy_mut().assign(Subject(i), RoleId(1));
+        ws.register_observer(NodeId(i), 0.0);
+    }
+    ws.create_artefact(ObjectId(1), "shared/1", "v0");
+    ws
+}
+
+/// The E13 replicated-workspace sim, with span telemetry toggled on
+/// every replica's group actor.
+pub fn e13_sim(seed: u64, telemetry: bool) -> Sim<GcMsg<WsOp>> {
+    let view = View::initial(GroupId(0), (0..REPLICAS).map(NodeId));
+    let link = LinkSpec::wan(SimDuration::from_millis(15));
+    let mut net = Network::new(link);
+    net.set_default_link(link);
+    let mut sim: Sim<GcMsg<WsOp>> = SimBuilder::new(seed).network(net).build();
+    for i in 0..REPLICAS {
+        let mut replica = replica_actor(NodeId(i), view.clone(), configured_workspace(REPLICAS));
+        replica.set_telemetry(telemetry);
+        sim.add_actor(NodeId(i), replica);
+    }
+    for i in 0..REPLICAS {
+        for w in 0..WRITES_EACH {
+            sim.inject(
+                SimTime::from_millis(10 + w as u64 * 50),
+                NodeId(i),
+                NodeId(i),
+                GcMsg::AppCmd(WsOp {
+                    actor: i,
+                    object: 1,
+                    value: format!("edit-{i}-{w}"),
+                }),
+            );
+        }
+    }
+    sim
+}
+
+/// Runs one variant once; returns the wall-clock nanoseconds of the
+/// run and the finished sim (whose trace holds the spans when
+/// `telemetry` is on).
+pub fn run_once(seed: u64, telemetry: bool) -> (u128, Sim<GcMsg<WsOp>>) {
+    let mut sim = e13_sim(seed, telemetry);
+    let start = std::time::Instant::now(); // odp-check: allow(wallclock)
+    sim.run(Until::For(SimDuration::from_secs(30)));
+    (start.elapsed().as_nanos(), sim)
+}
+
+/// One interleaved overhead measurement: `iters` timed pairs
+/// (telemetry off, telemetry on) with each variant's fastest run kept,
+/// so frequency drift hits both variants equally and scheduler noise
+/// is filtered by the min. Returns `(baseline_ns, instrumented_ns,
+/// instrumented sim)` — the sim is the fastest instrumented run, ready
+/// for span auditing.
+pub fn measure_overhead(seed: u64, iters: u32) -> (u128, u128, Sim<GcMsg<WsOp>>) {
+    // Warm-up round pages in code and allocator arenas.
+    let (_, _) = run_once(seed, false);
+    let (_, mut sim) = run_once(seed, true);
+    let mut baseline_ns = u128::MAX;
+    let mut instrumented_ns = u128::MAX;
+    for _ in 0..iters {
+        let (off_ns, _) = run_once(seed, false);
+        baseline_ns = baseline_ns.min(off_ns);
+        let (on_ns, on_sim) = run_once(seed, true);
+        if on_ns < instrumented_ns {
+            instrumented_ns = on_ns;
+            sim = on_sim;
+        }
+    }
+    (baseline_ns, instrumented_ns, sim)
+}
+
+/// The overhead percentage implied by a `(baseline, instrumented)`
+/// pair.
+pub fn overhead_pct(baseline_ns: u128, instrumented_ns: u128) -> f64 {
+    if baseline_ns > 0 {
+        (instrumented_ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
+    } else {
+        f64::NAN
+    }
+}

@@ -11,6 +11,8 @@
 //! cargo bench -p cscw-bench
 //! ```
 
+pub mod e13;
+
 /// The default seed used by the report binary and benches, so published
 /// numbers are reproducible.
 pub const REPORT_SEED: u64 = 42;

@@ -10,13 +10,14 @@
 //! closes — the exact bug (an instrumented operation that loses its
 //! completion path) the invariant exists to catch.
 
+use odp_fabric::SpanOp;
 use odp_groupcomm::actors::{GroupActor, GroupApp, RpcConfig};
 use odp_groupcomm::membership::{GroupId, View};
 use odp_groupcomm::multicast::{Delivery, GcMsg, Ordering, Reliability};
 use odp_net::ctx::NetCtx;
 use odp_sim::prelude::*;
 use odp_telemetry::collector::Collector;
-use odp_telemetry::span::{SpanContext, OPEN};
+use odp_telemetry::span::SpanContext;
 
 use crate::explore::Invariant;
 
@@ -52,7 +53,7 @@ impl Actor<GcMsg<String>> for CallerHost {
             // Fixed ids, not rng-minted: the leak must appear in every
             // explored schedule, not just the first.
             let probe = SpanContext::root_with(0xbad, 0xbad);
-            ctx.trace(OPEN, probe.open_data("bad.probe"));
+            ctx.span_open(probe.carrier(), "bad.probe");
         }
         self.inner
             .invoke_rpc_now(ctx, "ping".to_owned(), RpcConfig::default());
@@ -104,8 +105,10 @@ pub fn telemetry_sim(seed: u64, well_formed: bool) -> Sim<GcMsg<String>> {
 }
 
 /// Canonical [`crate::explore::StateFingerprint`] for the telemetry
-/// scenario: the full span log (time, node, label, payload) plus the
-/// eviction count — exactly what the well-formedness audit reads.
+/// scenario: the full string event stream (time, node, label, payload)
+/// plus the binary span log (with kind ids resolved back to names, so
+/// the hash is independent of interning order) plus the eviction count
+/// — exactly what the well-formedness audit reads.
 pub fn fingerprint(sim: &Sim<GcMsg<String>>) -> u64 {
     let trace = sim.trace();
     let mut parts: Vec<(u64, u32, &str, &str)> = Vec::new();
@@ -117,7 +120,28 @@ pub fn fingerprint(sim: &Sim<GcMsg<String>>) -> u64 {
             ev.data.as_str(),
         ));
     }
-    crate::explore::hash_of(&(parts, trace.dropped()))
+    // One digested span event: (time, node, op tag, trace, span,
+    // parent, kind name).
+    type SpanDigest<'a> = (u64, u32, u8, u64, u64, Option<u64>, &'a str);
+    let log = trace.spans();
+    let mut spans: Vec<SpanDigest> = Vec::new();
+    for e in log.events() {
+        spans.push(match e.op {
+            SpanOp::Open { span, kind } => (
+                e.time_us,
+                e.node,
+                0,
+                span.trace_id,
+                span.span_id,
+                span.parent,
+                log.kind(kind),
+            ),
+            SpanOp::Close { trace_id, span_id } => {
+                (e.time_us, e.node, 1, trace_id, span_id, None, "")
+            }
+        });
+    }
+    crate::explore::hash_of(&(parts, spans, trace.dropped()))
 }
 
 /// Quiescence invariant: the run's span log assembles into well-formed

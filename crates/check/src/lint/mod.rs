@@ -15,7 +15,7 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use rules::{Finding, RULES, RULE_UNUSED_ALLOW, RULE_UNWRAP};
+use rules::{Finding, RULES, RULE_HOT_ALLOC, RULE_UNUSED_ALLOW, RULE_UNWRAP};
 
 /// One reportable lint violation.
 #[derive(Debug, Clone)]
@@ -49,10 +49,12 @@ pub struct LintConfig {
     /// Directory names whose entire subtree is skipped.
     pub skip_dirs: Vec<String>,
     /// Path prefixes (relative to the lint root) scoped out of the
-    /// `unwrap` rule: experiment drivers and benchmark harnesses abort
-    /// the whole run on failure by design — they are not protocol code,
-    /// and a panic there tears down nothing but the experiment itself.
-    /// The determinism rules (`wallclock`, `hashmap-iter`) still apply.
+    /// `unwrap` and `hot-path-alloc` rules: experiment drivers and
+    /// benchmark harnesses abort the whole run on failure by design and
+    /// allocate freely while staging scenarios — they are not protocol
+    /// code, a panic there tears down nothing but the experiment itself,
+    /// and their allocations are not on any measured delivery path. The
+    /// determinism rules (`wallclock`, `hashmap-iter`) still apply.
     pub harness_paths: Vec<String>,
 }
 
@@ -81,7 +83,8 @@ impl Default for LintConfig {
 impl LintConfig {
     /// Whether `rule` is in scope for the file at `rel`.
     pub fn rule_applies(&self, rel: &Path, rule: &str) -> bool {
-        rule != RULE_UNWRAP || !self.harness_paths.iter().any(|p| rel.starts_with(p))
+        (rule != RULE_UNWRAP && rule != RULE_HOT_ALLOC)
+            || !self.harness_paths.iter().any(|p| rel.starts_with(p))
     }
 }
 
@@ -249,14 +252,16 @@ mod tests {
     }
 
     #[test]
-    fn harness_paths_are_scoped_out_of_the_unwrap_rule_only() {
+    fn harness_paths_are_scoped_out_of_unwrap_and_hot_alloc_only() {
         let config = LintConfig::default();
         let harness = Path::new("crates/core/src/experiments/media.rs");
         let protocol = Path::new("crates/groupcomm/src/rpc.rs");
         assert!(!config.rule_applies(harness, "unwrap"));
+        assert!(!config.rule_applies(harness, "hot-path-alloc"));
         assert!(config.rule_applies(harness, "hashmap-iter"));
         assert!(config.rule_applies(harness, "wallclock"));
         assert!(config.rule_applies(protocol, "unwrap"));
+        assert!(config.rule_applies(protocol, "hot-path-alloc"));
         // The explorer's scenario harnesses are harness code too, but
         // the bus protocol module they exercise is not.
         let invariant_harness = Path::new("crates/check/src/invariants/awareness.rs");

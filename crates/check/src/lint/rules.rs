@@ -23,11 +23,18 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_WALLCLOCK: &str = "wallclock";
 /// Rule: no iteration over `HashMap`/`HashSet` (order leaks).
 pub const RULE_HASHMAP_ITER: &str = "hashmap-iter";
+/// Rule: no per-delivery heap allocation in delivery-path methods.
+pub const RULE_HOT_ALLOC: &str = "hot-path-alloc";
 /// Meta-rule: an allow-comment that suppressed nothing.
 pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
 
 /// Every rule name an allow-comment may reference.
-pub const RULES: &[&str] = &[RULE_UNWRAP, RULE_WALLCLOCK, RULE_HASHMAP_ITER];
+pub const RULES: &[&str] = &[
+    RULE_UNWRAP,
+    RULE_WALLCLOCK,
+    RULE_HASHMAP_ITER,
+    RULE_HOT_ALLOC,
+];
 
 /// `.unwrap()` and `.expect(` on any receiver. Protocol state machines
 /// must surface failures as typed errors (or carry a documented
@@ -199,11 +206,143 @@ pub fn hashmap_iter_rule(file: &ScannedFile) -> Vec<Finding> {
     out
 }
 
+/// The method names that make up the delivery hot path: the sim calls
+/// these once per message (or tick), so anything they allocate is paid
+/// per delivery across the whole run.
+const HOT_FNS: &[&str] = &[
+    "on_message",
+    "on_data",
+    "on_deliver",
+    "on_tick",
+    "apply_step",
+    "handle_message",
+    "deliver",
+    "publish",
+];
+
+/// Per-delivery heap allocation inside hot delivery-path methods.
+///
+/// Flags, inside any function named in [`HOT_FNS`]: `format!` (builds a
+/// `String` per delivery), `.to_string()` / `.to_owned()` / `.to_vec()`
+/// (deep copies), and `.clone()` *inside a loop* (the per-peer fan-out
+/// pattern — clone a handle like `odp_fabric::Payload` instead, or
+/// restructure so the last peer takes the value by move). A `.clone()`
+/// outside a loop is tolerated: it is a constant per-delivery cost, and
+/// handle types make it cheap. Sites with a documented reason carry
+/// `// odp-check: allow(hot-path-alloc)`.
+pub fn hot_alloc_rule(file: &ScannedFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "fn" {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            break;
+        };
+        if !HOT_FNS.contains(&name.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        let fn_name = name.text.clone();
+        // Find the body `{`; hitting `;` first means a bodiless trait
+        // declaration, which has nothing to scan.
+        let mut j = i + 2;
+        let body_open = loop {
+            match toks.get(j).map(|t| t.text.as_str()) {
+                Some("{") => break Some(j),
+                Some(";") | None => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = body_open else {
+            i = j;
+            continue;
+        };
+        // Walk the brace-balanced body, tracking which depths are loop
+        // bodies so `.clone()` can be scoped to fan-out loops.
+        let mut depth = 0usize;
+        let mut loop_depths: Vec<usize> = Vec::new();
+        let mut pending_loop = false;
+        let mut k = open;
+        while k < toks.len() {
+            let text = toks[k].text.as_str();
+            match text {
+                "{" => {
+                    depth += 1;
+                    if pending_loop {
+                        loop_depths.push(depth);
+                        pending_loop = false;
+                    }
+                }
+                "}" => {
+                    if loop_depths.last() == Some(&depth) {
+                        loop_depths.pop();
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "for" | "while" | "loop" => pending_loop = true,
+                "format" if toks.get(k + 1).map(|t| t.text.as_str()) == Some("!") => {
+                    out.push(Finding {
+                        rule: RULE_HOT_ALLOC,
+                        line: toks[k].line,
+                        message: format!(
+                            "`format!` in hot path `{fn_name}` builds a String per \
+                             delivery; precompute it or move it off the delivery path"
+                        ),
+                    });
+                }
+                "to_string" | "to_owned" | "to_vec"
+                    if k > 0
+                        && toks[k - 1].text == "."
+                        && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(") =>
+                {
+                    out.push(Finding {
+                        rule: RULE_HOT_ALLOC,
+                        line: toks[k].line,
+                        message: format!(
+                            "`.{text}()` in hot path `{fn_name}` deep-copies per \
+                             delivery; borrow, intern, or precompute instead"
+                        ),
+                    });
+                }
+                "clone"
+                    if k > 0
+                        && toks[k - 1].text == "."
+                        && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+                        && !loop_depths.is_empty() =>
+                {
+                    out.push(Finding {
+                        rule: RULE_HOT_ALLOC,
+                        line: toks[k].line,
+                        message: format!(
+                            "`.clone()` inside a loop in hot path `{fn_name}` — a \
+                             per-peer deep copy; clone a cheap handle (e.g. \
+                             odp_fabric::Payload) or let the last peer take the \
+                             value by move"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+    out
+}
+
 /// Runs every content rule over one scanned file.
 pub fn run_all(file: &ScannedFile) -> Vec<Finding> {
     let mut out = unwrap_rule(file);
     out.extend(wallclock_rule(file));
     out.extend(hashmap_iter_rule(file));
+    out.extend(hot_alloc_rule(file));
     out.sort_by_key(|f| f.line);
     out
 }
@@ -254,5 +393,63 @@ mod tests {
     fn btreemap_iteration_is_fine() {
         let s = scan("struct S { m: BTreeMap<u32, u32> } fn f(s: &S) { for x in &s.m {} }");
         assert!(hashmap_iter_rule(&s).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_fires_on_format_and_to_string() {
+        let src = "
+            fn on_message(&mut self) {
+                let s = format!(\"x{}\", 1);
+                let t = name.to_string();
+                let o = name.to_owned();
+                let v = bytes.to_vec();
+            }
+        ";
+        let f = hot_alloc_rule(&scan(src));
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == RULE_HOT_ALLOC));
+    }
+
+    #[test]
+    fn hot_alloc_clone_fires_only_inside_loops() {
+        let src = "
+            fn on_deliver(&mut self, d: Delivery) {
+                let once = d.payload.clone();
+                for peer in &self.peers {
+                    out.push((peer, msg.clone()));
+                }
+                while busy {
+                    let again = msg.clone();
+                }
+            }
+        ";
+        let f = hot_alloc_rule(&scan(src));
+        assert_eq!(f.len(), 2, "clone outside a loop is tolerated: {f:?}");
+    }
+
+    #[test]
+    fn hot_alloc_ignores_cold_functions_and_bodiless_decls() {
+        let src = "
+            trait A { fn on_message(&mut self, m: M); }
+            fn setup(&mut self) {
+                let s = format!(\"cold path {}\", 1);
+                for p in &self.peers { out.push(p.clone()); }
+            }
+        ";
+        assert!(hot_alloc_rule(&scan(src)).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_clone_scope_ends_with_the_loop() {
+        let src = "
+            fn handle_message(&mut self) {
+                for p in &self.peers { touch(p); }
+                let after = msg.clone();
+            }
+        ";
+        assert!(
+            hot_alloc_rule(&scan(src)).is_empty(),
+            "clone after the loop closes is not per-peer"
+        );
     }
 }

@@ -12,9 +12,10 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use odp_awareness::bus::{BusDelivery, CoopEvent, CoopKind, EventBus};
+use odp_fabric::SpanCarrier;
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
-use odp_telemetry::span::{SpanContext, CLOSE, OPEN};
+use odp_telemetry::span::SpanContext;
 use serde::{Deserialize, Serialize};
 
 /// The time dimension of the matrix.
@@ -129,9 +130,20 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
-/// One buffered telemetry record: when it happened, the span event
-/// label ([`OPEN`] or [`CLOSE`]) and its payload.
-pub type SpanEvent = (SimTime, &'static str, String);
+/// One buffered telemetry record: an open (carrying its kind) or a
+/// close of `span` at `at`, ready to replay into a trace's binary
+/// span log ([`odp_sim::trace::Trace::span_open`] /
+/// [`odp_sim::trace::Trace::span_close`]). Allocation-free: kinds are
+/// static names and the carrier is three words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// The span's identity.
+    pub span: SpanCarrier,
+    /// `Some(kind)` for an open, `None` for a close.
+    pub open_kind: Option<&'static str>,
+}
 
 /// Counter-based span telemetry for a session's lifecycle.
 ///
@@ -154,7 +166,11 @@ struct SessionSpans {
 impl SessionSpans {
     fn new(trace_id: u64, at: SimTime) -> Self {
         let root = SpanContext::root_with(trace_id, 1);
-        let events = vec![(at, OPEN, root.open_data("session.live"))];
+        let events = vec![SpanEvent {
+            at,
+            span: root.carrier(),
+            open_kind: Some("session.live"),
+        }];
         SessionSpans {
             root,
             next_span: 1,
@@ -163,20 +179,32 @@ impl SessionSpans {
         }
     }
 
-    fn child(&mut self, kind: &str, opened: SimTime, closed: SimTime) {
+    fn child(&mut self, kind: &'static str, opened: SimTime, closed: SimTime) {
         if !self.open {
             return;
         }
         self.next_span += 1;
         let span = self.root.child_with(self.next_span);
-        self.events.push((opened, OPEN, span.open_data(kind)));
-        self.events.push((closed, CLOSE, span.close_data()));
+        self.events.push(SpanEvent {
+            at: opened,
+            span: span.carrier(),
+            open_kind: Some(kind),
+        });
+        self.events.push(SpanEvent {
+            at: closed,
+            span: span.carrier(),
+            open_kind: None,
+        });
     }
 
     fn close(&mut self, at: SimTime) {
         if self.open {
             self.open = false;
-            self.events.push((at, CLOSE, self.root.close_data()));
+            self.events.push(SpanEvent {
+                at,
+                span: self.root.carrier(),
+                open_kind: None,
+            });
         }
     }
 }
@@ -237,7 +265,7 @@ impl Session {
     }
 
     /// Drains the buffered span events so a harness can replay them into
-    /// the simulation trace:
+    /// the simulation trace's binary span log:
     ///
     /// ```
     /// # use cscw_core::session::{Session, SessionId, SessionMode};
@@ -246,14 +274,30 @@ impl Session {
     /// # s.enable_telemetry(7, SimTime::ZERO);
     /// # s.close_telemetry(SimTime::ZERO);
     /// # let mut trace = Trace::new();
-    /// for (at, label, data) in s.drain_telemetry() {
-    ///     trace.record(at, NodeId(0), label, data);
+    /// for e in s.drain_telemetry() {
+    ///     match e.open_kind {
+    ///         Some(kind) => trace.span_open(e.at, NodeId(0), e.span, kind),
+    ///         None => trace.span_close(e.at, NodeId(0), e.span),
+    ///     }
     /// }
     /// ```
+    ///
+    /// (Or use [`Session::replay_telemetry`], which is that loop.)
     pub fn drain_telemetry(&mut self) -> Vec<SpanEvent> {
         match &mut self.spans {
             Some(spans) => std::mem::take(&mut spans.events),
             None => Vec::new(),
+        }
+    }
+
+    /// Drains the buffered span events straight into `trace`'s binary
+    /// span log, attributed to `node`.
+    pub fn replay_telemetry(&mut self, trace: &mut odp_sim::trace::Trace, node: NodeId) {
+        for e in self.drain_telemetry() {
+            match e.open_kind {
+                Some(kind) => trace.span_open(e.at, node, e.span, kind),
+                None => trace.span_close(e.at, node, e.span),
+            }
         }
     }
 
@@ -445,9 +489,7 @@ mod tests {
         s.close_telemetry(SimTime::from_secs(100));
 
         let mut trace = Trace::new();
-        for (at, label, data) in s.drain_telemetry() {
-            trace.record(at, NodeId(9), label, data);
-        }
+        s.replay_telemetry(&mut trace, NodeId(9));
         let collector = Collector::from_trace(&trace);
         assert_eq!(collector.well_formed(), Ok(()), "span audit must pass");
         assert_eq!(collector.len(), 1, "one session, one trace");

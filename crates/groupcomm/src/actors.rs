@@ -17,7 +17,7 @@ use odp_net::ctx::NetCtx;
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
-use odp_telemetry::span::{SpanContext, CLOSE, OPEN};
+use odp_telemetry::span::SpanContext;
 
 use crate::multicast::{Delivery, GcMsg, GroupEngine, Step};
 use crate::rpc::{CallOutcome, Quorum, RpcEngine};
@@ -196,8 +196,8 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
                     // Each delivery is an instantaneous child span: the
                     // gap back to the root open is the delivery latency.
                     let child = parent.child(ctx.rng());
-                    ctx.trace(OPEN, child.open_data("gc.deliver"));
-                    ctx.trace(CLOSE, child.close_data());
+                    ctx.span_open(child.carrier(), "gc.deliver");
+                    ctx.span_close(child.carrier());
                 }
             }
             self.app.on_deliver(ctx, delivery);
@@ -241,7 +241,7 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
         let targets = self.engine.view().peers(self.engine.me());
         let span = if self.telemetry {
             let root = SpanContext::root(ctx.rng());
-            ctx.trace(OPEN, root.open_data("rpc.call"));
+            ctx.span_open(root.carrier(), "rpc.call");
             Some(root)
         } else {
             None
@@ -268,7 +268,7 @@ impl<P: Clone + 'static, A: GroupApp<P>> GroupActor<P, A> {
     /// opened one.
     fn close_call_span(&mut self, ctx: &mut dyn NetCtx<GcMsg<P>>, call: u64) {
         if let Some(root) = self.open_calls.remove(&call) {
-            ctx.trace(CLOSE, root.close_data());
+            ctx.span_close(root.carrier());
         }
     }
 }
@@ -287,8 +287,8 @@ impl<P: Clone + Any, A: GroupApp<P>> GroupActor<P, A> {
                         // The mcast root closes at issue time; deliveries
                         // hang their children off it as they land.
                         let root = SpanContext::root(ctx.rng());
-                        ctx.trace(OPEN, root.open_data("gc.mcast"));
-                        ctx.trace(CLOSE, root.close_data());
+                        ctx.span_open(root.carrier(), "gc.mcast");
+                        ctx.span_close(root.carrier());
                         Some(root)
                     } else {
                         None
@@ -308,8 +308,8 @@ impl<P: Clone + Any, A: GroupApp<P>> GroupActor<P, A> {
                     let serve = match span.filter(|_| self.telemetry) {
                         Some(parent) => {
                             let serve = parent.child(ctx.rng());
-                            ctx.trace(OPEN, serve.open_data("rpc.serve"));
-                            ctx.trace(CLOSE, serve.close_data());
+                            ctx.span_open(serve.carrier(), "rpc.serve");
+                            ctx.span_close(serve.carrier());
                             Some(serve)
                         }
                         None => None,
@@ -338,8 +338,8 @@ impl<P: Clone + Any, A: GroupApp<P>> GroupActor<P, A> {
             } => {
                 if let Some(parent) = span.filter(|_| self.telemetry) {
                     let reply = parent.child(ctx.rng());
-                    ctx.trace(OPEN, reply.open_data("rpc.reply"));
-                    ctx.trace(CLOSE, reply.close_data());
+                    ctx.span_open(reply.carrier(), "rpc.reply");
+                    ctx.span_close(reply.carrier());
                 }
                 if let Some(outcome) = self.rpc.on_reply(call, from, payload, ctx.now()) {
                     self.close_call_span(ctx, outcome.call);
@@ -347,6 +347,9 @@ impl<P: Clone + Any, A: GroupApp<P>> GroupActor<P, A> {
                 }
             }
             GcMsg::InstallView(view) => {
+                // View installs are rare membership events, not
+                // per-delivery traffic.
+                // odp-check: allow(hot-path-alloc)
                 ctx.trace("gc.view_installed", format!("v{}", view.id.0));
                 self.engine.install_view(view);
             }
@@ -417,6 +420,7 @@ mod tests {
     use crate::membership::{GroupId, View};
     use crate::multicast::Ordering;
     use odp_sim::prelude::*;
+    use odp_telemetry::span::{CLOSE, OPEN};
 
     #[derive(Default)]
     struct Recorder {
@@ -722,6 +726,7 @@ mod tests {
         sim.run(Until::For(SimDuration::from_secs(1)));
         assert_eq!(sim.trace().with_label(OPEN).count(), 0);
         assert_eq!(sim.trace().with_label(CLOSE).count(), 0);
+        assert!(sim.trace().spans().is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
+use odp_fabric::SortedVecMap;
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 use odp_telemetry::span::{Carrier, SpanContext};
@@ -250,8 +251,10 @@ pub struct GroupEngine<P> {
     next_seq: u64,
     // Dedup of data/assign messages already processed.
     seen: HashSet<MsgId>,
-    // Reliable retransmission state.
-    rel_out: BTreeMap<MsgId, RelOut<P>>,
+    // Reliable retransmission state. A sorted vec, not a BTreeMap: the
+    // set is small (unacked window), iterated every tick in key order,
+    // and contiguous storage keeps the retransmit scan cache-friendly.
+    rel_out: SortedVecMap<MsgId, RelOut<P>>,
     // FIFO: next expected per-origin seq and hold-back queue.
     fifo_expected: BTreeMap<NodeId, u64>,
     fifo_holdback: BTreeMap<(NodeId, u64), DataMsg<P>>,
@@ -279,7 +282,7 @@ impl<P: Clone> GroupEngine<P> {
             reliability,
             next_seq: 0,
             seen: HashSet::new(),
-            rel_out: BTreeMap::new(),
+            rel_out: SortedVecMap::new(),
             fifo_expected: BTreeMap::new(),
             fifo_holdback: BTreeMap::new(),
             vclock: VectorClock::new(),
@@ -377,22 +380,31 @@ impl<P: Clone> GroupEngine<P> {
             payload,
         };
         let mut step = Step::empty();
-        // Put it on the wire to every peer.
+        // Put it on the wire to every peer: build the envelope once and
+        // clone handles from it (with a byte payload a clone is a
+        // reference-count bump, not a copy of the data).
         let peers = self.view.peers(self.me);
         match self.reliability {
             Reliability::BestEffort => {
-                for peer in &peers {
-                    step.outbound.push((*peer, GcMsg::Data(data.clone())));
+                if let Some((last, rest)) = peers.split_last() {
+                    let wire = GcMsg::Data(data.clone());
+                    for peer in rest {
+                        step.outbound.push((*peer, wire.clone()));
+                    }
+                    step.outbound.push((*last, wire));
                 }
             }
             Reliability::Reliable { .. } => {
+                let wire = GcMsg::Data(data.clone());
                 for peer in &peers {
-                    step.outbound.push((*peer, GcMsg::Data(data.clone())));
+                    step.outbound.push((*peer, wire.clone()));
                 }
+                // The retransmit buffer takes the envelope itself — no
+                // extra deep clone of the payload.
                 self.rel_out.insert(
                     id,
                     RelOut {
-                        msg: GcMsg::Data(data.clone()),
+                        msg: wire,
                         pending: peers.iter().copied().collect(),
                         last_sent: now,
                         retries: 0,
@@ -535,6 +547,10 @@ impl<P: Clone> GroupEngine<P> {
                 out.retries += 1;
                 out.last_sent = now;
                 for peer in &out.pending {
+                    // Retransmitting the stored envelope to each
+                    // still-pending peer is the protocol; under
+                    // `GcMsg<Payload>` this clone is a handle bump.
+                    // odp-check: allow(hot-path-alloc)
                     step.outbound.push((*peer, out.msg.clone()));
                 }
             }
@@ -837,6 +853,37 @@ mod tests {
         // Third tick: retries exhausted, message dropped from rel state.
         assert!(es[0].on_tick(SimTime::from_millis(33)).outbound.is_empty());
         assert_eq!(es[0].unacked(), 0);
+    }
+
+    #[test]
+    fn payload_fanout_shares_one_buffer() {
+        use odp_fabric::Payload;
+        let view = View::initial(GroupId(0), (0..5).map(NodeId));
+        let mut e: GroupEngine<Payload> = GroupEngine::new(
+            NodeId(0),
+            view,
+            Ordering::Unordered,
+            Reliability::reliable(),
+        );
+        let payload = Payload::from_slice(b"one big frame, many receivers");
+        let step = e.mcast(payload.clone(), SimTime::ZERO);
+        assert_eq!(step.outbound.len(), 4);
+        for (_, msg) in &step.outbound {
+            let GcMsg::Data(d) = msg else {
+                panic!("expected data")
+            };
+            assert!(d.payload.ptr_eq(&payload), "fan-out must not deep-copy");
+        }
+        assert!(step.delivered[0].payload.ptr_eq(&payload));
+        // Retransmissions clone handles out of the stored envelope too.
+        let tick = e.on_tick(SimTime::from_millis(500));
+        assert_eq!(tick.outbound.len(), 4);
+        for (_, msg) in &tick.outbound {
+            let GcMsg::Data(d) = msg else {
+                panic!("expected data")
+            };
+            assert!(d.payload.ptr_eq(&payload), "retransmit must not deep-copy");
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! [`NetError`], never a panic. Impls live here (not in `odp-net`)
 //! per the orphan rule.
 
+use odp_fabric::Payload;
 use odp_net::error::NetError;
-use odp_net::wire::{WireCodec, WireReader};
+use odp_net::wire::{payload_as, payload_of, WireCodec, WireReader};
 use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
 use odp_telemetry::span::SpanContext;
@@ -191,6 +192,110 @@ impl<P: WireCodec> WireCodec for GcMsg<P> {
     }
 }
 
+/// Re-envelopes a typed message onto the byte fabric: each payload is
+/// replaced by its own wire encoding wrapped in a cheaply-cloneable
+/// [`Payload`]. Because the payload is the *trailing* field of every
+/// payload-carrying variant (`Data`, `RpcRequest`, `RpcReply`,
+/// `AppCmd`) and [`Payload`] encodes verbatim,
+/// `encode(to_fabric(&m))` is byte-identical to `encode(&m)` — group
+/// engines can run on `GcMsg<Payload>` (fan-out clones become
+/// reference-count bumps) without changing a single wire frame.
+pub fn to_fabric<P: WireCodec>(msg: &GcMsg<P>) -> GcMsg<Payload> {
+    match msg {
+        GcMsg::Data(d) => GcMsg::Data(DataMsg {
+            id: d.id,
+            group: d.group,
+            vclock: d.vclock.clone(),
+            span: d.span,
+            payload: payload_of(&d.payload),
+        }),
+        GcMsg::Ack { id } => GcMsg::Ack { id: *id },
+        GcMsg::SeqRequest { id } => GcMsg::SeqRequest { id: *id },
+        GcMsg::SeqAssign {
+            assign_id,
+            id,
+            total,
+        } => GcMsg::SeqAssign {
+            assign_id: *assign_id,
+            id: *id,
+            total: *total,
+        },
+        GcMsg::RpcRequest {
+            call,
+            execute_at,
+            span,
+            payload,
+        } => GcMsg::RpcRequest {
+            call: *call,
+            execute_at: *execute_at,
+            span: *span,
+            payload: payload_of(payload),
+        },
+        GcMsg::RpcReply {
+            call,
+            span,
+            payload,
+        } => GcMsg::RpcReply {
+            call: *call,
+            span: *span,
+            payload: payload_of(payload),
+        },
+        GcMsg::AppCmd(p) => GcMsg::AppCmd(payload_of(p)),
+        GcMsg::InstallView(v) => GcMsg::InstallView(v.clone()),
+    }
+}
+
+/// Inverse of [`to_fabric`]: decodes each byte payload back into `P`.
+///
+/// # Errors
+///
+/// Any [`NetError`] from decoding a payload that is not a valid `P`
+/// encoding (including trailing garbage).
+pub fn from_fabric<P: WireCodec>(msg: &GcMsg<Payload>) -> Result<GcMsg<P>, NetError> {
+    Ok(match msg {
+        GcMsg::Data(d) => GcMsg::Data(DataMsg {
+            id: d.id,
+            group: d.group,
+            vclock: d.vclock.clone(),
+            span: d.span,
+            payload: payload_as(&d.payload)?,
+        }),
+        GcMsg::Ack { id } => GcMsg::Ack { id: *id },
+        GcMsg::SeqRequest { id } => GcMsg::SeqRequest { id: *id },
+        GcMsg::SeqAssign {
+            assign_id,
+            id,
+            total,
+        } => GcMsg::SeqAssign {
+            assign_id: *assign_id,
+            id: *id,
+            total: *total,
+        },
+        GcMsg::RpcRequest {
+            call,
+            execute_at,
+            span,
+            payload,
+        } => GcMsg::RpcRequest {
+            call: *call,
+            execute_at: *execute_at,
+            span: *span,
+            payload: payload_as(payload)?,
+        },
+        GcMsg::RpcReply {
+            call,
+            span,
+            payload,
+        } => GcMsg::RpcReply {
+            call: *call,
+            span: *span,
+            payload: payload_as(payload)?,
+        },
+        GcMsg::AppCmd(p) => GcMsg::AppCmd(payload_as(p)?),
+        GcMsg::InstallView(v) => GcMsg::InstallView(v.clone()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,8 +320,7 @@ mod tests {
         assert_eq!(rebuilt.len(), 1);
     }
 
-    #[test]
-    fn every_gcmsg_variant_roundtrips() {
+    fn sample_msgs() -> Vec<GcMsg<String>> {
         let id = MsgId {
             origin: NodeId(2),
             seq: 9,
@@ -224,7 +328,7 @@ mod tests {
         let mut vc = VectorClock::new();
         vc.tick(NodeId(0));
         let span = SpanContext::root_with(0xaa, 0xbb);
-        let msgs: Vec<GcMsg<String>> = vec![
+        vec![
             GcMsg::Data(DataMsg {
                 id,
                 group: GroupId(1),
@@ -255,10 +359,34 @@ mod tests {
             },
             GcMsg::AppCmd("cmd".to_owned()),
             GcMsg::InstallView(View::initial(GroupId(3), [NodeId(0), NodeId(4)])),
-        ];
-        for msg in &msgs {
+        ]
+    }
+
+    #[test]
+    fn every_gcmsg_variant_roundtrips() {
+        for msg in &sample_msgs() {
             roundtrip(msg);
         }
+    }
+
+    #[test]
+    fn fabric_reenveloping_is_byte_identical() {
+        for msg in &sample_msgs() {
+            let fabric = to_fabric(msg);
+            let mut typed_bytes = Vec::new();
+            msg.encode(&mut typed_bytes);
+            let mut fabric_bytes = Vec::new();
+            fabric.encode(&mut fabric_bytes);
+            assert_eq!(typed_bytes, fabric_bytes, "frames diverge for {msg:?}");
+            let back: GcMsg<String> = from_fabric(&fabric).expect("payloads decode");
+            assert_eq!(&back, msg);
+        }
+    }
+
+    #[test]
+    fn from_fabric_rejects_garbage_payloads() {
+        let msg: GcMsg<Payload> = GcMsg::AppCmd(Payload::from_slice(&[0xff])); // not a String encoding
+        assert!(from_fabric::<String>(&msg).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! stream — is byte-for-byte unchanged), and the TCP driver implements
 //! it over its own wall-clock state.
 
+use odp_fabric::SpanCarrier;
 use odp_sim::actor::{Ctx, TimerId};
 use odp_sim::metrics::MetricsRegistry;
 use odp_sim::net::NodeId;
@@ -52,6 +53,14 @@ pub trait NetCtx<M> {
 
     /// Records a labelled trace event attributed to this actor.
     fn trace(&mut self, label: &str, data: String);
+
+    /// Records a telemetry span opening into the host's binary span
+    /// log (the allocation-free fast path; see
+    /// [`odp_fabric::SpanLog`]).
+    fn span_open(&mut self, span: SpanCarrier, kind: &str);
+
+    /// Records a telemetry span closing into the host's binary span log.
+    fn span_close(&mut self, span: SpanCarrier);
 }
 
 impl<M> NetCtx<M> for Ctx<'_, M> {
@@ -89,5 +98,13 @@ impl<M> NetCtx<M> for Ctx<'_, M> {
 
     fn trace(&mut self, label: &str, data: String) {
         Ctx::trace(self, label, data);
+    }
+
+    fn span_open(&mut self, span: SpanCarrier, kind: &str) {
+        Ctx::span_open(self, span, kind);
+    }
+
+    fn span_close(&mut self, span: SpanCarrier) {
+        Ctx::span_close(self, span);
     }
 }

@@ -35,7 +35,9 @@ pub use error::NetError;
 pub use session::{Frame, PeerEvent, SessionConfig, SessionLayer, SessionStats, SessionStep};
 pub use sim_host::SimHost;
 pub use tcp::{TcpConfig, TcpHandle, TcpNode, TcpReport};
-pub use wire::{decode_frame, encode_frame, WireCodec, WireReader, MAX_FRAME};
+pub use wire::{
+    decode_frame, encode_frame, payload_as, payload_of, WireCodec, WireReader, MAX_FRAME,
+};
 
 /// Everything an actor port or a backend driver needs.
 pub mod prelude {

@@ -507,6 +507,9 @@ impl<M: Clone> SessionLayer<M> {
                 .filter(|(&p, s)| p != peer && s.alive)
                 .map(|(&p, _)| p)
                 .collect();
+            // Failure recovery, not steady state: this loop runs only
+            // when a peer is declared down, and the survivors must each
+            // own the forwarded frame.
             for (bseq, msg) in retained {
                 for &to in &survivors {
                     let seq = self.next_seq(to, now);
@@ -514,9 +517,9 @@ impl<M: Clone> SessionLayer<M> {
                         seq,
                         origin: peer,
                         bseq,
-                        msg: msg.clone(),
+                        msg: msg.clone(), // odp-check: allow(hot-path-alloc)
                     };
-                    self.retain_sent(to, frame.clone());
+                    self.retain_sent(to, frame.clone()); // odp-check: allow(hot-path-alloc)
                     step.outbound.push((to, frame));
                     self.stats.forwarded += 1;
                 }

@@ -275,6 +275,14 @@ impl<M> NetCtx<M> for TcpCtx<'_, M> {
     fn trace(&mut self, label: &str, data: String) {
         self.trace.record(self.now, self.me, label, data);
     }
+
+    fn span_open(&mut self, span: odp_fabric::SpanCarrier, kind: &str) {
+        self.trace.span_open(self.now, self.me, span, kind);
+    }
+
+    fn span_close(&mut self, span: odp_fabric::SpanCarrier) {
+        self.trace.span_close(self.now, self.me, span);
+    }
 }
 
 /// The single-threaded core of a TCP node.

@@ -16,6 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use odp_fabric::Payload;
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 
@@ -311,6 +312,43 @@ impl WireCodec for SimDuration {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         Ok(SimDuration::from_micros(u64::decode(r)?))
     }
+}
+
+/// [`Payload`] is *transparent* on the wire: its bytes are appended
+/// verbatim (no length prefix) and decoding consumes every remaining
+/// byte. That makes `encode(payload_of(&v))` byte-identical to
+/// `encode(&v)` — the zero-copy fabric path produces the same frames
+/// as the typed path, which the differential suite proves per envelope.
+///
+/// The transparency is sound **only when the payload is the trailing
+/// field** of its envelope (it is, in every payload-carrying `GcMsg`
+/// variant); a mid-envelope `Payload` would swallow its successors.
+/// Envelopes needing an interior byte field should keep `Vec<u8>`
+/// (length-prefixed) instead.
+impl WireCodec for Payload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_slice());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        let rest = r.take(r.remaining())?;
+        Ok(Payload::from_slice(rest))
+    }
+}
+
+/// Encodes `value` into a fresh [`Payload`] — the bridge from a typed
+/// envelope onto the byte fabric. The resulting payload's bytes *are*
+/// `value`'s wire encoding, so re-encoding the payload reproduces the
+/// typed frame bit-for-bit.
+pub fn payload_of<T: WireCodec>(value: &T) -> Payload {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    Payload::from_vec(buf)
+}
+
+/// Decodes a typed value back out of a fabric [`Payload`], requiring
+/// the payload to hold exactly one `T` encoding.
+pub fn payload_as<T: WireCodec>(payload: &Payload) -> Result<T, NetError> {
+    WireReader::new(payload.as_slice()).finish()
 }
 
 #[cfg(test)]

@@ -6,9 +6,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use odp_fabric::Payload;
 use odp_net::error::NetError;
 use odp_net::session::Frame;
 use odp_net::wire::{decode_frame, encode_frame, WireCodec, WireReader, MAX_FRAME};
+use odp_net::{payload_as, payload_of};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -140,6 +142,42 @@ proptest! {
         let _ = WireReader::new(&bytes).finish::<Frame<String>>();
         let _ = WireReader::new(&bytes).finish::<Vec<(NodeId, f64)>>();
         let _ = WireReader::new(&bytes).finish::<BTreeMap<NodeId, String>>();
+    }
+
+    /// `Payload` is wire-transparent: it encodes as its raw bytes with
+    /// no header, and decoding consumes everything that remains — so a
+    /// fabric envelope's frame is byte-identical to the typed one.
+    #[test]
+    fn payload_is_wire_transparent(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let payload = Payload::from_vec(bytes.clone());
+        let mut buf = Vec::new();
+        payload.encode(&mut buf);
+        prop_assert_eq!(buf.as_slice(), bytes.as_slice());
+        let back = WireReader::new(&buf).finish::<Payload>().expect("total");
+        prop_assert_eq!(back.as_slice(), bytes.as_slice());
+    }
+
+    /// `payload_of` / `payload_as` invert each other for typed values,
+    /// and `payload_as` over arbitrary bytes is total — hostile
+    /// payloads surface as typed errors, never panics.
+    #[test]
+    fn payload_of_as_roundtrip_and_hostile_bytes(
+        s in "[a-zA-Z0-9 .!?\n]{0,40}",
+        n in any::<u64>(),
+        junk in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let typed = (s.clone(), n);
+        let payload = payload_of(&typed);
+        prop_assert_eq!(payload_as::<(String, u64)>(&payload).expect("roundtrips"), typed);
+        // Trailing garbage after a valid encoding must be rejected:
+        // payload decoding is consume-all by construction.
+        if !junk.is_empty() {
+            let mut extended = payload.as_slice().to_vec();
+            extended.extend_from_slice(&junk);
+            prop_assert!(payload_as::<(String, u64)>(&Payload::from_vec(extended)).is_err());
+        }
+        let _ = payload_as::<(String, u64)>(&Payload::from_vec(junk.clone()));
+        let _ = payload_as::<Frame<String>>(&Payload::from_vec(junk));
     }
 
     /// The encoder refuses to produce frames above the cap, with the

@@ -656,6 +656,9 @@ impl TransportActor<PlaceWire> for PlacementActor {
             PlaceWire::TransferFailed { epoch, reason, .. }
                 if self.in_flight.as_ref().is_some_and(|f| f.epoch == epoch) =>
             {
+                // Abort path: a failed migration is a rare fault, not
+                // per-delivery traffic.
+                // odp-check: allow(hot-path-alloc)
                 self.abort_epoch(ctx, &format!("transfer failed: {reason}"));
             }
             PlaceWire::Installed { cluster, epoch } => {
@@ -671,6 +674,8 @@ impl TransportActor<PlaceWire> for PlacementActor {
             PlaceWire::InstallFailed { epoch, reason, .. }
                 if self.in_flight.as_ref().is_some_and(|f| f.epoch == epoch) =>
             {
+                // Abort path, as above.
+                // odp-check: allow(hot-path-alloc)
                 self.abort_epoch(ctx, &format!("install failed: {reason}"));
             }
             // Workload-plane traffic is not addressed to the controller.

@@ -32,7 +32,6 @@ use odp_sim::actor::TimerId;
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 use odp_streams::transfer::ChunkPlan;
-use odp_telemetry::span::{CLOSE, OPEN};
 
 use crate::content_hash;
 use crate::wire::{PlaceWire, SpanObs};
@@ -247,8 +246,8 @@ impl TileHostActor {
         let Some(parent) = parent else { return };
         let child = parent.child(ctx.rng());
         let now = ctx.now();
-        ctx.trace(OPEN, child.open_data("tile.serve"));
-        ctx.trace(CLOSE, child.close_data());
+        ctx.span_open(child.carrier(), "tile.serve");
+        ctx.span_close(child.carrier());
         let me = self.me;
         self.buffer_span(
             ctx,

@@ -25,7 +25,7 @@ use odp_sim::actor::TimerId;
 use odp_sim::net::{LinkSpec, Network, NodeId};
 use odp_sim::sim::{Sim, SimBuilder};
 use odp_sim::time::{SimDuration, SimTime};
-use odp_telemetry::span::{SpanContext, CLOSE, OPEN};
+use odp_telemetry::span::SpanContext;
 
 use odp_awareness::bus::CoopEvent;
 
@@ -191,7 +191,7 @@ impl EditorActor {
         }
         let span = SpanContext::root(ctx.rng());
         let kind = format!("{ACCESS_KIND_PREFIX}{}", op.cluster.0);
-        ctx.trace(OPEN, span.open_data(&kind));
+        ctx.span_open(span.carrier(), &kind);
         self.pending.insert(
             op.cluster,
             Pending {
@@ -209,7 +209,7 @@ impl EditorActor {
             return;
         };
         let now = ctx.now();
-        ctx.trace(CLOSE, p.span.close_data());
+        ctx.span_close(p.span.carrier());
         let me = self.me;
         self.buffer_obs(
             ctx,

@@ -6,7 +6,7 @@
 use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::{Connectivity, NodeId};
 use odp_sim::time::{SimDuration, SimTime};
-use odp_telemetry::span::{Carrier, SpanContext, CLOSE, OPEN};
+use odp_telemetry::span::{Carrier, SpanContext};
 
 use crate::media::{Frame, MediaSink, MediaSource};
 use crate::monitor::{QosMonitor, Violation};
@@ -142,11 +142,16 @@ impl Actor<StreamMsg> for SourceActor {
         match msg {
             StreamMsg::ViolationReport(v) => {
                 ctx.metrics().incr("stream.violation_reports");
+                // QoS violations are rare control events, not the
+                // per-frame path.
+                // odp-check: allow(hot-path-alloc)
                 ctx.trace("qos.violation", format!("{:?}", v.kind));
                 if self.adaptive && !self.cooling(ctx.now()) {
                     if let Some(degraded) = self.contract.degraded() {
                         self.renegotiations += 1;
                         ctx.metrics().incr("stream.renegotiations");
+                        // Renegotiations are rarer still (cooldown-gated).
+                        // odp-check: allow(hot-path-alloc)
                         ctx.trace("qos.renegotiated", degraded.to_string());
                         self.announce(ctx, degraded);
                     }
@@ -156,6 +161,8 @@ impl Actor<StreamMsg> for SourceActor {
                 if let Some(upgraded) = self.contract.upgraded(&self.original) {
                     self.upgrades += 1;
                     ctx.metrics().incr("stream.upgrades");
+                    // Upgrades are cooldown-gated control events.
+                    // odp-check: allow(hot-path-alloc)
                     ctx.trace("qos.upgraded", upgraded.to_string());
                     self.announce(ctx, upgraded);
                 }
@@ -173,8 +180,8 @@ impl Actor<StreamMsg> for SourceActor {
                 // stream.recv child off it as the frame lands.
                 if self.telemetry {
                     let root = SpanContext::root(ctx.rng());
-                    ctx.trace(OPEN, root.open_data("stream.frame"));
-                    ctx.trace(CLOSE, root.close_data());
+                    ctx.span_open(root.carrier(), "stream.frame");
+                    ctx.span_close(root.carrier());
                     frame.span = Some(root);
                 }
                 ctx.metrics().incr("stream.frames_sent");
@@ -255,18 +262,23 @@ impl Actor<StreamMsg> for SinkActor {
                 if self.telemetry {
                     if let Some(parent) = frame.span {
                         let recv = parent.child(ctx.rng());
-                        ctx.trace(OPEN, recv.open_data("stream.recv"));
-                        ctx.trace(CLOSE, recv.close_data());
+                        ctx.span_open(recv.carrier(), "stream.recv");
+                        ctx.span_close(recv.carrier());
                     }
                 }
                 self.sink.arrive(frame, ctx.now());
             }
             StreamMsg::NewContract(spec) => {
                 self.monitor.set_contract(spec);
+                // Contract changes are rare control events, not the
+                // per-frame path.
+                // odp-check: allow(hot-path-alloc)
                 ctx.trace("qos.contract_updated", spec.to_string());
             }
             StreamMsg::ConnectivityChanged(level) => {
                 self.monitor.set_connectivity(level);
+                // As above: connectivity flips are rare control events.
+                // odp-check: allow(hot-path-alloc)
                 ctx.trace("qos.connectivity", format!("{level:?}"));
             }
             StreamMsg::ViolationReport(_) | StreamMsg::HealthReport => {}
@@ -321,6 +333,7 @@ mod tests {
     use super::*;
     use crate::media::{MediaKind, StreamId};
     use odp_sim::prelude::*;
+    use odp_telemetry::span::{CLOSE, OPEN};
 
     fn stream_sim(link: LinkSpec, adaptive: bool) -> Sim<StreamMsg> {
         let mut net = Network::new(link);

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use odp_fabric::SpanOp;
 use odp_sim::metrics::Histogram;
 use odp_sim::net::NodeId;
 use odp_sim::time::SimTime;
@@ -205,7 +206,11 @@ impl Collector {
     }
 
     /// Builds a collector from a finished run's trace by parsing every
-    /// [`OPEN`] / [`CLOSE`] event.
+    /// [`OPEN`] / [`CLOSE`] string event, then replaying the binary
+    /// [`odp_fabric::SpanLog`] riding on the trace. Instrumented code
+    /// records through one channel or the other (legacy string payloads
+    /// vs the allocation-free span log), never both for one span, so
+    /// ingesting the streams back-to-back cannot double-open.
     pub fn from_trace(trace: &Trace) -> Self {
         let mut c = Collector::new();
         for e in trace.events() {
@@ -222,6 +227,18 @@ impl Collector {
                     None => c
                         .errors
                         .push(format!("malformed close payload {:?}", e.data)),
+                }
+            }
+        }
+        let log = trace.spans();
+        for e in log.events() {
+            let time = SimTime::from_micros(e.time_us);
+            match e.op {
+                SpanOp::Open { span, kind } => {
+                    c.ingest_open(time, NodeId(e.node), span.into(), log.kind(kind));
+                }
+                SpanOp::Close { trace_id, span_id } => {
+                    c.ingest_close(time, trace_id, span_id);
                 }
             }
         }
@@ -457,6 +474,41 @@ mod tests {
         c.ingest_open(t(1), NodeId(0), root, "k");
         assert_eq!(c.errors().len(), 2);
         assert!(c.well_formed().is_err());
+    }
+
+    #[test]
+    fn from_trace_ingests_the_binary_span_log() {
+        let root = SpanContext::root_with(11, 1);
+        let child = root.child_with(2);
+        let mut tr = Trace::new();
+        tr.span_open(t(0), NodeId(0), root.carrier(), "rpc.call");
+        tr.span_open(t(3), NodeId(1), child.carrier(), "rpc.serve");
+        tr.span_close(t(4), NodeId(1), child.carrier());
+        tr.span_close(t(8), NodeId(0), root.carrier());
+        let c = Collector::from_trace(&tr);
+        assert!(c.well_formed().is_ok());
+        assert_eq!(c.span_count(), 2);
+        let hists = c.kind_histograms();
+        assert_eq!(
+            hists.get("rpc.serve").map(|h| h.mean()),
+            Some(SimDuration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn from_trace_merges_string_and_binary_streams() {
+        // Distinct traces through each channel coexist in one collector.
+        let legacy = SpanContext::root_with(20, 1);
+        let fabric = SpanContext::root_with(21, 1);
+        let mut tr = Trace::new();
+        tr.record(t(0), NodeId(0), OPEN, legacy.open_data("old.way"));
+        tr.record(t(2), NodeId(0), CLOSE, legacy.close_data());
+        tr.span_open(t(1), NodeId(1), fabric.carrier(), "new.way");
+        tr.span_close(t(3), NodeId(1), fabric.carrier());
+        let c = Collector::from_trace(&tr);
+        assert!(c.well_formed().is_ok());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.span_count(), 2);
     }
 
     #[test]

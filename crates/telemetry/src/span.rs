@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use odp_fabric::SpanCarrier;
 use odp_sim::rng::DetRng;
 
 /// Trace-event label marking a span opening. Payload format:
@@ -153,6 +154,33 @@ impl SpanContext {
         let trace_id = u64::from_str_radix(parts.next()?, 16).ok()?;
         let span_id = u64::from_str_radix(parts.next()?, 16).ok()?;
         Some((trace_id, span_id))
+    }
+
+    /// The fabric-layer view of this context, for recording into a
+    /// host's binary [`odp_fabric::SpanLog`] or piggybacking on a
+    /// byte-oriented envelope. Same three fields, no telemetry deps.
+    pub fn carrier(&self) -> SpanCarrier {
+        SpanCarrier {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent: self.parent,
+        }
+    }
+}
+
+impl From<SpanContext> for SpanCarrier {
+    fn from(ctx: SpanContext) -> SpanCarrier {
+        ctx.carrier()
+    }
+}
+
+impl From<SpanCarrier> for SpanContext {
+    fn from(c: SpanCarrier) -> SpanContext {
+        SpanContext {
+            trace_id: c.trace_id,
+            span_id: c.span_id,
+            parent: c.parent,
+        }
     }
 }
 

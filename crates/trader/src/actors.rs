@@ -21,7 +21,7 @@ use odp_sim::actor::{Actor, Ctx, TimerId};
 use odp_sim::net::NodeId;
 use odp_sim::time::{SimDuration, SimTime};
 use odp_streams::qos::QosSpec;
-use odp_telemetry::span::{Carrier, SpanContext, CLOSE, OPEN};
+use odp_telemetry::span::{Carrier, SpanContext};
 
 use crate::cache::LookupCache;
 use crate::offer::{OfferId, ServiceOffer, ServiceType};
@@ -127,6 +127,9 @@ pub struct TraderActor {
     ring: HashRing,
     rebalance_invalidations: bool,
     telemetry: bool,
+    // Precomputed: exports arrive per message, and building the metric
+    // name there would allocate on the delivery path.
+    shard_counter: String,
 }
 
 impl TraderActor {
@@ -155,6 +158,7 @@ impl TraderActor {
             ring,
             rebalance_invalidations: true,
             telemetry: false,
+            shard_counter: format!("trader.shard.{me}.offers"),
         }
     }
 
@@ -218,8 +222,7 @@ impl TraderActor {
                     }
                     _ => {
                         ctx.metrics().incr("trader.exports");
-                        let shard_counter = format!("trader.shard.{me}.offers");
-                        ctx.metrics().add(&shard_counter, 1);
+                        ctx.metrics().add(&self.shard_counter, 1);
                         self.store.insert(offer);
                     }
                 }
@@ -264,8 +267,8 @@ impl TraderActor {
                 let serve = match span.filter(|_| self.telemetry) {
                     Some(parent) => {
                         let serve = parent.child(ctx.rng());
-                        ctx.trace(OPEN, serve.open_data("trader.serve"));
-                        ctx.trace(CLOSE, serve.close_data());
+                        ctx.span_open(serve.carrier(), "trader.serve");
+                        ctx.span_close(serve.carrier());
                         Some(serve)
                     }
                     None => None,
@@ -321,6 +324,9 @@ impl TraderActor {
                         continue;
                     };
                     ctx.metrics().incr("trader.transfers.out");
+                    // Rebalances are rare ring reconfigurations, not
+                    // per-delivery traffic.
+                    // odp-check: allow(hot-path-alloc)
                     moved_types.insert(offer.service_type.clone());
                     ctx.send(owner, TraderMsg::Transfer(offer));
                 }
@@ -572,7 +578,7 @@ impl ImporterActor {
         // telemetry audit will flag the unclosed span).
         let root = if self.telemetry {
             let root = SpanContext::root(ctx.rng());
-            ctx.trace(OPEN, root.open_data("trader.import"));
+            ctx.span_open(root.carrier(), "trader.import");
             Some(root)
         } else {
             None
@@ -626,11 +632,11 @@ impl ImporterActor {
                 if self.telemetry {
                     if let Some(serve) = span {
                         let reply = serve.child(ctx.rng());
-                        ctx.trace(OPEN, reply.open_data("trader.reply"));
-                        ctx.trace(CLOSE, reply.close_data());
+                        ctx.span_open(reply.carrier(), "trader.reply");
+                        ctx.span_close(reply.carrier());
                     }
                     if let Some(root) = root {
-                        ctx.trace(CLOSE, root.close_data());
+                        ctx.span_close(root.carrier());
                     }
                 }
                 if resolved.is_empty() {
@@ -655,6 +661,9 @@ impl ImporterActor {
                 let step = self.engine.on_message(from, gc, ctx.now());
                 for delivery in &step.delivered {
                     let service_type = &delivery.payload.service_type;
+                    // Invalidations are rare coherence events; the epoch
+                    // key must be owned.
+                    // odp-check: allow(hot-path-alloc)
                     *self.epochs.entry(service_type.clone()).or_insert(0) += 1;
                     if self.cache.invalidate(service_type) {
                         ctx.metrics().incr("importer.cache.invalidated");
@@ -662,9 +671,12 @@ impl ImporterActor {
                     if let Some(bus) = &mut self.bus {
                         let published = bus.publish(CoopEvent::broadcast(
                             from,
+                            // As above: invalidations are rare.
+                            // odp-check: allow(hot-path-alloc)
                             format!("svc/{service_type}"),
                             ctx.now(),
                             CoopKind::ServiceInvalidated {
+                                // odp-check: allow(hot-path-alloc)
                                 reason: format!("{:?}", delivery.payload.reason),
                             },
                         ));
@@ -702,6 +714,8 @@ impl ImporterActor {
                 }
                 for (service_type, owner) in owners_before {
                     if self.ring.node_for(&service_type) != owner {
+                        // Shard changes are rare ring reconfigurations.
+                        // odp-check: allow(hot-path-alloc)
                         *self.epochs.entry(service_type.clone()).or_insert(0) += 1;
                         if self.cache.invalidate(&service_type) {
                             ctx.metrics().incr("importer.cache.invalidated");
@@ -771,6 +785,7 @@ mod tests {
     use odp_groupcomm::membership::GroupId;
     use odp_sim::prelude::{ActorHandle, SimBuilder, Until};
     use odp_sim::sim::Sim;
+    use odp_telemetry::span::{CLOSE, OPEN};
 
     const T1: NodeId = NodeId(0);
     const T2: NodeId = NodeId(1);

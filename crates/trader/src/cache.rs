@@ -20,8 +20,7 @@
 //! Invalidation notes name only the type and evict every scope's entry
 //! for it.
 
-use std::collections::BTreeMap;
-
+use odp_fabric::SortedVecMap;
 use odp_sim::time::{SimDuration, SimTime};
 
 use crate::offer::{ServiceOffer, ServiceType};
@@ -64,7 +63,10 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct LookupCache {
     ttl: SimDuration,
-    entries: BTreeMap<ServiceType, BTreeMap<Scope, CacheEntry>>,
+    // Sorted vecs, not BTreeMaps: the working set is a handful of hot
+    // types consulted on every lookup, and contiguous entries keep the
+    // probe cache-friendly while preserving (type, scope) order.
+    entries: SortedVecMap<ServiceType, SortedVecMap<Scope, CacheEntry>>,
     stats: CacheStats,
 }
 
@@ -73,7 +75,7 @@ impl LookupCache {
     pub fn new(ttl: SimDuration) -> Self {
         LookupCache {
             ttl,
-            entries: BTreeMap::new(),
+            entries: SortedVecMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -135,7 +137,7 @@ impl LookupCache {
         resolved: Vec<ServiceOffer>,
         now: SimTime,
     ) {
-        self.entries.entry(service_type).or_default().insert(
+        self.entries.get_mut_or_default(service_type).insert(
             scope,
             CacheEntry {
                 resolved,
@@ -174,7 +176,7 @@ impl LookupCache {
 
     /// Entries currently held (expired-but-unqueried entries count).
     pub fn len(&self) -> usize {
-        self.entries.values().map(BTreeMap::len).sum()
+        self.entries.values().map(SortedVecMap::len).sum()
     }
 
     /// True when the cache holds nothing.

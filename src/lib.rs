@@ -7,6 +7,7 @@
 //! subsystem crate in the workspace under one roof; see the individual
 //! crates for details:
 //!
+//! - [`fabric`] — zero-copy payload bytes, binary span carriers, sorted-vec maps
 //! - [`sim`] — deterministic discrete-event simulation substrate
 //! - [`groupcomm`] — group membership, ordered multicast, group RPC
 //! - [`concurrency`] — cooperation-aware concurrency control
@@ -31,6 +32,7 @@ pub use cscw_core as core;
 pub use odp_access as access;
 pub use odp_awareness as awareness;
 pub use odp_concurrency as concurrency;
+pub use odp_fabric as fabric;
 pub use odp_groupcomm as groupcomm;
 pub use odp_mgmt as mgmt;
 pub use odp_mobility as mobility;
